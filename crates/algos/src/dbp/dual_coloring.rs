@@ -1,0 +1,108 @@
+//! The Dual Coloring algorithm (offline, one machine type).
+
+use bshm_chart::placement::{place_jobs, PlacementOrder};
+use bshm_chart::strips::schedule_strips;
+use bshm_core::job::Job;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::Schedule;
+
+/// Schedules `jobs` on machines of one catalog type (capacity `g`) with the
+/// Dual Coloring algorithm: place all jobs as a 2-allocation, slice the
+/// chart into strips of height `g/2`, one machine per strip plus two per
+/// strip boundary. Machines are appended to `schedule` as `machine_type`.
+///
+/// Every job must have `size ≤ g`; panics otherwise (callers partition
+/// jobs by size class first).
+pub fn dual_coloring(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    order: PlacementOrder,
+    label: &str,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    assert!(
+        jobs.iter().all(|j| j.size <= g),
+        "dual_coloring: a job exceeds the machine capacity"
+    );
+    let placement = place_jobs(jobs, order);
+    let leftovers = schedule_strips(schedule, &placement, g, None, machine_type, label);
+    debug_assert!(leftovers.is_empty(), "no bottom limit ⇒ no leftovers");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::cost::schedule_cost;
+    use bshm_core::instance::Instance;
+    use bshm_core::lower_bound::lower_bound;
+    use bshm_core::machine::{Catalog, MachineType};
+    use bshm_core::validate::validate_schedule;
+
+    fn run(jobs: Vec<Job>, g: u64, rate: u64) -> (Instance, Schedule) {
+        let catalog = Catalog::new(vec![MachineType::new(g, rate)]).unwrap();
+        let inst = Instance::new(jobs.clone(), catalog).unwrap();
+        let mut s = Schedule::new();
+        dual_coloring(&mut s, &jobs, TypeIndex(0), g, PlacementOrder::Arrival, "dc");
+        (inst, s)
+    }
+
+    #[test]
+    fn feasible_on_mixed_jobs() {
+        let jobs = vec![
+            Job::new(0, 2, 0, 10),
+            Job::new(1, 3, 2, 12),
+            Job::new(2, 4, 4, 14),
+            Job::new(3, 1, 6, 16),
+            Job::new(4, 4, 8, 18),
+            Job::new(5, 2, 15, 25),
+        ];
+        let (inst, s) = run(jobs, 4, 1);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+    }
+
+    #[test]
+    fn single_small_job_uses_one_machine() {
+        let (inst, s) = run(vec![Job::new(0, 1, 0, 10)], 4, 1);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.used_machine_count(), 1);
+        assert_eq!(schedule_cost(&s, &inst), 10);
+    }
+
+    #[test]
+    fn cost_within_4x_lower_bound_on_dense_batch() {
+        // 20 unit jobs over the same window on capacity-4 machines:
+        // LB = ceil(20/4)·len = 5·10 = 50. Dual coloring must stay ≤ 4×.
+        let jobs: Vec<Job> = (0..20).map(|i| Job::new(i, 1, 0, 10)).collect();
+        let (inst, s) = run(jobs, 4, 1);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        let lb = lower_bound(&inst);
+        assert_eq!(lb, 50);
+        let cost = schedule_cost(&s, &inst);
+        assert!(cost <= 4 * lb, "cost {cost} > 4×LB {lb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the machine capacity")]
+    fn rejects_oversized() {
+        let mut s = Schedule::new();
+        dual_coloring(
+            &mut s,
+            &[Job::new(0, 5, 0, 10)],
+            TypeIndex(0),
+            4,
+            PlacementOrder::Arrival,
+            "dc",
+        );
+    }
+
+    #[test]
+    fn empty_jobs_is_noop() {
+        let mut s = Schedule::new();
+        dual_coloring(&mut s, &[], TypeIndex(0), 4, PlacementOrder::Arrival, "dc");
+        assert_eq!(s.machine_count(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! The MinUsageTime Dynamic Bin Packing substrate (single machine type).
+//!
+//! BSHM generalizes MinUsageTime DBP (§I-A); conversely the paper's
+//! algorithms are built from two single-type primitives:
+//!
+//! * [`dual_coloring`] — the offline Dual Coloring algorithm of Ren & Tang
+//!   (SPAA 2016, ref \[13\]), a 4-approximation: 2-allocation placement +
+//!   strips of height `g/2`;
+//! * [`FirstFit`] — the online First Fit packing rule (ref \[14\]),
+//!   `(μ+3)`-competitive in the non-clairvoyant setting.
+//!
+//! Both operate on *one* machine type and are reused per size class by the
+//! INC algorithms and per iteration by the DEC algorithms.
+
+mod dual_coloring;
+mod first_fit;
+mod offline_fit;
+
+pub use dual_coloring::dual_coloring;
+pub use first_fit::{FirstFit, FirstFitRoster};
+pub use offline_fit::{first_fit_decreasing_duration, offline_first_fit};

@@ -1,0 +1,154 @@
+//! Offline fit rules for one machine type: First-Fit in arbitrary job
+//! order, including the duration-descending order of Flammini et al.
+//! (ref \[7\], a 4-approximation for unit sizes) as
+//! [`first_fit_decreasing_duration`].
+//!
+//! Unlike the online First Fit, an offline fit may inspect the whole job —
+//! including its departure — so a machine admits a job iff adding it keeps
+//! the machine's load within capacity at *every* time in the job's window.
+
+use bshm_core::job::Job;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::Schedule;
+
+/// One machine's committed jobs during offline fitting.
+struct FitMachine {
+    jobs: Vec<Job>,
+}
+
+impl FitMachine {
+    /// Max load over `job`'s window if `job` were added stays ≤ capacity?
+    fn fits(&self, job: &Job, capacity: u64) -> bool {
+        if job.size > capacity {
+            return false;
+        }
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for other in &self.jobs {
+            if other.interval().overlaps(&job.interval()) {
+                let s = i64::try_from(other.size).expect("size fits i64");
+                events.push((other.arrival.max(job.arrival), s));
+                events.push((other.departure.min(job.departure), -s));
+            }
+        }
+        events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let free = i64::try_from(capacity - job.size).expect("capacity fits i64");
+        let mut load = 0i64;
+        for (_, d) in events {
+            load += d;
+            if load > free {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Offline First-Fit: jobs are taken in the given order and each goes to
+/// the lowest-indexed machine that can host it over its whole window.
+/// Machines are appended to `schedule` as `machine_type` (capacity `g`).
+pub fn offline_first_fit(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    label: &str,
+) {
+    assert!(
+        jobs.iter().all(|j| j.size <= g),
+        "offline_first_fit: a job exceeds the machine capacity"
+    );
+    let mut machines: Vec<FitMachine> = Vec::new();
+    let mut ids = Vec::new();
+    for job in jobs {
+        let slot = machines.iter().position(|m| m.fits(job, g));
+        let idx = match slot {
+            Some(i) => i,
+            None => {
+                machines.push(FitMachine { jobs: Vec::new() });
+                ids.push(schedule.add_machine(machine_type, format!("{label}#{}", ids.len())));
+                machines.len() - 1
+            }
+        };
+        machines[idx].jobs.push(*job);
+        schedule.assign(ids[idx], job.id);
+    }
+}
+
+/// First-Fit Decreasing by duration (longest jobs first, ties by arrival):
+/// the classic busy-time heuristic of Flammini et al. Long jobs anchor
+/// machines; short jobs ride along inside already-paid busy windows.
+pub fn first_fit_decreasing_duration(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    label: &str,
+) {
+    let mut ordered = jobs.to_vec();
+    ordered.sort_unstable_by_key(|j| (std::cmp::Reverse(j.duration()), j.arrival, j.id));
+    offline_first_fit(schedule, &ordered, machine_type, g, label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::instance::Instance;
+    use bshm_core::machine::{Catalog, MachineType};
+    use bshm_core::validate::validate_schedule;
+
+    fn run(jobs: Vec<Job>, g: u64, ffd: bool) -> (Instance, Schedule) {
+        let catalog = Catalog::new(vec![MachineType::new(g, 1)]).unwrap();
+        let inst = Instance::new(jobs.clone(), catalog).unwrap();
+        let mut s = Schedule::new();
+        if ffd {
+            first_fit_decreasing_duration(&mut s, &jobs, TypeIndex(0), g, "ffd");
+        } else {
+            offline_first_fit(&mut s, &jobs, TypeIndex(0), g, "off");
+        }
+        (inst, s)
+    }
+
+    #[test]
+    fn respects_capacity_over_time() {
+        let jobs = vec![
+            Job::new(0, 3, 0, 10),
+            Job::new(1, 2, 5, 15),  // overlaps job 0: 5 > 4 → new machine
+            Job::new(2, 1, 12, 20), // fits machine 0 after job 0 left
+        ];
+        let (inst, s) = run(jobs, 4, false);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.used_machine_count(), 2);
+        assert_eq!(s.machines()[0].jobs.len(), 2); // jobs 0 and 2
+    }
+
+    #[test]
+    fn ffd_anchors_long_jobs_first() {
+        // One long job [0,100) size 2 + short spikes size 2 inside it:
+        // FFD pays one machine for 100 ticks and rides the shorts inside.
+        let mut jobs = vec![Job::new(0, 2, 0, 100)];
+        for i in 1..=5u32 {
+            jobs.push(Job::new(i, 2, u64::from(i) * 15, u64::from(i) * 15 + 5));
+        }
+        let (inst, s) = run(jobs, 4, true);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.used_machine_count(), 1);
+        assert_eq!(bshm_core::cost::schedule_cost(&s, &inst), 100);
+    }
+
+    #[test]
+    fn disjoint_jobs_share_one_machine() {
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i, 4, u64::from(i) * 10, u64::from(i) * 10 + 10))
+            .collect();
+        let (inst, s) = run(jobs, 4, false);
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.used_machine_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the machine capacity")]
+    fn oversized_rejected() {
+        let mut s = Schedule::new();
+        offline_first_fit(&mut s, &[Job::new(0, 9, 0, 5)], TypeIndex(0), 4, "x");
+    }
+}

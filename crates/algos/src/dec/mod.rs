@@ -1,0 +1,10 @@
+//! Algorithms for BSHM-DEC (§III): amortized cost per unit *decreases*
+//! with capacity, so bulk machines are attractive and the challenge is not
+//! overcommitting to them when load is low.
+
+mod offline;
+mod online;
+pub mod theorem2;
+
+pub use offline::{dec_offline, dec_offline_with_depth};
+pub use online::DecOnline;

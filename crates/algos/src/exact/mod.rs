@@ -1,0 +1,5 @@
+//! Exact optimal schedules for tiny instances (evaluation substrate S13).
+
+mod brute;
+
+pub use brute::{exact_optimal, ExactResult};

@@ -1,0 +1,12 @@
+//! Algorithms for general BSHM (§V): arbitrary amortized-rate sequences,
+//! handled by combining the DEC and INC strategies over a machine-type
+//! forest. The paper conjectures `O(√m)` (offline) and `O(√m·μ)` (online)
+//! ratios; experiments F3/F4 measure them.
+
+mod forest;
+mod offline;
+mod online;
+
+pub use forest::TypeForest;
+pub use offline::general_offline;
+pub use online::GeneralOnline;

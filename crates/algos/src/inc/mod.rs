@@ -1,0 +1,10 @@
+//! Algorithms for BSHM-INC (§IV): amortized cost per unit *increases* with
+//! capacity, so each job should stay in its own size class — the partition
+//! strategy loses at most a 9/4 factor (Lemma 4).
+
+pub mod lemma4;
+mod offline;
+mod online;
+
+pub use offline::{inc_offline, partitioned_ffd};
+pub use online::IncOnline;

@@ -1,0 +1,105 @@
+//! Property tests for the single-type DBP substrate and the exact solver.
+
+use bshm_algos::dbp::{dual_coloring, first_fit_decreasing_duration, offline_first_fit, FirstFit};
+use bshm_algos::exact_optimal;
+use bshm_chart::placement::PlacementOrder;
+use bshm_core::cost::schedule_cost;
+use bshm_core::instance::Instance;
+use bshm_core::job::Job;
+use bshm_core::lower_bound::lower_bound;
+use bshm_core::machine::{Catalog, MachineType, TypeIndex};
+use bshm_core::schedule::Schedule;
+use bshm_core::validate::validate_schedule;
+use bshm_sim::run_online;
+use proptest::prelude::*;
+
+const G: u64 = 16;
+
+fn arb_jobs(n: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec((1..=G, 0u64..200, 1u64..=60), 1..n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (size, arr, dur))| Job::new(i as u32, size, arr, arr + dur))
+            .collect()
+    })
+}
+
+fn single_type(rate: u64) -> Catalog {
+    Catalog::new(vec![MachineType::new(G, rate)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dual_coloring_within_4x(jobs in arb_jobs(60)) {
+        let inst = Instance::new(jobs.clone(), single_type(1)).unwrap();
+        let mut s = Schedule::new();
+        dual_coloring(&mut s, &jobs, TypeIndex(0), G, PlacementOrder::Arrival, "dc");
+        prop_assert!(validate_schedule(&s, &inst).is_ok());
+        let cost = schedule_cost(&s, &inst);
+        let lb = lower_bound(&inst);
+        prop_assert!(cost <= 4 * lb, "cost {cost} > 4×LB {lb}");
+    }
+
+    #[test]
+    fn first_fit_within_mu_plus_3(jobs in arb_jobs(60)) {
+        let inst = Instance::new(jobs, single_type(1)).unwrap();
+        let s = run_online(&inst, &mut FirstFit::new(TypeIndex(0))).unwrap();
+        prop_assert!(validate_schedule(&s, &inst).is_ok());
+        let cost = schedule_cost(&s, &inst);
+        let lb = lower_bound(&inst);
+        let mu = u128::from(inst.stats().mu_ceil());
+        prop_assert!(cost <= (mu + 3) * lb, "cost {cost} vs ({mu}+3)×LB {lb}");
+    }
+
+    #[test]
+    fn offline_fits_are_feasible(jobs in arb_jobs(50)) {
+        let inst = Instance::new(jobs.clone(), single_type(2)).unwrap();
+        let mut ff = Schedule::new();
+        offline_first_fit(&mut ff, &jobs, TypeIndex(0), G, "off");
+        prop_assert!(validate_schedule(&ff, &inst).is_ok());
+        let mut ffd = Schedule::new();
+        first_fit_decreasing_duration(&mut ffd, &jobs, TypeIndex(0), G, "ffd");
+        prop_assert!(validate_schedule(&ffd, &inst).is_ok());
+        // Both cost at least the lower bound.
+        let lb = lower_bound(&inst);
+        prop_assert!(schedule_cost(&ff, &inst) >= lb);
+        prop_assert!(schedule_cost(&ffd, &inst) >= lb);
+    }
+
+    #[test]
+    fn exact_sandwich_on_random_tiny(jobs in arb_jobs(6)) {
+        let inst = Instance::new(jobs.clone(), single_type(3)).unwrap();
+        let exact = exact_optimal(&inst, Some(10_000_000));
+        prop_assume!(exact.is_some());
+        let exact = exact.unwrap();
+        let lb = lower_bound(&inst);
+        prop_assert!(lb <= exact.cost);
+        let mut dc = Schedule::new();
+        dual_coloring(&mut dc, &jobs, TypeIndex(0), G, PlacementOrder::Arrival, "dc");
+        prop_assert!(exact.cost <= schedule_cost(&dc, &inst));
+    }
+
+    #[test]
+    fn clairvoyant_never_mixes_far_duration_classes(jobs in arb_jobs(50)) {
+        use bshm_algos::DurationClassFirstFit;
+        use bshm_sim::run_clairvoyant;
+        let inst = Instance::new(jobs, single_type(1)).unwrap();
+        let base = inst.stats().min_duration;
+        let mut policy = DurationClassFirstFit::new(base);
+        let s = run_clairvoyant(&inst, &mut policy).unwrap();
+        prop_assert!(validate_schedule(&s, &inst).is_ok());
+        // Structural invariant: on one machine, max duration ≤ window
+        // = 4 · 2^k · base, and every job has duration > 2^{k-1}·base, so
+        // the max/min duration ratio per machine is < 8.
+        let by_id: std::collections::HashMap<_, _> =
+            inst.jobs().iter().map(|j| (j.id, *j)).collect();
+        for m in s.machines().iter().filter(|m| m.jobs.len() >= 2) {
+            let durs: Vec<u64> = m.jobs.iter().map(|j| by_id[j].duration()).collect();
+            let lo = durs.iter().min().unwrap().max(&base);
+            let hi = durs.iter().max().unwrap();
+            prop_assert!(hi / lo < 8, "durations {durs:?} mixed on one machine");
+        }
+    }
+}

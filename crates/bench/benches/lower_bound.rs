@@ -1,0 +1,52 @@
+//! P2 — lower-bound engine performance: the dense per-time configuration
+//! DP and the full time-integrated bound.
+
+use bshm_bench::experiments::vm_sizes;
+use bshm_core::lower_bound::{lower_bound, lp_config_cost, optimal_config_cost};
+use bshm_core::machine::MachineType;
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_config(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_config");
+    for m in [2usize, 4, 8] {
+        let types: Vec<MachineType> = (0..m)
+            .map(|i| MachineType::new(4u64 << (2 * i), 1u64 << i))
+            .collect();
+        // Nested demands: D_i shrinking geometrically from a peak.
+        let peak = 4u64 << (2 * (m - 1)); // one big machine's worth
+        let demands: Vec<u64> = (0..m).map(|i| (peak * 3) >> i).collect();
+        group.bench_with_input(BenchmarkId::new("exact-dense", m), &demands, |b, d| {
+            b.iter(|| optimal_config_cost(black_box(d), black_box(&types)));
+        });
+        group.bench_with_input(BenchmarkId::new("lp", m), &demands, |b, d| {
+            b.iter(|| lp_config_cost(black_box(d), black_box(&types)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let catalog = dec_geometric(4, 4);
+        let inst = WorkloadSpec {
+            n,
+            seed: 3,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+            durations: DurationLaw::Uniform { min: 10, max: 60 },
+            sizes: vm_sizes(catalog.max_capacity()),
+        }
+        .generate(catalog);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| lower_bound(black_box(inst)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_config, bench_integrated);
+criterion_main!(benches);

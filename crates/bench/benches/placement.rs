@@ -1,0 +1,38 @@
+//! P3 — 2-allocation placement throughput, by job count and order.
+
+use bshm_chart::placement::{place_jobs, PlacementOrder};
+use bshm_core::job::Job;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn jobs(n: usize) -> Vec<Job> {
+    (0..n as u32)
+        .map(|i| {
+            let x = u64::from(i);
+            let size = 1 + (x * 37 + 11) % 32;
+            let arr = (x * 13) % (n as u64 * 2);
+            Job::new(i, size, arr, arr + 10 + (x * 7) % 50)
+        })
+        .collect()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_jobs");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let js = jobs(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, order) in [
+            ("arrival", PlacementOrder::Arrival),
+            ("size-desc", PlacementOrder::SizeDescending),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &js, |b, js| {
+                b.iter(|| place_jobs(black_box(js), order));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

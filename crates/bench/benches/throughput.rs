@@ -1,0 +1,51 @@
+//! P1 — scheduler throughput: wall time to schedule n jobs, per algorithm.
+
+use bshm_bench::algs::Alg;
+use bshm_bench::experiments::vm_sizes;
+use bshm_chart::placement::PlacementOrder;
+use bshm_core::instance::Instance;
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn instance(n: usize, seed: u64) -> Instance {
+    let catalog = dec_geometric(4, 4);
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 60 },
+        sizes: vm_sizes(catalog.max_capacity()),
+    }
+    .generate(catalog)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let algs = [
+        Alg::DecOffline(PlacementOrder::Arrival),
+        Alg::IncOffline(PlacementOrder::Arrival),
+        Alg::GeneralOffline(PlacementOrder::Arrival),
+        Alg::DecOnline,
+        Alg::IncOnline,
+        Alg::GeneralOnline,
+        Alg::FirstFitAny,
+        Alg::BestFit,
+    ];
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let inst = instance(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        for alg in algs {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &inst,
+                |b, inst| b.iter(|| alg.run(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! A2 — ablation: DEC-ONLINE's Group B.
+//!
+//! Group B reserves one-job-at-a-time machines for jobs larger than half
+//! their class capacity; without it, such jobs spill into higher-type
+//! Group-A machines and fragment them. Measures the cost of removing it,
+//! across big-job-heavy workloads.
+
+use super::{cell, eval_cells, group_ratios, Cell};
+use crate::algs::Alg;
+use crate::runner::mean;
+use crate::table::{fmt_ratio, Table};
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [71, 72, 73];
+
+fn grid() -> Vec<Cell> {
+    let catalog = dec_geometric(4, 4);
+    let max = catalog.max_capacity();
+    // Size mixes with increasing shares of "big" (> g/2 of their class) jobs.
+    let mixes: [(&str, SizeLaw); 3] = [
+        (
+            "small-heavy",
+            SizeLaw::Discrete(vec![(1, 8.0), (2, 4.0), (3, 1.0), (12, 0.5), (48, 0.2)]),
+        ),
+        (
+            "balanced",
+            SizeLaw::Uniform { min: 1, max },
+        ),
+        (
+            "big-heavy",
+            SizeLaw::Discrete(vec![(3, 2.0), (4, 2.0), (12, 2.0), (16, 2.0), (48, 1.0), (64, 1.0)]),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (label, sizes) in mixes {
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 400,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 60 },
+                sizes: sizes.clone(),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![label.to_string(), seed.to_string()], inst));
+        }
+    }
+    cells
+}
+
+/// Runs A2.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [Alg::DecOnline, Alg::DecOnlineNoGroupB];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "A2",
+        "DEC-ONLINE Group-B ablation (mean cost/LB)",
+        "the dedicated big-job group prevents fragmentation of higher-type machines",
+        vec!["size mix", "with group B", "without group B", "delta %"],
+    );
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let with = mean(&ratios[0]);
+        let without = mean(&ratios[1]);
+        table.push_row(vec![
+            key[0].clone(),
+            fmt_ratio(with),
+            fmt_ratio(without),
+            format!("{:+.1}", (without / with - 1.0) * 100.0),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,90 @@
+//! A4 — placement-quality diagnostics for the greedy 2-allocation.
+//!
+//! Gergov's construction guarantees (a) no triple overlap and (b)
+//! containment below the demand curve. Our greedy placement enforces (a)
+//! structurally; this experiment measures how far it strays from (b) —
+//! the overshoot above the demand chart — plus the peak strip usage.
+
+use crate::runner::{max, mean, par_map};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::{overshoot, place_jobs, verify_two_allocation, PlacementOrder};
+use bshm_core::job::Job;
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+use bshm_workload::catalogs::dec_geometric;
+
+/// Runs A4.
+#[must_use]
+pub fn run() -> Table {
+    let catalog = dec_geometric(3, 4);
+    let mut inputs: Vec<(String, Vec<Job>)> = Vec::new();
+    for (label, sizes) in [
+        ("uniform", SizeLaw::Uniform { min: 1, max: 64 }),
+        ("heavy-tail", SizeLaw::HeavyTail { min: 1, max: 64, alpha: 1.3 }),
+    ] {
+        for seed in 0..6u64 {
+            let inst = WorkloadSpec {
+                n: 400,
+                seed: 400 + seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 60 },
+                sizes: sizes.clone(),
+            }
+            .generate(catalog.clone());
+            inputs.push((label.to_string(), inst.jobs().to_vec()));
+        }
+    }
+
+    struct Metrics {
+        label: String,
+        order: &'static str,
+        triples: bool,
+        overshoot_frac: f64,
+    }
+    let orders = [
+        ("arrival", PlacementOrder::Arrival),
+        ("size-desc", PlacementOrder::SizeDescending),
+        ("dur-desc", PlacementOrder::DurationDescending),
+    ];
+    let metrics: Vec<Vec<Metrics>> = par_map(inputs, None, |(label, jobs)| {
+        orders
+            .iter()
+            .map(|&(oname, order)| {
+                let p = place_jobs(jobs, order);
+                let peak2 = 2 * bshm_core::sweep::load_profile(jobs).max();
+                Metrics {
+                    label: label.clone(),
+                    order: oname,
+                    triples: verify_two_allocation(&p).is_some(),
+                    overshoot_frac: overshoot(&p) as f64 / peak2 as f64,
+                }
+            })
+            .collect()
+    });
+    let flat: Vec<Metrics> = metrics.into_iter().flatten().collect();
+
+    let mut table = Table::new(
+        "A4",
+        "greedy 2-allocation quality",
+        "no triple overlaps ever; overshoot above the demand curve stays small",
+        vec!["sizes", "order", "triple overlaps", "mean overshoot/peak", "max overshoot/peak"],
+    );
+    for label in ["uniform", "heavy-tail"] {
+        for (oname, _) in orders {
+            let sel: Vec<&Metrics> = flat
+                .iter()
+                .filter(|m| m.label == label && m.order == oname)
+                .collect();
+            let ov: Vec<f64> = sel.iter().map(|m| m.overshoot_frac).collect();
+            let any_triples = sel.iter().any(|m| m.triples);
+            table.push_row(vec![
+                label.to_string(),
+                oname.to_string(),
+                any_triples.to_string(),
+                fmt_ratio(mean(&ov)),
+                fmt_ratio(max(&ov)),
+            ]);
+        }
+    }
+    table.note("overshoot is measured relative to the peak demand-chart height");
+    table
+}

@@ -1,0 +1,89 @@
+//! A5 — how tight are the two lower bounds?
+//!
+//! The harness's ratios divide by the exact integer configuration bound;
+//! this experiment quantifies (a) the LP relaxation's gap below the exact
+//! bound (the price of the closed-form fast path) and (b) the exact
+//! bound's gap below true OPT on tiny instances (from T3's machinery).
+
+use crate::runner::{max, mean, par_map};
+use crate::table::{fmt_ratio, Table};
+use bshm_algos::exact_optimal;
+use bshm_core::instance::Instance;
+use bshm_core::lower_bound::{lower_bound, lp_lower_bound};
+use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+/// Runs A5.
+#[must_use]
+pub fn run() -> Table {
+    // Part (a): exact/LP on medium instances per regime.
+    let mut inputs: Vec<(String, Instance)> = Vec::new();
+    for (label, catalog) in [
+        ("dec".to_string(), dec_geometric(4, 4)),
+        ("inc".to_string(), inc_geometric(4, 4)),
+        ("general".to_string(), sawtooth(4, 4)),
+    ] {
+        for seed in [61u64, 62, 63, 64] {
+            let inst = WorkloadSpec {
+                n: 300,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 60 },
+                sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+            }
+            .generate(catalog.clone());
+            inputs.push((label.clone(), inst));
+        }
+    }
+    let gaps: Vec<(String, f64)> = par_map(inputs, None, |(label, inst)| {
+        let exact = lower_bound(inst) as f64;
+        let lp = lp_lower_bound(inst);
+        (label.clone(), exact / lp)
+    });
+
+    // Part (b): OPT / exact-LB on tiny instances.
+    let tiny: Vec<Instance> = (0..15u64)
+        .map(|seed| {
+            WorkloadSpec {
+                n: 6,
+                seed: 70 + seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 8.0 },
+                durations: DurationLaw::Uniform { min: 5, max: 40 },
+                sizes: SizeLaw::Uniform { min: 1, max: 64 },
+            }
+            .generate(dec_geometric(2, 4))
+        })
+        .collect();
+    let opt_gaps: Vec<f64> = par_map(tiny, None, |inst| {
+        let opt = exact_optimal(inst, Some(30_000_000)).expect("tiny").cost as f64;
+        opt / lower_bound(inst) as f64
+    });
+
+    let mut table = Table::new(
+        "A5",
+        "lower-bound tightness: exact-config LB vs LP relaxation, and vs OPT",
+        "the exact integer configuration bound is close to the LP below it and to OPT above it",
+        vec!["comparison", "regime", "mean gap", "max gap"],
+    );
+    for regime in ["dec", "inc", "general"] {
+        let sel: Vec<f64> = gaps
+            .iter()
+            .filter(|(l, _)| l == regime)
+            .map(|(_, g)| *g)
+            .collect();
+        table.push_row(vec![
+            "exact LB / LP LB".to_string(),
+            regime.to_string(),
+            fmt_ratio(mean(&sel)),
+            fmt_ratio(max(&sel)),
+        ]);
+    }
+    table.push_row(vec![
+        "OPT / exact LB (n=6)".to_string(),
+        "dec".to_string(),
+        fmt_ratio(mean(&opt_gaps)),
+        fmt_ratio(max(&opt_gaps)),
+    ]);
+    table.note("gaps near 1.00 mean the measured cost ratios barely overstate the true ratios");
+    table
+}

@@ -1,0 +1,54 @@
+//! A6 — ablation: DEC-OFFLINE's bottom-strip depth.
+//!
+//! The paper keeps the bottom `2·(r̂_{i+1}/r̂_i − 1)` strips per iteration;
+//! the factor 2 is what makes the Theorem 1 charging argument work. This
+//! sweep asks what the factor costs in practice: shallower strips escalate
+//! jobs to bulk machines sooner, deeper strips hold them on small machines
+//! longer.
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::mean;
+use crate::table::{fmt_ratio, Table};
+use bshm_workload::catalogs::{dec_geometric, ec2_like_dec};
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [55, 56, 57];
+const DEPTHS: [u64; 4] = [1, 2, 4, 8];
+
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (label, catalog) in [("geo-m4", dec_geometric(4, 4)), ("ec2-dec", ec2_like_dec())] {
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 400,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 60 },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![label.to_string(), seed.to_string()], inst));
+        }
+    }
+    cells
+}
+
+/// Runs A6.
+#[must_use]
+pub fn run() -> Table {
+    let algs: Vec<Alg> = DEPTHS.iter().map(|&d| Alg::DecOfflineDepth(d)).collect();
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "A6",
+        "DEC-OFFLINE bottom-strip depth ablation (mean cost/LB)",
+        "the paper's depth-2 strips balance small-machine packing against bulk escalation",
+        vec!["catalog", "depth 1", "depth 2 (paper)", "depth 4", "depth 8"],
+    );
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let mut row = vec![key[0].clone()];
+        row.extend(ratios.iter().map(|r| fmt_ratio(mean(r))));
+        table.push_row(row);
+    }
+    table
+}

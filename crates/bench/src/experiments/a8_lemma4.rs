@@ -1,0 +1,80 @@
+//! A8 — numerically checking Lemma 4 (§IV): the size-class partition's
+//! per-time cost never exceeds 9/4 of the optimal configuration, across
+//! INC catalog families and workload shapes.
+
+use super::vm_sizes;
+use crate::runner::{max, par_map};
+use crate::table::{fmt_ratio, Table};
+use bshm_algos::inc::lemma4::lemma4_max_ratio;
+use bshm_core::instance::Instance;
+use bshm_core::normalize::NormalizedCatalog;
+use bshm_workload::catalogs::{ec2_like_inc, inc_geometric, random_inc_catalog};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs A8.
+#[must_use]
+pub fn run() -> Table {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut inputs: Vec<(String, Instance)> = Vec::new();
+    let mut catalogs = vec![
+        ("geo-m3".to_string(), inc_geometric(3, 4)),
+        ("geo-m5".to_string(), inc_geometric(5, 4)),
+        ("ec2-inc".to_string(), ec2_like_inc()),
+    ];
+    for i in 0..3 {
+        catalogs.push((format!("random-{i}"), random_inc_catalog(&mut rng, 4, 3)));
+    }
+    for (label, catalog) in catalogs {
+        for seed in [301u64, 302, 303] {
+            for (wname, sizes) in [
+                ("vm", vm_sizes(catalog.max_capacity())),
+                (
+                    "heavy",
+                    SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.2 },
+                ),
+            ] {
+                let inst = WorkloadSpec {
+                    n: 250,
+                    seed,
+                    arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                    durations: DurationLaw::Uniform { min: 10, max: 60 },
+                    sizes,
+                }
+                .generate(catalog.clone());
+                inputs.push((format!("{label}/{wname}"), inst));
+            }
+        }
+    }
+    let ratios: Vec<(String, f64)> = par_map(inputs, None, |(label, inst)| {
+        let norm = NormalizedCatalog::from_catalog(inst.catalog());
+        (label.clone(), lemma4_max_ratio(inst, &norm))
+    });
+
+    let mut table = Table::new(
+        "A8",
+        "Lemma 4 checked numerically: partition cost rate / optimal configuration",
+        "§IV Lemma 4: the size-class partition loses at most 9/4 at every time point",
+        vec!["catalog/workload", "max ratio", "bound 9/4"],
+    );
+    let mut labels: Vec<String> = ratios.iter().map(|(l, _)| l.clone()).collect();
+    labels.sort();
+    labels.dedup();
+    let mut worst = 0f64;
+    for label in labels {
+        let sel: Vec<f64> = ratios
+            .iter()
+            .filter(|(l, _)| *l == label)
+            .map(|(_, r)| *r)
+            .collect();
+        worst = worst.max(max(&sel));
+        table.push_row(vec![label, fmt_ratio(max(&sel)), "2.25".to_string()]);
+    }
+    table.note(format!(
+        "worst observed {} — Lemma 4 holds everywhere: {}",
+        fmt_ratio(worst),
+        worst <= 2.25 + 1e-9
+    ));
+    table
+}

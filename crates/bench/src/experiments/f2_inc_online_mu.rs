@@ -1,0 +1,90 @@
+//! F2 — INC-ONLINE competitive ratio as a function of μ (validates the
+//! §IV `(9/4)μ + 27/4` bound).
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_workload::catalogs::inc_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [15, 16, 17];
+const MUS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn grid() -> Vec<Cell> {
+    let catalog = inc_geometric(4, 4);
+    let mut cells = Vec::new();
+    for &mu in &MUS {
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 500,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(
+                vec!["poisson".to_string(), mu.to_string(), seed.to_string()],
+                inst,
+            ));
+            // Straggler-pinning family (see F1).
+            let n = (200 + 20 * mu as usize).min(1_500);
+            let inst = WorkloadSpec {
+                n,
+                seed,
+                arrivals: ArrivalProcess::Batch,
+                durations: DurationLaw::Bimodal {
+                    short: 10,
+                    long: 10 * mu,
+                    p_long: 0.02,
+                },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(
+                vec!["pin".to_string(), mu.to_string(), seed.to_string()],
+                inst,
+            ));
+        }
+    }
+    cells
+}
+
+/// Runs F2.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [Alg::IncOnline, Alg::IncOffline(PlacementOrder::Arrival)];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F2",
+        "INC-ONLINE ratio vs mu (series)",
+        "§IV: INC-ONLINE is (9/4)mu + 27/4-competitive; growth is O(mu) while offline stays flat",
+        vec![
+            "family",
+            "mu",
+            "inc-online mean",
+            "inc-online max",
+            "inc-offline mean",
+            "bound 2.25mu+6.75",
+        ],
+    );
+    let mut all_hold = true;
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let mu: u64 = key[1].parse().expect("mu label");
+        let bound = 2.25 * mu as f64 + 6.75;
+        all_hold &= max(&ratios[0]) <= bound;
+        table.push_row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            fmt_ratio(mean(&ratios[0])),
+            fmt_ratio(max(&ratios[0])),
+            fmt_ratio(mean(&ratios[1])),
+            fmt_ratio(bound),
+        ]);
+    }
+    table.note(format!("all points under bound: {all_hold}"));
+    table.note("poisson: Uniform[10,10*mu] durations; pin: batch + bimodal stragglers; INC catalog m=4".to_string());
+    table
+}

@@ -1,0 +1,78 @@
+//! F3 — GENERAL-OFFLINE ratio as a function of the number of machine
+//! types m (probes the §V `O(√m)` conjecture).
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_workload::catalogs::sawtooth;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [21, 22, 23];
+const MS: [usize; 5] = [2, 4, 6, 8, 10];
+
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &m in &MS {
+        let catalog = sawtooth(m, 4);
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 350,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 40 },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![m.to_string(), seed.to_string()], inst));
+        }
+    }
+    cells
+}
+
+/// Runs F3.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [
+        Alg::GeneralOffline(PlacementOrder::Arrival),
+        Alg::IncOffline(PlacementOrder::Arrival),
+    ];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F3",
+        "GENERAL-OFFLINE ratio vs m (series, sawtooth catalogs)",
+        "§V conjecture: the forest algorithm is O(sqrt(m))-approximate",
+        vec![
+            "m",
+            "gen-off mean",
+            "gen-off max",
+            "inc-off mean (no forest)",
+            "sqrt(m) ref",
+        ],
+    );
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let m: usize = key[0].parse().expect("m label");
+        points.push((m as f64, mean(&ratios[0])));
+        table.push_row(vec![
+            key[0].clone(),
+            fmt_ratio(mean(&ratios[0])),
+            fmt_ratio(max(&ratios[0])),
+            fmt_ratio(mean(&ratios[1])),
+            fmt_ratio((m as f64).sqrt()),
+        ]);
+    }
+    // Shape check: ratio should grow no faster than c·sqrt(m).
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        let growth = last.1 / first.1;
+        let sqrt_growth = (last.0 / first.0).sqrt();
+        table.note(format!(
+            "ratio growth {:.2}x over m range vs sqrt growth {:.2}x — sub-sqrt: {}",
+            growth,
+            sqrt_growth,
+            growth <= sqrt_growth * 1.5
+        ));
+    }
+    table
+}

@@ -1,0 +1,68 @@
+//! F4 — GENERAL-ONLINE ratio vs m and μ (probes the §V `O(√m·μ)`
+//! conjecture).
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_workload::catalogs::sawtooth;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [31, 32, 33];
+const MS: [usize; 4] = [2, 4, 6, 8];
+const MUS: [u64; 3] = [2, 8, 32];
+
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &m in &MS {
+        let catalog = sawtooth(m, 4);
+        for &mu in &MUS {
+            for &seed in &SEEDS {
+                let inst = WorkloadSpec {
+                    n: 350,
+                    seed,
+                    arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                    durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                    sizes: vm_sizes(catalog.max_capacity()),
+                }
+                .generate(catalog.clone());
+                cells.push(cell(vec![m.to_string(), mu.to_string(), seed.to_string()], inst));
+            }
+        }
+    }
+    cells
+}
+
+/// Runs F4.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [Alg::GeneralOnline, Alg::IncOnline];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F4",
+        "GENERAL-ONLINE ratio vs m and mu (series, sawtooth catalogs)",
+        "§V conjecture: the online forest algorithm is O(sqrt(m)*mu)-competitive",
+        vec![
+            "m",
+            "mu",
+            "gen-on mean",
+            "gen-on max",
+            "inc-on mean",
+            "sqrt(m)*mu ref",
+        ],
+    );
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let m: usize = key[0].parse().expect("m");
+        let mu: u64 = key[1].parse().expect("mu");
+        table.push_row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            fmt_ratio(mean(&ratios[0])),
+            fmt_ratio(max(&ratios[0])),
+            fmt_ratio(mean(&ratios[1])),
+            fmt_ratio((m as f64).sqrt() * mu as f64),
+        ]);
+    }
+    table.note("reference column is the conjectured asymptotic shape, not a proven constant");
+    table
+}

@@ -1,0 +1,77 @@
+//! F5 — the m=1 substrate: First Fit vs the `μ+3` bound (ref \[14\]) and
+//! Dual Coloring vs the 4-approximation bound (ref \[13\]).
+//!
+//! BSHM with one machine type *is* MinUsageTime Dynamic Bin Packing, so
+//! this reproduces the building-block results the paper composes.
+
+use super::{cell, eval_cells, group_ratios, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_core::machine::{Catalog, MachineType};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [41, 42, 43];
+const MUS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+fn grid() -> Vec<Cell> {
+    let catalog = Catalog::new(vec![MachineType::new(16, 1)]).expect("single type");
+    let mut cells = Vec::new();
+    for &mu in &MUS {
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 500,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                sizes: SizeLaw::Uniform { min: 1, max: 16 },
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![mu.to_string(), seed.to_string()], inst));
+        }
+    }
+    cells
+}
+
+/// Runs F5.
+#[must_use]
+pub fn run() -> Table {
+    // On a single-type catalog, INC-ONLINE degenerates to plain First Fit
+    // and INC-OFFLINE to plain Dual Coloring.
+    let algs = [Alg::IncOnline, Alg::IncOffline(PlacementOrder::Arrival)];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F5",
+        "m=1 substrate: First Fit and Dual Coloring vs their published bounds",
+        "refs [13][14]: First Fit is (mu+3)-competitive, Dual Coloring is a 4-approximation",
+        vec![
+            "mu",
+            "first-fit mean",
+            "first-fit max",
+            "bound mu+3",
+            "dual-coloring mean",
+            "dual-coloring max",
+            "bound 4",
+        ],
+    );
+    let mut ff_ok = true;
+    let mut dc_ok = true;
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let mu: u64 = key[0].parse().expect("mu");
+        ff_ok &= max(&ratios[0]) <= (mu + 3) as f64;
+        dc_ok &= max(&ratios[1]) <= 4.0;
+        table.push_row(vec![
+            key[0].clone(),
+            fmt_ratio(mean(&ratios[0])),
+            fmt_ratio(max(&ratios[0])),
+            fmt_ratio((mu + 3) as f64),
+            fmt_ratio(mean(&ratios[1])),
+            fmt_ratio(max(&ratios[1])),
+            "4.00".to_string(),
+        ]);
+    }
+    table.note(format!("first-fit under mu+3 everywhere: {ff_ok}"));
+    table.note(format!("dual-coloring under 4 everywhere: {dc_ok}"));
+    table
+}

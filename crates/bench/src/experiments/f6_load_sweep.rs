@@ -1,0 +1,76 @@
+//! F6 — cost vs load for every scheduler: who wins where.
+//!
+//! Sweeps the arrival intensity on a DEC catalog and on the synthetic
+//! cloud trace. At low load fragmentation dominates (dedicated machines
+//! are nearly optimal); at high load packing quality dominates and the
+//! paper's algorithms pull ahead of the baselines.
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::mean;
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{cloud_trace_spec, ArrivalProcess, DurationLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [51, 52, 53];
+const GAPS: [f64; 5] = [30.0, 10.0, 3.0, 1.0, 0.3];
+
+fn grid() -> Vec<Cell> {
+    let catalog = dec_geometric(4, 4);
+    let mut cells = Vec::new();
+    for &gap in &GAPS {
+        for &seed in &SEEDS {
+            let inst = WorkloadSpec {
+                n: 400,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: gap },
+                durations: DurationLaw::Uniform { min: 20, max: 80 },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![format!("{gap}"), seed.to_string()], inst));
+        }
+    }
+    // Cloud-trace-like workload as an extra row family.
+    for &seed in &SEEDS {
+        let inst = cloud_trace_spec(400, seed, catalog.max_capacity(), 8).generate(catalog.clone());
+        cells.push(cell(vec!["trace".to_string(), seed.to_string()], inst));
+    }
+    cells
+}
+
+/// Runs F6.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [
+        Alg::DecOffline(PlacementOrder::Arrival),
+        Alg::DecOnline,
+        Alg::FirstFitAny,
+        Alg::BestFit,
+        Alg::SingleTypeLargest,
+        Alg::OneMachinePerJob,
+    ];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F6",
+        "mean cost/LB vs arrival intensity (DEC catalog; last row = diurnal trace)",
+        "offline <= online <= naive baselines at high load; gaps shrink at low load",
+        vec![
+            "mean gap",
+            "dec-off",
+            "dec-on",
+            "ff-any",
+            "best-fit",
+            "single",
+            "dedicated",
+        ],
+    );
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let mut row = vec![key[0].clone()];
+        row.extend(ratios.iter().map(|r| fmt_ratio(mean(r))));
+        table.push_row(row);
+    }
+    table.note("smaller mean gap = higher load");
+    table
+}

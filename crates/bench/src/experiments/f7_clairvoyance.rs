@@ -1,0 +1,89 @@
+//! F7 — what clairvoyance buys (extension experiment).
+//!
+//! §I-A: non-clairvoyant MinUsageTime DBP has a `μ` lower bound (ref
+//! \[11\]) while the clairvoyant setting admits `Θ(√log μ)` (ref \[5\]).
+//! We sweep μ on the straggler-pinning workload — the construction behind
+//! the `μ` lower bound — and compare non-clairvoyant First Fit against the
+//! clairvoyant duration-class First Fit: the former should grow ~linearly
+//! in μ, the latter stay nearly flat.
+
+use super::{cell, eval_cells, group_ratios, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_core::machine::{Catalog, MachineType};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [81, 82, 83];
+const MUS: [u64; 6] = [1, 4, 16, 64, 256, 1024];
+
+fn grid() -> Vec<Cell> {
+    let catalog = Catalog::new(vec![MachineType::new(16, 1)]).expect("single type");
+    let mut cells = Vec::new();
+    for &mu in &MUS {
+        for &seed in &SEEDS {
+            let n = (300 + 10 * (mu as usize).min(100)).min(1_300);
+            let inst = WorkloadSpec {
+                n,
+                seed,
+                arrivals: ArrivalProcess::Batch,
+                durations: DurationLaw::Bimodal {
+                    short: 10,
+                    long: 10 * mu,
+                    p_long: 0.05,
+                },
+                sizes: SizeLaw::Uniform { min: 1, max: 8 },
+            }
+            .generate(catalog.clone());
+            cells.push(cell(vec![mu.to_string(), seed.to_string()], inst));
+        }
+    }
+    cells
+}
+
+/// Runs F7.
+#[must_use]
+pub fn run() -> Table {
+    // IncOnline on a single-type catalog IS plain non-clairvoyant First Fit.
+    let algs = [Alg::IncOnline, Alg::ClairvoyantDcff, Alg::PartitionedFfd];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "F7",
+        "clairvoyant vs non-clairvoyant First Fit under straggler pinning (m=1)",
+        "refs [5][11]: non-clairvoyant is Omega(mu) while clairvoyance admits O(sqrt(log mu)) — the gap should widen with mu",
+        vec![
+            "mu",
+            "non-clairvoyant FF mean",
+            "non-clairvoyant FF max",
+            "clairvoyant mean",
+            "clairvoyant max",
+            "offline FFD mean",
+        ],
+    );
+    let mut first_gap = None;
+    let mut last_gap = None;
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let gap = mean(&ratios[0]) / mean(&ratios[1]);
+        if first_gap.is_none() {
+            first_gap = Some(gap);
+        }
+        last_gap = Some(gap);
+        table.push_row(vec![
+            key[0].clone(),
+            fmt_ratio(mean(&ratios[0])),
+            fmt_ratio(max(&ratios[0])),
+            fmt_ratio(mean(&ratios[1])),
+            fmt_ratio(max(&ratios[1])),
+            fmt_ratio(mean(&ratios[2])),
+        ]);
+    }
+    if let (Some(f), Some(l)) = (first_gap, last_gap) {
+        table.note(format!(
+            "non-clairvoyant/clairvoyant gap grows from {:.2}x to {:.2}x across the mu range: {}",
+            f,
+            l,
+            l > f
+        ));
+    }
+    table
+}

@@ -1,0 +1,114 @@
+//! T1 — DEC-OFFLINE approximation ratios (validates Theorem 1).
+//!
+//! Grid: workload family × number of types × μ × seeds, on DEC catalogs.
+//! The theorem guarantees cost ≤ 14 × OPT for power-of-2 rates (≤ 28 × the
+//! lower bound after rate rounding); measured ratios against the §II lower
+//! bound should sit far below that.
+
+use super::{cell, eval_cells, group_ratios, vm_sizes, Cell};
+use crate::algs::Alg;
+use crate::runner::{max, mean};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_workload::catalogs::{dec_geometric, ec2_like_dec};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &m in &[2usize, 4, 6] {
+        let catalog = dec_geometric(m, 4);
+        let max_size = catalog.max_capacity();
+        for &(mu_label, dur) in &[
+            ("4", DurationLaw::Uniform { min: 20, max: 80 }),
+            ("16", DurationLaw::Uniform { min: 5, max: 80 }),
+        ] {
+            for (fam, sizes) in [
+                ("vm-mix", vm_sizes(max_size)),
+                (
+                    "heavy-tail",
+                    SizeLaw::HeavyTail {
+                        min: 1,
+                        max: max_size,
+                        alpha: 1.3,
+                    },
+                ),
+            ] {
+                for &seed in &SEEDS {
+                    let inst = WorkloadSpec {
+                        n: 400,
+                        seed,
+                        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                        durations: dur,
+                        sizes: sizes.clone(),
+                    }
+                    .generate(catalog.clone());
+                    cells.push(cell(
+                        vec![
+                            fam.to_string(),
+                            format!("geo-m{m}"),
+                            mu_label.to_string(),
+                            seed.to_string(),
+                        ],
+                        inst,
+                    ));
+                }
+            }
+        }
+    }
+    // EC2-flavoured catalog (non-power-of-2 rates: exercises normalization).
+    let catalog = ec2_like_dec();
+    for &seed in &SEEDS {
+        let inst = WorkloadSpec {
+            n: 400,
+            seed,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+            durations: DurationLaw::Uniform { min: 10, max: 60 },
+            sizes: vm_sizes(catalog.max_capacity()),
+        }
+        .generate(catalog.clone());
+        cells.push(cell(
+            vec![
+                "vm-mix".to_string(),
+                "ec2-dec".to_string(),
+                "6".to_string(),
+                seed.to_string(),
+            ],
+            inst,
+        ));
+    }
+    cells
+}
+
+/// Runs T1.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [Alg::DecOffline(PlacementOrder::Arrival)];
+    let results = eval_cells(grid(), &algs);
+    let mut table = Table::new(
+        "T1",
+        "DEC-OFFLINE cost / lower-bound ratio",
+        "Theorem 1: DEC-OFFLINE is a 14-approximation (28× vs the LB after rate rounding)",
+        vec!["sizes", "catalog", "mu", "mean ratio", "max ratio", "bound"],
+    );
+    let mut worst = 0f64;
+    for (key, ratios) in group_ratios(&results, 1, algs.len()) {
+        let r = &ratios[0];
+        worst = worst.max(max(r));
+        table.push_row(vec![
+            key[0].clone(),
+            key[1].clone(),
+            key[2].clone(),
+            fmt_ratio(mean(r)),
+            fmt_ratio(max(r)),
+            "28".to_string(),
+        ]);
+    }
+    table.note(format!(
+        "worst observed ratio {} — bound holds: {}",
+        fmt_ratio(worst),
+        worst <= 28.0
+    ));
+    table
+}

@@ -1,0 +1,96 @@
+//! T5 — fleet-size fidelity: peak busy machines per type vs the optimal
+//! per-time configuration `w*`.
+//!
+//! The lower-bounding scheme (§II) prescribes, at every instant, an ideal
+//! machine mix `w*(i,t)`. This experiment compares each scheduler's *peak*
+//! busy machine total against the peak of `Σ_i w*(i,t)` over time — how
+//! much extra hardware the schedule keeps spinning beyond the
+//! information-theoretic mix.
+
+use super::vm_sizes;
+use crate::algs::Alg;
+use crate::runner::{mean, par_map};
+use crate::table::{fmt_ratio, Table};
+use bshm_chart::placement::PlacementOrder;
+use bshm_core::analysis::machine_timeline;
+use bshm_core::instance::Instance;
+use bshm_core::lower_bound::optimal_config;
+use bshm_core::sweep::demand_grid;
+use bshm_workload::catalogs::{dec_geometric, inc_geometric};
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+
+/// Peak total machine count of the optimal configurations over time.
+fn peak_opt_config(instance: &Instance) -> u64 {
+    let dg = demand_grid(instance.jobs(), instance.catalog());
+    let types = instance.catalog().types();
+    let mut peak = 0u64;
+    let mut memo: std::collections::HashMap<Vec<u64>, u64> = std::collections::HashMap::new();
+    for (_, row) in dg.segments() {
+        let total = *memo
+            .entry(row.to_vec())
+            .or_insert_with(|| optimal_config(row, types).1.iter().sum());
+        peak = peak.max(total);
+    }
+    peak
+}
+
+/// Runs T5.
+#[must_use]
+pub fn run() -> Table {
+    let algs = [
+        Alg::DecOffline(PlacementOrder::Arrival),
+        Alg::IncOffline(PlacementOrder::Arrival),
+        Alg::DecOnline,
+        Alg::IncOnline,
+        Alg::FirstFitAny,
+        Alg::OneMachinePerJob,
+    ];
+    let mut inputs: Vec<(String, Instance)> = Vec::new();
+    for (label, catalog) in [("dec", dec_geometric(4, 4)), ("inc", inc_geometric(4, 4))] {
+        for seed in [91u64, 92, 93] {
+            let inst = WorkloadSpec {
+                n: 350,
+                seed,
+                arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+                durations: DurationLaw::Uniform { min: 10, max: 60 },
+                sizes: vm_sizes(catalog.max_capacity()),
+            }
+            .generate(catalog.clone());
+            inputs.push((label.to_string(), inst));
+        }
+    }
+    let rows: Vec<(String, Vec<f64>)> = par_map(inputs, None, |(label, inst)| {
+        let opt_peak = peak_opt_config(inst).max(1) as f64;
+        let ratios = algs
+            .iter()
+            .map(|alg| {
+                let schedule = alg.run(inst);
+                let peak = machine_timeline(&schedule, inst).peak_total();
+                f64::from(peak) / opt_peak
+            })
+            .collect();
+        (label.clone(), ratios)
+    });
+
+    let mut table = Table::new(
+        "T5",
+        "peak busy machines / peak of the optimal configuration w*",
+        "schedules keep the fleet within a constant factor of the ideal per-time machine mix",
+        vec!["regime", "dec-off", "inc-off", "dec-on", "inc-on", "ff-any", "dedicated"],
+    );
+    for regime in ["dec", "inc"] {
+        let sel: Vec<&Vec<f64>> = rows
+            .iter()
+            .filter(|(l, _)| l == regime)
+            .map(|(_, r)| r)
+            .collect();
+        let mut row = vec![regime.to_string()];
+        for i in 0..algs.len() {
+            let vals: Vec<f64> = sel.iter().map(|r| r[i]).collect();
+            row.push(fmt_ratio(mean(&vals)));
+        }
+        table.push_row(row);
+    }
+    table.note("values are fleet-size ratios (machines), not cost ratios");
+    table
+}

@@ -1,0 +1,93 @@
+//! A small parallel sweep runner.
+//!
+//! Experiment grids are embarrassingly parallel over (workload, seed,
+//! algorithm) cells; this fans cells out over scoped threads and collects
+//! results in input order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `inputs` in parallel (work-stealing by index), preserving
+/// order. Uses up to `threads` OS threads (default: available parallelism).
+pub fn par_map<I, O, F>(inputs: Vec<I>, threads: Option<usize>, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+        .clamp(1, n);
+    if threads == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&inputs[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every cell computed"))
+        .collect()
+}
+
+/// Mean of a non-empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a non-empty slice.
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), Some(8), |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_ok() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), None, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = par_map(vec![1, 2, 3], Some(1), |&x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn stats() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((max(&[1.0, 5.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+}

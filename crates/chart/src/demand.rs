@@ -1,0 +1,77 @@
+//! The demand chart (Fig. 1): the total-size profile of a job set.
+//!
+//! A thin, chart-centric wrapper over [`bshm_core::sweep::load_profile`]
+//! exposing heights in both natural and doubled units, plus the strip count
+//! `x = ⌈2·s(𝒥,t)/g⌉` used throughout the DEC-OFFLINE analysis.
+
+use bshm_core::job::Job;
+use bshm_core::sweep::{load_profile, Profile};
+use bshm_core::time::TimePoint;
+
+/// A demand chart over a job set.
+#[derive(Clone, Debug)]
+pub struct DemandChart {
+    profile: Profile,
+}
+
+impl DemandChart {
+    /// Builds the chart for `jobs`.
+    #[must_use]
+    pub fn new(jobs: &[Job]) -> Self {
+        Self {
+            profile: load_profile(jobs),
+        }
+    }
+
+    /// Height `s(𝒥, t)` at time `t` (0 outside the active span).
+    #[must_use]
+    pub fn height_at(&self, t: TimePoint) -> u64 {
+        self.profile.at(t)
+    }
+
+    /// Height in doubled units, `2·s(𝒥, t)` — the unit the placement and
+    /// strip modules work in.
+    #[must_use]
+    pub fn height2_at(&self, t: TimePoint) -> u64 {
+        2 * self.profile.at(t)
+    }
+
+    /// Peak height over all time.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.profile.max()
+    }
+
+    /// Number of strips of (real) height `g/2` needed to cover the chart at
+    /// time `t`: `x = ⌈2·s(𝒥,t)/g⌉` as in the Theorem 1 proof.
+    #[must_use]
+    pub fn strips_at(&self, t: TimePoint, g: u64) -> u64 {
+        self.height2_at(t).div_ceil(g)
+    }
+
+    /// The underlying piecewise-constant profile.
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_and_strips() {
+        let jobs = vec![Job::new(0, 3, 0, 10), Job::new(1, 4, 5, 15)];
+        let c = DemandChart::new(&jobs);
+        assert_eq!(c.height_at(0), 3);
+        assert_eq!(c.height_at(5), 7);
+        assert_eq!(c.height_at(12), 4);
+        assert_eq!(c.height2_at(5), 14);
+        assert_eq!(c.peak(), 7);
+        // g = 4 → strips at t=5: ceil(14/4) = 4.
+        assert_eq!(c.strips_at(5, 4), 4);
+        assert_eq!(c.strips_at(0, 4), 2);
+        assert_eq!(c.strips_at(20, 4), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Strip partitioning of a placed demand chart (§III-A).
+//!
+//! After the placement phase, the demand chart is sliced into horizontal
+//! strips of height `g_i / 2` (`g_i` in the crate's doubled units). Jobs
+//! whose rectangle lies *fully inside* one strip share a single type-`i`
+//! machine per strip (≤2-overlap × half-capacity sizes ⇒ load ≤ `g_i`).
+//! Jobs *crossing* a strip boundary are served by two dedicated type-`i`
+//! machines per boundary, one job at a time (at most two such jobs are ever
+//! concurrent, again by the 2-allocation invariant).
+//!
+//! With `bottom_limit = Some(B)` only jobs intersecting the bottom `B`
+//! strips are scheduled (the DEC-OFFLINE iteration rule, using machines for
+//! strips `0..B` and boundaries `1..=B`) and the rest are returned as
+//! leftovers for the next iteration; with `None` every job is scheduled
+//! (the final iteration, and the Dual Coloring algorithm for one type).
+
+use crate::placement::{PlacedJob, Placement};
+use bshm_core::job::Job;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::{MachineId, Schedule};
+use std::collections::HashMap;
+
+/// Where the strip rule sends a placed job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StripSlot {
+    /// Fully inside strip `k`.
+    Inside(u64),
+    /// Crossing boundary `b` (the boundary below strip `b`), lowest crossed.
+    Crossing(u64),
+    /// Above the bottom-strip limit: deferred to the next iteration.
+    Leftover,
+}
+
+fn classify(p: &PlacedJob, strip_height2: u64, bottom_limit: Option<u64>) -> StripSlot {
+    let lo = p.lo2;
+    let hi = p.hi2();
+    if let Some(b) = bottom_limit {
+        if lo >= b * strip_height2 {
+            return StripSlot::Leftover;
+        }
+    }
+    let lo_strip = lo / strip_height2;
+    let top_strip = (hi - 1) / strip_height2;
+    if lo_strip == top_strip {
+        StripSlot::Inside(lo_strip)
+    } else {
+        StripSlot::Crossing(lo_strip + 1)
+    }
+}
+
+/// Applies the strip rule to a placement, appending machines to `schedule`.
+/// Returns the leftover jobs (empty when `bottom_limit` is `None`).
+///
+/// `strip_height2` is the strip height in doubled units, i.e. pass `g_i`
+/// for the paper's `g_i / 2` strips. `machine_type` is the catalog type the
+/// machines are opened as, and `label` prefixes machine labels.
+pub fn schedule_strips(
+    schedule: &mut Schedule,
+    placement: &Placement,
+    strip_height2: u64,
+    bottom_limit: Option<u64>,
+    machine_type: TypeIndex,
+    label: &str,
+) -> Vec<Job> {
+    assert!(strip_height2 > 0, "strip height must be positive");
+    let mut leftovers: Vec<Job> = Vec::new();
+    let mut inside: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
+    let mut crossing: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
+    for p in placement.placed() {
+        match classify(p, strip_height2, bottom_limit) {
+            StripSlot::Inside(k) => inside.entry(k).or_default().push(p),
+            StripSlot::Crossing(b) => crossing.entry(b).or_default().push(p),
+            StripSlot::Leftover => leftovers.push(p.job),
+        }
+    }
+    // One machine per non-empty strip.
+    let mut strip_keys: Vec<u64> = inside.keys().copied().collect();
+    strip_keys.sort_unstable();
+    for k in strip_keys {
+        let mid = schedule.add_machine(machine_type, format!("{label}/strip{k}"));
+        for p in &inside[&k] {
+            schedule.assign(mid, p.job.id);
+        }
+    }
+    // Two machines per non-empty boundary, filled greedily in arrival order.
+    let mut boundary_keys: Vec<u64> = crossing.keys().copied().collect();
+    boundary_keys.sort_unstable();
+    for b in boundary_keys {
+        let mut jobs: Vec<&PlacedJob> = crossing[&b].clone();
+        jobs.sort_unstable_by_key(|p| (p.job.arrival, p.job.id));
+        let slots: [MachineId; 2] = [
+            schedule.add_machine(machine_type, format!("{label}/bnd{b}a")),
+            schedule.add_machine(machine_type, format!("{label}/bnd{b}b")),
+        ];
+        let mut busy_until = [0u64; 2];
+        for p in jobs {
+            let free = (0..2)
+                .find(|&s| busy_until[s] <= p.job.arrival)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "three concurrent boundary-crossing jobs at boundary {b} — \
+                         the 2-allocation invariant was violated"
+                    )
+                });
+            busy_until[free] = p.job.departure;
+            schedule.assign(slots[free], p.job.id);
+        }
+    }
+    leftovers
+}
+
+/// Number of machines the strip rule would use concurrently at time `t`
+/// for a given placement (diagnostic used by the evaluation harness).
+#[must_use]
+pub fn machines_busy_at(
+    placement: &Placement,
+    strip_height2: u64,
+    bottom_limit: Option<u64>,
+    t: u64,
+) -> usize {
+    let mut strips: Vec<u64> = Vec::new();
+    let mut boundaries: HashMap<u64, usize> = HashMap::new();
+    for p in placement.placed() {
+        if !p.job.active_at(t) {
+            continue;
+        }
+        match classify(p, strip_height2, bottom_limit) {
+            StripSlot::Inside(k) => strips.push(k),
+            StripSlot::Crossing(b) => *boundaries.entry(b).or_insert(0) += 1,
+            StripSlot::Leftover => {}
+        }
+    }
+    strips.sort_unstable();
+    strips.dedup();
+    // Each boundary contributes min(concurrent, 2) machines — at most two
+    // jobs are concurrent, one machine each.
+    strips.len() + boundaries.values().map(|&c| c.min(2)).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place_jobs, PlacementOrder};
+    use bshm_core::instance::Instance;
+    use bshm_core::machine::{Catalog, MachineType};
+    use bshm_core::validate::validate_schedule;
+
+    fn job(id: u32, size: u64, a: u64, d: u64) -> Job {
+        Job::new(id, size, a, d)
+    }
+
+    #[test]
+    fn classify_inside_and_crossing() {
+        // Strip height 8 (doubled): strip 0 = [0,8), strip 1 = [8,16).
+        let inside = PlacedJob { job: job(0, 3, 0, 5), lo2: 2 }; // [2,8)
+        assert_eq!(classify(&inside, 8, None), StripSlot::Inside(0));
+        let touching_top = PlacedJob { job: job(1, 4, 0, 5), lo2: 0 }; // [0,8)
+        assert_eq!(classify(&touching_top, 8, None), StripSlot::Inside(0));
+        let crossing = PlacedJob { job: job(2, 3, 0, 5), lo2: 4 }; // [4,10)
+        assert_eq!(classify(&crossing, 8, None), StripSlot::Crossing(1));
+        let double_cross = PlacedJob { job: job(3, 8, 0, 5), lo2: 4 }; // [4,20)
+        assert_eq!(classify(&double_cross, 8, None), StripSlot::Crossing(1));
+    }
+
+    #[test]
+    fn classify_bottom_limit() {
+        // B = 1: only jobs starting below altitude 8 participate.
+        let low = PlacedJob { job: job(0, 3, 0, 5), lo2: 7 }; // crosses bnd 1
+        assert_eq!(classify(&low, 8, Some(1)), StripSlot::Crossing(1));
+        let high = PlacedJob { job: job(1, 3, 0, 5), lo2: 8 };
+        assert_eq!(classify(&high, 8, Some(1)), StripSlot::Leftover);
+    }
+
+    #[test]
+    fn strip_schedule_is_feasible() {
+        // Capacity 4 machines → strip height (doubled) 4.
+        let jobs: Vec<Job> = vec![
+            job(0, 2, 0, 10),
+            job(1, 2, 0, 10),
+            job(2, 2, 0, 10),
+            job(3, 1, 5, 15),
+            job(4, 4, 12, 20),
+            job(5, 3, 3, 9),
+        ];
+        let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+        let inst = Instance::new(jobs.clone(), catalog).unwrap();
+        let placement = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut schedule = Schedule::new();
+        let leftovers =
+            schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "dc");
+        assert!(leftovers.is_empty());
+        assert_eq!(validate_schedule(&schedule, &inst), Ok(()));
+    }
+
+    #[test]
+    fn bottom_limit_defers_high_jobs() {
+        // Three concurrent size-4 jobs with strip height 8: two sit at the
+        // bottom, the third is lifted to altitude 8 = strip 1.
+        let jobs = vec![job(0, 4, 0, 10), job(1, 4, 0, 10), job(2, 4, 0, 10)];
+        let placement = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut schedule = Schedule::new();
+        let leftovers =
+            schedule_strips(&mut schedule, &placement, 8, Some(1), TypeIndex(0), "it0");
+        assert_eq!(leftovers.len(), 1);
+        assert_eq!(leftovers[0].id.0, 2);
+        assert_eq!(schedule.assignment_count(), 2);
+    }
+
+    #[test]
+    fn crossing_jobs_get_two_machines() {
+        // Strip height 4, jobs of size 3 (doubled 6) always cross.
+        let jobs = vec![job(0, 3, 0, 10), job(1, 3, 5, 15), job(2, 3, 12, 20)];
+        let placement = place_jobs(&jobs, PlacementOrder::Arrival);
+        let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+        let inst = Instance::new(jobs, catalog).unwrap();
+        let mut schedule = Schedule::new();
+        let leftovers =
+            schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "x");
+        assert!(leftovers.is_empty());
+        assert_eq!(validate_schedule(&schedule, &inst), Ok(()));
+        // Jobs 0 and 1 overlap → different slots; job 2 reuses a slot.
+        let with_jobs = schedule
+            .machines()
+            .iter()
+            .filter(|m| !m.jobs.is_empty())
+            .count();
+        assert_eq!(with_jobs, 2);
+    }
+
+    #[test]
+    fn machines_busy_at_counts() {
+        let jobs = vec![job(0, 2, 0, 10), job(1, 2, 0, 10), job(2, 3, 0, 10)];
+        let placement = place_jobs(&jobs, PlacementOrder::Arrival);
+        // Strip height 4: jobs 0,1 (doubled size 4) fill strip 0 exactly;
+        // job 2 (doubled 6) goes above and crosses a boundary.
+        let n = machines_busy_at(&placement, 4, None, 5);
+        assert!(n >= 2);
+        assert_eq!(machines_busy_at(&placement, 4, None, 50), 0);
+    }
+}

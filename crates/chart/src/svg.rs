@@ -1,0 +1,140 @@
+//! Self-contained SVG export (no dependencies): placements as Fig.-1-style
+//! rectangle charts, and busy-machine timelines as stacked step areas.
+
+use crate::placement::Placement;
+use bshm_core::analysis::MachineTimeline;
+use std::fmt::Write as _;
+
+/// Deterministic pastel color for a job index.
+fn color(i: usize) -> String {
+    // Spread hues by the golden angle; fixed saturation/lightness.
+    let hue = (i as f64 * 137.508) % 360.0;
+    format!("hsl({hue:.0}, 70%, 70%)")
+}
+
+/// Renders a placement as an SVG document (`width × height` pixels).
+/// Rectangles span their job's interval horizontally and `[lo2, hi2)`
+/// vertically (altitude grows upward). Empty placements yield a bare SVG.
+#[must_use]
+pub fn placement_svg(placement: &Placement, width: u32, height: u32) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    if let (Some(t0), Some(t1)) = (
+        placement.placed().iter().map(|p| p.job.arrival).min(),
+        placement.placed().iter().map(|p| p.job.departure).max(),
+    ) {
+        let top = placement.max_top2().max(1) as f64;
+        let span = (t1 - t0).max(1) as f64;
+        let (w, h) = (f64::from(width), f64::from(height));
+        for (i, p) in placement.placed().iter().enumerate() {
+            let x = (p.job.arrival - t0) as f64 / span * w;
+            let rw = (p.job.duration() as f64 / span * w).max(1.0);
+            let y = h - (p.hi2() as f64 / top * h);
+            let rh = ((p.hi2() - p.lo2) as f64 / top * h).max(1.0);
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{rw:.1}" height="{rh:.1}" fill="{}" fill-opacity="0.55" stroke="black" stroke-width="0.5"><title>{} size {} [{}, {})</title></rect>"#,
+                color(i),
+                p.job.id,
+                p.job.size,
+                p.job.arrival,
+                p.job.departure,
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a busy-machine timeline as a stacked step-area SVG (one band
+/// per machine type, bottom-up).
+#[must_use]
+pub fn timeline_svg(timeline: &MachineTimeline, width: u32, height: u32) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let types = timeline.busy.first().map_or(0, Vec::len);
+    let peak = f64::from(timeline.peak_total().max(1));
+    if timeline.grid.len() >= 2 && types > 0 {
+        let t0 = timeline.grid[0] as f64;
+        let span = (*timeline.grid.last().unwrap() as f64 - t0).max(1.0);
+        let (w, h) = (f64::from(width), f64::from(height));
+        for t in 0..types {
+            let mut d = String::new();
+            for (seg, win) in timeline.grid.windows(2).enumerate() {
+                let x0 = (win[0] as f64 - t0) / span * w;
+                let x1 = (win[1] as f64 - t0) / span * w;
+                // Cumulative count up through type t on this segment.
+                let cum: u32 = timeline.busy[seg][..=t].iter().sum();
+                let y = h - f64::from(cum) / peak * h;
+                if seg == 0 {
+                    let _ = write!(d, "M{x0:.1},{y:.1} ");
+                }
+                let _ = write!(d, "L{x0:.1},{y:.1} L{x1:.1},{y:.1} ");
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{d}" fill="none" stroke="{}" stroke-width="1.5"><title>cumulative busy machines through type {t}</title></path>"#,
+                color(t * 5 + 2),
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place_jobs, PlacementOrder};
+    use bshm_core::analysis::machine_timeline;
+    use bshm_core::instance::Instance;
+    use bshm_core::job::Job;
+    use bshm_core::machine::{Catalog, MachineType, TypeIndex};
+    use bshm_core::schedule::Schedule;
+
+    #[test]
+    fn placement_svg_contains_one_rect_per_job() {
+        let jobs = vec![Job::new(0, 2, 0, 10), Job::new(1, 3, 5, 20)];
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        let svg = placement_svg(&p, 400, 200);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Background + 2 job rects.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("J1 size 3 [5, 20)"));
+    }
+
+    #[test]
+    fn empty_placement_is_valid_svg() {
+        let svg = placement_svg(&Placement::default(), 100, 50);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1); // background only
+    }
+
+    #[test]
+    fn timeline_svg_one_path_per_type() {
+        let catalog =
+            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
+        let inst = Instance::new(
+            vec![Job::new(0, 2, 0, 10), Job::new(1, 10, 5, 15)],
+            catalog,
+        )
+        .unwrap();
+        let mut s = Schedule::new();
+        let m0 = s.add_machine(TypeIndex(0), "a");
+        s.assign(m0, bshm_core::JobId(0));
+        let m1 = s.add_machine(TypeIndex(1), "b");
+        s.assign(m1, bshm_core::JobId(1));
+        let t = machine_timeline(&s, &inst);
+        let svg = timeline_svg(&t, 300, 120);
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the 2-allocation placement and strip partitioning.
+
+use bshm_chart::placement::{place_jobs, verify_two_allocation, PlacementOrder};
+use bshm_chart::strips::schedule_strips;
+use bshm_core::job::Job;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::Schedule;
+use proptest::prelude::*;
+
+fn arb_jobs(max_size: u64) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec((1..=max_size, 0u64..150, 1u64..=50), 1..50).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (size, arr, dur))| Job::new(i as u32, size, arr, arr + dur))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_triples_any_order(jobs in arb_jobs(32)) {
+        for order in [
+            PlacementOrder::Arrival,
+            PlacementOrder::SizeDescending,
+            PlacementOrder::DurationDescending,
+        ] {
+            let p = place_jobs(&jobs, order);
+            prop_assert!(verify_two_allocation(&p).is_none());
+        }
+    }
+
+    #[test]
+    fn placement_is_a_permutation(jobs in arb_jobs(32)) {
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        prop_assert_eq!(p.len(), jobs.len());
+        let mut placed_ids: Vec<u32> = p.placed().iter().map(|q| q.job.id.0).collect();
+        placed_ids.sort_unstable();
+        let mut input_ids: Vec<u32> = jobs.iter().map(|j| j.id.0).collect();
+        input_ids.sort_unstable();
+        prop_assert_eq!(placed_ids, input_ids);
+    }
+
+    #[test]
+    fn strips_partition_every_job(jobs in arb_jobs(16), bottom in 1u64..6) {
+        // capacity 16 machines, strip height (doubled) 16.
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut schedule = Schedule::new();
+        let leftovers = schedule_strips(&mut schedule, &p, 16, Some(bottom), TypeIndex(0), "t");
+        // Scheduled + leftover = all jobs, no duplicates.
+        prop_assert_eq!(schedule.assignment_count() + leftovers.len(), jobs.len());
+        let mut ids: Vec<u32> = schedule
+            .machines()
+            .iter()
+            .flat_map(|m| m.jobs.iter().map(|j| j.0))
+            .chain(leftovers.iter().map(|j| j.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn no_bottom_limit_means_no_leftovers(jobs in arb_jobs(16)) {
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut schedule = Schedule::new();
+        let leftovers = schedule_strips(&mut schedule, &p, 16, None, TypeIndex(0), "t");
+        prop_assert!(leftovers.is_empty());
+        prop_assert_eq!(schedule.assignment_count(), jobs.len());
+    }
+
+    #[test]
+    fn deeper_bottom_strips_schedule_weakly_more(jobs in arb_jobs(16)) {
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut prev_scheduled = 0usize;
+        for bottom in 1..8u64 {
+            let mut schedule = Schedule::new();
+            let leftovers =
+                schedule_strips(&mut schedule, &p, 16, Some(bottom), TypeIndex(0), "t");
+            let scheduled = jobs.len() - leftovers.len();
+            prop_assert!(scheduled >= prev_scheduled, "bottom {bottom}");
+            prev_scheduled = scheduled;
+        }
+    }
+
+    #[test]
+    fn boundary_machines_host_one_job_at_a_time(jobs in arb_jobs(16)) {
+        let p = place_jobs(&jobs, PlacementOrder::Arrival);
+        let mut schedule = Schedule::new();
+        schedule_strips(&mut schedule, &p, 16, None, TypeIndex(0), "t");
+        let by_id: std::collections::HashMap<_, _> =
+            jobs.iter().map(|j| (j.id, *j)).collect();
+        for m in schedule.machines() {
+            if !m.label.contains("bnd") {
+                continue;
+            }
+            // No two jobs on a boundary machine may overlap in time.
+            for (a, ja) in m.jobs.iter().enumerate() {
+                for jb in &m.jobs[a + 1..] {
+                    let (ia, ib) = (by_id[ja].interval(), by_id[jb].interval());
+                    prop_assert!(!ia.overlaps(&ib), "{ja:?} {jb:?} on {}", m.label);
+                }
+            }
+        }
+    }
+}

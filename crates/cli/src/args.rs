@@ -1,0 +1,109 @@
+//! Minimal `--flag value` argument parsing (no external crates).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs plus positional arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    named: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `argv` (without the program/subcommand names). Every token
+    /// starting with `--` consumes the next token as its value.
+    pub fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                if flags
+                    .named
+                    .insert(key.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(format!("flag --{key} given twice"));
+                }
+            } else {
+                flags.positional.push(tok.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.named
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Optional string flag.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.named.get(key).map(String::as_str)
+    }
+
+    /// Optional flag parsed to a type, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.named.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Positional arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let f = Flags::parse(&argv("--n 10 pos1 --seed 7 pos2")).unwrap();
+        assert_eq!(f.require("n").unwrap(), "10");
+        assert_eq!(f.get("seed"), Some("7"));
+        assert_eq!(f.positional(), &["pos1", "pos2"]);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Flags::parse(&argv("--n")).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(Flags::parse(&argv("--n 1 --n 2")).is_err());
+    }
+
+    #[test]
+    fn get_or_parses_with_default() {
+        let f = Flags::parse(&argv("--n 10")).unwrap();
+        assert_eq!(f.get_or("n", 0usize).unwrap(), 10);
+        assert_eq!(f.get_or("seed", 42u64).unwrap(), 42);
+        assert!(f.get_or::<usize>("n", 0).is_ok());
+        let bad = Flags::parse(&argv("--n abc")).unwrap();
+        assert!(bad.get_or::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let f = Flags::parse(&argv("")).unwrap();
+        assert!(f.require("instance").unwrap_err().contains("--instance"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The `bshm` subcommands.
+
+use crate::args::Flags;
+use crate::spec;
+use bshm_algos::baseline::{BestFit, FirstFitAny, OneMachinePerJob, SingleType};
+use bshm_chart::placement::PlacementOrder;
+use bshm_core::analysis::{machine_timeline, schedule_stats, timeline_csv};
+use bshm_core::instance::Instance;
+use bshm_core::lower_bound::{lower_bound, lp_lower_bound};
+use bshm_core::schedule::Schedule;
+use bshm_core::validate::validate_schedule;
+use bshm_core::{schedule_cost, Cost};
+use bshm_sim::{run_clairvoyant, run_online};
+use bshm_workload::WorkloadSpec;
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+const USAGE: &str = "\
+bshm — busy-time scheduling on heterogeneous machines
+
+USAGE:
+  bshm gen      --n N --catalog SPEC --arrivals SPEC --durations SPEC --sizes SPEC
+                [--seed S] [--out FILE]
+  bshm solve    --instance FILE --alg NAME [--out FILE]
+  bshm validate --instance FILE --schedule FILE
+  bshm lb       --instance FILE
+  bshm info     --instance FILE
+  bshm render   --instance FILE [--cols N] [--rows N]
+  bshm export-csv --instance FILE [--out FILE]
+  (gen also accepts --from-csv FILE to import a trace instead of sampling)
+  bshm algs     (list scheduler names)
+
+SPEC GRAMMARS:
+  catalog:   dec:M:G | inc:M:G | saw:M:G | ec2-dec | ec2-inc | custom:4x1,16x2
+  arrivals:  poisson:GAP | diurnal:BASE:PEAK:PERIOD | batch | regular:GAP
+  durations: uniform:MIN:MAX | pareto:MIN:MAX:ALPHA | bimodal:S:L:P | fixed:D
+  sizes:     uniform:MIN:MAX | pareto:MIN:MAX:ALPHA | discrete:1x4,8x1
+";
+
+/// All scheduler names `bshm solve --alg` accepts.
+pub const ALG_NAMES: [&str; 12] = [
+    "auto",
+    "dec-offline",
+    "inc-offline",
+    "gen-offline",
+    "part-ffd",
+    "dec-online",
+    "inc-online",
+    "gen-online",
+    "clairvoyant",
+    "first-fit-any",
+    "best-fit",
+    "single-type",
+];
+
+/// Dispatches a full argv (`["gen", "--n", "10", …]`).
+pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        let _ = write!(out, "{USAGE}");
+        return Ok(());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags, out),
+        "solve" => cmd_solve(&flags, out),
+        "validate" => cmd_validate(&flags, out),
+        "lb" => cmd_lb(&flags, out),
+        "info" => cmd_info(&flags, out),
+        "render" => cmd_render(&flags, out),
+        "export-csv" => cmd_export_csv(&flags, out),
+        "algs" => {
+            for a in ALG_NAMES {
+                let _ = writeln!(out, "{a}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `bshm help`")),
+    }
+}
+
+fn load_instance(flags: &Flags) -> Result<Instance, String> {
+    let path = flags.require("instance")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_or_print(out: Out, path: Option<&str>, json: &str, what: &str) -> Result<(), String> {
+    match path {
+        Some(p) => {
+            std::fs::write(p, json).map_err(|e| format!("writing {p}: {e}"))?;
+            let _ = writeln!(out, "wrote {what} to {p}");
+        }
+        None => {
+            let _ = writeln!(out, "{json}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(flags: &Flags, out: Out) -> Result<(), String> {
+    let catalog = spec::parse_catalog(flags.get("catalog").unwrap_or("dec:3:4"))?;
+    let instance = if let Some(path) = flags.get("from-csv") {
+        // Bring-your-own-trace: jobs from CSV, catalog from the flag.
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let jobs = bshm_workload::parse_csv(&text).map_err(|e| format!("{path}: {e}"))?;
+        Instance::new(jobs, catalog).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let spec = WorkloadSpec {
+            n: flags.get_or("n", 100usize)?,
+            seed: flags.get_or("seed", 0u64)?,
+            arrivals: spec::parse_arrivals(flags.get("arrivals").unwrap_or("poisson:3"))?,
+            durations: spec::parse_durations(flags.get("durations").unwrap_or("uniform:10:60"))?,
+            sizes: spec::parse_sizes(flags.get("sizes").unwrap_or("uniform:1:16"))?,
+        };
+        spec.generate(catalog)
+    };
+    let json = serde_json::to_string_pretty(&instance).expect("instances serialize");
+    write_or_print(out, flags.get("out"), &json, "instance")
+}
+
+fn cmd_export_csv(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let csv = bshm_workload::to_csv(instance.jobs());
+    match flags.get("out") {
+        Some(p) => {
+            std::fs::write(p, &csv).map_err(|e| format!("writing {p}: {e}"))?;
+            let _ = writeln!(out, "wrote {} jobs to {p}", instance.job_count());
+        }
+        None => {
+            let _ = write!(out, "{csv}");
+        }
+    }
+    Ok(())
+}
+
+/// Runs a scheduler by name.
+pub fn run_alg(name: &str, instance: &Instance) -> Result<Schedule, String> {
+    let order = PlacementOrder::Arrival;
+    let s = match name {
+        "auto" => bshm_algos::auto_offline(instance, order),
+        "dec-offline" => bshm_algos::dec_offline(instance, order),
+        "inc-offline" => bshm_algos::inc_offline(instance, order),
+        "gen-offline" => bshm_algos::general_offline(instance, order),
+        "part-ffd" => bshm_algos::partitioned_ffd(instance),
+        "dec-online" => run_online(instance, &mut bshm_algos::DecOnline::new(instance.catalog()))
+            .map_err(|e| e.to_string())?,
+        "inc-online" => run_online(instance, &mut bshm_algos::IncOnline::new(instance.catalog()))
+            .map_err(|e| e.to_string())?,
+        "gen-online" => {
+            run_online(instance, &mut bshm_algos::GeneralOnline::new(instance.catalog()))
+                .map_err(|e| e.to_string())?
+        }
+        "clairvoyant" => {
+            let base = instance.stats().min_duration;
+            run_clairvoyant(instance, &mut bshm_algos::DurationClassFirstFit::new(base))
+                .map_err(|e| e.to_string())?
+        }
+        "first-fit-any" => {
+            run_online(instance, &mut FirstFitAny::default()).map_err(|e| e.to_string())?
+        }
+        "best-fit" => run_online(instance, &mut BestFit::default()).map_err(|e| e.to_string())?,
+        "single-type" => {
+            run_online(instance, &mut SingleType::largest()).map_err(|e| e.to_string())?
+        }
+        "one-per-job" => {
+            run_online(instance, &mut OneMachinePerJob).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown algorithm {other:?}; see `bshm algs`")),
+    };
+    Ok(s)
+}
+
+fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let alg = flags.get("alg").unwrap_or("auto");
+    let schedule = run_alg(alg, &instance)?;
+    validate_schedule(&schedule, &instance).map_err(|e| format!("BUG: {alg} infeasible: {e}"))?;
+    let cost: Cost = schedule_cost(&schedule, &instance);
+    let lb = lower_bound(&instance);
+    let stats = schedule_stats(&schedule, &instance);
+    let _ = writeln!(out, "algorithm:    {alg}");
+    let _ = writeln!(out, "cost:         {cost}");
+    let _ = writeln!(out, "lower bound:  {lb}");
+    let _ = writeln!(out, "ratio:        {:.3}", cost as f64 / lb as f64);
+    let _ = writeln!(out, "machines:     {} used, peak {} busy", stats.machines_used, stats.peak_total);
+    let _ = writeln!(out, "utilization:  {:.1}%", stats.utilization * 100.0);
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&schedule).expect("schedules serialize");
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "wrote schedule to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let path = flags.require("schedule")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let schedule: Schedule =
+        serde_json::from_str(&data).map_err(|e| format!("parsing {path}: {e}"))?;
+    match validate_schedule(&schedule, &instance) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "feasible; cost {}",
+                schedule_cost(&schedule, &instance)
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("infeasible: {e}")),
+    }
+}
+
+fn cmd_lb(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let exact = lower_bound(&instance);
+    let lp = lp_lower_bound(&instance);
+    let _ = writeln!(out, "exact lower bound: {exact}");
+    let _ = writeln!(out, "LP relaxation:     {lp:.2}");
+    Ok(())
+}
+
+fn cmd_info(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let st = instance.stats();
+    let _ = writeln!(out, "jobs:        {}", instance.job_count());
+    let _ = writeln!(out, "types:       {} ({:?})", instance.catalog().len(), instance.classify());
+    for (i, t) in instance.catalog().types().iter().enumerate() {
+        let _ = writeln!(out, "  type {i}: capacity {:>8}, rate {:>8}", t.capacity, t.rate);
+    }
+    let _ = writeln!(out, "span:        [{}, {})", st.first_arrival, st.last_departure);
+    let _ = writeln!(out, "durations:   {}..{} (mu = {:.2})", st.min_duration, st.max_duration, st.mu());
+    let _ = writeln!(out, "max size:    {}", st.max_size);
+    let peak = bshm_core::sweep::load_profile(instance.jobs()).max();
+    let _ = writeln!(out, "peak load:   {peak}");
+    Ok(())
+}
+
+fn cmd_render(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let cols = flags.get_or("cols", 100usize)?;
+    let rows = flags.get_or("rows", 24usize)?;
+    let placement =
+        bshm_chart::placement::place_jobs(instance.jobs(), PlacementOrder::Arrival);
+    let _ = write!(out, "{}", bshm_chart::render::render_placement(&placement, cols, rows));
+    // Also show the busy-machine CSV head for the auto schedule.
+    let schedule = bshm_algos::auto_offline(&instance, PlacementOrder::Arrival);
+    let csv = timeline_csv(&machine_timeline(&schedule, &instance));
+    let head: Vec<&str> = csv.lines().take(6).collect();
+    let _ = writeln!(out, "\nmachine timeline (head):\n{}", head.join("\n"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(args: &str) -> (i32, String) {
+        let argv: Vec<String> = args.split_whitespace().map(str::to_string).collect();
+        let mut buf = Vec::new();
+        let code = crate::run(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("bshm-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cmd("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_cmd("frobnicate");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_solve_validate_round_trip() {
+        let inst = tmp("inst.json");
+        let sched = tmp("sched.json");
+        let (code, out) = run_cmd(&format!(
+            "gen --n 40 --seed 3 --catalog dec:3:4 --arrivals poisson:3 \
+             --durations uniform:10:40 --sizes uniform:1:64 --out {inst}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg auto --out {sched}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ratio:"));
+        let (code, out) = run_cmd(&format!("validate --instance {inst} --schedule {sched}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("feasible"));
+    }
+
+    #[test]
+    fn every_registered_alg_solves() {
+        let inst = tmp("inst2.json");
+        let (code, _) = run_cmd(&format!(
+            "gen --n 25 --seed 5 --catalog saw:4:4 --arrivals poisson:4 \
+             --durations uniform:10:30 --sizes pareto:1:100:1.3 --out {inst}"
+        ));
+        assert_eq!(code, 0);
+        for alg in ALG_NAMES {
+            let (code, out) = run_cmd(&format!("solve --instance {inst} --alg {alg}"));
+            assert_eq!(code, 0, "alg {alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn lb_info_render_work() {
+        let inst = tmp("inst3.json");
+        run_cmd(&format!(
+            "gen --n 20 --seed 1 --catalog inc:3:4 --arrivals batch \
+             --durations fixed:10 --sizes uniform:1:16 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!("lb --instance {inst}"));
+        assert_eq!(code, 0);
+        assert!(out.contains("exact lower bound"));
+        let (code, out) = run_cmd(&format!("info --instance {inst}"));
+        assert_eq!(code, 0);
+        assert!(out.contains("mu = 1.00"));
+        let (code, out) = run_cmd(&format!("render --instance {inst} --cols 40 --rows 10"));
+        assert_eq!(code, 0);
+        assert!(out.contains("machine timeline"));
+    }
+
+    #[test]
+    fn csv_import_export_round_trip() {
+        let inst = tmp("inst-csv.json");
+        let csv_out = tmp("trace.csv");
+        run_cmd(&format!(
+            "gen --n 15 --seed 2 --catalog dec:2:4 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!("export-csv --instance {inst} --out {csv_out}"));
+        assert_eq!(code, 0, "{out}");
+        // Re-import the CSV with a different catalog and solve it.
+        let inst2 = tmp("inst-csv2.json");
+        let (code, out) = run_cmd(&format!(
+            "gen --from-csv {csv_out} --catalog custom:16x1,64x3 --out {inst2}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!("solve --instance {inst2} --alg auto"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ratio:"));
+    }
+
+    #[test]
+    fn csv_import_reports_bad_lines() {
+        let bad = tmp("bad.csv");
+        std::fs::write(&bad, "id,size,arrival,departure\n1,2,9,5\n").unwrap();
+        let (code, out) = run_cmd(&format!("gen --from-csv {bad} --catalog dec:2:4"));
+        assert_eq!(code, 2);
+        assert!(out.contains("line 2"), "{out}");
+    }
+
+    #[test]
+    fn solve_rejects_unknown_alg() {
+        let inst = tmp("inst4.json");
+        run_cmd(&format!(
+            "gen --n 5 --catalog dec:2:4 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!("solve --instance {inst} --alg nope"));
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_schedule() {
+        let inst = tmp("inst5.json");
+        run_cmd(&format!("gen --n 5 --catalog dec:2:4 --out {inst}"));
+        let bad = tmp("bad-sched.json");
+        // An empty schedule: every job unassigned.
+        std::fs::write(&bad, serde_json::to_string(&Schedule::new()).unwrap()).unwrap();
+        let (code, out) = run_cmd(&format!("validate --instance {inst} --schedule {bad}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("infeasible"));
+    }
+}

@@ -1,0 +1,8 @@
+//! The `bshm` command-line tool (thin shell over `bshm_cli`).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let code = bshm_cli::run(&argv, &mut stdout);
+    std::process::exit(code);
+}

@@ -1,0 +1,193 @@
+//! Colon-delimited spec grammars for catalogs, arrivals, durations and
+//! sizes, used by `bshm gen`.
+
+use bshm_core::machine::{Catalog, MachineType};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw};
+
+fn parts(spec: &str) -> Vec<&str> {
+    spec.split(':').collect()
+}
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{what}: cannot parse {s:?}"))
+}
+
+/// Parses a catalog spec:
+///
+/// * `dec:<m>:<base_g>` — DEC geometric family
+/// * `inc:<m>:<base_g>` — INC geometric family
+/// * `saw:<m>:<base_g>` — sawtooth (general) family
+/// * `ec2-dec` / `ec2-inc` — the EC2-flavoured price lists
+/// * `custom:g1xr1,g2xr2,…` — explicit `(capacity x rate)` list
+pub fn parse_catalog(spec: &str) -> Result<Catalog, String> {
+    let p = parts(spec);
+    match p[0] {
+        "dec" | "inc" | "saw" if p.len() == 3 => {
+            let m: usize = num(p[1], "m")?;
+            let g: u64 = num(p[2], "base capacity")?;
+            if m == 0 || g == 0 {
+                return Err("catalog: m and base capacity must be positive".into());
+            }
+            Ok(match p[0] {
+                "dec" => bshm_workload::catalogs::dec_geometric(m, g),
+                "inc" => bshm_workload::catalogs::inc_geometric(m, g),
+                _ => {
+                    if m < 2 {
+                        return Err("sawtooth needs m >= 2".into());
+                    }
+                    bshm_workload::catalogs::sawtooth(m, g)
+                }
+            })
+        }
+        "ec2-dec" => Ok(bshm_workload::catalogs::ec2_like_dec()),
+        "ec2-inc" => Ok(bshm_workload::catalogs::ec2_like_inc()),
+        "custom" if p.len() == 2 => {
+            let mut types = Vec::new();
+            for item in p[1].split(',') {
+                let (g, r) = item
+                    .split_once('x')
+                    .ok_or_else(|| format!("custom catalog: expected GxR, got {item:?}"))?;
+                types.push(MachineType::new(num(g, "capacity")?, num(r, "rate")?));
+            }
+            Catalog::new(types).map_err(|e| format!("custom catalog: {e}"))
+        }
+        _ => Err(format!(
+            "unknown catalog spec {spec:?} (try dec:4:4, inc:4:4, saw:4:4, ec2-dec, custom:4x1,16x2)"
+        )),
+    }
+}
+
+/// Parses an arrival spec: `poisson:<mean_gap>`, `diurnal:<base>:<peak>:<period>`,
+/// `batch`, or `regular:<gap>`.
+pub fn parse_arrivals(spec: &str) -> Result<ArrivalProcess, String> {
+    let p = parts(spec);
+    match (p[0], p.len()) {
+        ("poisson", 2) => Ok(ArrivalProcess::Poisson { mean_gap: num(p[1], "mean gap")? }),
+        ("diurnal", 4) => Ok(ArrivalProcess::Diurnal {
+            base: num(p[1], "base rate")?,
+            peak: num(p[2], "peak rate")?,
+            period: num(p[3], "period")?,
+        }),
+        ("batch", 1) => Ok(ArrivalProcess::Batch),
+        ("regular", 2) => Ok(ArrivalProcess::Regular { gap: num(p[1], "gap")? }),
+        _ => Err(format!("unknown arrival spec {spec:?}")),
+    }
+}
+
+/// Parses a duration spec: `uniform:<min>:<max>`, `pareto:<min>:<max>:<alpha>`,
+/// `bimodal:<short>:<long>:<p_long>`, or `fixed:<d>`.
+pub fn parse_durations(spec: &str) -> Result<DurationLaw, String> {
+    let p = parts(spec);
+    match (p[0], p.len()) {
+        ("uniform", 3) => Ok(DurationLaw::Uniform {
+            min: num(p[1], "min")?,
+            max: num(p[2], "max")?,
+        }),
+        ("pareto", 4) => Ok(DurationLaw::BoundedPareto {
+            min: num(p[1], "min")?,
+            max: num(p[2], "max")?,
+            alpha: num(p[3], "alpha")?,
+        }),
+        ("bimodal", 4) => Ok(DurationLaw::Bimodal {
+            short: num(p[1], "short")?,
+            long: num(p[2], "long")?,
+            p_long: num(p[3], "p_long")?,
+        }),
+        ("fixed", 2) => Ok(DurationLaw::Fixed(num(p[1], "duration")?)),
+        _ => Err(format!("unknown duration spec {spec:?}")),
+    }
+}
+
+/// Parses a size spec: `uniform:<min>:<max>`, `pareto:<min>:<max>:<alpha>`,
+/// or `discrete:s1xw1,s2xw2,…`.
+pub fn parse_sizes(spec: &str) -> Result<SizeLaw, String> {
+    let p = parts(spec);
+    match (p[0], p.len()) {
+        ("uniform", 3) => Ok(SizeLaw::Uniform {
+            min: num(p[1], "min")?,
+            max: num(p[2], "max")?,
+        }),
+        ("pareto", 4) => Ok(SizeLaw::HeavyTail {
+            min: num(p[1], "min")?,
+            max: num(p[2], "max")?,
+            alpha: num(p[3], "alpha")?,
+        }),
+        ("discrete", 2) => {
+            let mut items = Vec::new();
+            for item in p[1].split(',') {
+                let (s, w) = item
+                    .split_once('x')
+                    .ok_or_else(|| format!("discrete sizes: expected SxW, got {item:?}"))?;
+                items.push((num::<u64>(s, "size")?, num::<f64>(w, "weight")?));
+            }
+            Ok(SizeLaw::Discrete(items))
+        }
+        _ => Err(format!("unknown size spec {spec:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::machine::CatalogClass;
+
+    #[test]
+    fn catalog_specs() {
+        assert_eq!(parse_catalog("dec:3:4").unwrap().classify(), CatalogClass::Dec);
+        assert_eq!(parse_catalog("inc:3:4").unwrap().classify(), CatalogClass::Inc);
+        assert_eq!(parse_catalog("saw:4:4").unwrap().classify(), CatalogClass::General);
+        assert_eq!(parse_catalog("ec2-dec").unwrap().len(), 6);
+        let c = parse_catalog("custom:4x1,16x2").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.types()[1].capacity, 16);
+        assert!(parse_catalog("nope").is_err());
+        assert!(parse_catalog("custom:4+1").is_err());
+        assert!(parse_catalog("dec:0:4").is_err());
+    }
+
+    #[test]
+    fn arrival_specs() {
+        assert!(matches!(
+            parse_arrivals("poisson:3.5").unwrap(),
+            ArrivalProcess::Poisson { .. }
+        ));
+        assert!(matches!(parse_arrivals("batch").unwrap(), ArrivalProcess::Batch));
+        assert!(matches!(
+            parse_arrivals("diurnal:0.1:1.0:500").unwrap(),
+            ArrivalProcess::Diurnal { .. }
+        ));
+        assert!(matches!(
+            parse_arrivals("regular:4").unwrap(),
+            ArrivalProcess::Regular { gap: 4 }
+        ));
+        assert!(parse_arrivals("poisson").is_err());
+    }
+
+    #[test]
+    fn duration_specs() {
+        assert!(matches!(
+            parse_durations("uniform:10:60").unwrap(),
+            DurationLaw::Uniform { min: 10, max: 60 }
+        ));
+        assert!(matches!(
+            parse_durations("bimodal:10:100:0.2").unwrap(),
+            DurationLaw::Bimodal { .. }
+        ));
+        assert!(matches!(parse_durations("fixed:25").unwrap(), DurationLaw::Fixed(25)));
+        assert!(parse_durations("uniform:10").is_err());
+    }
+
+    #[test]
+    fn size_specs() {
+        assert!(matches!(
+            parse_sizes("pareto:1:64:1.3").unwrap(),
+            SizeLaw::HeavyTail { .. }
+        ));
+        match parse_sizes("discrete:1x4,8x1").unwrap() {
+            SizeLaw::Discrete(items) => assert_eq!(items, vec![(1, 4.0), (8, 1.0)]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_sizes("discrete:1-4").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Interval jobs and job collections.
+
+use crate::time::{Interval, IntervalSet, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job within an instance. Dense, assigned by arrival order
+/// when generated, but any distinct `u32`s are accepted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// An interval job: a resource demand `size` held for the whole active
+/// interval `[arrival, departure)`. Execution cannot be delayed, migrated,
+/// or interrupted (§I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id within the instance.
+    pub id: JobId,
+    /// Resource demand `s(J)`; must be ≥ 1.
+    pub size: u64,
+    /// Arrival time `I(J)⁻`.
+    pub arrival: TimePoint,
+    /// Departure time `I(J)⁺`; must exceed `arrival`.
+    pub departure: TimePoint,
+}
+
+impl Job {
+    /// Creates a job; panics on a zero size or an empty active interval.
+    #[must_use]
+    pub fn new(id: u32, size: u64, arrival: TimePoint, departure: TimePoint) -> Self {
+        assert!(size > 0, "job size must be positive");
+        assert!(
+            arrival < departure,
+            "job must have a non-empty active interval, got [{arrival}, {departure})"
+        );
+        Self {
+            id: JobId(id),
+            size,
+            arrival,
+            departure,
+        }
+    }
+
+    /// The active interval `I(J) = [arrival, departure)`.
+    #[must_use]
+    pub fn interval(&self) -> Interval {
+        Interval::new(self.arrival, self.departure)
+    }
+
+    /// Duration `len(I(J))`.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.departure - self.arrival
+    }
+
+    /// Whether the job is active at time `t`.
+    #[must_use]
+    pub fn active_at(&self, t: TimePoint) -> bool {
+        self.arrival <= t && t < self.departure
+    }
+}
+
+/// Aggregate statistics over a set of jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Number of jobs.
+    pub count: usize,
+    /// Smallest duration δ.
+    pub min_duration: u64,
+    /// Largest duration.
+    pub max_duration: u64,
+    /// Largest size.
+    pub max_size: u64,
+    /// Earliest arrival.
+    pub first_arrival: TimePoint,
+    /// Latest departure.
+    pub last_departure: TimePoint,
+}
+
+impl JobStats {
+    /// The max/min duration ratio μ, rounded up; μ ≥ 1.
+    ///
+    /// The paper's competitive bounds are stated in terms of the real ratio;
+    /// we report the ceiling so that integer arithmetic stays exact, and the
+    /// exact rational is available as `(max_duration, min_duration)`.
+    #[must_use]
+    pub fn mu_ceil(&self) -> u64 {
+        self.max_duration.div_ceil(self.min_duration)
+    }
+
+    /// The max/min duration ratio μ as a float (exact division).
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.max_duration as f64 / self.min_duration as f64
+    }
+}
+
+/// Computes aggregate statistics; `None` for an empty slice.
+#[must_use]
+pub fn job_stats(jobs: &[Job]) -> Option<JobStats> {
+    let first = jobs.first()?;
+    let mut st = JobStats {
+        count: jobs.len(),
+        min_duration: first.duration(),
+        max_duration: first.duration(),
+        max_size: first.size,
+        first_arrival: first.arrival,
+        last_departure: first.departure,
+    };
+    for j in &jobs[1..] {
+        st.min_duration = st.min_duration.min(j.duration());
+        st.max_duration = st.max_duration.max(j.duration());
+        st.max_size = st.max_size.max(j.size);
+        st.first_arrival = st.first_arrival.min(j.arrival);
+        st.last_departure = st.last_departure.max(j.departure);
+    }
+    Some(st)
+}
+
+/// Total size of the jobs active at time `t`: `s(𝒥, t)`.
+#[must_use]
+pub fn active_size_at(jobs: &[Job], t: TimePoint) -> u64 {
+    jobs.iter()
+        .filter(|j| j.active_at(t))
+        .map(|j| j.size)
+        .sum()
+}
+
+/// The union of all active intervals `⋃_J I(J)`.
+#[must_use]
+pub fn active_span(jobs: &[Job]) -> IntervalSet {
+    jobs.iter().map(Job::interval).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessors() {
+        let j = Job::new(7, 3, 10, 25);
+        assert_eq!(j.id, JobId(7));
+        assert_eq!(j.duration(), 15);
+        assert_eq!(j.interval(), Interval::new(10, 25));
+        assert!(j.active_at(10));
+        assert!(j.active_at(24));
+        assert!(!j.active_at(25));
+        assert!(!j.active_at(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = Job::new(0, 0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty active interval")]
+    fn empty_interval_rejected() {
+        let _ = Job::new(0, 1, 5, 5);
+    }
+
+    #[test]
+    fn stats_and_mu() {
+        let jobs = vec![
+            Job::new(0, 4, 0, 10),  // duration 10
+            Job::new(1, 2, 5, 8),   // duration 3
+            Job::new(2, 9, 20, 60), // duration 40
+        ];
+        let st = job_stats(&jobs).unwrap();
+        assert_eq!(st.count, 3);
+        assert_eq!(st.min_duration, 3);
+        assert_eq!(st.max_duration, 40);
+        assert_eq!(st.max_size, 9);
+        assert_eq!(st.first_arrival, 0);
+        assert_eq!(st.last_departure, 60);
+        assert_eq!(st.mu_ceil(), 14); // ceil(40/3)
+        assert!((st.mu() - 40.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        assert!(job_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn active_size() {
+        let jobs = vec![Job::new(0, 4, 0, 10), Job::new(1, 2, 5, 8)];
+        assert_eq!(active_size_at(&jobs, 0), 4);
+        assert_eq!(active_size_at(&jobs, 5), 6);
+        assert_eq!(active_size_at(&jobs, 8), 4);
+        assert_eq!(active_size_at(&jobs, 10), 0);
+    }
+
+    #[test]
+    fn span_unions_intervals() {
+        let jobs = vec![Job::new(0, 1, 0, 5), Job::new(1, 1, 3, 7), Job::new(2, 1, 10, 12)];
+        let span = active_span(&jobs);
+        assert_eq!(span.total_len(), 9);
+        assert_eq!(span.span_count(), 2);
+    }
+}

@@ -1,0 +1,446 @@
+//! The lower-bounding scheme of §II.
+//!
+//! The paper relaxes the single-machine-per-job requirement and asks, for
+//! every time `t`, for the cheapest *machine configuration* covering the
+//! nested demands: with `D_i(t)` the total size of active jobs that require
+//! a machine of type at least `i`, any feasible schedule uses machine
+//! counts `w(i,t)` with `Σ_{j≥i} w(j,t)·g_j ≥ D_i(t)` for all `i`. Hence
+//!
+//! ```text
+//! OPT ≥ ∫ Σ_i w*(i,t)·r_i dt                                  (1)
+//! ```
+//!
+//! where `w*` is the minimum-cost configuration. This module solves the
+//! per-time covering problem *exactly* (integer counts) with a scalar-state
+//! dynamic program, integrates it over the sweepline, and also provides the
+//! LP relaxation (a weaker but closed-form bound used as a cross-check and
+//! as a fast path for huge instances).
+//!
+//! ### The exact DP
+//!
+//! Process types bottom-up (`i = 0..m`), carrying the scalar
+//! `R` = capacity still required from types `≥ i` by all constraints seen
+//! so far. Folding in constraint `i` and buying `w` machines:
+//!
+//! ```text
+//! R' = max(R, D_i) − w·g_i   (clamped at 0)
+//! ```
+//!
+//! is exact because capacity bought at type `k` counts for *every*
+//! constraint `j ≤ k`, so the outstanding requirements collapse to their
+//! maximum. Feasible terminal states have `R = 0`. Per level we keep a
+//! Pareto frontier (smaller `R` and smaller cost both dominate).
+
+use crate::cost::Cost;
+use crate::instance::Instance;
+use crate::machine::MachineType;
+use crate::sweep::demand_grid;
+use std::collections::HashMap;
+
+/// Exact minimum cost rate of a machine configuration covering nested
+/// demands `demands[i] = D_{i+1}` with the given machine types
+/// (sorted by capacity, rates arbitrary).
+///
+/// Returns 0 for all-zero demands. Panics if `demands.len() != types.len()`.
+///
+/// Uses a dense `O(m·D_max)` unbounded-coin DP over the outstanding
+/// requirement (see the module docs); falls back to the sparse Pareto DP
+/// when the peak demand is enormous (> 16M units) and the dense table
+/// would not be worth allocating.
+#[must_use]
+pub fn optimal_config_cost(demands: &[u64], types: &[MachineType]) -> Cost {
+    let d_max = demands.iter().copied().max().unwrap_or(0);
+    if d_max == 0 {
+        return 0;
+    }
+    if d_max <= 16_000_000 {
+        solve_dense(demands, types, d_max)
+    } else {
+        solve(demands, types).0
+    }
+}
+
+/// Dense exact DP: `dp[R]` = min cost with outstanding requirement `R`
+/// after the levels processed so far. Folding constraint `i` merges every
+/// `R < D_i` into `D_i`; buying type-`i` machines is an unbounded coin of
+/// weight `g_i` and cost `r_i`, handled in one descending pass.
+fn solve_dense(demands: &[u64], types: &[MachineType], d_max: u64) -> Cost {
+    let m = types.len();
+    assert_eq!(demands.len(), m, "one demand per machine type");
+    let n = usize::try_from(d_max).expect("demand fits usize") + 1;
+    const INF: Cost = Cost::MAX;
+    let mut dp = vec![INF; n];
+    dp[0] = 0;
+    for i in 0..m {
+        let d_i = usize::try_from(demands[i]).expect("demand fits usize");
+        // Fold constraint i: R ← max(R, D_i).
+        if d_i > 0 {
+            let best_low = dp[..=d_i].iter().copied().min().expect("non-empty");
+            dp[..d_i].fill(INF);
+            dp[d_i] = best_low;
+        }
+        // Unbounded purchases of (g_i, r_i), descending pass.
+        let g = usize::try_from(types[i].capacity).expect("capacity fits usize");
+        let r = u128::from(types[i].rate);
+        for rem in (1..n).rev() {
+            if dp[rem] == INF {
+                continue;
+            }
+            let target = rem.saturating_sub(g);
+            let cost = dp[rem] + r;
+            if cost < dp[target] {
+                dp[target] = cost;
+            }
+        }
+    }
+    dp[0]
+}
+
+/// Exact optimal configuration: `(cost rate, machine counts per type)`.
+#[must_use]
+pub fn optimal_config(demands: &[u64], types: &[MachineType]) -> (Cost, Vec<u64>) {
+    solve(demands, types)
+}
+
+/// One Pareto state at a DP level.
+#[derive(Clone, Copy, Debug)]
+struct State {
+    /// Capacity still required from the remaining (higher) types.
+    remaining: u64,
+    /// Cost of the purchases made so far.
+    cost: Cost,
+    /// Chosen machine count at the level that produced this state.
+    bought: u64,
+    /// Index into the previous level's frontier (for backtracking).
+    parent: usize,
+}
+
+fn solve(demands: &[u64], types: &[MachineType]) -> (Cost, Vec<u64>) {
+    let m = types.len();
+    assert_eq!(demands.len(), m, "one demand per machine type");
+    if demands.iter().all(|&d| d == 0) {
+        return (0, vec![0; m]);
+    }
+    // Frontier per level, for backtracking.
+    let mut levels: Vec<Vec<State>> = Vec::with_capacity(m + 1);
+    levels.push(vec![State {
+        remaining: 0,
+        cost: 0,
+        bought: 0,
+        parent: usize::MAX,
+    }]);
+
+    for i in 0..m {
+        let g = types[i].capacity;
+        let r = u128::from(types[i].rate);
+        let prev = &levels[i];
+        // R' → best (cost, bought, parent).
+        let mut next: HashMap<u64, State> = HashMap::new();
+        for (pidx, st) in prev.iter().enumerate() {
+            let need = st.remaining.max(demands[i]);
+            let w_max = need.div_ceil(g);
+            // The last level must finish: only the covering count works.
+            let w_min = if i + 1 == m { w_max } else { 0 };
+            for w in w_min..=w_max {
+                let rem = need.saturating_sub(w * g);
+                let cost = st.cost + u128::from(w) * r;
+                let cand = State {
+                    remaining: rem,
+                    cost,
+                    bought: w,
+                    parent: pidx,
+                };
+                next.entry(rem)
+                    .and_modify(|e| {
+                        if cost < e.cost {
+                            *e = cand;
+                        }
+                    })
+                    .or_insert(cand);
+            }
+        }
+        // Pareto prune: sort by remaining ascending; keep states whose cost
+        // strictly decreases (larger remaining must be strictly cheaper).
+        let mut states: Vec<State> = next.into_values().collect();
+        states.sort_unstable_by_key(|s| s.remaining);
+        let mut frontier: Vec<State> = Vec::with_capacity(states.len());
+        for s in states {
+            match frontier.last() {
+                Some(last) if s.cost >= last.cost => {}
+                _ => frontier.push(s),
+            }
+        }
+        levels.push(frontier);
+    }
+
+    // Terminal states all have remaining == 0 (last level must cover).
+    let terminal = levels[m]
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.remaining == 0)
+        .min_by_key(|(_, s)| s.cost)
+        .map(|(i, s)| (i, *s))
+        .expect("covering with the largest type is always feasible");
+
+    // Backtrack counts.
+    let mut counts = vec![0u64; m];
+    let (mut idx, mut state) = terminal;
+    let _ = idx;
+    for i in (0..m).rev() {
+        counts[i] = state.bought;
+        idx = state.parent;
+        state = levels[i][idx];
+    }
+    (terminal.1.cost, counts)
+}
+
+/// LP relaxation of the per-time configuration problem, in closed form.
+///
+/// Each incremental demand band `D_i − D_{i+1}` is covered at the best
+/// amortized rate available to it, `min_{k ≥ i} r_k/g_k`; capacity cascades
+/// downward. Always ≤ [`optimal_config_cost`].
+#[must_use]
+pub fn lp_config_cost(demands: &[u64], types: &[MachineType]) -> f64 {
+    let m = types.len();
+    assert_eq!(demands.len(), m);
+    // Best density from the top down.
+    let mut best_density = vec![0f64; m];
+    let mut best = f64::INFINITY;
+    for i in (0..m).rev() {
+        let d = types[i].rate as f64 / types[i].capacity as f64;
+        best = best.min(d);
+        best_density[i] = best;
+    }
+    let mut covered: u64 = 0;
+    let mut total = 0f64;
+    for i in (0..m).rev() {
+        if demands[i] > covered {
+            total += (demands[i] - covered) as f64 * best_density[i];
+            covered = demands[i];
+        }
+    }
+    total
+}
+
+/// Integrates the exact per-time optimal configuration cost over the whole
+/// instance: the right-hand side of inequality (1). Configurations are
+/// memoized per distinct demand vector across sweepline segments.
+///
+/// ```
+/// use bshm_core::{Catalog, Instance, Job, MachineType, lower_bound};
+/// let catalog = Catalog::new(vec![
+///     MachineType::new(4, 1),
+///     MachineType::new(16, 2),
+/// ]).unwrap();
+/// // A size-16 job must sit on the big machine for 10 ticks: LB = 20.
+/// let inst = Instance::new(vec![Job::new(0, 16, 0, 10)], catalog).unwrap();
+/// assert_eq!(lower_bound(&inst), 20);
+/// ```
+#[must_use]
+pub fn lower_bound(instance: &Instance) -> Cost {
+    let dg = demand_grid(instance.jobs(), instance.catalog());
+    let types = instance.catalog().types();
+    let mut memo: HashMap<Vec<u64>, Cost> = HashMap::new();
+    let mut total: Cost = 0;
+    for (iv, row) in dg.segments() {
+        let rate = *memo
+            .entry(row.to_vec())
+            .or_insert_with(|| optimal_config_cost(row, types));
+        total += rate * u128::from(iv.len());
+    }
+    total
+}
+
+/// Integrates the LP relaxation instead; a valid (weaker) lower bound that
+/// avoids the integer DP. Returned as `f64` because LP optima are rational.
+#[must_use]
+pub fn lp_lower_bound(instance: &Instance) -> f64 {
+    let dg = demand_grid(instance.jobs(), instance.catalog());
+    let types = instance.catalog().types();
+    let mut memo: HashMap<Vec<u64>, f64> = HashMap::new();
+    let mut total = 0f64;
+    for (iv, row) in dg.segments() {
+        let rate = *memo
+            .entry(row.to_vec())
+            .or_insert_with(|| lp_config_cost(row, types));
+        total += rate * iv.len() as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::machine::Catalog;
+
+    fn mt(g: u64, r: u64) -> MachineType {
+        MachineType::new(g, r)
+    }
+
+    #[test]
+    fn single_type_is_ceiling() {
+        let types = [mt(10, 3)];
+        assert_eq!(optimal_config_cost(&[25], &types), 9); // 3 machines × 3
+        assert_eq!(optimal_config_cost(&[0], &types), 0);
+        assert_eq!(optimal_config_cost(&[10], &types), 3);
+        assert_eq!(optimal_config_cost(&[11], &types), 6);
+    }
+
+    #[test]
+    fn prefers_cheaper_covering_mix() {
+        // DEC-ish: big machine is cheap per unit.
+        let types = [mt(4, 2), mt(16, 4)];
+        // D = [20, 0]: either 5 small (cost 10), 2 big (8), 1 big + 1 small (6).
+        let (cost, counts) = optimal_config(&[20, 0], &types);
+        assert_eq!(cost, 6);
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn respects_nested_constraint() {
+        let types = [mt(4, 2), mt(16, 4)];
+        // D = [20, 18]: constraint 2 forces ≥ 18 capacity from type 2 alone
+        // → 2 big machines (cost 8) which also cover D_1 = 20? 2·16 = 32 ≥ 20 ✓.
+        let (cost, counts) = optimal_config(&[20, 18], &types);
+        assert_eq!(cost, 8);
+        assert_eq!(counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn inc_case_prefers_small_machines() {
+        // INC: small machine cheapest per unit.
+        let types = [mt(4, 1), mt(16, 8)];
+        // D = [16, 0]: 4 small (cost 4) beats 1 big (8).
+        let (cost, counts) = optimal_config(&[16, 0], &types);
+        assert_eq!(cost, 4);
+        assert_eq!(counts, vec![4, 0]);
+        // But demand that must sit on the big type uses it.
+        let (cost, counts) = optimal_config(&[16, 5], &types);
+        assert_eq!(cost, 8);
+        assert_eq!(counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn three_level_mix() {
+        let types = [mt(2, 1), mt(8, 3), mt(32, 10)];
+        // D = [40, 10, 0]. Constraint 2 needs ≥10 from types ≥2.
+        // Options: 2×t2 (6) covers 16; remaining for D_1: 40−16=24 via t1:
+        // 12×1=12 → 18. Or t3 ×1 (10) + t2×1 (3) → covers 40 ✓ D_2: 8+32=40 ✓ cost 13.
+        // Or t3×1 covers D_2 (32≥10) and D_1 needs 8 more: 4×t1 = 4 → 14.
+        // Or 2×t2 (16) + t1×12 → 18. Or t2×5 = 15 covers 40 ✓ cost 15.
+        // Or t3+t2: 13. Or t3×1 + t1×4: 14. Best 13.
+        let (cost, _) = optimal_config(&[40, 10, 0], &types);
+        assert_eq!(cost, 13);
+    }
+
+    #[test]
+    fn counts_satisfy_constraints_and_match_cost() {
+        let types = [mt(3, 2), mt(7, 3), mt(20, 9), mt(50, 17)];
+        let demands = [83, 61, 40, 12];
+        let (cost, counts) = optimal_config(&demands, &types);
+        // Counts must cover nested constraints.
+        for (i, &d) in demands.iter().enumerate() {
+            let cap: u64 = (i..types.len()).map(|j| counts[j] * types[j].capacity).sum();
+            assert!(cap >= d, "constraint {i}: {cap} < {d}");
+        }
+        let recomputed: u128 = counts
+            .iter()
+            .zip(types.iter())
+            .map(|(&w, t)| u128::from(w) * u128::from(t.rate))
+            .sum();
+        assert_eq!(recomputed, cost);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_small_cases() {
+        // Brute force over all count vectors with small ranges.
+        let types = [mt(3, 2), mt(5, 3), mt(11, 5)];
+        for d1 in [0u64, 4, 9, 14, 23] {
+            for d2 in [0u64, 3, 9, 14] {
+                for d3 in [0u64, 2, 9] {
+                    let demands = [d1.max(d2).max(d3), d2.max(d3), d3];
+                    let dp = optimal_config_cost(&demands, &types);
+                    let mut best = u128::MAX;
+                    let lim = demands[0].div_ceil(3) + 1;
+                    for w1 in 0..=lim {
+                        for w2 in 0..=lim {
+                            for w3 in 0..=lim {
+                                let c3 = w3 * 11;
+                                let c2 = c3 + w2 * 5;
+                                let c1 = c2 + w1 * 3;
+                                if c1 >= demands[0] && c2 >= demands[1] && c3 >= demands[2] {
+                                    best = best
+                                        .min(u128::from(w1 * 2 + w2 * 3 + w3 * 5));
+                                }
+                            }
+                        }
+                    }
+                    assert_eq!(dp, best, "demands {demands:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_pareto_solvers_agree() {
+        let types = [mt(3, 2), mt(7, 3), mt(20, 9), mt(50, 17)];
+        for seed in 0u64..60 {
+            // Deterministic pseudo-random nested demands.
+            let x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d4 = x % 40;
+            let d3 = d4 + (x >> 8) % 60;
+            let d2 = d3 + (x >> 16) % 80;
+            let d1 = d2 + (x >> 24) % 100;
+            let demands = [d1, d2, d3, d4];
+            let dense = solve_dense(&demands, &types, d1.max(1));
+            let pareto = solve(&demands, &types).0;
+            assert_eq!(dense, pareto, "demands {demands:?}");
+        }
+    }
+
+    #[test]
+    fn lp_never_exceeds_exact() {
+        let types = [mt(3, 2), mt(5, 3), mt(11, 5)];
+        for d1 in [1u64, 7, 12, 30] {
+            for d2 in [0u64, 5, 12] {
+                let demands = [d1.max(d2), d2, 0];
+                let exact = optimal_config_cost(&demands, &types) as f64;
+                let lp = lp_config_cost(&demands, &types);
+                assert!(lp <= exact + 1e-9, "lp {lp} > exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_integrates_over_time() {
+        let catalog = Catalog::new(vec![mt(4, 1), mt(16, 2)]).unwrap();
+        // One size-16 job on [0,10): needs a big machine → rate 2, cost 20.
+        let inst = Instance::new(vec![Job::new(0, 16, 0, 10)], catalog.clone()).unwrap();
+        assert_eq!(lower_bound(&inst), 20);
+        // Add a small job on [5,15): on [5,10) the big machine covers both
+        // (16 ≥ 17? no — 16+1 = 17 > 16, so D_1 = 17 needs extra small: rate 3).
+        let inst2 = Instance::new(
+            vec![Job::new(0, 16, 0, 10), Job::new(1, 1, 5, 15)],
+            catalog,
+        )
+        .unwrap();
+        // [0,5): rate 2; [5,10): D=[17,16] → 1 big + 1 small = 3; [10,15): D=[1,0] → 1.
+        assert_eq!(lower_bound(&inst2), 2 * 5 + 3 * 5 + 5);
+    }
+
+    #[test]
+    fn lp_lower_bound_below_exact_lower_bound() {
+        let catalog = Catalog::new(vec![mt(4, 1), mt(16, 2)]).unwrap();
+        let inst = Instance::new(
+            vec![
+                Job::new(0, 16, 0, 10),
+                Job::new(1, 1, 5, 15),
+                Job::new(2, 3, 2, 20),
+            ],
+            catalog,
+        )
+        .unwrap();
+        assert!(lp_lower_bound(&inst) <= lower_bound(&inst) as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Sweepline utilities: event grids and piecewise-constant load profiles.
+//!
+//! Every quantity in BSHM that varies over time (`s(𝒥, t)`, the nested
+//! demands `D_i(t)`, machine configurations, …) is piecewise constant
+//! between consecutive job arrival/departure events. These helpers build
+//! the event grid once and evaluate profiles per grid segment, which is the
+//! backbone of the lower bound, the demand chart and the validators.
+
+use crate::job::Job;
+use crate::machine::Catalog;
+use crate::time::{Interval, TimePoint};
+
+/// The sorted, deduplicated list of all arrival and departure times.
+///
+/// Consecutive entries bound the *segments* on which every active-set
+/// quantity is constant. With `k` grid points there are `k − 1` segments;
+/// segment `s` is `[grid[s], grid[s+1])`.
+#[must_use]
+pub fn event_grid(jobs: &[Job]) -> Vec<TimePoint> {
+    let mut grid = Vec::with_capacity(jobs.len() * 2);
+    for j in jobs {
+        grid.push(j.arrival);
+        grid.push(j.departure);
+    }
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// The segment index containing time `t`, for a grid from [`event_grid`].
+/// Returns `None` when `t` is outside `[grid[0], grid[last])`.
+#[must_use]
+pub fn segment_of(grid: &[TimePoint], t: TimePoint) -> Option<usize> {
+    if grid.len() < 2 || t < grid[0] || t >= *grid.last().unwrap() {
+        return None;
+    }
+    // partition_point gives the first index with grid[idx] > t.
+    Some(grid.partition_point(|&g| g <= t) - 1)
+}
+
+/// A piecewise-constant profile over an event grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// Grid points (length `k ≥ 2` unless the job set was empty).
+    pub grid: Vec<TimePoint>,
+    /// One value per segment (length `k − 1`).
+    pub values: Vec<u64>,
+}
+
+impl Profile {
+    /// Value at time `t` (0 outside the grid).
+    #[must_use]
+    pub fn at(&self, t: TimePoint) -> u64 {
+        segment_of(&self.grid, t).map_or(0, |s| self.values[s])
+    }
+
+    /// Iterates `(segment interval, value)` pairs, skipping zero-length
+    /// segments (there are none by construction, but be defensive).
+    pub fn segments(&self) -> impl Iterator<Item = (Interval, u64)> + '_ {
+        self.grid
+            .windows(2)
+            .zip(self.values.iter())
+            .filter_map(|(w, &v)| Interval::try_new(w[0], w[1]).map(|iv| (iv, v)))
+    }
+
+    /// Maximum value over all segments (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The time integral `∫ value dt` in `u128`.
+    #[must_use]
+    pub fn integral(&self) -> u128 {
+        self.segments()
+            .map(|(iv, v)| u128::from(iv.len()) * u128::from(v))
+            .sum()
+    }
+}
+
+/// Builds the total-load profile `s(𝒥, t)` via difference arrays on the
+/// event grid. O(n log n).
+#[must_use]
+pub fn load_profile(jobs: &[Job]) -> Profile {
+    let grid = event_grid(jobs);
+    let nseg = grid.len().saturating_sub(1);
+    let mut diff = vec![0i128; nseg + 1];
+    for j in jobs {
+        let a = grid.binary_search(&j.arrival).expect("arrival on grid");
+        let d = grid.binary_search(&j.departure).expect("departure on grid");
+        diff[a] += i128::from(j.size);
+        diff[d] -= i128::from(j.size);
+    }
+    let mut values = Vec::with_capacity(nseg);
+    let mut acc: i128 = 0;
+    for d in diff.iter().take(nseg) {
+        acc += d;
+        debug_assert!(acc >= 0);
+        values.push(u64::try_from(acc).expect("load fits u64"));
+    }
+    Profile { grid, values }
+}
+
+/// Per-segment nested demands for the lower bound (§II).
+///
+/// `demands[s][i]` is `D_{i+1}(t) = s(𝒥_{≥ i+1}(t), t)` on segment `s`: the
+/// total size of active jobs that are too large for machine types below
+/// `i` (0-based), i.e. jobs with `size > g_{i-1}`. `demands[s][0]` is the
+/// total active load. Demands are non-increasing in `i` by construction.
+#[derive(Clone, Debug)]
+pub struct DemandGrid {
+    /// Event grid (length `k`).
+    pub grid: Vec<TimePoint>,
+    /// `k − 1` rows of `m` nested demands each.
+    pub demands: Vec<Vec<u64>>,
+}
+
+impl DemandGrid {
+    /// Iterates `(segment interval, demand row)`.
+    pub fn segments(&self) -> impl Iterator<Item = (Interval, &[u64])> + '_ {
+        self.grid
+            .windows(2)
+            .zip(self.demands.iter())
+            .filter_map(|(w, row)| Interval::try_new(w[0], w[1]).map(|iv| (iv, row.as_slice())))
+    }
+}
+
+/// Builds the nested-demand grid for `jobs` against `catalog`.
+///
+/// Panics if some job fits no machine type (instances validate this).
+#[must_use]
+pub fn demand_grid(jobs: &[Job], catalog: &Catalog) -> DemandGrid {
+    let m = catalog.len();
+    let grid = event_grid(jobs);
+    let nseg = grid.len().saturating_sub(1);
+    // Per-class load difference arrays.
+    let mut diff = vec![vec![0i128; nseg + 1]; m];
+    for j in jobs {
+        let class = catalog
+            .size_class(j.size)
+            .expect("job fits some machine type")
+            .0;
+        let a = grid.binary_search(&j.arrival).expect("arrival on grid");
+        let d = grid.binary_search(&j.departure).expect("departure on grid");
+        diff[class][a] += i128::from(j.size);
+        diff[class][d] -= i128::from(j.size);
+    }
+    let mut demands = vec![vec![0u64; m]; nseg];
+    let mut acc = vec![0i128; m];
+    for s in 0..nseg {
+        for c in 0..m {
+            acc[c] += diff[c][s];
+            debug_assert!(acc[c] >= 0);
+        }
+        // D_{i} = Σ_{c ≥ i} class-load c (suffix sums).
+        let mut suffix: i128 = 0;
+        for i in (0..m).rev() {
+            suffix += acc[i];
+            demands[s][i] = u64::try_from(suffix).expect("demand fits u64");
+        }
+    }
+    DemandGrid { grid, demands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineType;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job::new(0, 3, 0, 10),
+            Job::new(1, 5, 5, 15),
+            Job::new(2, 12, 8, 12),
+        ]
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap()
+    }
+
+    #[test]
+    fn grid_is_sorted_unique() {
+        let g = event_grid(&jobs());
+        assert_eq!(g, vec![0, 5, 8, 10, 12, 15]);
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let g = event_grid(&jobs());
+        assert_eq!(segment_of(&g, 0), Some(0));
+        assert_eq!(segment_of(&g, 4), Some(0));
+        assert_eq!(segment_of(&g, 5), Some(1));
+        assert_eq!(segment_of(&g, 14), Some(4));
+        assert_eq!(segment_of(&g, 15), None);
+        assert_eq!(segment_of(&g, 100), None);
+    }
+
+    #[test]
+    fn load_profile_values() {
+        let p = load_profile(&jobs());
+        assert_eq!(p.at(0), 3);
+        assert_eq!(p.at(5), 8);
+        assert_eq!(p.at(8), 20);
+        assert_eq!(p.at(10), 17);
+        assert_eq!(p.at(12), 5);
+        assert_eq!(p.at(15), 0);
+        assert_eq!(p.max(), 20);
+        // Integral = Σ size×duration = 3·10 + 5·10 + 12·4 = 128.
+        assert_eq!(p.integral(), 128);
+    }
+
+    #[test]
+    fn integral_equals_size_duration_sum() {
+        let p = load_profile(&jobs());
+        let direct: u128 = jobs()
+            .iter()
+            .map(|j| u128::from(j.size) * u128::from(j.duration()))
+            .sum();
+        assert_eq!(p.integral(), direct);
+    }
+
+    #[test]
+    fn demand_grid_nested() {
+        let dg = demand_grid(&jobs(), &catalog());
+        // At t=8: active jobs sizes 3 (class 0), 5 (class 1), 12 (class 1).
+        let s = segment_of(&dg.grid, 8).unwrap();
+        assert_eq!(dg.demands[s], vec![20, 17]);
+        // At t=0: only the size-3 job.
+        let s0 = segment_of(&dg.grid, 0).unwrap();
+        assert_eq!(dg.demands[s0], vec![3, 0]);
+        // Nestedness: D_i non-increasing in i everywhere.
+        for row in &dg.demands {
+            for w in row.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_jobs_empty_profile() {
+        let p = load_profile(&[]);
+        assert_eq!(p.max(), 0);
+        assert_eq!(p.integral(), 0);
+        assert_eq!(p.at(5), 0);
+    }
+}

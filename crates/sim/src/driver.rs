@@ -1,0 +1,266 @@
+//! The non-clairvoyant event driver.
+//!
+//! Replays an instance's jobs as a stream of arrival/departure events in
+//! time order (departures before arrivals at equal times — intervals are
+//! half-open, so a machine freed at `t` can host an arrival at `t`). The
+//! scheduler sees each arrival *without its departure time* (§III-B's
+//! non-clairvoyant setting) and must choose a machine immediately;
+//! decisions are irrevocable.
+
+use crate::pool::MachinePool;
+use bshm_core::instance::Instance;
+use bshm_core::job::JobId;
+use bshm_core::schedule::{MachineId, Schedule};
+use bshm_core::time::TimePoint;
+use std::fmt;
+
+/// What a non-clairvoyant scheduler sees when a job arrives: everything
+/// about the job *except* its departure time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrivalView {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's size.
+    pub size: u64,
+    /// The current time (= the job's arrival time).
+    pub time: TimePoint,
+}
+
+/// An online scheduling policy.
+///
+/// Implementations keep whatever internal bookkeeping they need (machine
+/// rosters, group structure, …) keyed by the [`MachineId`]s they create via
+/// the pool.
+pub trait OnlineScheduler {
+    /// Chooses the machine for an arriving job. May open new machines
+    /// through the pool; must return a machine with enough residual
+    /// capacity (the driver verifies and errors otherwise).
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId;
+
+    /// Notification that a job departed from a machine (after the pool was
+    /// updated). Default: no-op.
+    fn on_departure(&mut self, _job: JobId, _machine: MachineId, _pool: &MachinePool) {}
+
+    /// The policy's display name (for harness output).
+    fn name(&self) -> &'static str {
+        "online"
+    }
+}
+
+impl<S: OnlineScheduler + ?Sized> OnlineScheduler for &mut S {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        (**self).on_arrival(view, pool)
+    }
+    fn on_departure(&mut self, job: JobId, machine: MachineId, pool: &MachinePool) {
+        (**self).on_departure(job, machine, pool);
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Simulation failure: the scheduler chose an overfull machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    /// Job whose placement failed.
+    pub job: JobId,
+    /// Underlying pool error.
+    pub cause: crate::pool::PlacementError,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduler overloaded a machine placing {}: {}", self.job, self.cause)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs a scheduler over an instance and returns the resulting schedule.
+///
+/// The returned schedule assigns every job (the driver replays all of
+/// them) and is feasible by construction — the pool enforces capacities —
+/// but callers typically re-validate with
+/// [`bshm_core::validate::validate_schedule`] in tests.
+///
+/// ```
+/// use bshm_core::{Catalog, Instance, Job, MachineType, TypeIndex};
+/// use bshm_sim::{run_online, ArrivalView, MachinePool, OnlineScheduler};
+///
+/// /// Every job gets a fresh machine of its size class.
+/// struct Dedicated;
+/// impl OnlineScheduler for Dedicated {
+///     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool)
+///         -> bshm_core::MachineId
+///     {
+///         let class = pool.catalog().size_class(view.size).unwrap();
+///         pool.create(class, format!("m-{}", view.id))
+///     }
+/// }
+///
+/// let catalog = Catalog::new(vec![MachineType::new(8, 1)]).unwrap();
+/// let inst = Instance::new(vec![Job::new(0, 2, 0, 5)], catalog).unwrap();
+/// let schedule = run_online(&inst, &mut Dedicated).unwrap();
+/// assert_eq!(schedule.machine_count(), 1);
+/// ```
+pub fn run_online<S: OnlineScheduler>(
+    instance: &Instance,
+    scheduler: &mut S,
+) -> Result<Schedule, SimError> {
+    // Event list: (time, is_arrival, job index). Departures first at ties.
+    let jobs = instance.jobs();
+    let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(jobs.len() * 2);
+    for (idx, j) in jobs.iter().enumerate() {
+        events.push((j.arrival, true, idx));
+        events.push((j.departure, false, idx));
+    }
+    events.sort_unstable_by_key(|&(t, is_arrival, idx)| {
+        (t, is_arrival, jobs[idx].id)
+    });
+
+    let mut pool = MachinePool::new(instance.catalog().clone());
+    for (t, is_arrival, idx) in events {
+        let job = &jobs[idx];
+        if is_arrival {
+            let view = ArrivalView {
+                id: job.id,
+                size: job.size,
+                time: t,
+            };
+            let m = scheduler.on_arrival(view, &mut pool);
+            pool.place(m, job.id, job.size)
+                .map_err(|cause| SimError { job: job.id, cause })?;
+        } else {
+            let m = pool.remove(job.id, job.size);
+            scheduler.on_departure(job.id, m, &pool);
+        }
+    }
+    Ok(pool.into_schedule())
+}
+
+/// Object-safe variant of [`run_online`] for callers that dispatch on a
+/// trait object.
+pub fn run_online_dyn(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<Schedule, SimError> {
+    run_online(instance, &mut &mut *scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::job::Job;
+    use bshm_core::machine::{Catalog, MachineType, TypeIndex};
+    use bshm_core::validate::validate_schedule;
+
+    /// Opens a dedicated smallest-fitting machine per job.
+    struct OneMachinePerJob;
+
+    impl OnlineScheduler for OneMachinePerJob {
+        fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+            let class = pool.catalog().size_class(view.size).expect("fits");
+            pool.create(class, format!("dedicated-{}", view.id))
+        }
+        fn name(&self) -> &'static str {
+            "one-per-job"
+        }
+    }
+
+    /// Greedy first-fit over all machines, opening the largest type when
+    /// nothing fits — just enough logic to exercise reuse in tests.
+    struct NaiveFirstFit {
+        open: Vec<MachineId>,
+    }
+
+    impl OnlineScheduler for NaiveFirstFit {
+        fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+            for &m in &self.open {
+                if pool.residual(m) >= view.size {
+                    return m;
+                }
+            }
+            let top = TypeIndex(pool.catalog().len() - 1);
+            let m = pool.create(top, "ff");
+            self.open.push(m);
+            m
+        }
+    }
+
+    fn instance() -> Instance {
+        let catalog =
+            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        Instance::new(
+            vec![
+                Job::new(0, 3, 0, 10),
+                Job::new(1, 2, 2, 8),
+                Job::new(2, 10, 4, 12),
+                Job::new(3, 4, 10, 20), // arrives exactly when job 0 departs
+            ],
+            catalog,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dedicated_machines_schedule_everything() {
+        let inst = instance();
+        let s = run_online(&inst, &mut OneMachinePerJob).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.machine_count(), 4);
+    }
+
+    #[test]
+    fn first_fit_reuses_machines() {
+        let inst = instance();
+        let s = run_online(&inst, &mut NaiveFirstFit { open: vec![] }).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        // 3+2+10 = 15 ≤ 16 → all four jobs fit on one big machine
+        // (job 3 arrives after 0 and 1 departed).
+        assert_eq!(s.machine_count(), 1);
+    }
+
+    #[test]
+    fn departures_precede_arrivals_at_ties() {
+        // A machine of capacity 4 can host job 3 (size 4, arrives at 10)
+        // only if job 0 (departs at 10) is removed first.
+        let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+        let inst = Instance::new(
+            vec![Job::new(0, 4, 0, 10), Job::new(1, 4, 10, 20)],
+            catalog,
+        )
+        .unwrap();
+        struct Reuse {
+            m: Option<MachineId>,
+        }
+        impl OnlineScheduler for Reuse {
+            fn on_arrival(&mut self, _view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+                *self.m.get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
+            }
+        }
+        let s = run_online(&inst, &mut Reuse { m: None }).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        assert_eq!(s.machine_count(), 1);
+    }
+
+    #[test]
+    fn overload_is_reported() {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+        let inst = Instance::new(
+            vec![Job::new(0, 3, 0, 10), Job::new(1, 3, 5, 15)],
+            catalog,
+        )
+        .unwrap();
+        struct Stuff {
+            m: Option<MachineId>,
+        }
+        impl OnlineScheduler for Stuff {
+            fn on_arrival(&mut self, _view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+                *self.m.get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
+            }
+        }
+        let err = run_online(&inst, &mut Stuff { m: None }).unwrap_err();
+        assert_eq!(err.job, JobId(1));
+        assert_eq!(err.cause.attempted_load, 6);
+    }
+}

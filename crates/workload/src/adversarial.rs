@@ -1,0 +1,86 @@
+//! Adversarial constructions from the lower-bound literature.
+//!
+//! Random workloads rarely exhibit worst-case behaviour; these generators
+//! produce the structured instances behind the paper's lower bounds, used
+//! by the F1/F7 experiments to make the `Ω(μ)` non-clairvoyant growth
+//! visible.
+
+use crate::generator::WorkloadSpec;
+use crate::laws::{DurationLaw, SizeLaw};
+use crate::ArrivalProcess;
+use bshm_core::job::Job;
+
+/// The straggler-pinning spec (ref \[11\]'s lower-bound shape): a single
+/// batch packs machines densely, then all but a `p_long` fraction depart
+/// quickly while the stragglers pin every machine busy for `μ×` longer.
+/// Non-clairvoyant packers cannot avoid scattering stragglers.
+#[must_use]
+pub fn straggler_pinning(n: usize, seed: u64, mu: u64, sizes: SizeLaw) -> WorkloadSpec {
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Batch,
+        durations: DurationLaw::Bimodal {
+            short: 10,
+            long: 10 * mu.max(1),
+            p_long: 0.02,
+        },
+        sizes,
+    }
+}
+
+/// A deterministic decaying staircase: `levels` waves all arrive at t=0;
+/// wave `k` holds `width` jobs of `size` for `base·2^k` ticks. Total load
+/// shrinks step by step, so bulk capacity committed at t=0 is wasted in
+/// ever-longer tails — the tension DEC algorithms must manage. μ =
+/// `2^{levels−1}`.
+#[must_use]
+pub fn decay_staircase(levels: u32, width: u32, base: u64, size: u64) -> Vec<Job> {
+    assert!(levels >= 1 && width >= 1 && base >= 1 && size >= 1);
+    let mut jobs = Vec::with_capacity((levels * width) as usize);
+    let mut id = 0u32;
+    for k in 0..levels {
+        let departure = base << k;
+        for _ in 0..width {
+            jobs.push(Job::new(id, size, 0, departure));
+            id += 1;
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::job::job_stats;
+
+    #[test]
+    fn staircase_shape() {
+        let jobs = decay_staircase(4, 3, 10, 2);
+        assert_eq!(jobs.len(), 12);
+        let st = job_stats(&jobs).unwrap();
+        assert_eq!(st.min_duration, 10);
+        assert_eq!(st.max_duration, 80);
+        assert_eq!(st.mu_ceil(), 8); // 2^{4−1}
+        // Load at t=0 is everyone; at t=15 only waves 1..4 remain.
+        assert_eq!(bshm_core::job::active_size_at(&jobs, 0), 24);
+        assert_eq!(bshm_core::job::active_size_at(&jobs, 15), 18);
+        assert_eq!(bshm_core::job::active_size_at(&jobs, 75), 6);
+    }
+
+    #[test]
+    fn straggler_spec_mu() {
+        let spec = straggler_pinning(100, 1, 16, SizeLaw::Uniform { min: 1, max: 4 });
+        assert!((spec.durations.mu() - 16.0).abs() < 1e-12);
+        assert!(matches!(spec.arrivals, ArrivalProcess::Batch));
+    }
+
+    #[test]
+    fn staircase_ids_unique() {
+        let jobs = decay_staircase(3, 5, 4, 1);
+        let mut ids: Vec<u32> = jobs.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Arrival processes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How job arrival times are generated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival times with the given
+    /// mean (in ticks).
+    Poisson {
+        /// Mean inter-arrival time (> 0).
+        mean_gap: f64,
+    },
+    /// Diurnal (sinusoidal-rate) Poisson process: the instantaneous rate
+    /// oscillates between `base` and `peak` arrivals per tick with the
+    /// given period — the classic day/night cloud pattern. Implemented by
+    /// thinning a Poisson process at the peak rate.
+    Diurnal {
+        /// Off-peak arrival rate (jobs per tick, > 0).
+        base: f64,
+        /// Peak arrival rate (≥ base).
+        peak: f64,
+        /// Oscillation period (ticks).
+        period: u64,
+    },
+    /// All jobs arrive at time 0 (a batch / clique instance).
+    Batch,
+    /// Fixed gap between consecutive arrivals.
+    Regular {
+        /// The gap in ticks.
+        gap: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` arrival times, non-decreasing, starting near 0.
+    pub fn generate<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                assert!(mean_gap > 0.0);
+                let mut t = 0f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -mean_gap * u.ln();
+                        t.round() as u64
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Diurnal { base, peak, period } => {
+                assert!(base > 0.0 && peak >= base && period > 0);
+                let mut out = Vec::with_capacity(n);
+                let mut t = 0f64;
+                while out.len() < n {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / peak;
+                    // Thinning: accept with probability rate(t)/peak.
+                    let phase = (t / period as f64) * std::f64::consts::TAU;
+                    let rate = base + (peak - base) * 0.5 * (1.0 + phase.sin());
+                    if rng.gen_range(0.0..1.0) < rate / peak {
+                        out.push(t.round() as u64);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Batch => vec![0; n],
+            ArrivalProcess::Regular { gap } => (0..n as u64).map(|i| i * gap).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_is_sorted_with_roughly_right_mean() {
+        let p = ArrivalProcess::Poisson { mean_gap: 10.0 };
+        let arr = p.generate(&mut rng(), 2000);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        let span = *arr.last().unwrap() as f64;
+        let mean = span / 2000.0;
+        assert!((7.0..13.0).contains(&mean), "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn diurnal_is_sorted_and_bursty() {
+        let p = ArrivalProcess::Diurnal { base: 0.02, peak: 0.5, period: 500 };
+        let arr = p.generate(&mut rng(), 1500);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals per half-period bucket: peak buckets should far
+        // exceed trough buckets.
+        let mut buckets = std::collections::HashMap::new();
+        for &a in &arr {
+            *buckets.entry(a / 250).or_insert(0usize) += 1;
+        }
+        let max = buckets.values().copied().max().unwrap();
+        let min = buckets.values().copied().min().unwrap();
+        assert!(max >= 3 * (min + 1), "max {max} min {min}");
+    }
+
+    #[test]
+    fn batch_all_zero() {
+        let arr = ArrivalProcess::Batch.generate(&mut rng(), 5);
+        assert_eq!(arr, vec![0; 5]);
+    }
+
+    #[test]
+    fn regular_spacing() {
+        let arr = ArrivalProcess::Regular { gap: 4 }.generate(&mut rng(), 4);
+        assert_eq!(arr, vec![0, 4, 8, 12]);
+    }
+}

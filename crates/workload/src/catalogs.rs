@@ -1,0 +1,210 @@
+//! Machine-catalog generators for the three BSHM regimes.
+
+use bshm_core::machine::{Catalog, CatalogClass, MachineType};
+use rand::Rng;
+
+/// A DEC catalog (volume discount): capacities grow 4× per step while
+/// rates grow 2×, so the amortized rate halves each step. Rates are exact
+/// powers of 2 (no normalization loss).
+///
+/// `m ≥ 1`; type `i` has `g = base_g·4^i`, `r = 2^i`.
+#[must_use]
+pub fn dec_geometric(m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 1);
+    let types = (0..m)
+        .map(|i| MachineType::new(base_g << (2 * i), 1u64 << i))
+        .collect();
+    let c = Catalog::new(types).expect("geometric catalog is valid");
+    debug_assert_eq!(c.classify(), CatalogClass::Dec);
+    c
+}
+
+/// An INC catalog (premium for big boxes): capacities grow 2× per step
+/// while rates grow 4×, so the amortized rate doubles each step.
+#[must_use]
+pub fn inc_geometric(m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 1);
+    let types = (0..m)
+        .map(|i| MachineType::new(base_g << i, 1u64 << (2 * i)))
+        .collect();
+    let c = Catalog::new(types).expect("geometric catalog is valid");
+    debug_assert_eq!(c.classify(), CatalogClass::Inc);
+    c
+}
+
+/// An EC2-flavoured DEC catalog: capacities in "vCPU" units with mild
+/// sustained-use discounts and non-power-of-2 rates (exercises the §II
+/// normalization).
+#[must_use]
+pub fn ec2_like_dec() -> Catalog {
+    Catalog::new(vec![
+        MachineType::new(2, 10),    // amortized 5.00
+        MachineType::new(4, 19),    // 4.75
+        MachineType::new(8, 36),    // 4.50
+        MachineType::new(16, 68),   // 4.25
+        MachineType::new(32, 128),  // 4.00
+        MachineType::new(64, 240),  // 3.75
+    ])
+    .expect("valid")
+}
+
+/// An EC2-flavoured INC catalog: bigger boxes cost disproportionately more
+/// (specialized high-memory/accelerated shapes).
+#[must_use]
+pub fn ec2_like_inc() -> Catalog {
+    Catalog::new(vec![
+        MachineType::new(2, 10),    // 5.0
+        MachineType::new(4, 22),    // 5.5
+        MachineType::new(8, 48),    // 6.0
+        MachineType::new(16, 104),  // 6.5
+        MachineType::new(32, 224),  // 7.0
+        MachineType::new(64, 480),  // 7.5
+    ])
+    .expect("valid")
+}
+
+/// A sawtooth general catalog of `m ≥ 2` types: the amortized rate
+/// alternates down/up so the §V forest has non-trivial trees.
+#[must_use]
+pub fn sawtooth(m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 2);
+    // Even steps: capacity ×4, rate ×2 (amortized drops).
+    // Odd steps: capacity ×2 (+1-ish), rate ×4 (amortized jumps).
+    let mut g = base_g;
+    let mut r = 1u64;
+    let mut types = vec![MachineType::new(g, r)];
+    for i in 1..m {
+        if i % 2 == 1 {
+            g *= 2;
+            r *= 4;
+        } else {
+            g *= 8;
+            r *= 2;
+        }
+        types.push(MachineType::new(g, r));
+    }
+    let c = Catalog::new(types).expect("sawtooth catalog is valid");
+    debug_assert!(m < 3 || c.classify() == CatalogClass::General);
+    c
+}
+
+/// A random catalog guaranteed to be in the DEC regime: each step scales
+/// capacity by `f ∈ 2..=5` and rate by `e ∈ 2..=f`, so the amortized rate
+/// never increases. Broadens the theorem-conformance test surface beyond
+/// the geometric families.
+pub fn random_dec_catalog<R: Rng>(rng: &mut R, m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 1);
+    let mut g = base_g.max(1);
+    let mut r: u64 = rng.gen_range(1..=4);
+    let mut types = vec![MachineType::new(g, r)];
+    for _ in 1..m {
+        let f = rng.gen_range(2..=5u64);
+        let e = rng.gen_range(2..=f);
+        g *= f;
+        r *= e;
+        types.push(MachineType::new(g, r));
+    }
+    let c = Catalog::new(types).expect("monotone by construction");
+    debug_assert_eq!(c.classify(), CatalogClass::Dec);
+    c
+}
+
+/// A random catalog guaranteed to be in the INC regime: rate steps strictly
+/// exceed capacity steps, so the amortized rate strictly increases.
+pub fn random_inc_catalog<R: Rng>(rng: &mut R, m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 1);
+    let mut g = base_g.max(1);
+    let mut r: u64 = rng.gen_range(1..=4);
+    let mut types = vec![MachineType::new(g, r)];
+    for _ in 1..m {
+        let f = rng.gen_range(2..=4u64);
+        let e = rng.gen_range(f + 1..=f + 3);
+        g *= f;
+        r *= e;
+        types.push(MachineType::new(g, r));
+    }
+    let c = Catalog::new(types).expect("monotone by construction");
+    debug_assert!(m < 2 || c.classify() == CatalogClass::Inc);
+    c
+}
+
+/// A random catalog: strictly increasing capacities and rates with random
+/// multiplicative steps — usually `General`, occasionally monotone. Used by
+/// the normalization ablation (A3).
+pub fn random_catalog<R: Rng>(rng: &mut R, m: usize, base_g: u64) -> Catalog {
+    assert!(m >= 1);
+    let mut g = base_g;
+    let mut r: u64 = rng.gen_range(1..=8);
+    let mut types = vec![MachineType::new(g, r)];
+    for _ in 1..m {
+        g = g * rng.gen_range(2..=4) + rng.gen_range(0..=3);
+        r = r * rng.gen_range(2..=4) + rng.gen_range(0..=3);
+        types.push(MachineType::new(g, r));
+    }
+    Catalog::new(types).expect("strictly increasing by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dec_geometric_classifies_dec() {
+        for m in 1..=6 {
+            let c = dec_geometric(m, 4);
+            assert_eq!(c.len(), m);
+            assert_eq!(c.classify(), CatalogClass::Dec);
+        }
+    }
+
+    #[test]
+    fn inc_geometric_classifies_inc() {
+        for m in 2..=6 {
+            assert_eq!(inc_geometric(m, 4).classify(), CatalogClass::Inc);
+        }
+    }
+
+    #[test]
+    fn ec2_catalogs_classify() {
+        assert_eq!(ec2_like_dec().classify(), CatalogClass::Dec);
+        assert_eq!(ec2_like_inc().classify(), CatalogClass::Inc);
+    }
+
+    #[test]
+    fn sawtooth_is_general() {
+        for m in 3..=8 {
+            assert_eq!(sawtooth(m, 4).classify(), CatalogClass::General, "m={m}");
+        }
+    }
+
+    #[test]
+    fn random_catalog_is_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in 1..=8 {
+            let c = random_catalog(&mut rng, m, 2);
+            assert_eq!(c.len(), m);
+        }
+    }
+
+    #[test]
+    fn random_dec_catalogs_are_dec() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for m in 1..=7 {
+            for _ in 0..5 {
+                assert_eq!(random_dec_catalog(&mut rng, m, 3).classify(), CatalogClass::Dec);
+            }
+        }
+    }
+
+    #[test]
+    fn random_inc_catalogs_are_inc() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for m in 2..=7 {
+            for _ in 0..5 {
+                assert_eq!(random_inc_catalog(&mut rng, m, 3).classify(), CatalogClass::Inc);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The workload generator: arrivals × durations × sizes → an [`Instance`].
+
+use crate::arrivals::ArrivalProcess;
+use crate::laws::{DurationLaw, SizeLaw};
+use bshm_core::instance::Instance;
+use bshm_core::job::Job;
+use bshm_core::machine::Catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A reproducible workload specification.
+///
+/// ```
+/// use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+/// use bshm_workload::catalogs::dec_geometric;
+/// let spec = WorkloadSpec {
+///     n: 100,
+///     seed: 7,
+///     arrivals: ArrivalProcess::Poisson { mean_gap: 5.0 },
+///     durations: DurationLaw::Uniform { min: 10, max: 40 },
+///     sizes: SizeLaw::HeavyTail { min: 1, max: 64, alpha: 1.3 },
+/// };
+/// let instance = spec.generate(dec_geometric(3, 4));
+/// assert_eq!(instance.job_count(), 100);
+/// assert_eq!(instance, spec.generate(dec_geometric(3, 4))); // deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs.
+    pub n: usize,
+    /// RNG seed (same spec + same seed ⇒ identical instance).
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Duration law.
+    pub durations: DurationLaw,
+    /// Size law.
+    pub sizes: SizeLaw,
+}
+
+impl WorkloadSpec {
+    /// Generates the instance over a catalog. Sizes are clamped to the
+    /// largest capacity so the instance is always feasible.
+    #[must_use]
+    pub fn generate(&self, catalog: Catalog) -> Instance {
+        assert!(self.n >= 1, "a workload needs at least one job");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max_cap = catalog.max_capacity();
+        let arrivals = self.arrivals.generate(&mut rng, self.n);
+        let jobs: Vec<Job> = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let size = self.sizes.sample(&mut rng).clamp(1, max_cap);
+                let duration = self.durations.sample(&mut rng).max(1);
+                Job::new(
+                    u32::try_from(i).expect("job count fits u32"),
+                    size,
+                    arrival,
+                    arrival + duration,
+                )
+            })
+            .collect();
+        Instance::new(jobs, catalog).expect("generated instances are valid")
+    }
+}
+
+/// A cloud-trace-like workload: diurnal arrivals, heavy-tailed sizes, and
+/// bimodal durations (short batch jobs + long services). `mu` controls the
+/// duration spread; `scale` the arrival intensity. This is the synthetic
+/// stand-in for proprietary cluster traces (see DESIGN.md §7).
+#[must_use]
+pub fn cloud_trace_spec(n: usize, seed: u64, max_size: u64, mu: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Diurnal {
+            base: 0.05,
+            peak: 0.6,
+            period: 2_000,
+        },
+        durations: DurationLaw::Bimodal {
+            short: 40,
+            long: 40 * mu.max(1),
+            p_long: 0.25,
+        },
+        sizes: SizeLaw::HeavyTail {
+            min: 1,
+            max: max_size,
+            alpha: 1.2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogs::dec_geometric;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            n: 200,
+            seed: 11,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 5.0 },
+            durations: DurationLaw::Uniform { min: 10, max: 40 },
+            sizes: SizeLaw::Uniform { min: 1, max: 64 },
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec().generate(dec_geometric(3, 4));
+        let b = spec().generate(dec_geometric(3, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec().generate(dec_geometric(3, 4));
+        let mut s = spec();
+        s.seed = 12;
+        let b = s.generate(dec_geometric(3, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sizes_clamped_to_catalog() {
+        // Catalog max capacity 4·16 = 64 with m=3 → all sizes ≤ 64.
+        let inst = spec().generate(dec_geometric(3, 4));
+        let max_cap = inst.catalog().max_capacity();
+        assert!(inst.jobs().iter().all(|j| j.size <= max_cap));
+        assert_eq!(inst.job_count(), 200);
+    }
+
+    #[test]
+    fn mu_matches_law() {
+        let inst = spec().generate(dec_geometric(3, 4));
+        let st = inst.stats();
+        assert!(st.min_duration >= 10 && st.max_duration <= 40);
+    }
+
+    #[test]
+    fn cloud_trace_generates() {
+        let inst = cloud_trace_spec(300, 5, 64, 16).generate(dec_geometric(3, 4));
+        assert_eq!(inst.job_count(), 300);
+        let st = inst.stats();
+        assert_eq!(st.max_duration / st.min_duration, 16);
+    }
+}

@@ -1,0 +1,211 @@
+//! Sampling laws for job durations and sizes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A law for job durations (ticks). All laws are bounded: `min..=max`
+/// directly controls the max/min duration ratio μ that the paper's online
+/// bounds depend on.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DurationLaw {
+    /// Uniform on `min..=max`.
+    Uniform {
+        /// Smallest duration (≥ 1).
+        min: u64,
+        /// Largest duration.
+        max: u64,
+    },
+    /// Bounded Pareto with shape `alpha` on `[min, max]` — heavy-tailed
+    /// service times, the common cloud-trace shape.
+    BoundedPareto {
+        /// Smallest duration (≥ 1).
+        min: u64,
+        /// Largest duration.
+        max: u64,
+        /// Tail index (> 0); smaller = heavier tail.
+        alpha: f64,
+    },
+    /// Two modes: `short` with probability `1 − p_long`, else `long`.
+    /// Models batch jobs vs long-running services.
+    Bimodal {
+        /// The short duration.
+        short: u64,
+        /// The long duration.
+        long: u64,
+        /// Probability of the long mode, in `[0, 1]`.
+        p_long: f64,
+    },
+    /// Always exactly this duration (μ = 1).
+    Fixed(u64),
+}
+
+impl DurationLaw {
+    /// Draws one duration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match *self {
+            DurationLaw::Uniform { min, max } => rng.gen_range(min..=max),
+            DurationLaw::BoundedPareto { min, max, alpha } => {
+                bounded_pareto(rng, min, max, alpha)
+            }
+            DurationLaw::Bimodal { short, long, p_long } => {
+                if rng.gen_bool(p_long.clamp(0.0, 1.0)) {
+                    long
+                } else {
+                    short
+                }
+            }
+            DurationLaw::Fixed(d) => d,
+        }
+    }
+
+    /// The law's exact max/min ratio μ.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        match *self {
+            DurationLaw::Uniform { min, max } | DurationLaw::BoundedPareto { min, max, .. } => {
+                max as f64 / min as f64
+            }
+            DurationLaw::Bimodal { short, long, .. } => {
+                long.max(short) as f64 / long.min(short) as f64
+            }
+            DurationLaw::Fixed(_) => 1.0,
+        }
+    }
+}
+
+/// A law for job sizes (resource units).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeLaw {
+    /// Uniform on `min..=max`.
+    Uniform {
+        /// Smallest size (≥ 1).
+        min: u64,
+        /// Largest size.
+        max: u64,
+    },
+    /// Bounded Pareto on `[min, max]`: many small jobs, few huge ones.
+    HeavyTail {
+        /// Smallest size (≥ 1).
+        min: u64,
+        /// Largest size.
+        max: u64,
+        /// Tail index (> 0).
+        alpha: f64,
+    },
+    /// A discrete mixture of exact sizes with weights — e.g. the fixed VM
+    /// shapes a cloud provider rents.
+    Discrete(Vec<(u64, f64)>),
+}
+
+impl SizeLaw {
+    /// Draws one size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            SizeLaw::Uniform { min, max } => rng.gen_range(*min..=*max),
+            SizeLaw::HeavyTail { min, max, alpha } => bounded_pareto(rng, *min, *max, *alpha),
+            SizeLaw::Discrete(items) => {
+                let total: f64 = items.iter().map(|(_, w)| w).sum();
+                let mut x = rng.gen_range(0.0..total);
+                for (size, w) in items {
+                    if x < *w {
+                        return *size;
+                    }
+                    x -= w;
+                }
+                items.last().expect("non-empty mixture").0
+            }
+        }
+    }
+
+    /// The largest size the law can produce.
+    #[must_use]
+    pub fn max_size(&self) -> u64 {
+        match self {
+            SizeLaw::Uniform { max, .. } | SizeLaw::HeavyTail { max, .. } => *max,
+            SizeLaw::Discrete(items) => {
+                items.iter().map(|(s, _)| *s).max().expect("non-empty mixture")
+            }
+        }
+    }
+}
+
+/// Inverse-CDF sample of a bounded Pareto on `[min, max]` with shape `alpha`.
+fn bounded_pareto<R: Rng>(rng: &mut R, min: u64, max: u64, alpha: f64) -> u64 {
+    assert!(min >= 1 && min <= max && alpha > 0.0);
+    if min == max {
+        return min;
+    }
+    let (l, h) = (min as f64, max as f64 + 1.0);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = l.powf(-alpha);
+    let ha = h.powf(-alpha);
+    let x = (la - u * (la - ha)).powf(-1.0 / alpha);
+    (x.floor() as u64).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_duration_respects_bounds() {
+        let law = DurationLaw::Uniform { min: 5, max: 20 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = law.sample(&mut r);
+            assert!((5..=20).contains(&d));
+        }
+        assert!((law.mu() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_skews_low() {
+        let law = DurationLaw::BoundedPareto { min: 1, max: 64, alpha: 1.5 };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..4000).map(|_| law.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| (1..=64).contains(&d)));
+        let small = samples.iter().filter(|&&d| d <= 4).count();
+        assert!(small > samples.len() / 2, "heavy tail should skew low: {small}");
+        assert!(samples.iter().any(|&d| d > 16), "tail should reach high values");
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let law = DurationLaw::Bimodal { short: 2, long: 50, p_long: 0.3 };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..500).map(|_| law.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| d == 2 || d == 50));
+        assert!(samples.contains(&2) && samples.contains(&50));
+        assert!((law.mu() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let law = DurationLaw::Fixed(7);
+        let mut r = rng();
+        assert!((0..50).all(|_| law.sample(&mut r) == 7));
+        assert!((law.mu() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_sizes_only_from_support() {
+        let law = SizeLaw::Discrete(vec![(2, 1.0), (8, 2.0), (32, 0.5)]);
+        let mut r = rng();
+        let samples: Vec<u64> = (0..500).map(|_| law.sample(&mut r)).collect();
+        assert!(samples.iter().all(|s| [2, 8, 32].contains(s)));
+        assert!(samples.contains(&8));
+        assert_eq!(law.max_size(), 32);
+    }
+
+    #[test]
+    fn degenerate_pareto_single_point() {
+        let mut r = rng();
+        assert_eq!(bounded_pareto(&mut r, 5, 5, 2.0), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bring-your-own-trace: CSV import/export of job sets.
+//!
+//! Format: a header line `id,size,arrival,departure` (or any permutation;
+//! columns are matched by name, extra columns ignored) followed by one job
+//! per line. Lines starting with `#` and blank lines are skipped. This is
+//! the bridge for running the algorithms on real cluster traces without
+//! bundling any proprietary data.
+
+use bshm_core::job::Job;
+use std::fmt;
+
+/// A CSV parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number (0 for header-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a CSV trace into jobs (unsorted; `Instance::new` sorts).
+pub fn parse_csv(text: &str) -> Result<Vec<Job>, TraceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
+    let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+    let col = |name: &str| -> Result<usize, TraceError> {
+        columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| err(hline, format!("missing column {name:?} in header {header:?}")))
+    };
+    let (ci, cs, ca, cd) = (col("id")?, col("size")?, col("arrival")?, col("departure")?);
+
+    let mut jobs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (ln, line) in lines {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < columns.len() {
+            return Err(err(ln, format!("expected {} fields, got {}", columns.len(), fields.len())));
+        }
+        let num = |idx: usize, what: &str| -> Result<u64, TraceError> {
+            fields[idx]
+                .parse()
+                .map_err(|_| err(ln, format!("{what}: cannot parse {:?}", fields[idx])))
+        };
+        let id = u32::try_from(num(ci, "id")?).map_err(|_| err(ln, "id exceeds u32"))?;
+        if !seen.insert(id) {
+            return Err(err(ln, format!("duplicate job id {id}")));
+        }
+        let size = num(cs, "size")?;
+        let arrival = num(ca, "arrival")?;
+        let departure = num(cd, "departure")?;
+        if size == 0 {
+            return Err(err(ln, "size must be positive"));
+        }
+        if departure <= arrival {
+            return Err(err(ln, format!("departure {departure} ≤ arrival {arrival}")));
+        }
+        jobs.push(Job::new(id, size, arrival, departure));
+    }
+    if jobs.is_empty() {
+        return Err(err(0, "trace has a header but no jobs"));
+    }
+    Ok(jobs)
+}
+
+/// Serializes jobs to the canonical CSV format.
+#[must_use]
+pub fn to_csv(jobs: &[Job]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("id,size,arrival,departure\n");
+    for j in jobs {
+        let _ = writeln!(out, "{},{},{},{}", j.id.0, j.size, j.arrival, j.departure);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let jobs = vec![Job::new(0, 3, 0, 10), Job::new(1, 5, 4, 20)];
+        let csv = to_csv(&jobs);
+        assert_eq!(parse_csv(&csv).unwrap(), jobs);
+    }
+
+    #[test]
+    fn header_permutation_and_extras() {
+        let csv = "arrival, id ,cluster,departure,size\n5,9,west,25,3\n";
+        let jobs = parse_csv(csv).unwrap();
+        assert_eq!(jobs, vec![Job::new(9, 3, 5, 25)]);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let csv = "# my trace\n\nid,size,arrival,departure\n# a job\n1,2,0,5\n";
+        assert_eq!(parse_csv(csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_csv("id,size,arrival,departure\n1,2,0,bad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("departure"));
+
+        let e = parse_csv("id,size,arrival\n").unwrap_err();
+        assert!(e.message.contains("departure"));
+
+        let e = parse_csv("id,size,arrival,departure\n1,2,9,5\n").unwrap_err();
+        assert!(e.message.contains("≤ arrival"));
+
+        let e = parse_csv("id,size,arrival,departure\n1,2,0,5\n1,2,6,9\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse_csv("id,size,arrival,departure\n1,0,0,5\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+
+        let e = parse_csv("").unwrap_err();
+        assert!(e.message.contains("empty"));
+
+        let e = parse_csv("id,size,arrival,departure\n").unwrap_err();
+        assert!(e.message.contains("no jobs"));
+    }
+
+    #[test]
+    fn short_row_rejected() {
+        let e = parse_csv("id,size,arrival,departure\n1,2,3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 4 fields"));
+    }
+}

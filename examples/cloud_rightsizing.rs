@@ -1,0 +1,101 @@
+//! Cloud right-sizing: which machine types should a tenant actually rent?
+//!
+//! Simulates a day of diurnal, heavy-tailed traffic against an EC2-like
+//! DEC price list, runs a portfolio of schedulers (the paper's
+//! guaranteed-ratio algorithms plus common heuristics), picks the cheapest
+//! feasible plan, and prints its per-type "bill" — the server-acquisition
+//! question that motivates the paper's §I.
+//!
+//! ```sh
+//! cargo run --release --example cloud_rightsizing
+//! ```
+
+use bshm::algos::baseline::{BestFit, FirstFitAny, OneMachinePerJob, SingleType};
+use bshm::core::cost::cost_by_type;
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::ec2_like_dec;
+
+fn main() {
+    let catalog = ec2_like_dec();
+    println!("price list ({:?} regime):", catalog.classify());
+    for (i, t) in catalog.types().iter().enumerate() {
+        println!(
+            "  type {i}: {:>2} vCPU @ {:>3} /h  ({:.2} per vCPU-h)",
+            t.capacity,
+            t.rate,
+            t.rate as f64 / t.capacity as f64
+        );
+    }
+
+    // One day of traffic: bursty arrivals, mostly small requests with a
+    // heavy tail, batch jobs mixed with long-running services (μ = 24).
+    let instance = cloud_trace_spec(2_000, 2024, catalog.max_capacity(), 24)
+        .generate(catalog.clone());
+    let stats = instance.stats();
+    println!(
+        "\nworkload: {} jobs over {} ticks, sizes ≤ {}, μ = {:.0}",
+        instance.job_count(),
+        stats.last_departure - stats.first_arrival,
+        stats.max_size,
+        stats.mu()
+    );
+
+    let lb = lower_bound(&instance);
+    println!("no plan can cost less than the lower bound: {lb}");
+
+    // Candidate planners. Only DEC-OFFLINE carries a worst-case guarantee
+    // (Theorem 1); the heuristics can be arbitrarily bad on adversarial
+    // days but are worth trying on a concrete trace.
+    let mut plans: Vec<(&str, Schedule)> = vec![
+        ("dec-offline (14-approx)", auto_offline(&instance, PlacementOrder::Arrival)),
+        (
+            "first-fit-any",
+            run_online(&instance, &mut FirstFitAny::default()).unwrap(),
+        ),
+        ("best-fit", run_online(&instance, &mut BestFit::default()).unwrap()),
+        (
+            "single-type (64 vCPU)",
+            run_online(&instance, &mut SingleType::largest()).unwrap(),
+        ),
+        (
+            "dedicated per job",
+            run_online(&instance, &mut OneMachinePerJob).unwrap(),
+        ),
+    ];
+
+    println!("\ncandidate plans:");
+    let mut best: Option<(usize, Cost)> = None;
+    for (i, (name, schedule)) in plans.iter().enumerate() {
+        validate_schedule(schedule, &instance).expect("feasible");
+        let cost = schedule_cost(schedule, &instance);
+        println!(
+            "  {name:<26} bill {cost:>10}  ({:.2}× the lower bound)",
+            cost as f64 / lb as f64
+        );
+        if best.is_none_or(|(_, c)| cost < c) {
+            best = Some((i, cost));
+        }
+    }
+    let (winner, total) = best.expect("plans non-empty");
+    let (name, schedule) = plans.swap_remove(winner);
+
+    println!("\ncheapest plan today: {name} — fleet breakdown:");
+    println!("  {:>5} {:>12} {:>12} {:>7}", "type", "busy hours", "cost", "share");
+    for (i, (busy, cost)) in cost_by_type(&schedule, &instance).iter().enumerate() {
+        if *cost == 0 {
+            continue;
+        }
+        println!(
+            "  {:>5} {busy:>12} {cost:>12} {:>6.1}%",
+            format!("T{i}"),
+            *cost as f64 / total as f64 * 100.0
+        );
+    }
+    println!(
+        "\ntake-away: on this gentle-discount price list the big boxes are\n\
+         nearly always worth renting; on steeper DEC catalogs or adversarial\n\
+         traces the heuristics lose their edge while DEC-OFFLINE's 14× bound\n\
+         (Theorem 1) always holds — run `reproduce t4 f6` for the sweep."
+    );
+}

@@ -1,0 +1,75 @@
+//! Head-to-head: every scheduler in the crate on the same workload, on
+//! each catalog regime (DEC / INC / general).
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use bshm::algos::baseline::{BestFit, FirstFitAny, OneMachinePerJob, SingleType};
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
+
+fn main() {
+    for (regime, catalog) in [
+        ("DEC (volume discount)", dec_geometric(4, 4)),
+        ("INC (big-box premium)", inc_geometric(4, 4)),
+        ("general (sawtooth)", sawtooth(4, 4)),
+    ] {
+        let instance = WorkloadSpec {
+            n: 500,
+            seed: 42,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+            durations: DurationLaw::Uniform { min: 20, max: 120 },
+            sizes: SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.3 },
+        }
+        .generate(catalog);
+
+        let lb = lower_bound(&instance);
+        println!("\n=== {regime} — {} jobs, LB {lb} ===", instance.job_count());
+        println!("{:<28} {:>12} {:>8} {:>10}", "scheduler", "cost", "ratio", "machines");
+
+        let report = |name: &str, schedule: Schedule| {
+            validate_schedule(&schedule, &instance).expect("feasible");
+            let cost = schedule_cost(&schedule, &instance);
+            println!(
+                "{name:<28} {cost:>12} {:>8.2} {:>10}",
+                cost as f64 / lb as f64,
+                schedule.used_machine_count()
+            );
+        };
+
+        report("dec-offline", dec_offline(&instance, PlacementOrder::Arrival));
+        report("inc-offline", inc_offline(&instance, PlacementOrder::Arrival));
+        report("general-offline", general_offline(&instance, PlacementOrder::Arrival));
+        report(
+            "dec-online (non-clairv.)",
+            run_online(&instance, &mut DecOnline::new(instance.catalog())).unwrap(),
+        );
+        report(
+            "inc-online (non-clairv.)",
+            run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap(),
+        );
+        report(
+            "general-online",
+            run_online(&instance, &mut GeneralOnline::new(instance.catalog())).unwrap(),
+        );
+        report(
+            "baseline: first-fit-any",
+            run_online(&instance, &mut FirstFitAny::default()).unwrap(),
+        );
+        report(
+            "baseline: best-fit",
+            run_online(&instance, &mut BestFit::default()).unwrap(),
+        );
+        report(
+            "baseline: single-type",
+            run_online(&instance, &mut SingleType::largest()).unwrap(),
+        );
+        report(
+            "baseline: dedicated",
+            run_online(&instance, &mut OneMachinePerJob).unwrap(),
+        );
+    }
+    println!("\n(ratios are cost / the §II lower bound, not cost / OPT)");
+}

@@ -1,0 +1,99 @@
+//! Online autoscaling: watch DEC-ONLINE react to a load spike without
+//! knowing any departure times.
+//!
+//! Wraps the paper's online policy in an observer that samples the fleet
+//! after every event, then prints a machine-count timeline — the
+//! "autoscaler view" of non-clairvoyant busy-time scheduling.
+//!
+//! ```sh
+//! cargo run --release --example online_autoscaler
+//! ```
+
+use bshm::prelude::*;
+use bshm::sim::{ArrivalView, MachinePool};
+use bshm::workload::catalogs::dec_geometric;
+use bshm::core::{JobId as CoreJobId, MachineId};
+
+/// Decorates any policy with a busy-machine timeline.
+struct Observed<S> {
+    inner: S,
+    /// (time, busy machine count per type) samples.
+    samples: Vec<(u64, Vec<usize>)>,
+}
+
+impl<S: OnlineScheduler> OnlineScheduler for Observed<S> {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        let m = self.inner.on_arrival(view, pool);
+        self.samples.push((view.time, pool.busy_by_type()));
+        m
+    }
+    fn on_departure(&mut self, job: CoreJobId, machine: MachineId, pool: &MachinePool) {
+        self.inner.on_departure(job, machine, pool);
+        if let Some(last) = self.samples.last() {
+            let counts = pool.busy_by_type();
+            if counts != last.1 {
+                self.samples.push((last.0, counts));
+            }
+        }
+    }
+    fn name(&self) -> &'static str {
+        "observed"
+    }
+}
+
+fn main() {
+    let catalog = dec_geometric(3, 4);
+
+    // A flash crowd: quiet trickle, sudden spike, then decay.
+    let instance = WorkloadSpec {
+        n: 600,
+        seed: 7,
+        arrivals: ArrivalProcess::Diurnal { base: 0.02, peak: 1.5, period: 1_200 },
+        durations: DurationLaw::BoundedPareto { min: 20, max: 320, alpha: 1.4 },
+        sizes: SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.3 },
+    }
+    .generate(catalog.clone());
+
+    let mut policy = Observed {
+        inner: DecOnline::new(instance.catalog()),
+        samples: Vec::new(),
+    };
+    let schedule = run_online(&instance, &mut policy).expect("policy never overloads");
+    validate_schedule(&schedule, &instance).expect("feasible");
+
+    // Downsample the timeline into buckets and draw a braille-free bar
+    // chart of total busy machines.
+    let horizon = instance.stats().last_departure;
+    let buckets = 48u64;
+    let mut peaks = vec![0usize; buckets as usize];
+    for (t, counts) in &policy.samples {
+        let b = (t * buckets / horizon.max(1)).min(buckets - 1) as usize;
+        peaks[b] = peaks[b].max(counts.iter().sum());
+    }
+    let top = peaks.iter().copied().max().unwrap_or(1).max(1);
+    println!("busy machines over time (peak per bucket, {} jobs):\n", instance.job_count());
+    for level in (1..=8).rev() {
+        let threshold = top * level / 8;
+        let row: String = peaks
+            .iter()
+            .map(|&p| if p >= threshold && threshold > 0 { '█' } else { ' ' })
+            .collect();
+        println!("{:>4} |{row}|", threshold);
+    }
+    println!("      {}", "-".repeat(buckets as usize + 2));
+
+    let lb = lower_bound(&instance);
+    let cost = schedule_cost(&schedule, &instance);
+    println!("\ntotal cost {cost}, lower bound {lb} → competitive ratio {:.2}", cost as f64 / lb as f64);
+    println!("machines ever opened: {}", schedule.machine_count());
+    println!(
+        "peak concurrent busy machines: {}",
+        policy
+            .samples
+            .iter()
+            .map(|(_, c)| c.iter().sum::<usize>())
+            .max()
+            .unwrap_or(0)
+    );
+    println!("μ = {:.1} (the competitive bound scales with this)", instance.stats().mu());
+}

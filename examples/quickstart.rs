@@ -1,0 +1,75 @@
+//! Quickstart: build an instance, schedule it offline and online, and
+//! compare against the paper's lower bound.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bshm::prelude::*;
+
+fn main() {
+    // A heterogeneous catalog in the DEC regime (volume discount): the
+    // 16-unit box costs only 2× the 4-unit box.
+    let catalog = Catalog::new(vec![
+        MachineType::new(4, 1),
+        MachineType::new(16, 2),
+        MachineType::new(64, 4),
+    ])
+    .expect("valid catalog");
+    println!("catalog class: {:?}", catalog.classify());
+
+    // A small burst of interval jobs: (id, size, arrival, departure).
+    let jobs = vec![
+        Job::new(0, 3, 0, 40),
+        Job::new(1, 2, 5, 25),
+        Job::new(2, 12, 10, 50),
+        Job::new(3, 1, 12, 30),
+        Job::new(4, 40, 20, 60),
+        Job::new(5, 4, 35, 80),
+        Job::new(6, 10, 55, 90),
+    ];
+    let instance = Instance::new(jobs, catalog).expect("valid instance");
+
+    // The §II lower bound: no schedule can cost less than this.
+    let lb = lower_bound(&instance);
+    println!("lower bound:          {lb}");
+
+    // Offline: full knowledge of all jobs ahead of time.
+    let offline = auto_offline(&instance, PlacementOrder::Arrival);
+    validate_schedule(&offline, &instance).expect("offline schedule feasible");
+    let offline_cost = schedule_cost(&offline, &instance);
+    println!(
+        "offline cost:         {offline_cost}  (ratio {:.2}, {} machines)",
+        offline_cost as f64 / lb as f64,
+        offline.used_machine_count()
+    );
+
+    // Online, non-clairvoyant: each job placed at arrival, departure
+    // times unknown to the policy.
+    let online = auto_online(&instance);
+    validate_schedule(&online, &instance).expect("online schedule feasible");
+    let online_cost = schedule_cost(&online, &instance);
+    println!(
+        "online cost:          {online_cost}  (ratio {:.2}, {} machines)",
+        online_cost as f64 / lb as f64,
+        online.used_machine_count()
+    );
+
+    // Ground truth on an instance this small: branch-and-bound optimum.
+    let exact = exact_optimal(&instance, None).expect("search completes");
+    println!(
+        "exact optimum:        {}  (LB tightness {:.2})",
+        exact.cost,
+        exact.cost as f64 / lb as f64
+    );
+
+    // Where did the offline schedule put things?
+    println!("\noffline placement:");
+    for (id, m) in offline.iter().filter(|(_, m)| !m.jobs.is_empty()) {
+        let t = instance.catalog().get(m.machine_type);
+        println!(
+            "  {id} type {} (capacity {:>2}, rate {}): {:?}  [{}]",
+            m.machine_type, t.capacity, t.rate, m.jobs, m.label
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Bring-your-own-trace pipeline: CSV in → schedule + report + SVGs out.
+//!
+//! Builds a synthetic "imported" trace, writes it as CSV (stand-in for a
+//! real cluster export), re-imports it, prices it against two catalogs,
+//! and writes placement/timeline SVGs next to the CSV.
+//!
+//! ```sh
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use bshm::chart::placement::{place_jobs, PlacementOrder};
+use bshm::chart::svg::{placement_svg, timeline_svg};
+use bshm::core::analysis::{machine_timeline, schedule_stats};
+use bshm::prelude::*;
+use bshm::workload::catalogs::{ec2_like_dec, ec2_like_inc};
+use bshm::workload::{parse_csv, to_csv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("bshm-trace-pipeline");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. "Export" a trace to CSV (in reality: your cluster's accounting logs).
+    let source = cloud_trace_spec(800, 99, 64, 12).generate(ec2_like_dec());
+    let csv_path = dir.join("trace.csv");
+    std::fs::write(&csv_path, to_csv(source.jobs()))?;
+    println!("exported {} jobs to {}", source.job_count(), csv_path.display());
+
+    // 2. Re-import the CSV — the only thing bshm needs from your side.
+    let jobs = parse_csv(&std::fs::read_to_string(&csv_path)?)?;
+    println!("imported {} jobs back from CSV", jobs.len());
+
+    // 3. Price the same trace against two different price lists.
+    for (label, catalog) in [("dec", ec2_like_dec()), ("inc", ec2_like_inc())] {
+        let instance = Instance::new(jobs.clone(), catalog)?;
+        let schedule = auto_offline(&instance, PlacementOrder::Arrival);
+        validate_schedule(&schedule, &instance)?;
+        let cost = schedule_cost(&schedule, &instance);
+        let lb = lower_bound(&instance);
+        let stats = schedule_stats(&schedule, &instance);
+        println!(
+            "\n[{label}] {:?} regime: cost {cost} ({:.2}x LB), \
+             {} machines, peak {} busy, utilization {:.0}%",
+            instance.classify(),
+            cost as f64 / lb as f64,
+            stats.machines_used,
+            stats.peak_total,
+            stats.utilization * 100.0
+        );
+
+        // 4. Artifacts: the Fig.-1 style placement and the fleet timeline.
+        let svg1 = placement_svg(
+            &place_jobs(instance.jobs(), PlacementOrder::Arrival),
+            1200,
+            400,
+        );
+        let p1 = dir.join(format!("placement-{label}.svg"));
+        std::fs::write(&p1, svg1)?;
+        let svg2 = timeline_svg(&machine_timeline(&schedule, &instance), 1200, 300);
+        let p2 = dir.join(format!("timeline-{label}.svg"));
+        std::fs::write(&p2, svg2)?;
+        println!("[{label}] wrote {} and {}", p1.display(), p2.display());
+    }
+    Ok(())
+}

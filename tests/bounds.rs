@@ -1,0 +1,201 @@
+//! Theorem-conformance tests: the paper's approximation and competitive
+//! bounds, checked end-to-end against the §II lower bound on seeded
+//! workload grids. (Bounds against the LB are weaker than against OPT, so
+//! a violation here would be a definite bug.)
+
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
+
+fn poisson(catalog: &Catalog, n: usize, seed: u64, dmin: u64, dmax: u64) -> Instance {
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: dmin, max: dmax },
+        sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+    }
+    .generate(catalog.clone())
+}
+
+/// Theorem 1: DEC-OFFLINE ≤ 14·OPT on power-of-2-rate DEC catalogs
+/// (no rounding loss on `dec_geometric`, whose rates are exact powers).
+#[test]
+fn dec_offline_within_14x_on_pow2_catalogs() {
+    for m in [2usize, 3, 5] {
+        let catalog = dec_geometric(m, 4);
+        for seed in [1u64, 2, 3, 4] {
+            let instance = poisson(&catalog, 200, seed, 10, 80);
+            let s = dec_offline(&instance, PlacementOrder::Arrival);
+            let cost = schedule_cost(&s, &instance);
+            let lb = lower_bound(&instance);
+            assert!(
+                cost <= 14 * lb,
+                "m={m} seed={seed}: cost {cost} > 14×LB {lb}"
+            );
+        }
+    }
+}
+
+/// §IV: INC-OFFLINE ≤ 9·OPT on INC catalogs.
+#[test]
+fn inc_offline_within_9x() {
+    for m in [2usize, 3, 5] {
+        let catalog = inc_geometric(m, 4);
+        for seed in [5u64, 6, 7, 8] {
+            let instance = poisson(&catalog, 200, seed, 10, 80);
+            let s = inc_offline(&instance, PlacementOrder::Arrival);
+            let cost = schedule_cost(&s, &instance);
+            let lb = lower_bound(&instance);
+            assert!(cost <= 9 * lb, "m={m} seed={seed}: cost {cost} > 9×LB {lb}");
+        }
+    }
+}
+
+/// Theorem 2: DEC-ONLINE ≤ 32(μ+1)·OPT (×2 for rounding; none needed on
+/// power-of-2 catalogs, so we assert the tight form).
+#[test]
+fn dec_online_within_theorem_2() {
+    let catalog = dec_geometric(3, 4);
+    for (dmin, dmax) in [(10u64, 10u64), (10, 40), (10, 160)] {
+        for seed in [9u64, 10] {
+            let instance = poisson(&catalog, 250, seed, dmin, dmax);
+            let mu = instance.stats().mu_ceil();
+            let s = run_online(&instance, &mut DecOnline::new(instance.catalog())).unwrap();
+            let cost = schedule_cost(&s, &instance);
+            let lb = lower_bound(&instance);
+            let bound = 32 * (u128::from(mu) + 1);
+            assert!(
+                cost <= bound * lb,
+                "mu={mu} seed={seed}: cost {cost} > {bound}×LB {lb}"
+            );
+        }
+    }
+}
+
+/// §IV: INC-ONLINE ≤ ((9/4)μ + 27/4)·OPT.
+#[test]
+fn inc_online_within_bound() {
+    let catalog = inc_geometric(3, 4);
+    for (dmin, dmax) in [(10u64, 10u64), (10, 40), (10, 160)] {
+        for seed in [11u64, 12] {
+            let instance = poisson(&catalog, 250, seed, dmin, dmax);
+            let mu = instance.stats().mu() ;
+            let s = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
+            let cost = schedule_cost(&s, &instance) as f64;
+            let lb = lower_bound(&instance) as f64;
+            let bound = 2.25 * mu + 6.75;
+            assert!(
+                cost <= bound * lb,
+                "mu={mu} seed={seed}: cost {cost} > {bound}×LB {lb}"
+            );
+        }
+    }
+}
+
+/// The m=1 substrate bounds (refs [13], [14]): Dual Coloring ≤ 4×,
+/// First Fit ≤ (μ+3)× — via the INC algorithms on a single-type catalog.
+#[test]
+fn single_type_substrate_bounds() {
+    let catalog = Catalog::new(vec![MachineType::new(16, 1)]).unwrap();
+    for seed in [13u64, 14, 15] {
+        let instance = WorkloadSpec {
+            n: 300,
+            seed,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+            durations: DurationLaw::Uniform { min: 10, max: 80 },
+            sizes: SizeLaw::Uniform { min: 1, max: 16 },
+        }
+        .generate(catalog.clone());
+        let lb = lower_bound(&instance);
+        let dc = inc_offline(&instance, PlacementOrder::Arrival);
+        assert!(schedule_cost(&dc, &instance) <= 4 * lb, "dual coloring > 4×");
+        let mu = instance.stats().mu_ceil();
+        let ff = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
+        assert!(
+            schedule_cost(&ff, &instance) <= u128::from(mu + 3) * lb,
+            "first fit > (mu+3)×"
+        );
+    }
+}
+
+/// §V conjecture sanity: the general algorithms stay within a generous
+/// √m-proportional envelope on sawtooth catalogs.
+#[test]
+fn general_algorithms_reasonable_on_sawtooth() {
+    for m in [3usize, 5, 7] {
+        let catalog = sawtooth(m, 4);
+        let instance = poisson(&catalog, 200, 16, 10, 60);
+        let lb = lower_bound(&instance);
+        let off = general_offline(&instance, PlacementOrder::Arrival);
+        let envelope = (10.0 * (m as f64).sqrt()).ceil() as u128;
+        assert!(
+            schedule_cost(&off, &instance) <= envelope * lb,
+            "offline breaks the 10·sqrt(m) envelope at m={m}"
+        );
+        let on = run_online(&instance, &mut GeneralOnline::new(instance.catalog())).unwrap();
+        let mu = u128::from(instance.stats().mu_ceil());
+        assert!(
+            schedule_cost(&on, &instance) <= envelope * mu * lb,
+            "online breaks the 10·sqrt(m)·mu envelope at m={m}"
+        );
+    }
+}
+
+/// Theorem conformance over *random* DEC/INC catalogs (arbitrary capacity
+/// and rate step factors, not just the geometric families). DEC uses the
+/// ×2-rounding-inclusive bound since rates are not powers of two.
+#[test]
+fn bounds_hold_on_random_catalogs() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..6 {
+        let m = 2 + (trial % 3);
+        let dec = bshm::workload::catalogs::random_dec_catalog(&mut rng, m, 3);
+        let inst = poisson(&dec, 180, 30 + trial as u64, 10, 80);
+        let s = dec_offline(&inst, PlacementOrder::Arrival);
+        let cost = schedule_cost(&s, &inst);
+        let lb = lower_bound(&inst);
+        assert!(cost <= 28 * lb, "dec trial {trial}: {cost} > 28×{lb}");
+
+        let inc = bshm::workload::catalogs::random_inc_catalog(&mut rng, m, 3);
+        let inst = poisson(&inc, 180, 40 + trial as u64, 10, 80);
+        let s = inc_offline(&inst, PlacementOrder::Arrival);
+        let cost = schedule_cost(&s, &inst);
+        let lb = lower_bound(&inst);
+        assert!(cost <= 9 * lb, "inc trial {trial}: {cost} > 9×{lb}");
+    }
+}
+
+/// Deterministic adversarial staircase: even on the decaying-load
+/// construction, DEC-OFFLINE stays within Theorem 1's bound.
+#[test]
+fn dec_offline_bound_on_decay_staircase() {
+    let catalog = dec_geometric(3, 4);
+    for levels in [2u32, 4, 6, 8] {
+        let jobs = bshm::workload::adversarial::decay_staircase(levels, 24, 10, 2);
+        let inst = Instance::new(jobs, catalog.clone()).unwrap();
+        let s = dec_offline(&inst, PlacementOrder::Arrival);
+        let cost = schedule_cost(&s, &inst);
+        let lb = lower_bound(&inst);
+        assert!(cost <= 14 * lb, "levels {levels}: {cost} > 14×{lb}");
+    }
+}
+
+/// LP relaxation never exceeds the exact integer lower bound.
+#[test]
+fn lp_bound_below_exact_bound() {
+    for (catalog, seed) in [
+        (dec_geometric(3, 4), 20u64),
+        (inc_geometric(3, 4), 21),
+        (sawtooth(4, 4), 22),
+    ] {
+        let instance = poisson(&catalog, 150, seed, 10, 50);
+        let exact = lower_bound(&instance) as f64;
+        let lp = lp_lower_bound(&instance);
+        assert!(lp <= exact * (1.0 + 1e-9), "lp {lp} > exact {exact}");
+        // And the LP is not trivially zero.
+        assert!(lp > 0.0);
+    }
+}

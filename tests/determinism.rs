@@ -1,0 +1,69 @@
+//! Determinism: identical inputs must produce byte-identical schedules —
+//! a hard requirement for reproducible experiments.
+
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::{dec_geometric, sawtooth};
+
+fn instance(seed: u64) -> Instance {
+    WorkloadSpec {
+        n: 200,
+        seed,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::BoundedPareto { min: 5, max: 100, alpha: 1.3 },
+        sizes: SizeLaw::HeavyTail { min: 1, max: 256, alpha: 1.2 },
+    }
+    .generate(dec_geometric(4, 4))
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    assert_eq!(instance(9), instance(9));
+    assert_ne!(instance(9), instance(10));
+}
+
+#[test]
+fn offline_schedulers_are_deterministic() {
+    let inst = instance(9);
+    for order in [PlacementOrder::Arrival, PlacementOrder::SizeDescending] {
+        assert_eq!(dec_offline(&inst, order), dec_offline(&inst, order));
+        assert_eq!(inc_offline(&inst, order), inc_offline(&inst, order));
+        assert_eq!(general_offline(&inst, order), general_offline(&inst, order));
+    }
+}
+
+#[test]
+fn online_schedulers_are_deterministic() {
+    let inst = instance(9);
+    let a = run_online(&inst, &mut DecOnline::new(inst.catalog())).unwrap();
+    let b = run_online(&inst, &mut DecOnline::new(inst.catalog())).unwrap();
+    assert_eq!(a, b);
+    let a = run_online(&inst, &mut GeneralOnline::new(inst.catalog())).unwrap();
+    let b = run_online(&inst, &mut GeneralOnline::new(inst.catalog())).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lower_bound_is_deterministic_and_stable() {
+    let inst = instance(9);
+    let a = lower_bound(&inst);
+    let b = lower_bound(&inst);
+    assert_eq!(a, b);
+    assert!(a > 0);
+}
+
+#[test]
+fn forest_construction_is_deterministic() {
+    use bshm::algos::TypeForest;
+    use bshm::core::normalize::NormalizedCatalog;
+    let catalog = sawtooth(6, 4);
+    let n1 = NormalizedCatalog::from_catalog(&catalog);
+    let n2 = NormalizedCatalog::from_catalog(&catalog);
+    assert_eq!(n1, n2);
+    let f1 = TypeForest::build(&n1);
+    let f2 = TypeForest::build(&n2);
+    assert_eq!(f1.postorder(), f2.postorder());
+    for i in 0..f1.len() {
+        assert_eq!(f1.parent(i), f2.parent(i));
+    }
+}

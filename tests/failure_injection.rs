@@ -1,0 +1,134 @@
+//! Failure injection: corrupt valid schedules in every way the feasibility
+//! definition forbids and assert the validator catches each corruption.
+//! This is what makes the harness's "all schedules validated" claim mean
+//! something.
+
+use bshm::core::validate::ValidationError;
+use bshm::prelude::*;
+use bshm::workload::catalogs::dec_geometric;
+
+fn setup() -> (Instance, Schedule) {
+    let instance = WorkloadSpec {
+        n: 60,
+        seed: 8,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 40 },
+        sizes: SizeLaw::Uniform { min: 1, max: 64 },
+    }
+    .generate(dec_geometric(3, 4));
+    let schedule = inc_offline(&instance, PlacementOrder::Arrival);
+    validate_schedule(&schedule, &instance).expect("baseline schedule feasible");
+    (instance, schedule)
+}
+
+/// Rebuilds a schedule from (type, jobs) rows so tests can splice freely.
+fn rebuild(rows: Vec<(TypeIndex, Vec<JobId>)>) -> Schedule {
+    let mut s = Schedule::new();
+    for (t, jobs) in rows {
+        let m = s.add_machine(t, "mutated");
+        for j in jobs {
+            s.assign(m, j);
+        }
+    }
+    s
+}
+
+fn rows_of(s: &Schedule) -> Vec<(TypeIndex, Vec<JobId>)> {
+    s.machines()
+        .iter()
+        .map(|m| (m.machine_type, m.jobs.clone()))
+        .collect()
+}
+
+#[test]
+fn dropping_any_assignment_is_caught() {
+    let (instance, schedule) = setup();
+    let rows = rows_of(&schedule);
+    // Drop the first job of every non-empty machine, one at a time.
+    for (mi, row) in rows.iter().enumerate() {
+        if row.1.is_empty() {
+            continue;
+        }
+        let mut mutated = rows.clone();
+        let dropped = mutated[mi].1.remove(0);
+        let err = validate_schedule(&rebuild(mutated), &instance).unwrap_err();
+        assert_eq!(err, ValidationError::UnassignedJob(dropped));
+    }
+}
+
+#[test]
+fn duplicating_any_assignment_is_caught() {
+    let (instance, schedule) = setup();
+    let rows = rows_of(&schedule);
+    for (mi, row) in rows.iter().enumerate() {
+        if row.1.is_empty() {
+            continue;
+        }
+        let dup = row.1[0];
+        // Duplicate onto a fresh machine of the largest type.
+        let mut mutated = rows.clone();
+        mutated.push((TypeIndex(instance.catalog().len() - 1), vec![dup]));
+        let err = validate_schedule(&rebuild(mutated), &instance).unwrap_err();
+        assert_eq!(err, ValidationError::DoublyAssignedJob(dup), "machine {mi}");
+    }
+}
+
+#[test]
+fn unknown_job_is_caught() {
+    let (instance, schedule) = setup();
+    let mut rows = rows_of(&schedule);
+    rows.push((TypeIndex(0), vec![JobId(9_999)]));
+    let err = validate_schedule(&rebuild(rows), &instance).unwrap_err();
+    assert_eq!(err, ValidationError::UnknownJob(JobId(9_999)));
+}
+
+#[test]
+fn downgrading_machine_types_is_caught_when_it_overflows() {
+    let (instance, schedule) = setup();
+    let rows = rows_of(&schedule);
+    // Find a machine whose peak load exceeds the smallest capacity and
+    // downgrade it to type 0.
+    let jobs = bshm::core::cost::job_index(&instance);
+    let g0 = instance.catalog().types()[0].capacity;
+    let target = rows
+        .iter()
+        .position(|(_, js)| js.iter().any(|j| jobs[j].size > g0))
+        .expect("some machine hosts a big job");
+    let mut mutated = rows;
+    mutated[target].0 = TypeIndex(0);
+    match validate_schedule(&rebuild(mutated), &instance) {
+        Err(ValidationError::CapacityExceeded { capacity, load, .. }) => {
+            assert_eq!(capacity, g0);
+            assert!(load > g0);
+        }
+        other => panic!("expected overload, got {other:?}"),
+    }
+}
+
+#[test]
+fn merging_overlapping_machines_is_caught() {
+    // Two size-3 jobs overlapping in time cannot share a capacity-4 box.
+    let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+    let instance = Instance::new(
+        vec![Job::new(0, 3, 0, 20), Job::new(1, 3, 10, 30)],
+        catalog,
+    )
+    .unwrap();
+    let merged = rebuild(vec![(TypeIndex(0), vec![JobId(0), JobId(1)])]);
+    match validate_schedule(&merged, &instance) {
+        Err(ValidationError::CapacityExceeded { at, load, .. }) => {
+            assert_eq!(at, 10);
+            assert_eq!(load, 6);
+        }
+        other => panic!("expected overload, got {other:?}"),
+    }
+}
+
+#[test]
+fn validator_accepts_every_order_of_machines() {
+    // Shuffling machine order must not change the verdict.
+    let (instance, schedule) = setup();
+    let mut rows = rows_of(&schedule);
+    rows.reverse();
+    assert!(validate_schedule(&rebuild(rows), &instance).is_ok());
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: every scheduler must produce a feasible
+//! schedule that costs at least the §II lower bound, on every catalog
+//! regime and workload family.
+
+use bshm::algos::baseline::{BestFit, FirstFitAny, OneMachinePerJob, SingleType};
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::{
+    dec_geometric, ec2_like_dec, ec2_like_inc, inc_geometric, sawtooth,
+};
+
+fn catalogs() -> Vec<(&'static str, Catalog)> {
+    vec![
+        ("dec-geo", dec_geometric(4, 4)),
+        ("inc-geo", inc_geometric(4, 4)),
+        ("sawtooth", sawtooth(5, 4)),
+        ("ec2-dec", ec2_like_dec()),
+        ("ec2-inc", ec2_like_inc()),
+    ]
+}
+
+fn workloads(catalog: &Catalog) -> Vec<(&'static str, Instance)> {
+    let max = catalog.max_capacity();
+    let mk = |seed, arrivals, durations, sizes| {
+        WorkloadSpec { n: 150, seed, arrivals, durations, sizes }.generate(catalog.clone())
+    };
+    vec![
+        (
+            "poisson-uniform",
+            mk(
+                1,
+                ArrivalProcess::Poisson { mean_gap: 3.0 },
+                DurationLaw::Uniform { min: 10, max: 60 },
+                SizeLaw::Uniform { min: 1, max },
+            ),
+        ),
+        (
+            "batch-heavy",
+            mk(
+                2,
+                ArrivalProcess::Batch,
+                DurationLaw::BoundedPareto { min: 5, max: 200, alpha: 1.2 },
+                SizeLaw::HeavyTail { min: 1, max, alpha: 1.1 },
+            ),
+        ),
+        (
+            "diurnal-bimodal",
+            mk(
+                3,
+                ArrivalProcess::Diurnal { base: 0.05, peak: 0.8, period: 300 },
+                DurationLaw::Bimodal { short: 8, long: 160, p_long: 0.2 },
+                SizeLaw::Uniform { min: 1, max },
+            ),
+        ),
+        (
+            "regular-fixed",
+            mk(
+                4,
+                ArrivalProcess::Regular { gap: 2 },
+                DurationLaw::Fixed(25),
+                SizeLaw::HeavyTail { min: 1, max, alpha: 1.5 },
+            ),
+        ),
+    ]
+}
+
+fn check(label: &str, instance: &Instance, schedule: Schedule) {
+    validate_schedule(&schedule, instance)
+        .unwrap_or_else(|e| panic!("{label}: infeasible schedule: {e}"));
+    let cost = schedule_cost(&schedule, instance);
+    let lb = lower_bound(instance);
+    assert!(cost >= lb, "{label}: cost {cost} below lower bound {lb}");
+    // (No upper sanity cap here: an algorithm run on a regime it was not
+    // designed for — e.g. DEC-OFFLINE on an INC catalog — can legitimately
+    // cost far more than even one-machine-per-job. The bound conformance
+    // tests in bounds.rs check the regime-matched pairs.)
+}
+
+#[test]
+fn offline_algorithms_feasible_everywhere() {
+    for (cname, catalog) in catalogs() {
+        for (wname, instance) in workloads(&catalog) {
+            for order in [
+                PlacementOrder::Arrival,
+                PlacementOrder::SizeDescending,
+                PlacementOrder::DurationDescending,
+            ] {
+                check(
+                    &format!("dec-off/{cname}/{wname}/{order:?}"),
+                    &instance,
+                    dec_offline(&instance, order),
+                );
+                check(
+                    &format!("inc-off/{cname}/{wname}/{order:?}"),
+                    &instance,
+                    inc_offline(&instance, order),
+                );
+                check(
+                    &format!("gen-off/{cname}/{wname}/{order:?}"),
+                    &instance,
+                    general_offline(&instance, order),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn online_algorithms_feasible_everywhere() {
+    for (cname, catalog) in catalogs() {
+        for (wname, instance) in workloads(&catalog) {
+            let dec = run_online(&instance, &mut DecOnline::new(instance.catalog()))
+                .expect("dec-online runs");
+            check(&format!("dec-on/{cname}/{wname}"), &instance, dec);
+            let inc = run_online(&instance, &mut IncOnline::new(instance.catalog()))
+                .expect("inc-online runs");
+            check(&format!("inc-on/{cname}/{wname}"), &instance, inc);
+            let gen = run_online(&instance, &mut GeneralOnline::new(instance.catalog()))
+                .expect("gen-online runs");
+            check(&format!("gen-on/{cname}/{wname}"), &instance, gen);
+        }
+    }
+}
+
+#[test]
+fn baselines_feasible_everywhere() {
+    for (cname, catalog) in catalogs() {
+        for (wname, instance) in workloads(&catalog) {
+            let s = run_online(&instance, &mut FirstFitAny::default()).unwrap();
+            check(&format!("ff/{cname}/{wname}"), &instance, s);
+            let s = run_online(&instance, &mut BestFit::default()).unwrap();
+            check(&format!("bf/{cname}/{wname}"), &instance, s);
+            let s = run_online(&instance, &mut SingleType::largest()).unwrap();
+            check(&format!("st/{cname}/{wname}"), &instance, s);
+            let s = run_online(&instance, &mut OneMachinePerJob).unwrap();
+            check(&format!("ded/{cname}/{wname}"), &instance, s);
+        }
+    }
+}
+
+#[test]
+fn auto_dispatch_matches_catalog_class() {
+    for (cname, catalog) in catalogs() {
+        let (_, instance) = workloads(&catalog).remove(0);
+        let s = auto_offline(&instance, PlacementOrder::Arrival);
+        check(&format!("auto-off/{cname}"), &instance, s);
+        let s = auto_online(&instance);
+        check(&format!("auto-on/{cname}"), &instance, s);
+    }
+}

@@ -1,0 +1,152 @@
+//! Degenerate and structural special cases: single type, single job,
+//! cliques, back-to-back chains, and algorithm equivalences the paper's
+//! structure implies.
+
+use bshm::prelude::*;
+use bshm::sim::run_online;
+use bshm::workload::catalogs::{inc_geometric, sawtooth};
+
+fn single_type_catalog() -> Catalog {
+    Catalog::new(vec![MachineType::new(8, 3)]).unwrap()
+}
+
+#[test]
+fn single_job_costs_duration_times_rate_everywhere() {
+    let instance = Instance::new(vec![Job::new(0, 5, 10, 35)], single_type_catalog()).unwrap();
+    let expected: Cost = 25 * 3;
+    assert_eq!(lower_bound(&instance), expected);
+    for s in [
+        dec_offline(&instance, PlacementOrder::Arrival),
+        inc_offline(&instance, PlacementOrder::Arrival),
+        general_offline(&instance, PlacementOrder::Arrival),
+        auto_online(&instance),
+    ] {
+        assert_eq!(schedule_cost(&s, &instance), expected);
+    }
+    let exact = exact_optimal(&instance, None).unwrap();
+    assert_eq!(exact.cost, expected);
+}
+
+#[test]
+fn clique_of_unit_jobs_packs_to_ceiling() {
+    // 20 unit jobs over one window on capacity-8 machines: LB = ⌈20/8⌉·len.
+    let jobs: Vec<Job> = (0..20).map(|i| Job::new(i, 1, 0, 10)).collect();
+    let instance = Instance::new(jobs, single_type_catalog()).unwrap();
+    assert_eq!(lower_bound(&instance), 3 * 10 * 3);
+    // First Fit on a clique is optimal up to the last partially-filled bin.
+    let s = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
+    assert_eq!(schedule_cost(&s, &instance), 90);
+}
+
+#[test]
+fn back_to_back_chain_reuses_one_machine() {
+    // Non-overlapping jobs in sequence: online First Fit keeps machine 0.
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| Job::new(i, 8, u64::from(i) * 10, u64::from(i) * 10 + 10))
+        .collect();
+    let instance = Instance::new(jobs, single_type_catalog()).unwrap();
+    let s = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
+    assert_eq!(s.used_machine_count(), 1);
+    assert_eq!(schedule_cost(&s, &instance), 100 * 3);
+    assert_eq!(lower_bound(&instance), 300);
+}
+
+#[test]
+fn general_equals_inc_on_inc_catalogs() {
+    // On INC catalogs the §V forest has no edges, so GENERAL-OFFLINE
+    // must coincide with INC-OFFLINE exactly.
+    let catalog = inc_geometric(4, 4);
+    let instance = WorkloadSpec {
+        n: 120,
+        seed: 3,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 4.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 50 },
+        sizes: SizeLaw::Uniform { min: 1, max: 32 },
+    }
+    .generate(catalog);
+    let g = general_offline(&instance, PlacementOrder::Arrival);
+    let i = inc_offline(&instance, PlacementOrder::Arrival);
+    assert_eq!(schedule_cost(&g, &instance), schedule_cost(&i, &instance));
+}
+
+#[test]
+fn oversized_machine_types_are_harmless() {
+    // Adding huge types no job needs must not break anything, and with an
+    // INC catalog must not change INC-OFFLINE's cost (unused classes).
+    let small = Catalog::new(vec![MachineType::new(8, 1)]).unwrap();
+    let big = Catalog::new(vec![
+        MachineType::new(8, 1),
+        MachineType::new(1_000, 50),
+        MachineType::new(1_000_000, 5_000),
+    ])
+    .unwrap();
+    let jobs: Vec<Job> = (0..30u32)
+        .map(|i| Job::new(i, 1 + u64::from(i) % 8, u64::from(i) * 2, u64::from(i) * 2 + 15))
+        .collect();
+    let a = Instance::new(jobs.clone(), small).unwrap();
+    let b = Instance::new(jobs, big).unwrap();
+    let ca = schedule_cost(&inc_offline(&a, PlacementOrder::Arrival), &a);
+    let cb = schedule_cost(&inc_offline(&b, PlacementOrder::Arrival), &b);
+    assert_eq!(ca, cb);
+    assert_eq!(lower_bound(&a), lower_bound(&b));
+}
+
+#[test]
+fn equal_rounded_rates_prune_types() {
+    use bshm::core::normalize::NormalizedCatalog;
+    // Rates 8, 9, 15 all round to 1, 2, 2 relative to 8 → middle pruned.
+    let catalog = Catalog::new(vec![
+        MachineType::new(4, 8),
+        MachineType::new(8, 9),
+        MachineType::new(16, 15),
+    ])
+    .unwrap();
+    let norm = NormalizedCatalog::from_catalog(&catalog);
+    assert_eq!(norm.len(), 2);
+    assert_eq!(norm.catalog().types()[1].capacity, 16);
+    // DEC-OFFLINE still schedules jobs whose class was pruned.
+    let jobs = vec![Job::new(0, 6, 0, 10), Job::new(1, 3, 0, 10)];
+    let instance = Instance::new(jobs, catalog).unwrap();
+    let s = dec_offline(&instance, PlacementOrder::Arrival);
+    validate_schedule(&s, &instance).unwrap();
+}
+
+#[test]
+fn sawtooth_forest_jobs_stay_on_ancestor_paths() {
+    use bshm::algos::TypeForest;
+    use bshm::core::normalize::NormalizedCatalog;
+    let catalog = sawtooth(5, 4);
+    let norm = NormalizedCatalog::from_catalog(&catalog);
+    let forest = TypeForest::build(&norm);
+    let instance = WorkloadSpec {
+        n: 150,
+        seed: 4,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 40 },
+        sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+    }
+    .generate(catalog);
+    let s = general_offline(&instance, PlacementOrder::Arrival);
+    validate_schedule(&s, &instance).unwrap();
+    // Every machine's jobs must belong to the machine's subtree: the job's
+    // class node must have the machine's node on its ancestor path.
+    let jobs = bshm::core::cost::job_index(&instance);
+    // Map original type index → normalized node.
+    let node_of_original: Vec<Option<usize>> = instance
+        .catalog()
+        .indices()
+        .map(|orig| {
+            (0..norm.len()).find(|&i| norm.original_index(bshm::core::TypeIndex(i)) == orig)
+        })
+        .collect();
+    for m in s.machines().iter().filter(|m| !m.jobs.is_empty()) {
+        let node = node_of_original[m.machine_type.0].expect("machines use surviving types");
+        for jid in &m.jobs {
+            let class = norm.catalog().size_class(jobs[jid].size).unwrap().0;
+            assert!(
+                forest.ancestor_path(class).contains(&node),
+                "job {jid} (class {class}) on machine node {node} off its ancestor path"
+            );
+        }
+    }
+}
