@@ -126,7 +126,11 @@ impl RandomFit {
     pub fn new(seed: u64) -> Self {
         Self {
             open: Vec::new(),
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -192,8 +196,7 @@ impl SingleType {
     }
 
     fn resolve(&self, catalog: &Catalog) -> TypeIndex {
-        self.machine_type
-            .unwrap_or(TypeIndex(catalog.len() - 1))
+        self.machine_type.unwrap_or(TypeIndex(catalog.len() - 1))
     }
 }
 
@@ -310,7 +313,10 @@ mod tests {
         )
         .unwrap();
         let s = run_online(&inst, &mut BestFit::default()).unwrap();
-        assert_eq!(s.machines().iter().filter(|m| !m.jobs.is_empty()).count(), 1);
+        assert_eq!(
+            s.machines().iter().filter(|m| !m.jobs.is_empty()).count(),
+            1
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl DurationClassFirstFit {
 
     /// Window length for a duration class: 4·2^k·δ.
     fn window_len(&self, class: u32) -> u64 {
-        self.base.saturating_mul(4).saturating_mul(1u64 << class.min(58))
+        self.base
+            .saturating_mul(4)
+            .saturating_mul(1u64 << class.min(58))
     }
 
     /// Machines opened over the whole run (diagnostic).
@@ -94,7 +96,10 @@ impl ClairvoyantScheduler for DurationClassFirstFit {
             machine,
             window_end: view.arrival.saturating_add(window),
         });
-        debug_assert!(view.departure <= view.arrival + window, "fresh window admits its opener");
+        debug_assert!(
+            view.departure <= view.arrival + window,
+            "fresh window admits its opener"
+        );
         machine
     }
 

@@ -46,7 +46,14 @@ mod tests {
         let catalog = Catalog::new(vec![MachineType::new(g, rate)]).unwrap();
         let inst = Instance::new(jobs.clone(), catalog).unwrap();
         let mut s = Schedule::new();
-        dual_coloring(&mut s, &jobs, TypeIndex(0), g, PlacementOrder::Arrival, "dc");
+        dual_coloring(
+            &mut s,
+            &jobs,
+            TypeIndex(0),
+            g,
+            PlacementOrder::Arrival,
+            "dc",
+        );
         (inst, s)
     }
 

@@ -48,12 +48,9 @@ pub fn dec_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
 /// paper's algorithm (and [`dec_offline`]) uses `depth = 2`; the A6
 /// ablation sweeps it. `depth ≥ 1`.
 #[must_use]
-pub fn dec_offline_with_depth(
-    instance: &Instance,
-    order: PlacementOrder,
-    depth: u64,
-) -> Schedule {
+pub fn dec_offline_with_depth(instance: &Instance, order: PlacementOrder, depth: u64) -> Schedule {
     assert!(depth >= 1, "strip depth must be at least 1");
+    let _span = bshm_obs::span::span("algos::dec_offline");
     let norm = NormalizedCatalog::from_catalog(instance.catalog());
     let m = norm.len();
     let mut schedule = Schedule::new();
@@ -142,11 +139,7 @@ mod tests {
         let inst = Instance::new(vec![Job::new(0, 60, 0, 10)], dec_catalog()).unwrap();
         let s = dec_offline(&inst, PlacementOrder::Arrival);
         assert_eq!(validate_schedule(&s, &inst), Ok(()));
-        let used: Vec<_> = s
-            .machines()
-            .iter()
-            .filter(|m| !m.jobs.is_empty())
-            .collect();
+        let used: Vec<_> = s.machines().iter().filter(|m| !m.jobs.is_empty()).collect();
         assert_eq!(used.len(), 1);
         assert_eq!(used[0].machine_type, TypeIndex(2));
     }
@@ -190,7 +183,12 @@ mod tests {
         let jobs: Vec<Job> = (0..80u32)
             .map(|i| {
                 let x = u64::from(i);
-                Job::new(i, 1 + (x * 37) % 60, (x * 11) % 150, (x * 11) % 150 + 10 + x % 30)
+                Job::new(
+                    i,
+                    1 + (x * 37) % 60,
+                    (x * 11) % 150,
+                    (x * 11) % 150 + 10 + x % 30,
+                )
             })
             .collect();
         let inst = Instance::new(jobs, dec_catalog()).unwrap();

@@ -166,8 +166,7 @@ impl OnlineScheduler for DecOnline {
             }
             // Non-doubling catalog: dedicated overflow machine.
             self.overflow_placements += 1;
-            return self
-                .overflow[i]
+            return self.overflow[i]
                 .try_place_idle(pool)
                 .expect("unlimited overflow roster");
         }
@@ -253,7 +252,9 @@ mod tests {
     #[test]
     fn group_b_machines_are_reused_when_idle() {
         // Sequential big jobs share one Group-B machine.
-        let jobs: Vec<Job> = (0..5).map(|i| Job::new(i, 3, u64::from(i) * 10, u64::from(i) * 10 + 10)).collect();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::new(i, 3, u64::from(i) * 10, u64::from(i) * 10 + 10))
+            .collect();
         let (inst, s, _) = run(jobs);
         assert_eq!(validate_schedule(&s, &inst), Ok(()));
         let used: Vec<_> = s.machines().iter().filter(|m| !m.jobs.is_empty()).collect();

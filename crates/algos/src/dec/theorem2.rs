@@ -164,9 +164,9 @@ pub fn lemma3_violations(
     let mut violations = 0usize;
     for &(job_id, type_i, roster_idx) in placements {
         let j = (roster_idx as u64) / 4 + 1;
-        let stretched = cache.entry((type_i, j)).or_insert_with(|| {
-            series.interval_set(type_i, j).stretch_right(mu_ceil)
-        });
+        let stretched = cache
+            .entry((type_i, j))
+            .or_insert_with(|| series.interval_set(type_i, j).stretch_right(mu_ceil));
         let interval = jobs[&job_id].interval();
         if !stretched.contains_interval(&interval) {
             violations += 1;
@@ -178,20 +178,14 @@ pub fn lemma3_violations(
 /// The Theorem 2 certificate: `8·Σ_{i,j} len(𝓘′_{i,j})·r̂_i`, an upper
 /// bound on DEC-ONLINE's cost when Lemma 3 holds (≤ 32(μ+1)·OPT).
 #[must_use]
-pub fn theorem2_certificate(
-    instance: &Instance,
-    norm: &NormalizedCatalog,
-    mu_ceil: u64,
-) -> Cost {
+pub fn theorem2_certificate(instance: &Instance, norm: &NormalizedCatalog, mu_ceil: u64) -> Cost {
     let series = m_config_series(instance, norm);
     let mut total: Cost = 0;
     for i in 0..norm.len() {
         let max_j = series.max_count(i);
         for j in 1..=max_j {
             let stretched = series.interval_set(i, j).stretch_right(mu_ceil);
-            total += 8
-                * u128::from(stretched.total_len())
-                * u128::from(series.rates_pow2[i]);
+            total += 8 * u128::from(stretched.total_len()) * u128::from(series.rates_pow2[i]);
         }
     }
     total

@@ -63,8 +63,14 @@ impl Search<'_> {
         for &ji in &m.jobs {
             let other = &self.jobs[ji];
             if other.interval().overlaps(&job.interval()) {
-                events.push((other.arrival.max(job.arrival), i64::try_from(other.size).unwrap()));
-                events.push((other.departure.min(job.departure), -i64::try_from(other.size).unwrap()));
+                events.push((
+                    other.arrival.max(job.arrival),
+                    i64::try_from(other.size).unwrap(),
+                ));
+                events.push((
+                    other.departure.min(job.departure),
+                    -i64::try_from(other.size).unwrap(),
+                ));
             }
         }
         events.sort_unstable_by_key(|&(t, d)| (t, d));

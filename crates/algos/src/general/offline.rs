@@ -23,6 +23,7 @@ use bshm_core::schedule::Schedule;
 /// *is* INC-OFFLINE.
 #[must_use]
 pub fn general_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
+    let _span = bshm_obs::span::span("algos::general_offline");
     let norm = NormalizedCatalog::from_catalog(instance.catalog());
     let forest = TypeForest::build(&norm);
     let m = norm.len();

@@ -16,6 +16,7 @@ use bshm_core::schedule::Schedule;
 /// 9-approximation.
 #[must_use]
 pub fn inc_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
+    let _span = bshm_obs::span::span("algos::inc_offline");
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {
@@ -43,6 +44,7 @@ pub fn inc_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
 /// F5/T4 experiments.
 #[must_use]
 pub fn partitioned_ffd(instance: &Instance) -> Schedule {
+    let _span = bshm_obs::span::span("algos::partitioned_ffd");
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {

@@ -89,7 +89,10 @@ mod tests {
             .collect();
         let inst = Instance::new(jobs, inc_catalog()).unwrap();
         let s = run_online(&inst, &mut IncOnline::new(inst.catalog())).unwrap();
-        assert_eq!(s.machines().iter().filter(|m| !m.jobs.is_empty()).count(), 1);
+        assert_eq!(
+            s.machines().iter().filter(|m| !m.jobs.is_empty()).count(),
+            1
+        );
         assert_eq!(schedule_cost(&s, &inst), 60);
     }
 

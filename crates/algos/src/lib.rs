@@ -80,7 +80,12 @@ mod tests {
         (0..50u32)
             .map(|i| {
                 let x = u64::from(i);
-                Job::new(i, 1 + (x * 13) % 60, (x * 9) % 150, (x * 9) % 150 + 5 + x % 20)
+                Job::new(
+                    i,
+                    1 + (x * 13) % 60,
+                    (x * 9) % 150,
+                    (x * 9) % 150 + 5 + x % 20,
+                )
             })
             .collect()
     }

@@ -1,0 +1,67 @@
+//! P4 — probe overhead: the no-probe driver path must cost the same as
+//! the un-instrumented driver did, and a collecting probe should stay
+//! cheap relative to scheduling itself.
+
+use bshm_bench::experiments::vm_sizes;
+use bshm_core::instance::Instance;
+use bshm_obs::{Collector, NoProbe};
+use bshm_sim::{run_online, run_online_probed};
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn instance(n: usize, seed: u64) -> Instance {
+    let catalog = dec_geometric(4, 4);
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 60 },
+        sizes: vm_sizes(catalog.max_capacity()),
+    }
+    .generate(catalog)
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_overhead");
+    group.sample_size(10);
+    for n in [1_000usize, 8_000] {
+        let inst = instance(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("no-probe", n), &inst, |b, inst| {
+            b.iter(|| {
+                run_online(inst, &mut bshm_algos::DecOnline::new(inst.catalog()))
+                    .expect("dec-online never overloads")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("no-probe-explicit", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    run_online_probed(
+                        inst,
+                        &mut bshm_algos::DecOnline::new(inst.catalog()),
+                        &mut NoProbe,
+                    )
+                    .expect("dec-online never overloads")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("collector", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut probe = Collector::default();
+                run_online_probed(
+                    inst,
+                    &mut bshm_algos::DecOnline::new(inst.catalog()),
+                    &mut probe,
+                )
+                .expect("dec-online never overloads")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

@@ -37,11 +37,9 @@ fn bench_schedulers(c: &mut Criterion) {
         let inst = instance(n, 7);
         group.throughput(Throughput::Elements(n as u64));
         for alg in algs {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), n),
-                &inst,
-                |b, inst| b.iter(|| alg.run(inst)),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &inst, |b, inst| {
+                b.iter(|| alg.run(inst))
+            });
         }
     }
     group.finish();

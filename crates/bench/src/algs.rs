@@ -1,6 +1,8 @@
 //! A unified registry of schedulers for the experiment grids.
 
-use bshm_algos::baseline::{BestFit, FirstFitAny, NextFit, OneMachinePerJob, RandomFit, SingleType};
+use bshm_algos::baseline::{
+    BestFit, FirstFitAny, NextFit, OneMachinePerJob, RandomFit, SingleType,
+};
 use bshm_algos::{dec_offline, general_offline, inc_offline, DecOnline, GeneralOnline, IncOnline};
 use bshm_chart::placement::PlacementOrder;
 use bshm_core::cost::{schedule_cost, Cost};
@@ -75,38 +77,40 @@ impl Alg {
     pub fn run(&self, instance: &Instance) -> Schedule {
         match self {
             Alg::DecOffline(o) => dec_offline(instance, *o),
-            Alg::DecOfflineDepth(d) => bshm_algos::dec_offline_with_depth(
-                instance,
-                PlacementOrder::Arrival,
-                *d,
-            ),
+            Alg::DecOfflineDepth(d) => {
+                bshm_algos::dec_offline_with_depth(instance, PlacementOrder::Arrival, *d)
+            }
             Alg::IncOffline(o) => inc_offline(instance, *o),
             Alg::GeneralOffline(o) => general_offline(instance, *o),
             Alg::DecOnline => run_online(instance, &mut DecOnline::new(instance.catalog()))
                 .expect("dec-online never overloads"),
-            Alg::DecOnlineNoGroupB => {
-                run_online(instance, &mut DecOnline::without_group_b(instance.catalog()))
-                    .expect("dec-online never overloads")
-            }
+            Alg::DecOnlineNoGroupB => run_online(
+                instance,
+                &mut DecOnline::without_group_b(instance.catalog()),
+            )
+            .expect("dec-online never overloads"),
             Alg::IncOnline => run_online(instance, &mut IncOnline::new(instance.catalog()))
                 .expect("inc-online never overloads"),
-            Alg::GeneralOnline => {
-                run_online(instance, &mut GeneralOnline::new(instance.catalog()))
-                    .expect("gen-online never overloads")
+            Alg::GeneralOnline => run_online(instance, &mut GeneralOnline::new(instance.catalog()))
+                .expect("gen-online never overloads"),
+            Alg::FirstFitAny => {
+                run_online(instance, &mut FirstFitAny::default()).expect("baseline never overloads")
             }
-            Alg::FirstFitAny => run_online(instance, &mut FirstFitAny::default())
-                .expect("baseline never overloads"),
             Alg::BestFit => {
                 run_online(instance, &mut BestFit::default()).expect("baseline never overloads")
             }
-            Alg::SingleTypeLargest => run_online(instance, &mut SingleType::largest())
-                .expect("baseline never overloads"),
-            Alg::OneMachinePerJob => run_online(instance, &mut OneMachinePerJob)
-                .expect("baseline never overloads"),
-            Alg::NextFit => run_online(instance, &mut NextFit::default())
-                .expect("baseline never overloads"),
-            Alg::RandomFit => run_online(instance, &mut RandomFit::new(12345))
-                .expect("baseline never overloads"),
+            Alg::SingleTypeLargest => {
+                run_online(instance, &mut SingleType::largest()).expect("baseline never overloads")
+            }
+            Alg::OneMachinePerJob => {
+                run_online(instance, &mut OneMachinePerJob).expect("baseline never overloads")
+            }
+            Alg::NextFit => {
+                run_online(instance, &mut NextFit::default()).expect("baseline never overloads")
+            }
+            Alg::RandomFit => {
+                run_online(instance, &mut RandomFit::new(12345)).expect("baseline never overloads")
+            }
             Alg::PartitionedFfd => bshm_algos::partitioned_ffd(instance),
             Alg::ClairvoyantDcff => {
                 let base = instance.stats().min_duration;

@@ -11,19 +11,32 @@
 //! `bench_results/<id>.json` and `bench_results/<id>.md`. With
 //! `--update-experiments`, the measured tables are assembled into
 //! `EXPERIMENTS.md` (paper claim vs measured, per experiment).
+//!
+//! Hot-path span timing (`bshm_obs::span`) is enabled for the whole run, so
+//! every table — and its JSON — carries a `spans` breakdown of where the
+//! experiment spent its time (`core::lower_bound`, `algos::dec_offline`,
+//! `sim::on_arrival`, …).
 
 use bshm_bench::table::Table;
 use bshm_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(args, &mut std::io::stdout(), &mut std::io::stderr());
+    std::process::exit(code);
+}
+
+/// Runs the reproduce harness, writing tables to `out` and progress /
+/// warnings to `err`. Returns the process exit code.
+fn run(mut args: Vec<String>, out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     if args.iter().any(|a| a == "--list") {
         for id in ALL_EXPERIMENTS {
-            println!("{id}");
+            let _ = writeln!(out, "{id}");
         }
-        return;
+        return 0;
     }
     let update_experiments = args.iter().any(|a| a == "--update-experiments");
     args.retain(|a| a != "--update-experiments");
@@ -35,28 +48,37 @@ fn main() {
     let out_dir = PathBuf::from(
         std::env::var("BSHM_RESULTS_DIR").unwrap_or_else(|_| "bench_results".to_string()),
     );
+    // Time the hot paths so each table's JSON gains a span breakdown.
+    bshm_obs::span::set_enabled(true);
+    let _ = bshm_obs::span::take(); // discard anything recorded before us
     let mut failed = false;
     let mut tables: Vec<Table> = Vec::new();
     for id in ids {
-        let Some(table) = ({
+        let Some(mut table) = ({
             let start = Instant::now();
             let t = run_experiment(&id);
             if let Some(t) = &t {
-                eprintln!("[{} finished in {:.1}s]", t.id, start.elapsed().as_secs_f64());
+                let _ = writeln!(
+                    err,
+                    "[{} finished in {:.1}s]",
+                    t.id,
+                    start.elapsed().as_secs_f64()
+                );
             }
             t
         }) else {
-            eprintln!("unknown experiment id: {id} (try --list)");
+            let _ = writeln!(err, "unknown experiment id: {id} (try --list)");
             failed = true;
             continue;
         };
-        println!("{}", table.render());
+        table.spans = bshm_obs::span::take();
+        let _ = writeln!(out, "{}", table.render());
         if let Err(e) = table.write_json(&out_dir) {
-            eprintln!("warning: could not write JSON for {}: {e}", table.id);
+            let _ = writeln!(err, "warning: could not write JSON for {}: {e}", table.id);
         }
         let md_path = out_dir.join(format!("{}.md", table.id.to_lowercase()));
         if let Err(e) = std::fs::write(&md_path, table.render_markdown()) {
-            eprintln!("warning: could not write {}: {e}", md_path.display());
+            let _ = writeln!(err, "warning: could not write {}: {e}", md_path.display());
         }
         tables.push(table);
     }
@@ -65,16 +87,16 @@ fn main() {
             std::env::var("BSHM_EXPERIMENTS_MD").unwrap_or_else(|_| "EXPERIMENTS.md".to_string()),
         );
         match std::fs::write(&path, experiments_md(&tables)) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
+            Ok(()) => {
+                let _ = writeln!(err, "wrote {}", path.display());
+            }
             Err(e) => {
-                eprintln!("error writing {}: {e}", path.display());
+                let _ = writeln!(err, "error writing {}: {e}", path.display());
                 failed = true;
             }
         }
     }
-    if failed {
-        std::process::exit(1);
-    }
+    i32::from(failed)
 }
 
 /// Assembles EXPERIMENTS.md: paper claim vs measured table, per experiment.
@@ -116,4 +138,31 @@ fn experiments_md(tables: &[Table]) -> String {
         out.push('\n');
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_goes_to_out_not_err() {
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run(vec!["--list".into()], &mut out, &mut err);
+        assert_eq!(code, 0);
+        assert!(err.is_empty());
+        let listed = String::from_utf8(out).unwrap();
+        for id in ALL_EXPERIMENTS {
+            assert!(listed.lines().any(|l| l == id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn unknown_id_reports_on_err_and_fails() {
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run(vec!["nope".into()], &mut out, &mut err);
+        assert_eq!(code, 1);
+        assert!(String::from_utf8(err)
+            .unwrap()
+            .contains("unknown experiment id: nope"));
+    }
 }

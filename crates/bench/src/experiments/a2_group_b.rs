@@ -23,13 +23,17 @@ fn grid() -> Vec<Cell> {
             "small-heavy",
             SizeLaw::Discrete(vec![(1, 8.0), (2, 4.0), (3, 1.0), (12, 0.5), (48, 0.2)]),
         ),
-        (
-            "balanced",
-            SizeLaw::Uniform { min: 1, max },
-        ),
+        ("balanced", SizeLaw::Uniform { min: 1, max }),
         (
             "big-heavy",
-            SizeLaw::Discrete(vec![(3, 2.0), (4, 2.0), (12, 2.0), (16, 2.0), (48, 1.0), (64, 1.0)]),
+            SizeLaw::Discrete(vec![
+                (3, 2.0),
+                (4, 2.0),
+                (12, 2.0),
+                (16, 2.0),
+                (48, 1.0),
+                (64, 1.0),
+            ]),
         ),
     ];
     let mut cells = Vec::new();

@@ -31,7 +31,10 @@ pub fn run() -> Table {
                 seed: 1000 + i,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 4.0 },
                 durations: DurationLaw::Uniform { min: 10, max: 50 },
-                sizes: SizeLaw::Uniform { min: 1, max: norm.catalog().max_capacity() },
+                sizes: SizeLaw::Uniform {
+                    min: 1,
+                    max: norm.catalog().max_capacity(),
+                },
             };
             // Same jobs, two catalogs: full vs normalization survivors.
             let full = spec.generate(catalog.clone());
@@ -53,7 +56,11 @@ pub fn run() -> Table {
     );
     let mut worst = 0f64;
     for m in [3usize, 5, 7] {
-        let sel: Vec<f64> = ratios.iter().filter(|(mm, _)| *mm == m).map(|(_, r)| *r).collect();
+        let sel: Vec<f64> = ratios
+            .iter()
+            .filter(|(mm, _)| *mm == m)
+            .map(|(_, r)| *r)
+            .collect();
         worst = worst.max(max(&sel));
         table.push_row(vec![
             m.to_string(),

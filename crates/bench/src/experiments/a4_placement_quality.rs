@@ -9,8 +9,8 @@ use crate::runner::{max, mean, par_map};
 use crate::table::{fmt_ratio, Table};
 use bshm_chart::placement::{overshoot, place_jobs, verify_two_allocation, PlacementOrder};
 use bshm_core::job::Job;
-use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
 use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
 
 /// Runs A4.
 #[must_use]
@@ -19,7 +19,14 @@ pub fn run() -> Table {
     let mut inputs: Vec<(String, Vec<Job>)> = Vec::new();
     for (label, sizes) in [
         ("uniform", SizeLaw::Uniform { min: 1, max: 64 }),
-        ("heavy-tail", SizeLaw::HeavyTail { min: 1, max: 64, alpha: 1.3 }),
+        (
+            "heavy-tail",
+            SizeLaw::HeavyTail {
+                min: 1,
+                max: 64,
+                alpha: 1.3,
+            },
+        ),
     ] {
         for seed in 0..6u64 {
             let inst = WorkloadSpec {
@@ -66,7 +73,13 @@ pub fn run() -> Table {
         "A4",
         "greedy 2-allocation quality",
         "no triple overlaps ever; overshoot above the demand curve stays small",
-        vec!["sizes", "order", "triple overlaps", "mean overshoot/peak", "max overshoot/peak"],
+        vec![
+            "sizes",
+            "order",
+            "triple overlaps",
+            "mean overshoot/peak",
+            "max overshoot/peak",
+        ],
     );
     for label in ["uniform", "heavy-tail"] {
         for (oname, _) in orders {

@@ -29,7 +29,10 @@ pub fn run() -> Table {
                 seed,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
                 durations: DurationLaw::Uniform { min: 10, max: 60 },
-                sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+                sizes: SizeLaw::Uniform {
+                    min: 1,
+                    max: catalog.max_capacity(),
+                },
             }
             .generate(catalog.clone());
             inputs.push((label.clone(), inst));

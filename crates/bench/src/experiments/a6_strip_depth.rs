@@ -43,7 +43,13 @@ pub fn run() -> Table {
         "A6",
         "DEC-OFFLINE bottom-strip depth ablation (mean cost/LB)",
         "the paper's depth-2 strips balance small-machine packing against bulk escalation",
-        vec!["catalog", "depth 1", "depth 2 (paper)", "depth 4", "depth 8"],
+        vec![
+            "catalog",
+            "depth 1",
+            "depth 2 (paper)",
+            "depth 4",
+            "depth 8",
+        ],
     );
     for (key, ratios) in group_ratios(&results, 1, algs.len()) {
         let mut row = vec![key[0].clone()];

@@ -48,7 +48,10 @@ pub fn run() -> Table {
                 n: 300,
                 seed,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
-                durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                durations: DurationLaw::Uniform {
+                    min: 10,
+                    max: 10 * mu,
+                },
                 sizes: vm_sizes(catalog.max_capacity()),
             }
             .generate(catalog.clone());
@@ -106,6 +109,8 @@ pub fn run() -> Table {
             fmt_ratio(cert_bound),
         ]);
     }
-    table.note(format!("every proof step holds on every instance: {all_ok}"));
+    table.note(format!(
+        "every proof step holds on every instance: {all_ok}"
+    ));
     table
 }

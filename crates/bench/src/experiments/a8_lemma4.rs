@@ -32,7 +32,11 @@ pub fn run() -> Table {
                 ("vm", vm_sizes(catalog.max_capacity())),
                 (
                     "heavy",
-                    SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.2 },
+                    SizeLaw::HeavyTail {
+                        min: 1,
+                        max: catalog.max_capacity(),
+                        alpha: 1.2,
+                    },
                 ),
             ] {
                 let inst = WorkloadSpec {

@@ -21,7 +21,10 @@ fn grid() -> Vec<Cell> {
                 n: 500,
                 seed,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
-                durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                durations: DurationLaw::Uniform {
+                    min: 10,
+                    max: 10 * mu,
+                },
                 sizes: vm_sizes(catalog.max_capacity()),
             }
             .generate(catalog.clone());
@@ -85,6 +88,9 @@ pub fn run() -> Table {
         ]);
     }
     table.note(format!("all points under bound: {all_hold}"));
-    table.note("poisson: Uniform[10,10*mu] durations; pin: batch + bimodal stragglers; INC catalog m=4".to_string());
+    table.note(
+        "poisson: Uniform[10,10*mu] durations; pin: batch + bimodal stragglers; INC catalog m=4"
+            .to_string(),
+    );
     table
 }

@@ -22,11 +22,17 @@ fn grid() -> Vec<Cell> {
                     n: 350,
                     seed,
                     arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
-                    durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                    durations: DurationLaw::Uniform {
+                        min: 10,
+                        max: 10 * mu,
+                    },
                     sizes: vm_sizes(catalog.max_capacity()),
                 }
                 .generate(catalog.clone());
-                cells.push(cell(vec![m.to_string(), mu.to_string(), seed.to_string()], inst));
+                cells.push(cell(
+                    vec![m.to_string(), mu.to_string(), seed.to_string()],
+                    inst,
+                ));
             }
         }
     }

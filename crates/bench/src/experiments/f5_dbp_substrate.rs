@@ -24,7 +24,10 @@ fn grid() -> Vec<Cell> {
                 n: 500,
                 seed,
                 arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
-                durations: DurationLaw::Uniform { min: 10, max: 10 * mu },
+                durations: DurationLaw::Uniform {
+                    min: 10,
+                    max: 10 * mu,
+                },
                 sizes: SizeLaw::Uniform { min: 1, max: 16 },
             }
             .generate(catalog.clone());

@@ -57,7 +57,10 @@ pub struct CellResult {
 pub fn eval_cells(cells: Vec<Cell>, algs: &[Alg]) -> Vec<CellResult> {
     par_map(cells, None, |cell| {
         let lb = lower_bound(&cell.instance);
-        let evals = algs.iter().map(|&a| evaluate(a, &cell.instance, lb)).collect();
+        let evals = algs
+            .iter()
+            .map(|&a| evaluate(a, &cell.instance, lb))
+            .collect();
         CellResult {
             label: cell.label.clone(),
             lb,
@@ -70,7 +73,11 @@ pub fn eval_cells(cells: Vec<Cell>, algs: &[Alg]) -> Vec<CellResult> {
 /// typically the seed) and returns, per group, the per-algorithm ratio
 /// vectors for aggregation.
 #[must_use]
-pub fn group_ratios(results: &[CellResult], drop: usize, n_algs: usize) -> Vec<(Vec<String>, Vec<Vec<f64>>)> {
+pub fn group_ratios(
+    results: &[CellResult],
+    drop: usize,
+    n_algs: usize,
+) -> Vec<(Vec<String>, Vec<Vec<f64>>)> {
     let mut groups: Vec<(Vec<String>, Vec<Vec<f64>>)> = Vec::new();
     for r in results {
         let key: Vec<String> = r.label[..r.label.len() - drop].to_vec();

@@ -27,7 +27,10 @@ fn tiny_instances() -> Vec<(String, Instance)> {
                     seed: seed * 7 + n as u64,
                     arrivals: ArrivalProcess::Poisson { mean_gap: 6.0 },
                     durations: DurationLaw::Uniform { min: 5, max: 30 },
-                    sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+                    sizes: SizeLaw::Uniform {
+                        min: 1,
+                        max: catalog.max_capacity(),
+                    },
                 }
                 .generate(catalog.clone());
                 out.push((label.to_string(), inst));

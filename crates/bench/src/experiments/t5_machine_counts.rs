@@ -76,7 +76,15 @@ pub fn run() -> Table {
         "T5",
         "peak busy machines / peak of the optimal configuration w*",
         "schedules keep the fleet within a constant factor of the ideal per-time machine mix",
-        vec!["regime", "dec-off", "inc-off", "dec-on", "inc-on", "ff-any", "dedicated"],
+        vec![
+            "regime",
+            "dec-off",
+            "inc-off",
+            "dec-on",
+            "inc-on",
+            "ff-any",
+            "dedicated",
+        ],
     );
     for regime in ["dec", "inc"] {
         let sel: Vec<&Vec<f64>> = rows

@@ -19,8 +19,8 @@ use table::Table;
 
 /// All experiment ids in canonical order.
 pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "a1", "a2", "a3",
-    "a4", "a5", "a6", "a7", "a8",
+    "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "a8",
 ];
 
 /// Runs one experiment by id (case-insensitive). `None` for unknown ids.

@@ -4,8 +4,8 @@
 //! algorithm) cells; this fans cells out over scoped threads and collects
 //! results in input order.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `inputs` in parallel (work-stealing by index), preserving
 /// order. Uses up to `threads` OS threads (default: available parallelism).
@@ -31,21 +31,21 @@ where
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f(&inputs[i]);
-                results.lock()[i] = Some(out);
+                results.lock().expect("worker panicked")[i] = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("worker panicked")
         .into_iter()
         .map(|o| o.expect("every cell computed"))
         .collect()

@@ -19,6 +19,9 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (observations, pass/fail summary).
     pub notes: Vec<String>,
+    /// Hot-path span breakdown (from `bshm_obs::span`) accumulated while
+    /// the experiment ran; empty when span timing was disabled.
+    pub spans: Vec<bshm_obs::SpanStat>,
 }
 
 impl Table {
@@ -37,6 +40,7 @@ impl Table {
             headers: headers.into_iter().map(str::to_string).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -86,6 +90,16 @@ impl Table {
         for n in &self.notes {
             let _ = writeln!(out, "note: {n}");
         }
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "span: {:<24} ×{:<6} total {:>10.3}ms  max {:>8.3}ms",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.max_ns as f64 / 1e6,
+            );
+        }
         out
     }
 
@@ -97,7 +111,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -109,7 +127,10 @@ impl Table {
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id.to_lowercase()));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )
     }
 }
 

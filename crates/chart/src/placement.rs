@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn two_overlapping_jobs_may_share_altitude() {
         // ≤2 overlap allowed: both can sit at altitude 0.
-        let p = place_jobs(&[job(0, 4, 0, 10), job(1, 4, 5, 15)], PlacementOrder::Arrival);
+        let p = place_jobs(
+            &[job(0, 4, 0, 10), job(1, 4, 5, 15)],
+            PlacementOrder::Arrival,
+        );
         assert_eq!(p.placed()[0].lo2, 0);
         assert_eq!(p.placed()[1].lo2, 0);
         assert!(verify_two_allocation(&p).is_none());
@@ -297,10 +300,22 @@ mod tests {
         // Two big rectangles at [0,8) twice, two more at [12,20) twice,
         // leaving a gap [8,12) for a size-2 (doubled 4) job.
         let mut placed = vec![
-            PlacedJob { job: job(0, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(1, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(2, 4, 0, 10), lo2: 12 },
-            PlacedJob { job: job(3, 4, 0, 10), lo2: 12 },
+            PlacedJob {
+                job: job(0, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(1, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(2, 4, 0, 10),
+                lo2: 12,
+            },
+            PlacedJob {
+                job: job(3, 4, 0, 10),
+                lo2: 12,
+            },
         ];
         let new = job(4, 2, 0, 10);
         let lo = lowest_feasible_altitude(&placed, &new);
@@ -313,10 +328,22 @@ mod tests {
     #[test]
     fn too_small_gap_is_skipped() {
         let placed = vec![
-            PlacedJob { job: job(0, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(1, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(2, 4, 0, 10), lo2: 10 },
-            PlacedJob { job: job(3, 4, 0, 10), lo2: 10 },
+            PlacedJob {
+                job: job(0, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(1, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(2, 4, 0, 10),
+                lo2: 10,
+            },
+            PlacedJob {
+                job: job(3, 4, 0, 10),
+                lo2: 10,
+            },
         ];
         // Gap [8,10) of 2 doubled units can't fit a size-2 job (4 units).
         let lo = lowest_feasible_altitude(&placed, &job(4, 2, 0, 10));
@@ -336,8 +363,14 @@ mod tests {
     fn blocking_respects_time_segments() {
         // Pair of rectangles only during [0,5); a job on [5,10) is free.
         let placed = vec![
-            PlacedJob { job: job(0, 4, 0, 5), lo2: 0 },
-            PlacedJob { job: job(1, 4, 0, 5), lo2: 0 },
+            PlacedJob {
+                job: job(0, 4, 0, 5),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(1, 4, 0, 5),
+                lo2: 0,
+            },
         ];
         assert_eq!(lowest_feasible_altitude(&placed, &job(2, 4, 5, 10)), 0);
         // But a job spanning the pair is blocked below 8.
@@ -347,9 +380,18 @@ mod tests {
     #[test]
     fn verify_detects_triples() {
         let placed = vec![
-            PlacedJob { job: job(0, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(1, 4, 0, 10), lo2: 0 },
-            PlacedJob { job: job(2, 4, 0, 10), lo2: 4 },
+            PlacedJob {
+                job: job(0, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(1, 4, 0, 10),
+                lo2: 0,
+            },
+            PlacedJob {
+                job: job(2, 4, 0, 10),
+                lo2: 4,
+            },
         ];
         let p = Placement { placed };
         // [4,8) is covered by all three.
@@ -359,7 +401,14 @@ mod tests {
     #[test]
     fn orders_produce_valid_allocations() {
         let jobs: Vec<Job> = (0..40)
-            .map(|i| job(i, 1 + (i as u64 * 7) % 5, (i as u64 * 3) % 50, (i as u64 * 3) % 50 + 5 + (i as u64) % 11))
+            .map(|i| {
+                job(
+                    i,
+                    1 + (i as u64 * 7) % 5,
+                    (i as u64 * 3) % 50,
+                    (i as u64 * 3) % 50 + 5 + (i as u64) % 11,
+                )
+            })
             .collect();
         for order in [
             PlacementOrder::Arrival,
@@ -374,7 +423,10 @@ mod tests {
 
     #[test]
     fn overshoot_zero_for_single_pair() {
-        let p = place_jobs(&[job(0, 4, 0, 10), job(1, 4, 2, 8)], PlacementOrder::Arrival);
+        let p = place_jobs(
+            &[job(0, 4, 0, 10), job(1, 4, 2, 8)],
+            PlacementOrder::Arrival,
+        );
         assert_eq!(overshoot(&p), 0);
     }
 }

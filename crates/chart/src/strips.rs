@@ -152,22 +152,40 @@ mod tests {
     #[test]
     fn classify_inside_and_crossing() {
         // Strip height 8 (doubled): strip 0 = [0,8), strip 1 = [8,16).
-        let inside = PlacedJob { job: job(0, 3, 0, 5), lo2: 2 }; // [2,8)
+        let inside = PlacedJob {
+            job: job(0, 3, 0, 5),
+            lo2: 2,
+        }; // [2,8)
         assert_eq!(classify(&inside, 8, None), StripSlot::Inside(0));
-        let touching_top = PlacedJob { job: job(1, 4, 0, 5), lo2: 0 }; // [0,8)
+        let touching_top = PlacedJob {
+            job: job(1, 4, 0, 5),
+            lo2: 0,
+        }; // [0,8)
         assert_eq!(classify(&touching_top, 8, None), StripSlot::Inside(0));
-        let crossing = PlacedJob { job: job(2, 3, 0, 5), lo2: 4 }; // [4,10)
+        let crossing = PlacedJob {
+            job: job(2, 3, 0, 5),
+            lo2: 4,
+        }; // [4,10)
         assert_eq!(classify(&crossing, 8, None), StripSlot::Crossing(1));
-        let double_cross = PlacedJob { job: job(3, 8, 0, 5), lo2: 4 }; // [4,20)
+        let double_cross = PlacedJob {
+            job: job(3, 8, 0, 5),
+            lo2: 4,
+        }; // [4,20)
         assert_eq!(classify(&double_cross, 8, None), StripSlot::Crossing(1));
     }
 
     #[test]
     fn classify_bottom_limit() {
         // B = 1: only jobs starting below altitude 8 participate.
-        let low = PlacedJob { job: job(0, 3, 0, 5), lo2: 7 }; // crosses bnd 1
+        let low = PlacedJob {
+            job: job(0, 3, 0, 5),
+            lo2: 7,
+        }; // crosses bnd 1
         assert_eq!(classify(&low, 8, Some(1)), StripSlot::Crossing(1));
-        let high = PlacedJob { job: job(1, 3, 0, 5), lo2: 8 };
+        let high = PlacedJob {
+            job: job(1, 3, 0, 5),
+            lo2: 8,
+        };
         assert_eq!(classify(&high, 8, Some(1)), StripSlot::Leftover);
     }
 
@@ -186,8 +204,7 @@ mod tests {
         let inst = Instance::new(jobs.clone(), catalog).unwrap();
         let placement = place_jobs(&jobs, PlacementOrder::Arrival);
         let mut schedule = Schedule::new();
-        let leftovers =
-            schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "dc");
+        let leftovers = schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "dc");
         assert!(leftovers.is_empty());
         assert_eq!(validate_schedule(&schedule, &inst), Ok(()));
     }
@@ -199,8 +216,7 @@ mod tests {
         let jobs = vec![job(0, 4, 0, 10), job(1, 4, 0, 10), job(2, 4, 0, 10)];
         let placement = place_jobs(&jobs, PlacementOrder::Arrival);
         let mut schedule = Schedule::new();
-        let leftovers =
-            schedule_strips(&mut schedule, &placement, 8, Some(1), TypeIndex(0), "it0");
+        let leftovers = schedule_strips(&mut schedule, &placement, 8, Some(1), TypeIndex(0), "it0");
         assert_eq!(leftovers.len(), 1);
         assert_eq!(leftovers[0].id.0, 2);
         assert_eq!(schedule.assignment_count(), 2);
@@ -214,8 +230,7 @@ mod tests {
         let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
         let inst = Instance::new(jobs, catalog).unwrap();
         let mut schedule = Schedule::new();
-        let leftovers =
-            schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "x");
+        let leftovers = schedule_strips(&mut schedule, &placement, 4, None, TypeIndex(0), "x");
         assert!(leftovers.is_empty());
         assert_eq!(validate_schedule(&schedule, &inst), Ok(()));
         // Jobs 0 and 1 overlap → different slots; job 2 reuses a slot.

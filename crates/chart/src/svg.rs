@@ -22,7 +22,10 @@ pub fn placement_svg(placement: &Placement, width: u32, height: u32) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     if let (Some(t0), Some(t1)) = (
         placement.placed().iter().map(|p| p.job.arrival).min(),
         placement.placed().iter().map(|p| p.job.departure).max(),
@@ -59,7 +62,10 @@ pub fn timeline_svg(timeline: &MachineTimeline, width: u32, height: u32) -> Stri
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let types = timeline.busy.first().map_or(0, Vec::len);
     let peak = f64::from(timeline.peak_total().max(1));
     if timeline.grid.len() >= 2 && types > 0 {
@@ -121,13 +127,9 @@ mod tests {
 
     #[test]
     fn timeline_svg_one_path_per_type() {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
-        let inst = Instance::new(
-            vec![Job::new(0, 2, 0, 10), Job::new(1, 10, 5, 15)],
-            catalog,
-        )
-        .unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
+        let inst =
+            Instance::new(vec![Job::new(0, 2, 0, 10), Job::new(1, 10, 5, 15)], catalog).unwrap();
         let mut s = Schedule::new();
         let m0 = s.add_machine(TypeIndex(0), "a");
         s.assign(m0, bshm_core::JobId(0));

@@ -2,6 +2,9 @@
 
 use std::collections::HashMap;
 
+/// Flags that take no value: `--metrics` is a switch, not `--metrics X`.
+const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+
 /// Parsed flags: `--key value` pairs plus positional arguments.
 #[derive(Clone, Debug, Default)]
 pub struct Flags {
@@ -11,20 +14,23 @@ pub struct Flags {
 
 impl Flags {
     /// Parses `argv` (without the program/subcommand names). Every token
-    /// starting with `--` consumes the next token as its value.
+    /// starting with `--` consumes the next token as its value, except the
+    /// known boolean switches (e.g. `--metrics`), which stand alone.
     pub fn parse(argv: &[String]) -> Result<Flags, String> {
         let mut flags = Flags::default();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&key) {
+                    if flags.named.insert(key.to_string(), "true".into()).is_some() {
+                        return Err(format!("flag --{key} given twice"));
+                    }
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} expects a value"))?;
-                if flags
-                    .named
-                    .insert(key.to_string(), value.clone())
-                    .is_some()
-                {
+                if flags.named.insert(key.to_string(), value.clone()).is_some() {
                     return Err(format!("flag --{key} given twice"));
                 }
             } else {
@@ -46,6 +52,12 @@ impl Flags {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&str> {
         self.named.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch (e.g. `--metrics`) was given.
+    #[must_use]
+    pub fn has(&self, key: &str) -> bool {
+        self.named.contains_key(key)
     }
 
     /// Optional flag parsed to a type, with a default.
@@ -105,5 +117,17 @@ mod tests {
     fn require_reports_missing() {
         let f = Flags::parse(&argv("")).unwrap();
         assert!(f.require("instance").unwrap_err().contains("--instance"));
+    }
+
+    #[test]
+    fn boolean_switch_consumes_no_value() {
+        let f = Flags::parse(&argv("--metrics --alg auto")).unwrap();
+        assert!(f.has("metrics"));
+        assert_eq!(f.get("alg"), Some("auto"));
+        assert!(!f.has("trace"));
+        // A trailing switch is fine.
+        let f = Flags::parse(&argv("--alg auto --metrics")).unwrap();
+        assert!(f.has("metrics"));
+        assert!(Flags::parse(&argv("--metrics --metrics")).is_err());
     }
 }

@@ -10,7 +10,8 @@ use bshm_core::lower_bound::{lower_bound, lp_lower_bound};
 use bshm_core::schedule::Schedule;
 use bshm_core::validate::validate_schedule;
 use bshm_core::{schedule_cost, Cost};
-use bshm_sim::{run_clairvoyant, run_online};
+use bshm_obs::{replay, NoProbe, Probe, Recorder};
+use bshm_sim::{run_clairvoyant, run_online_probed};
 use bshm_workload::WorkloadSpec;
 use std::io::Write;
 
@@ -23,6 +24,8 @@ USAGE:
   bshm gen      --n N --catalog SPEC --arrivals SPEC --durations SPEC --sizes SPEC
                 [--seed S] [--out FILE]
   bshm solve    --instance FILE --alg NAME [--out FILE]
+                [--trace FILE] [--metrics]
+  bshm replay   --trace FILE [--instance FILE --schedule FILE] [--rows N]
   bshm validate --instance FILE --schedule FILE
   bshm lb       --instance FILE
   bshm info     --instance FILE
@@ -30,6 +33,15 @@ USAGE:
   bshm export-csv --instance FILE [--out FILE]
   (gen also accepts --from-csv FILE to import a trace instead of sampling)
   bshm algs     (list scheduler names)
+
+OBSERVABILITY:
+  solve --trace FILE   streams a JSONL event log (arrivals, placements
+                       with decision latency, machine opens/closes, cost
+                       accruals, departures)
+  solve --metrics      prints aggregated run metrics as JSON
+  replay               rebuilds the busy-machine timeline from a trace;
+                       with --instance and --schedule it cross-checks the
+                       trace against the schedule-derived timeline
 
 SPEC GRAMMARS:
   catalog:   dec:M:G | inc:M:G | saw:M:G | ec2-dec | ec2-inc | custom:4x1,16x2
@@ -64,6 +76,7 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
     match cmd.as_str() {
         "gen" => cmd_gen(&flags, out),
         "solve" => cmd_solve(&flags, out),
+        "replay" => cmd_replay(&flags, out),
         "validate" => cmd_validate(&flags, out),
         "lb" => cmd_lb(&flags, out),
         "info" => cmd_info(&flags, out),
@@ -106,8 +119,7 @@ fn cmd_gen(flags: &Flags, out: Out) -> Result<(), String> {
     let catalog = spec::parse_catalog(flags.get("catalog").unwrap_or("dec:3:4"))?;
     let instance = if let Some(path) = flags.get("from-csv") {
         // Bring-your-own-trace: jobs from CSV, catalog from the flag.
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let jobs = bshm_workload::parse_csv(&text).map_err(|e| format!("{path}: {e}"))?;
         Instance::new(jobs, catalog).map_err(|e| format!("{path}: {e}"))?
     } else {
@@ -141,36 +153,51 @@ fn cmd_export_csv(flags: &Flags, out: Out) -> Result<(), String> {
 
 /// Runs a scheduler by name.
 pub fn run_alg(name: &str, instance: &Instance) -> Result<Schedule, String> {
+    run_alg_traced(name, instance, &mut NoProbe)
+}
+
+/// Runs a scheduler by name, reporting trace events into `probe`.
+///
+/// Online schedulers run under the probed driver, so placement decisions
+/// carry live wall-clock latencies. Offline schedulers (and the
+/// clairvoyant baseline) compute their schedule first; the canonical
+/// event stream is then synthesized from it with
+/// [`bshm_obs::replay::synthesize`] (`decision_ns` = 0).
+pub fn run_alg_traced(
+    name: &str,
+    instance: &Instance,
+    probe: &mut dyn Probe,
+) -> Result<Schedule, String> {
     let order = PlacementOrder::Arrival;
+    let online = |s: &mut dyn bshm_sim::OnlineScheduler, probe: &mut dyn Probe| {
+        run_online_probed(instance, &mut &mut *s, probe).map_err(|e| e.to_string())
+    };
+    // Offline algorithms produce the schedule without intermediate events;
+    // trace them post-hoc so both families yield comparable streams.
+    let offline = |s: Schedule, probe: &mut dyn Probe| {
+        replay::synthesize(&s, instance, probe);
+        s
+    };
+    let catalog = instance.catalog();
     let s = match name {
-        "auto" => bshm_algos::auto_offline(instance, order),
-        "dec-offline" => bshm_algos::dec_offline(instance, order),
-        "inc-offline" => bshm_algos::inc_offline(instance, order),
-        "gen-offline" => bshm_algos::general_offline(instance, order),
-        "part-ffd" => bshm_algos::partitioned_ffd(instance),
-        "dec-online" => run_online(instance, &mut bshm_algos::DecOnline::new(instance.catalog()))
-            .map_err(|e| e.to_string())?,
-        "inc-online" => run_online(instance, &mut bshm_algos::IncOnline::new(instance.catalog()))
-            .map_err(|e| e.to_string())?,
-        "gen-online" => {
-            run_online(instance, &mut bshm_algos::GeneralOnline::new(instance.catalog()))
-                .map_err(|e| e.to_string())?
-        }
+        "auto" => offline(bshm_algos::auto_offline(instance, order), probe),
+        "dec-offline" => offline(bshm_algos::dec_offline(instance, order), probe),
+        "inc-offline" => offline(bshm_algos::inc_offline(instance, order), probe),
+        "gen-offline" => offline(bshm_algos::general_offline(instance, order), probe),
+        "part-ffd" => offline(bshm_algos::partitioned_ffd(instance), probe),
+        "dec-online" => online(&mut bshm_algos::DecOnline::new(catalog), probe)?,
+        "inc-online" => online(&mut bshm_algos::IncOnline::new(catalog), probe)?,
+        "gen-online" => online(&mut bshm_algos::GeneralOnline::new(catalog), probe)?,
         "clairvoyant" => {
             let base = instance.stats().min_duration;
-            run_clairvoyant(instance, &mut bshm_algos::DurationClassFirstFit::new(base))
-                .map_err(|e| e.to_string())?
+            let s = run_clairvoyant(instance, &mut bshm_algos::DurationClassFirstFit::new(base))
+                .map_err(|e| e.to_string())?;
+            offline(s, probe)
         }
-        "first-fit-any" => {
-            run_online(instance, &mut FirstFitAny::default()).map_err(|e| e.to_string())?
-        }
-        "best-fit" => run_online(instance, &mut BestFit::default()).map_err(|e| e.to_string())?,
-        "single-type" => {
-            run_online(instance, &mut SingleType::largest()).map_err(|e| e.to_string())?
-        }
-        "one-per-job" => {
-            run_online(instance, &mut OneMachinePerJob).map_err(|e| e.to_string())?
-        }
+        "first-fit-any" => online(&mut FirstFitAny::default(), probe)?,
+        "best-fit" => online(&mut BestFit::default(), probe)?,
+        "single-type" => online(&mut SingleType::largest(), probe)?,
+        "one-per-job" => online(&mut OneMachinePerJob, probe)?,
         other => return Err(format!("unknown algorithm {other:?}; see `bshm algs`")),
     };
     Ok(s)
@@ -179,21 +206,131 @@ pub fn run_alg(name: &str, instance: &Instance) -> Result<Schedule, String> {
 fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
     let alg = flags.get("alg").unwrap_or("auto");
-    let schedule = run_alg(alg, &instance)?;
+    let trace_path = flags.get("trace");
+    let want_metrics = flags.has("metrics");
+    let schedule = if trace_path.is_some() || want_metrics {
+        let mut rec = Recorder::new(alg, instance.catalog().len());
+        if let Some(p) = trace_path {
+            rec = rec.with_file(p).map_err(|e| format!("creating {p}: {e}"))?;
+        }
+        let schedule = run_alg_traced(alg, &instance, &mut rec)?;
+        let written = rec.events_written();
+        let metrics = rec.into_metrics()?;
+        if let Some(p) = trace_path {
+            let _ = writeln!(out, "wrote {written} trace events to {p}");
+        }
+        if want_metrics {
+            let _ = write!(out, "{}", metrics.summary());
+            let json = serde_json::to_string_pretty(&metrics).expect("metrics serialize");
+            let _ = writeln!(out, "{json}");
+        }
+        schedule
+    } else {
+        run_alg(alg, &instance)?
+    };
     validate_schedule(&schedule, &instance).map_err(|e| format!("BUG: {alg} infeasible: {e}"))?;
     let cost: Cost = schedule_cost(&schedule, &instance);
-    let lb = lower_bound(&instance);
+    let lb = {
+        let _span = bshm_obs::span::span("core::lower_bound");
+        lower_bound(&instance)
+    };
     let stats = schedule_stats(&schedule, &instance);
     let _ = writeln!(out, "algorithm:    {alg}");
     let _ = writeln!(out, "cost:         {cost}");
     let _ = writeln!(out, "lower bound:  {lb}");
     let _ = writeln!(out, "ratio:        {:.3}", cost as f64 / lb as f64);
-    let _ = writeln!(out, "machines:     {} used, peak {} busy", stats.machines_used, stats.peak_total);
+    let _ = writeln!(
+        out,
+        "machines:     {} used, peak {} busy",
+        stats.machines_used, stats.peak_total
+    );
     let _ = writeln!(out, "utilization:  {:.1}%", stats.utilization * 100.0);
     if let Some(path) = flags.get("out") {
         let json = serde_json::to_string_pretty(&schedule).expect("schedules serialize");
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         let _ = writeln!(out, "wrote schedule to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = flags.require("trace")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = replay::parse_jsonl(&text)?;
+    let mut kinds: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for e in &events {
+        *kinds.entry(e.kind()).or_default() += 1;
+    }
+    let traced_cost: u64 = events
+        .iter()
+        .filter_map(|e| match *e {
+            bshm_obs::TraceEvent::CostAccrual { busy, rate, .. } => Some(busy * rate),
+            _ => None,
+        })
+        .sum();
+    let n_types = events
+        .iter()
+        .filter_map(|e| match *e {
+            bshm_obs::TraceEvent::MachineOpen { machine_type, .. }
+            | bshm_obs::TraceEvent::MachineClose { machine_type, .. } => Some(machine_type.0 + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(out, "trace:        {path}");
+    let _ = writeln!(out, "events:       {}", events.len());
+    for (kind, count) in &kinds {
+        let _ = writeln!(out, "  {kind:<12} {count}");
+    }
+    let _ = writeln!(out, "traced cost:  {traced_cost}");
+
+    let timeline = replay::replay_timeline(&events, n_types);
+    let _ = writeln!(out, "\nbusy machines by type:");
+    let mut header = format!("{:>8}", "t");
+    for i in 0..n_types {
+        header.push_str(&format!(" {:>6}", format!("type{i}")));
+    }
+    let _ = writeln!(out, "{header}");
+    let max_rows = flags.get_or("rows", 40usize)?;
+    for (i, (t, row)) in timeline.grid.iter().zip(timeline.busy.iter()).enumerate() {
+        if i >= max_rows {
+            let _ = writeln!(
+                out,
+                "  … {} more transitions (pass --rows N for more)",
+                timeline.grid.len() - max_rows
+            );
+            break;
+        }
+        let mut line = format!("{t:>8}");
+        for v in row {
+            line.push_str(&format!(" {v:>6}"));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    match (flags.get("instance"), flags.get("schedule")) {
+        (Some(_), Some(spath)) => {
+            let instance = load_instance(flags)?;
+            let data =
+                std::fs::read_to_string(spath).map_err(|e| format!("reading {spath}: {e}"))?;
+            let schedule: Schedule =
+                serde_json::from_str(&data).map_err(|e| format!("parsing {spath}: {e}"))?;
+            let reference = machine_timeline(&schedule, &instance);
+            replay::cross_check(&timeline, &reference)
+                .map_err(|e| format!("trace disagrees with schedule timeline: {e}"))?;
+            let _ = writeln!(
+                out,
+                "\ncross-check: replayed timeline matches machine_timeline ({} grid points)",
+                reference.grid.len()
+            );
+        }
+        (None, None) => {}
+        _ => {
+            return Err(
+                "cross-checking needs both --instance and --schedule (or neither)".to_string(),
+            )
+        }
     }
     Ok(())
 }
@@ -219,7 +356,10 @@ fn cmd_validate(flags: &Flags, out: Out) -> Result<(), String> {
 
 fn cmd_lb(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
-    let exact = lower_bound(&instance);
+    let exact = {
+        let _span = bshm_obs::span::span("core::lower_bound");
+        lower_bound(&instance)
+    };
     let lp = lp_lower_bound(&instance);
     let _ = writeln!(out, "exact lower bound: {exact}");
     let _ = writeln!(out, "LP relaxation:     {lp:.2}");
@@ -230,14 +370,36 @@ fn cmd_info(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
     let st = instance.stats();
     let _ = writeln!(out, "jobs:        {}", instance.job_count());
-    let _ = writeln!(out, "types:       {} ({:?})", instance.catalog().len(), instance.classify());
+    let _ = writeln!(
+        out,
+        "types:       {} ({:?})",
+        instance.catalog().len(),
+        instance.classify()
+    );
     for (i, t) in instance.catalog().types().iter().enumerate() {
-        let _ = writeln!(out, "  type {i}: capacity {:>8}, rate {:>8}", t.capacity, t.rate);
+        let _ = writeln!(
+            out,
+            "  type {i}: capacity {:>8}, rate {:>8}",
+            t.capacity, t.rate
+        );
     }
-    let _ = writeln!(out, "span:        [{}, {})", st.first_arrival, st.last_departure);
-    let _ = writeln!(out, "durations:   {}..{} (mu = {:.2})", st.min_duration, st.max_duration, st.mu());
+    let _ = writeln!(
+        out,
+        "span:        [{}, {})",
+        st.first_arrival, st.last_departure
+    );
+    let _ = writeln!(
+        out,
+        "durations:   {}..{} (mu = {:.2})",
+        st.min_duration,
+        st.max_duration,
+        st.mu()
+    );
     let _ = writeln!(out, "max size:    {}", st.max_size);
-    let peak = bshm_core::sweep::load_profile(instance.jobs()).max();
+    let peak = {
+        let _span = bshm_obs::span::span("core::sweep::load_profile");
+        bshm_core::sweep::load_profile(instance.jobs()).max()
+    };
     let _ = writeln!(out, "peak load:   {peak}");
     Ok(())
 }
@@ -246,9 +408,12 @@ fn cmd_render(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
     let cols = flags.get_or("cols", 100usize)?;
     let rows = flags.get_or("rows", 24usize)?;
-    let placement =
-        bshm_chart::placement::place_jobs(instance.jobs(), PlacementOrder::Arrival);
-    let _ = write!(out, "{}", bshm_chart::render::render_placement(&placement, cols, rows));
+    let placement = bshm_chart::placement::place_jobs(instance.jobs(), PlacementOrder::Arrival);
+    let _ = write!(
+        out,
+        "{}",
+        bshm_chart::render::render_placement(&placement, cols, rows)
+    );
     // Also show the busy-machine CSV head for the auto schedule.
     let schedule = bshm_algos::auto_offline(&instance, PlacementOrder::Arrival);
     let csv = timeline_csv(&machine_timeline(&schedule, &instance));
@@ -297,9 +462,7 @@ mod tests {
              --durations uniform:10:40 --sizes uniform:1:64 --out {inst}"
         ));
         assert_eq!(code, 0, "{out}");
-        let (code, out) = run_cmd(&format!(
-            "solve --instance {inst} --alg auto --out {sched}"
-        ));
+        let (code, out) = run_cmd(&format!("solve --instance {inst} --alg auto --out {sched}"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("ratio:"));
         let (code, out) = run_cmd(&format!("validate --instance {inst} --schedule {sched}"));
@@ -369,11 +532,105 @@ mod tests {
     }
 
     #[test]
+    fn solve_trace_replays_to_exact_machine_timeline() {
+        // The tentpole acceptance path: a dec-online trace whose replayed
+        // per-type timeline exactly matches machine_timeline's output.
+        let inst = tmp("inst-trace.json");
+        let sched = tmp("sched-trace.json");
+        let trace = tmp("trace.jsonl");
+        let (code, out) = run_cmd(&format!(
+            "gen --n 60 --seed 11 --catalog dec:3:4 --arrivals poisson:2 \
+             --durations uniform:5:40 --sizes uniform:1:48 --out {inst}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg dec-online --trace {trace} --metrics --out {sched}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("trace events"), "{out}");
+        assert!(out.contains("\"algorithm\": \"dec-online\""), "{out}");
+
+        // Replay the trace directly against core's machine_timeline.
+        let instance: Instance =
+            serde_json::from_str(&std::fs::read_to_string(&inst).unwrap()).unwrap();
+        let schedule: Schedule =
+            serde_json::from_str(&std::fs::read_to_string(&sched).unwrap()).unwrap();
+        let events =
+            bshm_obs::replay::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let replayed = bshm_obs::replay::replay_timeline(&events, instance.catalog().len());
+        let reference = machine_timeline(&schedule, &instance);
+        bshm_obs::replay::cross_check(&replayed, &reference).unwrap();
+
+        // And the replay subcommand agrees.
+        let (code, out) = run_cmd(&format!(
+            "replay --trace {trace} --instance {inst} --schedule {sched}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("matches machine_timeline"), "{out}");
+        assert!(out.contains("busy machines by type"), "{out}");
+    }
+
+    #[test]
+    fn every_alg_traces_cost_consistently() {
+        // For every registered algorithm, the trace's accrued cost must
+        // equal the schedule's exact cost, and the replayed timeline must
+        // match the schedule-derived one.
+        let inst = tmp("inst-trace-all.json");
+        let (code, _) = run_cmd(&format!(
+            "gen --n 30 --seed 7 --catalog saw:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes pareto:1:60:1.4 --out {inst}"
+        ));
+        assert_eq!(code, 0);
+        let instance: Instance =
+            serde_json::from_str(&std::fs::read_to_string(&inst).unwrap()).unwrap();
+        for alg in ALG_NAMES {
+            let mut collector = bshm_obs::Collector::default();
+            let schedule = run_alg_traced(alg, &instance, &mut collector).unwrap();
+            let traced: u64 = collector
+                .events
+                .iter()
+                .filter_map(|e| match *e {
+                    bshm_obs::TraceEvent::CostAccrual { busy, rate, .. } => Some(busy * rate),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(
+                u128::from(traced),
+                schedule_cost(&schedule, &instance),
+                "alg {alg}: traced cost diverges"
+            );
+            let replayed =
+                bshm_obs::replay::replay_timeline(&collector.events, instance.catalog().len());
+            let reference = machine_timeline(&schedule, &instance);
+            bshm_obs::replay::cross_check(&replayed, &reference)
+                .unwrap_or_else(|e| panic!("alg {alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn replay_needs_both_cross_check_files() {
+        let trace = tmp("lonely.jsonl");
+        std::fs::write(&trace, "").unwrap();
+        let inst = tmp("inst-lonely.json");
+        run_cmd(&format!("gen --n 4 --catalog dec:2:4 --out {inst}"));
+        let (code, out) = run_cmd(&format!("replay --trace {trace} --instance {inst}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("both --instance and --schedule"), "{out}");
+    }
+
+    #[test]
+    fn replay_rejects_malformed_trace() {
+        let trace = tmp("bad.jsonl");
+        std::fs::write(&trace, "{\"Nope\":{}}\n").unwrap();
+        let (code, out) = run_cmd(&format!("replay --trace {trace}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("trace line 1"), "{out}");
+    }
+
+    #[test]
     fn solve_rejects_unknown_alg() {
         let inst = tmp("inst4.json");
-        run_cmd(&format!(
-            "gen --n 5 --catalog dec:2:4 --out {inst}"
-        ));
+        run_cmd(&format!("gen --n 5 --catalog dec:2:4 --out {inst}"));
         let (code, out) = run_cmd(&format!("solve --instance {inst} --alg nope"));
         assert_eq!(code, 2);
         assert!(out.contains("unknown algorithm"));

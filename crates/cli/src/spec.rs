@@ -9,8 +9,7 @@ fn parts(spec: &str) -> Vec<&str> {
 }
 
 fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("{what}: cannot parse {s:?}"))
+    s.parse().map_err(|_| format!("{what}: cannot parse {s:?}"))
 }
 
 /// Parses a catalog spec:
@@ -63,14 +62,18 @@ pub fn parse_catalog(spec: &str) -> Result<Catalog, String> {
 pub fn parse_arrivals(spec: &str) -> Result<ArrivalProcess, String> {
     let p = parts(spec);
     match (p[0], p.len()) {
-        ("poisson", 2) => Ok(ArrivalProcess::Poisson { mean_gap: num(p[1], "mean gap")? }),
+        ("poisson", 2) => Ok(ArrivalProcess::Poisson {
+            mean_gap: num(p[1], "mean gap")?,
+        }),
         ("diurnal", 4) => Ok(ArrivalProcess::Diurnal {
             base: num(p[1], "base rate")?,
             peak: num(p[2], "peak rate")?,
             period: num(p[3], "period")?,
         }),
         ("batch", 1) => Ok(ArrivalProcess::Batch),
-        ("regular", 2) => Ok(ArrivalProcess::Regular { gap: num(p[1], "gap")? }),
+        ("regular", 2) => Ok(ArrivalProcess::Regular {
+            gap: num(p[1], "gap")?,
+        }),
         _ => Err(format!("unknown arrival spec {spec:?}")),
     }
 }
@@ -134,9 +137,18 @@ mod tests {
 
     #[test]
     fn catalog_specs() {
-        assert_eq!(parse_catalog("dec:3:4").unwrap().classify(), CatalogClass::Dec);
-        assert_eq!(parse_catalog("inc:3:4").unwrap().classify(), CatalogClass::Inc);
-        assert_eq!(parse_catalog("saw:4:4").unwrap().classify(), CatalogClass::General);
+        assert_eq!(
+            parse_catalog("dec:3:4").unwrap().classify(),
+            CatalogClass::Dec
+        );
+        assert_eq!(
+            parse_catalog("inc:3:4").unwrap().classify(),
+            CatalogClass::Inc
+        );
+        assert_eq!(
+            parse_catalog("saw:4:4").unwrap().classify(),
+            CatalogClass::General
+        );
         assert_eq!(parse_catalog("ec2-dec").unwrap().len(), 6);
         let c = parse_catalog("custom:4x1,16x2").unwrap();
         assert_eq!(c.len(), 2);
@@ -152,7 +164,10 @@ mod tests {
             parse_arrivals("poisson:3.5").unwrap(),
             ArrivalProcess::Poisson { .. }
         ));
-        assert!(matches!(parse_arrivals("batch").unwrap(), ArrivalProcess::Batch));
+        assert!(matches!(
+            parse_arrivals("batch").unwrap(),
+            ArrivalProcess::Batch
+        ));
         assert!(matches!(
             parse_arrivals("diurnal:0.1:1.0:500").unwrap(),
             ArrivalProcess::Diurnal { .. }
@@ -174,7 +189,10 @@ mod tests {
             parse_durations("bimodal:10:100:0.2").unwrap(),
             DurationLaw::Bimodal { .. }
         ));
-        assert!(matches!(parse_durations("fixed:25").unwrap(), DurationLaw::Fixed(25)));
+        assert!(matches!(
+            parse_durations("fixed:25").unwrap(),
+            DurationLaw::Fixed(25)
+        ));
         assert!(parse_durations("uniform:10").is_err());
     }
 

@@ -63,11 +63,8 @@ pub fn machine_timeline(schedule: &Schedule, instance: &Instance) -> MachineTime
             continue;
         }
         // The machine is busy on the union of its jobs' intervals.
-        let set: crate::time::IntervalSet = machine
-            .jobs
-            .iter()
-            .map(|j| jobs[j].interval())
-            .collect();
+        let set: crate::time::IntervalSet =
+            machine.jobs.iter().map(|j| jobs[j].interval()).collect();
         for span in set.iter() {
             let a = grid.binary_search(&span.start()).expect("grid point");
             let d = grid.binary_search(&span.end()).expect("grid point");
@@ -105,9 +102,8 @@ pub fn schedule_stats(schedule: &Schedule, instance: &Instance) -> ScheduleStats
     for (w, row) in timeline.grid.windows(2).zip(timeline.busy.iter()) {
         let len = u128::from(w[1] - w[0]);
         for (i, &count) in row.iter().enumerate() {
-            busy_capacity += len
-                * u128::from(count)
-                * u128::from(instance.catalog().types()[i].capacity);
+            busy_capacity +=
+                len * u128::from(count) * u128::from(instance.catalog().types()[i].capacity);
         }
     }
     let machines_used = schedule.used_machine_count();
@@ -156,8 +152,7 @@ mod tests {
     use crate::machine::{Catalog, MachineType, TypeIndex};
 
     fn setup() -> (Instance, Schedule) {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
         let jobs = vec![
             Job::new(0, 2, 0, 10),
             Job::new(1, 2, 5, 15),

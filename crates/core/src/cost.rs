@@ -96,8 +96,7 @@ mod tests {
     use crate::machine::{Catalog, MachineType, TypeIndex};
 
     fn setup() -> (Instance, Schedule) {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
         let jobs = vec![
             Job::new(0, 2, 0, 10),
             Job::new(1, 2, 5, 20),

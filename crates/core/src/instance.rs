@@ -130,7 +130,11 @@ mod tests {
     #[test]
     fn sorts_jobs_by_arrival() {
         let inst = Instance::new(
-            vec![Job::new(0, 1, 10, 20), Job::new(1, 1, 5, 9), Job::new(2, 1, 5, 7)],
+            vec![
+                Job::new(0, 1, 10, 20),
+                Job::new(1, 1, 5, 9),
+                Job::new(2, 1, 5, 7),
+            ],
             catalog(),
         )
         .unwrap();
@@ -148,11 +152,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_ids() {
-        let err = Instance::new(
-            vec![Job::new(3, 1, 0, 1), Job::new(3, 2, 5, 6)],
-            catalog(),
-        )
-        .unwrap_err();
+        let err =
+            Instance::new(vec![Job::new(3, 1, 0, 1), Job::new(3, 2, 5, 6)], catalog()).unwrap_err();
         assert_eq!(err, InstanceError::DuplicateJobId(3));
     }
 

@@ -132,10 +132,7 @@ pub fn job_stats(jobs: &[Job]) -> Option<JobStats> {
 /// Total size of the jobs active at time `t`: `s(𝒥, t)`.
 #[must_use]
 pub fn active_size_at(jobs: &[Job], t: TimePoint) -> u64 {
-    jobs.iter()
-        .filter(|j| j.active_at(t))
-        .map(|j| j.size)
-        .sum()
+    jobs.iter().filter(|j| j.active_at(t)).map(|j| j.size).sum()
 }
 
 /// The union of all active intervals `⋃_J I(J)`.
@@ -206,7 +203,11 @@ mod tests {
 
     #[test]
     fn span_unions_intervals() {
-        let jobs = vec![Job::new(0, 1, 0, 5), Job::new(1, 1, 3, 7), Job::new(2, 1, 10, 12)];
+        let jobs = vec![
+            Job::new(0, 1, 0, 5),
+            Job::new(1, 1, 3, 7),
+            Job::new(2, 1, 10, 12),
+        ];
         let span = active_span(&jobs);
         assert_eq!(span.total_len(), 9);
         assert_eq!(span.span_count(), 2);

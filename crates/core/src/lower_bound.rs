@@ -341,7 +341,9 @@ mod tests {
         let (cost, counts) = optimal_config(&demands, &types);
         // Counts must cover nested constraints.
         for (i, &d) in demands.iter().enumerate() {
-            let cap: u64 = (i..types.len()).map(|j| counts[j] * types[j].capacity).sum();
+            let cap: u64 = (i..types.len())
+                .map(|j| counts[j] * types[j].capacity)
+                .sum();
             assert!(cap >= d, "constraint {i}: {cap} < {d}");
         }
         let recomputed: u128 = counts
@@ -370,8 +372,7 @@ mod tests {
                                 let c2 = c3 + w2 * 5;
                                 let c1 = c2 + w1 * 3;
                                 if c1 >= demands[0] && c2 >= demands[1] && c3 >= demands[2] {
-                                    best = best
-                                        .min(u128::from(w1 * 2 + w2 * 3 + w3 * 5));
+                                    best = best.min(u128::from(w1 * 2 + w2 * 3 + w3 * 5));
                                 }
                             }
                         }
@@ -387,7 +388,9 @@ mod tests {
         let types = [mt(3, 2), mt(7, 3), mt(20, 9), mt(50, 17)];
         for seed in 0u64..60 {
             // Deterministic pseudo-random nested demands.
-            let x = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d4 = x % 40;
             let d3 = d4 + (x >> 8) % 60;
             let d2 = d3 + (x >> 16) % 80;
@@ -420,11 +423,8 @@ mod tests {
         assert_eq!(lower_bound(&inst), 20);
         // Add a small job on [5,15): on [5,10) the big machine covers both
         // (16 ≥ 17? no — 16+1 = 17 > 16, so D_1 = 17 needs extra small: rate 3).
-        let inst2 = Instance::new(
-            vec![Job::new(0, 16, 0, 10), Job::new(1, 1, 5, 15)],
-            catalog,
-        )
-        .unwrap();
+        let inst2 =
+            Instance::new(vec![Job::new(0, 16, 0, 10), Job::new(1, 1, 5, 15)], catalog).unwrap();
         // [0,5): rate 2; [5,10): D=[17,16] → 1 big + 1 small = 3; [10,15): D=[1,0] → 1.
         assert_eq!(lower_bound(&inst2), 2 * 5 + 3 * 5 + 5);
     }

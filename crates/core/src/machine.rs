@@ -88,10 +88,18 @@ impl fmt::Display for CatalogError {
         match self {
             CatalogError::Empty => write!(f, "catalog has no machine types"),
             CatalogError::CapacitiesNotStrictlyIncreasing(i) => {
-                write!(f, "capacities not strictly increasing between types {i} and {}", i + 1)
+                write!(
+                    f,
+                    "capacities not strictly increasing between types {i} and {}",
+                    i + 1
+                )
             }
             CatalogError::RatesNotStrictlyIncreasing(i) => {
-                write!(f, "rates not strictly increasing between types {i} and {}", i + 1)
+                write!(
+                    f,
+                    "rates not strictly increasing between types {i} and {}",
+                    i + 1
+                )
             }
         }
     }
@@ -132,9 +140,7 @@ impl Catalog {
         if types.is_empty() {
             return Err(CatalogError::Empty);
         }
-        types.sort_unstable_by(|a, b| {
-            a.capacity.cmp(&b.capacity).then(a.rate.cmp(&b.rate))
-        });
+        types.sort_unstable_by(|a, b| a.capacity.cmp(&b.capacity).then(a.rate.cmp(&b.rate)));
         // Keep the cheapest per capacity, then sweep from the right keeping
         // only types strictly cheaper than every larger type.
         types.dedup_by(|next, prev| {

@@ -67,8 +67,7 @@ impl NormalizedCatalog {
             }
         }
         let kept_types = keep.iter().map(|&i| catalog.types()[i]).collect();
-        let kept_catalog = Catalog::new(kept_types)
-            .expect("subset of a valid catalog stays valid");
+        let kept_catalog = Catalog::new(kept_types).expect("subset of a valid catalog stays valid");
         Self {
             rates_pow2: keep.iter().map(|&i| rounded[i]).collect(),
             original: keep.into_iter().map(TypeIndex).collect(),
@@ -124,7 +123,10 @@ impl NormalizedCatalog {
     /// Translates a schedule expressed in surviving-type indices back to the
     /// original catalog's type indices.
     #[must_use]
-    pub fn translate_schedule(&self, schedule: &crate::schedule::Schedule) -> crate::schedule::Schedule {
+    pub fn translate_schedule(
+        &self,
+        schedule: &crate::schedule::Schedule,
+    ) -> crate::schedule::Schedule {
         let mut out = crate::schedule::Schedule::new();
         for m in schedule.machines() {
             let id = out.add_machine(self.original_index(m.machine_type), m.label.clone());
@@ -165,10 +167,7 @@ mod tests {
         let n = NormalizedCatalog::from_catalog(&c);
         assert_eq!(n.len(), 3);
         assert_eq!(n.rates_pow2(), &[1, 2, 4]);
-        assert_eq!(
-            n.catalog().types(),
-            &[mt(4, 4), mt(12, 7), mt(30, 16)]
-        );
+        assert_eq!(n.catalog().types(), &[mt(4, 4), mt(12, 7), mt(30, 16)]);
         assert_eq!(n.original_index(TypeIndex(0)), TypeIndex(0));
         assert_eq!(n.original_index(TypeIndex(1)), TypeIndex(2));
         assert_eq!(n.original_index(TypeIndex(2)), TypeIndex(3));

@@ -146,12 +146,8 @@ impl IntervalSet {
     /// Inserts an interval, merging with existing overlapping or adjacent ones.
     pub fn insert(&mut self, iv: Interval) {
         // Find the range of existing intervals that touch `iv`.
-        let lo = self
-            .intervals
-            .partition_point(|e| e.end < iv.start);
-        let hi = self
-            .intervals
-            .partition_point(|e| e.start <= iv.end);
+        let lo = self.intervals.partition_point(|e| e.end < iv.start);
+        let hi = self.intervals.partition_point(|e| e.start <= iv.end);
         if lo == hi {
             self.intervals.insert(lo, iv);
             return;

@@ -136,8 +136,7 @@ mod tests {
     use crate::machine::{Catalog, MachineType, TypeIndex};
 
     fn instance() -> Instance {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
         Instance::new(
             vec![
                 Job::new(0, 3, 0, 10),
@@ -231,11 +230,8 @@ mod tests {
     fn back_to_back_jobs_do_not_overlap() {
         // Departure at t frees capacity for an arrival at t (half-open).
         let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
-        let inst = Instance::new(
-            vec![Job::new(0, 4, 0, 10), Job::new(1, 4, 10, 20)],
-            catalog,
-        )
-        .unwrap();
+        let inst =
+            Instance::new(vec![Job::new(0, 4, 0, 10), Job::new(1, 4, 10, 20)], catalog).unwrap();
         let mut s = Schedule::new();
         let m = s.add_machine(TypeIndex(0), "reuse");
         s.assign(m, JobId(0));

@@ -1,0 +1,201 @@
+//! The structured trace-event vocabulary.
+
+use bshm_core::job::JobId;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::MachineId;
+use bshm_core::time::TimePoint;
+use serde::{Deserialize, Serialize};
+
+/// One observable moment of a scheduling run.
+///
+/// Traces are streams of these, one JSON object per line, in
+/// nondecreasing time order with all departure-side events (`Departure`,
+/// `CostAccrual`, `MachineClose`) preceding arrival-side events
+/// (`Arrival`, `MachineOpen`, `Placement`) at equal timestamps — the same
+/// half-open-interval convention the driver uses.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job arrived and is about to be placed.
+    Arrival {
+        /// Simulation time.
+        t: TimePoint,
+        /// The arriving job.
+        job: JobId,
+        /// Its size (the only thing a non-clairvoyant policy sees).
+        size: u64,
+    },
+    /// A machine transitioned idle → busy (starts accruing cost).
+    MachineOpen {
+        /// Simulation time.
+        t: TimePoint,
+        /// The machine.
+        machine: MachineId,
+        /// Its catalog type.
+        machine_type: TypeIndex,
+    },
+    /// The scheduler chose a machine for an arrived job.
+    Placement {
+        /// Simulation time.
+        t: TimePoint,
+        /// The placed job.
+        job: JobId,
+        /// The chosen machine.
+        machine: MachineId,
+        /// The machine's catalog type.
+        machine_type: TypeIndex,
+        /// Whether the machine was created for this placement.
+        opened: bool,
+        /// Wall-clock nanoseconds the decision took (0 when synthesized
+        /// from a finished offline schedule).
+        decision_ns: u64,
+        /// Machine load after the placement.
+        load: u64,
+        /// Machine capacity.
+        capacity: u64,
+    },
+    /// A job departed from its machine.
+    Departure {
+        /// Simulation time.
+        t: TimePoint,
+        /// The departing job.
+        job: JobId,
+        /// The machine it ran on.
+        machine: MachineId,
+    },
+    /// A machine finished a busy span: cost `rate × busy` was incurred.
+    CostAccrual {
+        /// Simulation time (end of the busy span).
+        t: TimePoint,
+        /// The machine.
+        machine: MachineId,
+        /// Its catalog type.
+        machine_type: TypeIndex,
+        /// Length of the busy span just ended.
+        busy: u64,
+        /// The type's cost rate per tick.
+        rate: u64,
+    },
+    /// A machine transitioned busy → idle.
+    MachineClose {
+        /// Simulation time.
+        t: TimePoint,
+        /// The machine.
+        machine: MachineId,
+        /// Its catalog type.
+        machine_type: TypeIndex,
+        /// When the span being closed began.
+        opened_at: TimePoint,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation time.
+    #[must_use]
+    pub fn time(&self) -> TimePoint {
+        match *self {
+            TraceEvent::Arrival { t, .. }
+            | TraceEvent::MachineOpen { t, .. }
+            | TraceEvent::Placement { t, .. }
+            | TraceEvent::Departure { t, .. }
+            | TraceEvent::CostAccrual { t, .. }
+            | TraceEvent::MachineClose { t, .. } => t,
+        }
+    }
+
+    /// A short kind name (`"Arrival"`, `"Placement"`, …).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "Arrival",
+            TraceEvent::MachineOpen { .. } => "MachineOpen",
+            TraceEvent::Placement { .. } => "Placement",
+            TraceEvent::Departure { .. } => "Departure",
+            TraceEvent::CostAccrual { .. } => "CostAccrual",
+            TraceEvent::MachineClose { .. } => "MachineClose",
+        }
+    }
+
+    /// Whether this is a departure-side event (sorted before arrival-side
+    /// events at equal timestamps).
+    #[must_use]
+    pub fn is_departure_side(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Departure { .. }
+                | TraceEvent::CostAccrual { .. }
+                | TraceEvent::MachineClose { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let events = vec![
+            TraceEvent::Arrival {
+                t: 3,
+                job: JobId(7),
+                size: 4,
+            },
+            TraceEvent::MachineOpen {
+                t: 3,
+                machine: MachineId(0),
+                machine_type: TypeIndex(1),
+            },
+            TraceEvent::Placement {
+                t: 3,
+                job: JobId(7),
+                machine: MachineId(0),
+                machine_type: TypeIndex(1),
+                opened: true,
+                decision_ns: 120,
+                load: 4,
+                capacity: 16,
+            },
+            TraceEvent::Departure {
+                t: 9,
+                job: JobId(7),
+                machine: MachineId(0),
+            },
+            TraceEvent::CostAccrual {
+                t: 9,
+                machine: MachineId(0),
+                machine_type: TypeIndex(1),
+                busy: 6,
+                rate: 3,
+            },
+            TraceEvent::MachineClose {
+                t: 9,
+                machine: MachineId(0),
+                machine_type: TypeIndex(1),
+                opened_at: 3,
+            },
+        ];
+        for e in events {
+            let line = serde_json::to_string(&e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, e, "{line}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Departure {
+            t: 5,
+            job: JobId(1),
+            machine: MachineId(2),
+        };
+        assert_eq!(e.time(), 5);
+        assert_eq!(e.kind(), "Departure");
+        assert!(e.is_departure_side());
+        let a = TraceEvent::Arrival {
+            t: 5,
+            job: JobId(1),
+            size: 1,
+        };
+        assert!(!a.is_departure_side());
+    }
+}

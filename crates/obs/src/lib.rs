@@ -1,0 +1,48 @@
+//! # bshm-obs
+//!
+//! Observability for the bshm reproduction: structured trace events,
+//! probes, aggregated metrics, span timers, and trace replay.
+//!
+//! The pieces fit together like this:
+//!
+//! * [`TraceEvent`] is the shared vocabulary — arrivals, placement
+//!   decisions, machine opens/closes, departures, and cost accruals, each
+//!   stamped with its simulation time. One JSON object per line makes a
+//!   run's trace (`*.jsonl`).
+//! * [`Probe`] is the hook trait the simulator driver and the offline
+//!   solvers report into. [`NoProbe`] is the default; its
+//!   [`Probe::enabled`] returns `false` and monomorphizes every
+//!   instrumentation branch away, so un-probed runs pay nothing.
+//! * [`Recorder`] is the workhorse probe: it streams events to a JSONL
+//!   writer and folds them into [`Metrics`] (counters, per-type
+//!   open-machine gauge timeline, utilization and decision-latency
+//!   histograms, per-type cost).
+//! * [`span`] is a process-global registry of named wall-clock timers for
+//!   hot paths (`lower_bound`, the offline solvers, the online
+//!   `on_arrival`), off by default; the bench harness enables it and dumps
+//!   the breakdown into its JSON output.
+//! * [`replay`] parses a trace back, reconstructs the per-type busy-machine
+//!   timeline from open/close events, and cross-checks it against
+//!   [`bshm_core::analysis::machine_timeline`]. [`replay::synthesize`]
+//!   produces the canonical event stream for a *finished* (offline)
+//!   schedule so offline and online runs trace identically.
+//!
+//! Events reference jobs, machines and catalog types by the core ids
+//! ([`bshm_core::JobId`], [`bshm_core::MachineId`],
+//! [`bshm_core::TypeIndex`]), so a trace joins cleanly against its
+//! instance and schedule files.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod probe;
+pub mod recorder;
+pub mod replay;
+pub mod span;
+
+pub use event::TraceEvent;
+pub use probe::{Collector, NoProbe, Probe};
+pub use recorder::{Metrics, Recorder};
+pub use replay::{cross_check, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline};
+pub use span::{SpanGuard, SpanStat};

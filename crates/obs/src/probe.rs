@@ -1,0 +1,186 @@
+//! The [`Probe`] trait: where instrumented code reports events.
+
+use crate::event::TraceEvent;
+use bshm_core::job::JobId;
+use bshm_core::machine::TypeIndex;
+use bshm_core::schedule::MachineId;
+use bshm_core::time::TimePoint;
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Instrumented code (the simulator driver, the offline-schedule
+/// synthesizer) calls the per-kind hooks; their default implementations
+/// build the event and forward to [`Probe::record`], so most probes
+/// implement only `record`. Probes that want to skip event construction
+/// for some kinds can override the individual hooks instead.
+///
+/// Instrumentation sites are expected to guard on [`Probe::enabled`]:
+/// with [`NoProbe`] that guard is a monomorphized `false`, so disabled
+/// probing compiles down to nothing.
+pub trait Probe {
+    /// Whether this probe wants events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. The event is borrowed; clone to keep it.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Called once when the run completes; flush buffers here.
+    fn finish(&mut self) {}
+
+    /// A job arrived.
+    fn on_arrival(&mut self, t: TimePoint, job: JobId, size: u64) {
+        self.record(&TraceEvent::Arrival { t, job, size });
+    }
+
+    /// A machine went idle → busy.
+    fn on_machine_open(&mut self, t: TimePoint, machine: MachineId, machine_type: TypeIndex) {
+        self.record(&TraceEvent::MachineOpen {
+            t,
+            machine,
+            machine_type,
+        });
+    }
+
+    /// The scheduler placed a job.
+    #[allow(clippy::too_many_arguments)]
+    fn on_placement(
+        &mut self,
+        t: TimePoint,
+        job: JobId,
+        machine: MachineId,
+        machine_type: TypeIndex,
+        opened: bool,
+        decision_ns: u64,
+        load: u64,
+        capacity: u64,
+    ) {
+        self.record(&TraceEvent::Placement {
+            t,
+            job,
+            machine,
+            machine_type,
+            opened,
+            decision_ns,
+            load,
+            capacity,
+        });
+    }
+
+    /// A job departed.
+    fn on_departure(&mut self, t: TimePoint, job: JobId, machine: MachineId) {
+        self.record(&TraceEvent::Departure { t, job, machine });
+    }
+
+    /// A machine finished a busy span of length `busy` at rate `rate`.
+    fn on_cost_accrual(
+        &mut self,
+        t: TimePoint,
+        machine: MachineId,
+        machine_type: TypeIndex,
+        busy: u64,
+        rate: u64,
+    ) {
+        self.record(&TraceEvent::CostAccrual {
+            t,
+            machine,
+            machine_type,
+            busy,
+            rate,
+        });
+    }
+
+    /// A machine went busy → idle.
+    fn on_machine_close(
+        &mut self,
+        t: TimePoint,
+        machine: MachineId,
+        machine_type: TypeIndex,
+        opened_at: TimePoint,
+    ) {
+        self.record(&TraceEvent::MachineClose {
+            t,
+            machine,
+            machine_type,
+            opened_at,
+        });
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event);
+    }
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+/// The no-op probe: [`Probe::enabled`] is `false`, so instrumented code
+/// skips event construction entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A probe that keeps every event in memory — for tests and replay
+/// round-trips.
+#[derive(Clone, Debug, Default)]
+pub struct Collector {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Probe for Collector {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_build_events() {
+        let mut c = Collector::default();
+        c.on_arrival(1, JobId(0), 2);
+        c.on_machine_open(1, MachineId(0), TypeIndex(0));
+        c.on_placement(1, JobId(0), MachineId(0), TypeIndex(0), true, 10, 2, 4);
+        c.on_departure(5, JobId(0), MachineId(0));
+        c.on_cost_accrual(5, MachineId(0), TypeIndex(0), 4, 1);
+        c.on_machine_close(5, MachineId(0), TypeIndex(0), 1);
+        let kinds: Vec<&str> = c.events.iter().map(TraceEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "Arrival",
+                "MachineOpen",
+                "Placement",
+                "Departure",
+                "CostAccrual",
+                "MachineClose"
+            ]
+        );
+    }
+
+    #[test]
+    fn no_probe_is_disabled() {
+        assert!(!NoProbe.enabled());
+        // And a &mut forwards.
+        let mut c = Collector::default();
+        let r = &mut c;
+        assert!(r.enabled());
+        r.on_arrival(0, JobId(1), 1);
+        assert_eq!(c.events.len(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Trace replay: parse a JSONL event log, rebuild the busy-machine
+//! timeline, and cross-check it against the schedule-derived
+//! [`bshm_core::analysis::machine_timeline`]. Also the inverse direction:
+//! [`synthesize`] the canonical event stream for a finished (offline)
+//! schedule, so offline and online runs produce comparable traces.
+
+use crate::event::TraceEvent;
+use crate::probe::Probe;
+use bshm_core::analysis::MachineTimeline;
+use bshm_core::instance::Instance;
+use bshm_core::job::JobId;
+use bshm_core::schedule::{MachineId, Schedule};
+use bshm_core::time::TimePoint;
+use std::collections::HashMap;
+
+/// Parses a JSONL trace (one event per line; blank lines ignored).
+///
+/// # Errors
+/// Reports the first malformed line with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let e: TraceEvent =
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {e}", i + 1))?;
+        events.push(e);
+    }
+    Ok(events)
+}
+
+/// A per-type busy-machine step function rebuilt from a trace's
+/// `MachineOpen`/`MachineClose` events.
+///
+/// Same shape as [`MachineTimeline`], except rows align with grid points:
+/// `busy[i]` holds on `[grid[i], grid[i+1])` (and `busy[last]` from the
+/// last transition on — all zeros for a complete trace, since every
+/// machine closes when its last job departs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayedTimeline {
+    /// Times at which some machine opened or closed.
+    pub grid: Vec<TimePoint>,
+    /// `grid.len()` rows: busy machines of each type from that time on.
+    pub busy: Vec<Vec<u32>>,
+}
+
+impl ReplayedTimeline {
+    /// Busy machines of each type at time `t` (zeros before the first
+    /// transition).
+    #[must_use]
+    pub fn at(&self, t: TimePoint) -> Vec<u32> {
+        let types = self.busy.first().map_or(0, Vec::len);
+        if self.grid.is_empty() || t < self.grid[0] {
+            return vec![0; types];
+        }
+        let i = self.grid.partition_point(|&g| g <= t) - 1;
+        self.busy[i].clone()
+    }
+}
+
+/// Rebuilds the busy-machine timeline from a trace.
+///
+/// Events must be in the order the probe emitted them (time-sorted,
+/// departure-side first at ties); only open/close events are consulted.
+/// `n_types` is the catalog size (machine type indices must be below it).
+#[must_use]
+pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimeline {
+    let mut grid: Vec<TimePoint> = Vec::new();
+    let mut busy: Vec<Vec<u32>> = Vec::new();
+    let mut cur = vec![0u32; n_types];
+    for e in events {
+        let (t, ty, delta) = match *e {
+            TraceEvent::MachineOpen {
+                t, machine_type, ..
+            } => (t, machine_type.0, 1i64),
+            TraceEvent::MachineClose {
+                t, machine_type, ..
+            } => (t, machine_type.0, -1),
+            _ => continue,
+        };
+        if ty < n_types {
+            cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);
+        }
+        if grid.last() == Some(&t) {
+            *busy.last_mut().expect("row per grid point") = cur.clone();
+        } else {
+            grid.push(t);
+            busy.push(cur.clone());
+        }
+    }
+    ReplayedTimeline { grid, busy }
+}
+
+/// Verifies that a replayed timeline agrees *exactly* with the
+/// schedule-derived reference at every point of either grid.
+///
+/// Both are piecewise-constant with transitions only at job
+/// arrival/departure times, so agreeing at all grid points of both sides
+/// means the step functions are identical.
+///
+/// # Errors
+/// Describes the first disagreeing time point.
+pub fn cross_check(replay: &ReplayedTimeline, reference: &MachineTimeline) -> Result<(), String> {
+    let ref_types = reference.busy.first().map_or(0, Vec::len);
+    let rep_types = replay.busy.first().map_or(0, Vec::len);
+    if !replay.busy.is_empty() && !reference.busy.is_empty() && ref_types != rep_types {
+        return Err(format!(
+            "type count mismatch: trace has {rep_types}, schedule timeline has {ref_types}"
+        ));
+    }
+    let widen = |v: Vec<u32>, n: usize| {
+        let mut v = v;
+        v.resize(n.max(v.len()), 0);
+        v
+    };
+    let n = ref_types.max(rep_types);
+    for (i, &t) in reference.grid.iter().enumerate() {
+        // The last grid point opens no segment; the reference is zero there.
+        let want = if i + 1 < reference.grid.len() {
+            reference.busy[i].clone()
+        } else {
+            vec![0; ref_types]
+        };
+        let got = replay.at(t);
+        if widen(got.clone(), n) != widen(want.clone(), n) {
+            return Err(format!(
+                "at t={t}: trace says {got:?}, schedule timeline says {want:?}"
+            ));
+        }
+    }
+    for &t in &replay.grid {
+        let got = replay.at(t);
+        let want = reference.at(t);
+        if widen(got.clone(), n) != widen(want.clone(), n) {
+            return Err(format!(
+                "at t={t}: trace says {got:?}, schedule timeline says {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Emits the canonical event stream of a *finished* schedule into `probe`:
+/// what the probed driver would have emitted, had this exact assignment
+/// been produced online (with `decision_ns` = 0, as no live decisions were
+/// timed).
+///
+/// Jobs the schedule leaves unassigned are skipped.
+pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, probe: &mut P) {
+    if !probe.enabled() {
+        return;
+    }
+    let jobs = instance.jobs();
+    // Job → (machine, first-ever job on that machine?).
+    let mut location: HashMap<JobId, (MachineId, bool)> = HashMap::new();
+    for (mi, machine) in schedule.machines().iter().enumerate() {
+        let m = MachineId(u32::try_from(mi).expect("machine count fits u32"));
+        for (k, &j) in machine.jobs.iter().enumerate() {
+            location.insert(j, (m, k == 0));
+        }
+    }
+    // Same event list and ordering as the driver: departures first at ties.
+    let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(jobs.len() * 2);
+    for (idx, j) in jobs.iter().enumerate() {
+        if location.contains_key(&j.id) {
+            events.push((j.arrival, true, idx));
+            events.push((j.departure, false, idx));
+        }
+    }
+    events.sort_unstable_by_key(|&(t, is_arrival, idx)| (t, is_arrival, jobs[idx].id));
+
+    let n_machines = schedule.machines().len();
+    let mut active = vec![0u32; n_machines];
+    let mut load = vec![0u64; n_machines];
+    let mut opened_at = vec![0 as TimePoint; n_machines];
+    for (t, is_arrival, idx) in events {
+        let job = &jobs[idx];
+        let (m, first) = location[&job.id];
+        let mi = m.0 as usize;
+        let ty = schedule.machines()[mi].machine_type;
+        let mt = instance.catalog().get(ty);
+        if is_arrival {
+            probe.on_arrival(t, job.id, job.size);
+            if active[mi] == 0 {
+                opened_at[mi] = t;
+                probe.on_machine_open(t, m, ty);
+            }
+            active[mi] += 1;
+            load[mi] += job.size;
+            probe.on_placement(t, job.id, m, ty, first, 0, load[mi], mt.capacity);
+        } else {
+            probe.on_departure(t, job.id, m);
+            active[mi] -= 1;
+            load[mi] -= job.size;
+            if active[mi] == 0 {
+                probe.on_cost_accrual(t, m, ty, t - opened_at[mi], mt.rate);
+                probe.on_machine_close(t, m, ty, opened_at[mi]);
+            }
+        }
+    }
+    probe.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Collector;
+    use bshm_core::analysis::machine_timeline;
+    use bshm_core::job::Job;
+    use bshm_core::machine::{Catalog, MachineType, TypeIndex};
+    use bshm_core::{schedule_cost, validate_schedule};
+
+    fn setup() -> (Instance, Schedule) {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap();
+        let jobs = vec![
+            Job::new(0, 2, 0, 10),
+            Job::new(1, 2, 5, 15),
+            Job::new(2, 10, 0, 20),
+            Job::new(3, 4, 30, 40), // reopens the small machine after a gap
+        ];
+        let instance = Instance::new(jobs, catalog).unwrap();
+        let mut s = Schedule::new();
+        let m0 = s.add_machine(TypeIndex(0), "small");
+        s.assign(m0, JobId(0));
+        s.assign(m0, JobId(1));
+        s.assign(m0, JobId(3));
+        let m1 = s.add_machine(TypeIndex(1), "big");
+        s.assign(m1, JobId(2));
+        (instance, s)
+    }
+
+    #[test]
+    fn synthesized_stream_is_ordered_and_complete() {
+        let (inst, s) = setup();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        // 4 arrivals + 4 placements + 4 departures + 3 opens + 3 closes +
+        // 3 accruals (small machine opens twice, big once).
+        assert_eq!(c.events.len(), 21);
+        let times: Vec<TimePoint> = c.events.iter().map(TraceEvent::time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        // Departure-side events precede arrival-side ones at equal times.
+        for w in c.events.windows(2) {
+            if w[0].time() == w[1].time() {
+                assert!(
+                    w[0].is_departure_side() >= w[1].is_departure_side(),
+                    "{w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_cost_matches_schedule_cost() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let traced: u64 = c
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::CostAccrual { busy, rate, .. } => Some(busy * rate),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(u128::from(traced), schedule_cost(&s, &inst));
+    }
+
+    #[test]
+    fn replay_matches_machine_timeline() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let replay = replay_timeline(&c.events, inst.catalog().len());
+        let reference = machine_timeline(&s, &inst);
+        cross_check(&replay, &reference).unwrap();
+        // Spot checks, including the idle gap on the small machine.
+        assert_eq!(replay.at(0), vec![1, 1]);
+        assert_eq!(replay.at(17), vec![0, 1]);
+        assert_eq!(replay.at(25), vec![0, 0]);
+        assert_eq!(replay.at(35), vec![1, 0]);
+        assert_eq!(replay.at(40), vec![0, 0]);
+    }
+
+    #[test]
+    fn cross_check_catches_corruption() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        // Drop one close event: the replayed gauge stays up forever.
+        let mut broken = c.events.clone();
+        let pos = broken
+            .iter()
+            .position(|e| matches!(e, TraceEvent::MachineClose { .. }))
+            .unwrap();
+        broken.remove(pos);
+        let replay = replay_timeline(&broken, inst.catalog().len());
+        let reference = machine_timeline(&s, &inst);
+        assert!(cross_check(&replay, &reference).is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let text: String = c
+            .events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, c.events);
+        assert!(parse_jsonl("{not json}").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+}

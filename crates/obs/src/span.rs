@@ -1,0 +1,141 @@
+//! Process-global span timers for hot paths.
+//!
+//! Off by default: [`span`] returns a guard that does nothing until
+//! [`set_enabled`]`(true)` is called (one relaxed atomic load on the
+//! disabled path). When enabled, each guard measures wall-clock time from
+//! construction to drop and folds it into a named aggregate; [`take`]
+//! drains the aggregates, e.g. into a bench run's JSON report.
+//!
+//! The registry is global so deeply-buried call sites (the offline
+//! solvers, the driver's `on_arrival` timing) need no plumbing; callers
+//! that need isolation should [`take`] before and after the measured
+//! region.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<&'static str, SpanStat>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, SpanStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Aggregated timings for one span name.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanStat {
+    /// The span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// The single longest span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Turns span timing on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timing is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one completed span of `ns` nanoseconds under `name`.
+/// No-op while timing is disabled.
+pub fn record(name: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("span registry poisoned");
+    let stat = reg.entry(name).or_insert_with(|| SpanStat {
+        name: name.to_string(),
+        count: 0,
+        total_ns: 0,
+        max_ns: 0,
+    });
+    stat.count += 1;
+    stat.total_ns = stat.total_ns.saturating_add(ns);
+    stat.max_ns = stat.max_ns.max(ns);
+}
+
+/// Starts a span; timing stops when the returned guard drops.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// RAII timer from [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            record(
+                self.name,
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+}
+
+/// Drains all aggregates, sorted by total time descending.
+#[must_use]
+pub fn take() -> Vec<SpanStat> {
+    let mut reg = registry().lock().expect("span registry poisoned");
+    let mut stats: Vec<SpanStat> = reg.drain().map(|(_, s)| s).collect();
+    stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle: the registry and the
+    // enabled flag are process-global, so separate #[test] fns would race.
+    #[test]
+    fn lifecycle() {
+        // Disabled: nothing recorded.
+        set_enabled(false);
+        record("nope", 100);
+        {
+            let _g = span("nope");
+        }
+        assert!(take().is_empty());
+
+        // Enabled: guards and direct records aggregate.
+        set_enabled(true);
+        record("alpha", 10);
+        record("alpha", 30);
+        record("beta", 5);
+        {
+            let _g = span("timed");
+            std::hint::black_box(0);
+        }
+        let stats = take();
+        set_enabled(false);
+        assert!(take().is_empty(), "take drains");
+        let alpha = stats.iter().find(|s| s.name == "alpha").unwrap();
+        assert_eq!(alpha.count, 2);
+        assert_eq!(alpha.total_ns, 40);
+        assert_eq!(alpha.max_ns, 30);
+        assert!(stats.iter().any(|s| s.name == "beta"));
+        let timed = stats.iter().find(|s| s.name == "timed").unwrap();
+        assert_eq!(timed.count, 1);
+    }
+}

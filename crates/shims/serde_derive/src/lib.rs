@@ -1,0 +1,404 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item is
+//! parsed directly from the [`proc_macro::TokenStream`] and the impl is
+//! emitted as source text. Supported shapes — the only ones the workspace
+//! derives — are:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums whose variants are unit, newtype, or struct-like (encoded
+//!   externally tagged, exactly like real serde's JSON default).
+//!
+//! Generics, `where` clauses and `#[serde(...)]` attributes are not
+//! supported and panic at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Mode::Serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i, "expected `struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "expected type name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ if kind == "struct" => panic!("serde shim derive: unit struct `{name}` unsupported"),
+        _ => panic!("serde shim derive: malformed item `{name}`"),
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::TupleStruct(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())),
+        _ => panic!("serde shim derive: unsupported item shape for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, msg: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: {msg}, got {other:?}"),
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, tracking angle
+/// bracket depth so `Vec<(A, B)>`-style commas don't terminate early.
+/// Leaves `i` on the comma (or at the end).
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "expected field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // consume the comma (or step past the end)
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_until_comma(&tokens, &mut i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "expected variant name");
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any explicit discriminant, then the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn render(item: &Item, mode: Mode) -> TokenStream {
+    let code = match mode {
+        Mode::Serialize => render_serialize(item),
+        Mode::Deserialize => render_deserialize(item),
+    };
+    code.parse()
+        .expect("serde shim derive: generated code parses")
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let parts: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", parts.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Named(fields) => {
+            let binders = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                .collect();
+            let inner = format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            );
+            let tagged = obj_entry(vname, &inner);
+            format!(
+                "{name}::{vname} {{ {binders} }} => \
+                 ::serde::Value::Object(::std::vec![{tagged}]),"
+            )
+        }
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(x0)".to_string()
+            } else {
+                let parts: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", parts.join(", "))
+            };
+            let tagged = obj_entry(vname, &inner);
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![{tagged}]),",
+                binders.join(", ")
+            )
+        }
+    }
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(v, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     other => ::std::result::Result::Err(::serde::Error(\
+                         ::std::format!(\"{name}: expected {n}-element array, got {{other:?}}\"))),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => render_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn render_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants {
+        if matches!(v.kind, VariantKind::Unit) {
+            let vname = &v.name;
+            unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+    }
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {}
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::from_field(inner, \"{name}::{vname}\", \"{f}\")?")
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "::std::option::Option::Some((\"{vname}\", inner)) => \
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "::std::option::Option::Some((\"{vname}\", inner)) => \
+                     ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "::std::option::Option::Some((\"{vname}\", inner)) => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({inits})),\n\
+                         other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                             \"{name}::{vname}: expected {n}-element array, got {{other:?}}\"))),\n\
+                     }},\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             _ => match ::serde::as_enum(v) {{\n\
+                 {tagged_arms}\
+                 ::std::option::Option::Some((other, _)) => \
+                     ::std::result::Result::Err(::serde::Error(::std::format!(\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                 ::std::option::Option::None => \
+                     ::std::result::Result::Err(::serde::Error(::std::format!(\
+                         \"{name}: expected enum value, got {{v:?}}\"))),\n\
+             }},\n\
+         }}"
+    )
+}

@@ -116,8 +116,8 @@ mod tests {
         let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
         let inst = Instance::new(
             vec![
-                Job::new(0, 2, 0, 100), // anchor
-                Job::new(1, 2, 10, 20), // nests inside
+                Job::new(0, 2, 0, 100),  // anchor
+                Job::new(1, 2, 10, 20),  // nests inside
                 Job::new(2, 2, 30, 200), // outlives the anchor → new machine
             ],
             catalog,

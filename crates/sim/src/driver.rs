@@ -12,7 +12,9 @@ use bshm_core::instance::Instance;
 use bshm_core::job::JobId;
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
+use bshm_obs::{span, NoProbe, Probe};
 use std::fmt;
+use std::time::Instant;
 
 /// What a non-clairvoyant scheduler sees when a job arrives: everything
 /// about the job *except* its departure time.
@@ -70,7 +72,11 @@ pub struct SimError {
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scheduler overloaded a machine placing {}: {}", self.job, self.cause)
+        write!(
+            f,
+            "scheduler overloaded a machine placing {}: {}",
+            self.job, self.cause
+        )
     }
 }
 
@@ -107,6 +113,24 @@ pub fn run_online<S: OnlineScheduler>(
     instance: &Instance,
     scheduler: &mut S,
 ) -> Result<Schedule, SimError> {
+    run_online_probed(instance, scheduler, &mut NoProbe)
+}
+
+/// Like [`run_online`], but reports every arrival, placement decision
+/// (with its wall-clock latency), machine open/close transition, cost
+/// accrual and departure to `probe`.
+///
+/// With [`NoProbe`] every instrumentation branch is guarded by a
+/// monomorphized `enabled() == false` and compiles away, so [`run_online`]
+/// pays nothing for the hooks. A machine "opens" when it goes idle → busy
+/// and "closes" on the reverse transition, accruing `rate × busy-span`
+/// cost at close; summed over a full run this equals
+/// [`bshm_core::schedule_cost`] of the resulting schedule.
+pub fn run_online_probed<S: OnlineScheduler, P: Probe + ?Sized>(
+    instance: &Instance,
+    scheduler: &mut S,
+    probe: &mut P,
+) -> Result<Schedule, SimError> {
     // Event list: (time, is_arrival, job index). Departures first at ties.
     let jobs = instance.jobs();
     let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(jobs.len() * 2);
@@ -114,10 +138,12 @@ pub fn run_online<S: OnlineScheduler>(
         events.push((j.arrival, true, idx));
         events.push((j.departure, false, idx));
     }
-    events.sort_unstable_by_key(|&(t, is_arrival, idx)| {
-        (t, is_arrival, jobs[idx].id)
-    });
+    events.sort_unstable_by_key(|&(t, is_arrival, idx)| (t, is_arrival, jobs[idx].id));
 
+    let probing = probe.enabled();
+    // When a machine last went idle → busy; indexed by machine id, only
+    // maintained while probing.
+    let mut open_since: Vec<TimePoint> = Vec::new();
     let mut pool = MachinePool::new(instance.catalog().clone());
     for (t, is_arrival, idx) in events {
         let job = &jobs[idx];
@@ -127,15 +153,67 @@ pub fn run_online<S: OnlineScheduler>(
                 size: job.size,
                 time: t,
             };
+            if !probing {
+                let timing = span::enabled();
+                let start = timing.then(Instant::now);
+                let m = scheduler.on_arrival(view, &mut pool);
+                if let Some(start) = start {
+                    span::record("sim::on_arrival", elapsed_ns(start));
+                }
+                pool.place(m, job.id, job.size)
+                    .map_err(|cause| SimError { job: job.id, cause })?;
+                continue;
+            }
+            probe.on_arrival(t, job.id, job.size);
+            let known_machines = pool.len();
+            let start = Instant::now();
             let m = scheduler.on_arrival(view, &mut pool);
+            let decision_ns = elapsed_ns(start);
+            span::record("sim::on_arrival", decision_ns);
+            let was_idle = pool.is_idle(m);
             pool.place(m, job.id, job.size)
                 .map_err(|cause| SimError { job: job.id, cause })?;
+            let ty = pool.machine_type(m);
+            if was_idle {
+                if open_since.len() < pool.len() {
+                    open_since.resize(pool.len(), 0);
+                }
+                open_since[m.0 as usize] = t;
+                probe.on_machine_open(t, m, ty);
+            }
+            let opened = (m.0 as usize) >= known_machines;
+            probe.on_placement(
+                t,
+                job.id,
+                m,
+                ty,
+                opened,
+                decision_ns,
+                pool.load(m),
+                pool.capacity(m),
+            );
         } else {
             let m = pool.remove(job.id, job.size);
+            if probing {
+                probe.on_departure(t, job.id, m);
+                if pool.is_idle(m) {
+                    let ty = pool.machine_type(m);
+                    let opened_at = open_since[m.0 as usize];
+                    probe.on_cost_accrual(t, m, ty, t - opened_at, pool.rate(m));
+                    probe.on_machine_close(t, m, ty, opened_at);
+                }
+            }
             scheduler.on_departure(job.id, m, &pool);
         }
     }
+    if probing {
+        probe.finish();
+    }
     Ok(pool.into_schedule())
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Object-safe variant of [`run_online`] for callers that dispatch on a
@@ -188,8 +266,7 @@ mod tests {
     }
 
     fn instance() -> Instance {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
         Instance::new(
             vec![
                 Job::new(0, 3, 0, 10),
@@ -225,17 +302,16 @@ mod tests {
         // A machine of capacity 4 can host job 3 (size 4, arrives at 10)
         // only if job 0 (departs at 10) is removed first.
         let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
-        let inst = Instance::new(
-            vec![Job::new(0, 4, 0, 10), Job::new(1, 4, 10, 20)],
-            catalog,
-        )
-        .unwrap();
+        let inst =
+            Instance::new(vec![Job::new(0, 4, 0, 10), Job::new(1, 4, 10, 20)], catalog).unwrap();
         struct Reuse {
             m: Option<MachineId>,
         }
         impl OnlineScheduler for Reuse {
             fn on_arrival(&mut self, _view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-                *self.m.get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
+                *self
+                    .m
+                    .get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
             }
         }
         let s = run_online(&inst, &mut Reuse { m: None }).unwrap();
@@ -246,17 +322,16 @@ mod tests {
     #[test]
     fn overload_is_reported() {
         let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
-        let inst = Instance::new(
-            vec![Job::new(0, 3, 0, 10), Job::new(1, 3, 5, 15)],
-            catalog,
-        )
-        .unwrap();
+        let inst =
+            Instance::new(vec![Job::new(0, 3, 0, 10), Job::new(1, 3, 5, 15)], catalog).unwrap();
         struct Stuff {
             m: Option<MachineId>,
         }
         impl OnlineScheduler for Stuff {
             fn on_arrival(&mut self, _view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-                *self.m.get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
+                *self
+                    .m
+                    .get_or_insert_with(|| pool.create(TypeIndex(0), "only"))
             }
         }
         let err = run_online(&inst, &mut Stuff { m: None }).unwrap_err();

@@ -17,5 +17,7 @@ pub mod driver;
 pub mod pool;
 
 pub use clairvoyant::{run_clairvoyant, ClairvoyantScheduler, ClairvoyantView};
-pub use driver::{run_online, run_online_dyn, ArrivalView, OnlineScheduler, SimError};
+pub use driver::{
+    run_online, run_online_dyn, run_online_probed, ArrivalView, OnlineScheduler, SimError,
+};
 pub use pool::{MachinePool, PlacementError};

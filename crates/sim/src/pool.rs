@@ -116,6 +116,20 @@ impl MachinePool {
         pm.capacity - pm.load
     }
 
+    /// Total capacity of the machine.
+    #[must_use]
+    pub fn capacity(&self, m: MachineId) -> u64 {
+        self.machines[m.0 as usize].capacity
+    }
+
+    /// Cost rate of the machine's type (charged per tick while busy).
+    #[must_use]
+    pub fn rate(&self, m: MachineId) -> u64 {
+        self.catalog
+            .get(self.machines[m.0 as usize].machine_type)
+            .rate
+    }
+
     /// Whether the machine currently hosts no job.
     #[must_use]
     pub fn is_idle(&self, m: MachineId) -> bool {
@@ -203,8 +217,7 @@ mod tests {
     use bshm_core::machine::MachineType;
 
     fn pool() -> MachinePool {
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
         MachinePool::new(catalog)
     }
 

@@ -1,12 +1,15 @@
 //! Property tests for the event drivers and machine pool.
 
+use bshm_core::analysis::machine_timeline;
+use bshm_core::cost::schedule_cost;
 use bshm_core::instance::Instance;
 use bshm_core::job::{Job, JobId};
 use bshm_core::machine::{Catalog, MachineType};
 use bshm_core::schedule::MachineId;
 use bshm_core::validate::validate_schedule;
+use bshm_obs::{replay, Collector, TraceEvent};
 use bshm_sim::clairvoyant::{run_clairvoyant, ClairvoyantScheduler, ClairvoyantView};
-use bshm_sim::driver::{run_online, ArrivalView, OnlineScheduler};
+use bshm_sim::driver::{run_online, run_online_probed, ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
 use proptest::prelude::*;
 
@@ -17,8 +20,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
             .enumerate()
             .map(|(i, (size, arr, dur))| Job::new(i as u32, size, arr, arr + dur))
             .collect();
-        let catalog =
-            Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
         Instance::new(jobs, catalog).unwrap()
     })
 }
@@ -43,7 +45,10 @@ impl OnlineScheduler for Probing {
         // Pool invariants: loads within capacity on every open machine.
         for &m in &self.open {
             assert!(pool.load(m) <= pool.catalog().get(pool.machine_type(m)).capacity);
-            assert_eq!(pool.residual(m), pool.catalog().get(pool.machine_type(m)).capacity - pool.load(m));
+            assert_eq!(
+                pool.residual(m),
+                pool.catalog().get(pool.machine_type(m)).capacity - pool.load(m)
+            );
         }
         for &m in &self.open {
             if pool.residual(m) >= view.size {
@@ -125,5 +130,57 @@ proptest! {
                 prop_assert!(arrival_of[&w[0]] <= arrival_of[&w[1]]);
             }
         }
+    }
+
+    #[test]
+    fn trace_event_times_are_monotone_and_departures_lead_ties(inst in arb_instance()) {
+        let mut collector = Collector::default();
+        let _ = run_online_probed(&inst, &mut Probing::default(), &mut collector).unwrap();
+        // Times never go backwards, and within one timestamp every
+        // departure-side event (Departure/CostAccrual/MachineClose) comes
+        // before every arrival-side event — intervals are half-open, so a
+        // job leaving at t frees capacity for a job arriving at t.
+        for w in collector.events.windows(2) {
+            prop_assert!(w[0].time() <= w[1].time(), "time went backwards: {:?} -> {:?}", w[0], w[1]);
+            if w[0].time() == w[1].time() {
+                prop_assert!(
+                    w[0].is_departure_side() || !w[1].is_departure_side(),
+                    "arrival-side {:?} precedes departure-side {:?} at t={}",
+                    w[0], w[1], w[0].time()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_complete_and_cost_accruals_sum_to_schedule_cost(inst in arb_instance()) {
+        let mut collector = Collector::default();
+        let s = run_online_probed(&inst, &mut Probing::default(), &mut collector).unwrap();
+        let n = inst.job_count();
+        let mut counts = std::collections::HashMap::new();
+        let mut traced: u128 = 0;
+        for e in &collector.events {
+            *counts.entry(e.kind()).or_insert(0usize) += 1;
+            if let TraceEvent::CostAccrual { busy, rate, .. } = e {
+                traced += u128::from(*busy) * u128::from(*rate);
+            }
+        }
+        prop_assert_eq!(counts.get("Arrival").copied().unwrap_or(0), n);
+        prop_assert_eq!(counts.get("Placement").copied().unwrap_or(0), n);
+        prop_assert_eq!(counts.get("Departure").copied().unwrap_or(0), n);
+        // Every open is eventually closed (all jobs depart), and each close
+        // carries exactly one cost accrual.
+        prop_assert_eq!(counts.get("MachineOpen"), counts.get("MachineClose"));
+        prop_assert_eq!(counts.get("CostAccrual"), counts.get("MachineClose"));
+        prop_assert_eq!(traced, schedule_cost(&s, &inst));
+    }
+
+    #[test]
+    fn trace_replays_to_the_analysis_timeline(inst in arb_instance()) {
+        let mut collector = Collector::default();
+        let s = run_online_probed(&inst, &mut Probing::default(), &mut collector).unwrap();
+        let replayed = replay::replay_timeline(&collector.events, inst.catalog().len());
+        let reference = machine_timeline(&s, &inst);
+        prop_assert!(replay::cross_check(&replayed, &reference).is_ok());
     }
 }

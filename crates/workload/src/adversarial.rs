@@ -62,7 +62,7 @@ mod tests {
         assert_eq!(st.min_duration, 10);
         assert_eq!(st.max_duration, 80);
         assert_eq!(st.mu_ceil(), 8); // 2^{4−1}
-        // Load at t=0 is everyone; at t=15 only waves 1..4 remain.
+                                     // Load at t=0 is everyone; at t=15 only waves 1..4 remain.
         assert_eq!(bshm_core::job::active_size_at(&jobs, 0), 24);
         assert_eq!(bshm_core::job::active_size_at(&jobs, 15), 18);
         assert_eq!(bshm_core::job::active_size_at(&jobs, 75), 6);

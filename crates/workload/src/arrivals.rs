@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn diurnal_is_sorted_and_bursty() {
-        let p = ArrivalProcess::Diurnal { base: 0.02, peak: 0.5, period: 500 };
+        let p = ArrivalProcess::Diurnal {
+            base: 0.02,
+            peak: 0.5,
+            period: 500,
+        };
         let arr = p.generate(&mut rng(), 1500);
         assert!(arr.windows(2).all(|w| w[0] <= w[1]));
         // Count arrivals per half-period bucket: peak buckets should far

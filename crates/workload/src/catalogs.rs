@@ -38,12 +38,12 @@ pub fn inc_geometric(m: usize, base_g: u64) -> Catalog {
 #[must_use]
 pub fn ec2_like_dec() -> Catalog {
     Catalog::new(vec![
-        MachineType::new(2, 10),    // amortized 5.00
-        MachineType::new(4, 19),    // 4.75
-        MachineType::new(8, 36),    // 4.50
-        MachineType::new(16, 68),   // 4.25
-        MachineType::new(32, 128),  // 4.00
-        MachineType::new(64, 240),  // 3.75
+        MachineType::new(2, 10),   // amortized 5.00
+        MachineType::new(4, 19),   // 4.75
+        MachineType::new(8, 36),   // 4.50
+        MachineType::new(16, 68),  // 4.25
+        MachineType::new(32, 128), // 4.00
+        MachineType::new(64, 240), // 3.75
     ])
     .expect("valid")
 }
@@ -53,12 +53,12 @@ pub fn ec2_like_dec() -> Catalog {
 #[must_use]
 pub fn ec2_like_inc() -> Catalog {
     Catalog::new(vec![
-        MachineType::new(2, 10),    // 5.0
-        MachineType::new(4, 22),    // 5.5
-        MachineType::new(8, 48),    // 6.0
-        MachineType::new(16, 104),  // 6.5
-        MachineType::new(32, 224),  // 7.0
-        MachineType::new(64, 480),  // 7.5
+        MachineType::new(2, 10),   // 5.0
+        MachineType::new(4, 22),   // 5.5
+        MachineType::new(8, 48),   // 6.0
+        MachineType::new(16, 104), // 6.5
+        MachineType::new(32, 224), // 7.0
+        MachineType::new(64, 480), // 7.5
     ])
     .expect("valid")
 }
@@ -193,7 +193,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for m in 1..=7 {
             for _ in 0..5 {
-                assert_eq!(random_dec_catalog(&mut rng, m, 3).classify(), CatalogClass::Dec);
+                assert_eq!(
+                    random_dec_catalog(&mut rng, m, 3).classify(),
+                    CatalogClass::Dec
+                );
             }
         }
     }
@@ -203,7 +206,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for m in 2..=7 {
             for _ in 0..5 {
-                assert_eq!(random_inc_catalog(&mut rng, m, 3).classify(), CatalogClass::Inc);
+                assert_eq!(
+                    random_inc_catalog(&mut rng, m, 3).classify(),
+                    CatalogClass::Inc
+                );
             }
         }
     }

@@ -44,10 +44,12 @@ impl DurationLaw {
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         match *self {
             DurationLaw::Uniform { min, max } => rng.gen_range(min..=max),
-            DurationLaw::BoundedPareto { min, max, alpha } => {
-                bounded_pareto(rng, min, max, alpha)
-            }
-            DurationLaw::Bimodal { short, long, p_long } => {
+            DurationLaw::BoundedPareto { min, max, alpha } => bounded_pareto(rng, min, max, alpha),
+            DurationLaw::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
                 if rng.gen_bool(p_long.clamp(0.0, 1.0)) {
                     long
                 } else {
@@ -122,9 +124,11 @@ impl SizeLaw {
     pub fn max_size(&self) -> u64 {
         match self {
             SizeLaw::Uniform { max, .. } | SizeLaw::HeavyTail { max, .. } => *max,
-            SizeLaw::Discrete(items) => {
-                items.iter().map(|(s, _)| *s).max().expect("non-empty mixture")
-            }
+            SizeLaw::Discrete(items) => items
+                .iter()
+                .map(|(s, _)| *s)
+                .max()
+                .expect("non-empty mixture"),
         }
     }
 }
@@ -166,18 +170,32 @@ mod tests {
 
     #[test]
     fn pareto_respects_bounds_and_skews_low() {
-        let law = DurationLaw::BoundedPareto { min: 1, max: 64, alpha: 1.5 };
+        let law = DurationLaw::BoundedPareto {
+            min: 1,
+            max: 64,
+            alpha: 1.5,
+        };
         let mut r = rng();
         let samples: Vec<u64> = (0..4000).map(|_| law.sample(&mut r)).collect();
         assert!(samples.iter().all(|&d| (1..=64).contains(&d)));
         let small = samples.iter().filter(|&&d| d <= 4).count();
-        assert!(small > samples.len() / 2, "heavy tail should skew low: {small}");
-        assert!(samples.iter().any(|&d| d > 16), "tail should reach high values");
+        assert!(
+            small > samples.len() / 2,
+            "heavy tail should skew low: {small}"
+        );
+        assert!(
+            samples.iter().any(|&d| d > 16),
+            "tail should reach high values"
+        );
     }
 
     #[test]
     fn bimodal_hits_both_modes() {
-        let law = DurationLaw::Bimodal { short: 2, long: 50, p_long: 0.3 };
+        let law = DurationLaw::Bimodal {
+            short: 2,
+            long: 50,
+            p_long: 0.3,
+        };
         let mut r = rng();
         let samples: Vec<u64> = (0..500).map(|_| law.sample(&mut r)).collect();
         assert!(samples.iter().all(|&d| d == 2 || d == 50));

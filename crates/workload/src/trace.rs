@@ -46,7 +46,12 @@ pub fn parse_csv(text: &str) -> Result<Vec<Job>, TraceError> {
         columns
             .iter()
             .position(|c| c.eq_ignore_ascii_case(name))
-            .ok_or_else(|| err(hline, format!("missing column {name:?} in header {header:?}")))
+            .ok_or_else(|| {
+                err(
+                    hline,
+                    format!("missing column {name:?} in header {header:?}"),
+                )
+            })
     };
     let (ci, cs, ca, cd) = (col("id")?, col("size")?, col("arrival")?, col("departure")?);
 
@@ -55,7 +60,10 @@ pub fn parse_csv(text: &str) -> Result<Vec<Job>, TraceError> {
     for (ln, line) in lines {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() < columns.len() {
-            return Err(err(ln, format!("expected {} fields, got {}", columns.len(), fields.len())));
+            return Err(err(
+                ln,
+                format!("expected {} fields, got {}", columns.len(), fields.len()),
+            ));
         }
         let num = |idx: usize, what: &str| -> Result<u64, TraceError> {
             fields[idx]
@@ -73,7 +81,10 @@ pub fn parse_csv(text: &str) -> Result<Vec<Job>, TraceError> {
             return Err(err(ln, "size must be positive"));
         }
         if departure <= arrival {
-            return Err(err(ln, format!("departure {departure} ≤ arrival {arrival}")));
+            return Err(err(
+                ln,
+                format!("departure {departure} ≤ arrival {arrival}"),
+            ));
         }
         jobs.push(Job::new(id, size, arrival, departure));
     }

@@ -30,8 +30,8 @@ fn main() {
 
     // One day of traffic: bursty arrivals, mostly small requests with a
     // heavy tail, batch jobs mixed with long-running services (μ = 24).
-    let instance = cloud_trace_spec(2_000, 2024, catalog.max_capacity(), 24)
-        .generate(catalog.clone());
+    let instance =
+        cloud_trace_spec(2_000, 2024, catalog.max_capacity(), 24).generate(catalog.clone());
     let stats = instance.stats();
     println!(
         "\nworkload: {} jobs over {} ticks, sizes ≤ {}, μ = {:.0}",
@@ -48,12 +48,18 @@ fn main() {
     // (Theorem 1); the heuristics can be arbitrarily bad on adversarial
     // days but are worth trying on a concrete trace.
     let mut plans: Vec<(&str, Schedule)> = vec![
-        ("dec-offline (14-approx)", auto_offline(&instance, PlacementOrder::Arrival)),
+        (
+            "dec-offline (14-approx)",
+            auto_offline(&instance, PlacementOrder::Arrival),
+        ),
         (
             "first-fit-any",
             run_online(&instance, &mut FirstFitAny::default()).unwrap(),
         ),
-        ("best-fit", run_online(&instance, &mut BestFit::default()).unwrap()),
+        (
+            "best-fit",
+            run_online(&instance, &mut BestFit::default()).unwrap(),
+        ),
         (
             "single-type (64 vCPU)",
             run_online(&instance, &mut SingleType::largest()).unwrap(),
@@ -81,7 +87,10 @@ fn main() {
     let (name, schedule) = plans.swap_remove(winner);
 
     println!("\ncheapest plan today: {name} — fleet breakdown:");
-    println!("  {:>5} {:>12} {:>12} {:>7}", "type", "busy hours", "cost", "share");
+    println!(
+        "  {:>5} {:>12} {:>12} {:>7}",
+        "type", "busy hours", "cost", "share"
+    );
     for (i, (busy, cost)) in cost_by_type(&schedule, &instance).iter().enumerate() {
         if *cost == 0 {
             continue;

@@ -21,13 +21,23 @@ fn main() {
             seed: 42,
             arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
             durations: DurationLaw::Uniform { min: 20, max: 120 },
-            sizes: SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.3 },
+            sizes: SizeLaw::HeavyTail {
+                min: 1,
+                max: catalog.max_capacity(),
+                alpha: 1.3,
+            },
         }
         .generate(catalog);
 
         let lb = lower_bound(&instance);
-        println!("\n=== {regime} — {} jobs, LB {lb} ===", instance.job_count());
-        println!("{:<28} {:>12} {:>8} {:>10}", "scheduler", "cost", "ratio", "machines");
+        println!(
+            "\n=== {regime} — {} jobs, LB {lb} ===",
+            instance.job_count()
+        );
+        println!(
+            "{:<28} {:>12} {:>8} {:>10}",
+            "scheduler", "cost", "ratio", "machines"
+        );
 
         let report = |name: &str, schedule: Schedule| {
             validate_schedule(&schedule, &instance).expect("feasible");
@@ -39,9 +49,18 @@ fn main() {
             );
         };
 
-        report("dec-offline", dec_offline(&instance, PlacementOrder::Arrival));
-        report("inc-offline", inc_offline(&instance, PlacementOrder::Arrival));
-        report("general-offline", general_offline(&instance, PlacementOrder::Arrival));
+        report(
+            "dec-offline",
+            dec_offline(&instance, PlacementOrder::Arrival),
+        );
+        report(
+            "inc-offline",
+            inc_offline(&instance, PlacementOrder::Arrival),
+        );
+        report(
+            "general-offline",
+            general_offline(&instance, PlacementOrder::Arrival),
+        );
         report(
             "dec-online (non-clairv.)",
             run_online(&instance, &mut DecOnline::new(instance.catalog())).unwrap(),

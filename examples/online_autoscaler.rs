@@ -9,10 +9,10 @@
 //! cargo run --release --example online_autoscaler
 //! ```
 
+use bshm::core::{JobId as CoreJobId, MachineId};
 use bshm::prelude::*;
 use bshm::sim::{ArrivalView, MachinePool};
 use bshm::workload::catalogs::dec_geometric;
-use bshm::core::{JobId as CoreJobId, MachineId};
 
 /// Decorates any policy with a busy-machine timeline.
 struct Observed<S> {
@@ -48,9 +48,21 @@ fn main() {
     let instance = WorkloadSpec {
         n: 600,
         seed: 7,
-        arrivals: ArrivalProcess::Diurnal { base: 0.02, peak: 1.5, period: 1_200 },
-        durations: DurationLaw::BoundedPareto { min: 20, max: 320, alpha: 1.4 },
-        sizes: SizeLaw::HeavyTail { min: 1, max: catalog.max_capacity(), alpha: 1.3 },
+        arrivals: ArrivalProcess::Diurnal {
+            base: 0.02,
+            peak: 1.5,
+            period: 1_200,
+        },
+        durations: DurationLaw::BoundedPareto {
+            min: 20,
+            max: 320,
+            alpha: 1.4,
+        },
+        sizes: SizeLaw::HeavyTail {
+            min: 1,
+            max: catalog.max_capacity(),
+            alpha: 1.3,
+        },
     }
     .generate(catalog.clone());
 
@@ -71,12 +83,21 @@ fn main() {
         peaks[b] = peaks[b].max(counts.iter().sum());
     }
     let top = peaks.iter().copied().max().unwrap_or(1).max(1);
-    println!("busy machines over time (peak per bucket, {} jobs):\n", instance.job_count());
+    println!(
+        "busy machines over time (peak per bucket, {} jobs):\n",
+        instance.job_count()
+    );
     for level in (1..=8).rev() {
         let threshold = top * level / 8;
         let row: String = peaks
             .iter()
-            .map(|&p| if p >= threshold && threshold > 0 { '█' } else { ' ' })
+            .map(|&p| {
+                if p >= threshold && threshold > 0 {
+                    '█'
+                } else {
+                    ' '
+                }
+            })
             .collect();
         println!("{:>4} |{row}|", threshold);
     }
@@ -84,7 +105,10 @@ fn main() {
 
     let lb = lower_bound(&instance);
     let cost = schedule_cost(&schedule, &instance);
-    println!("\ntotal cost {cost}, lower bound {lb} → competitive ratio {:.2}", cost as f64 / lb as f64);
+    println!(
+        "\ntotal cost {cost}, lower bound {lb} → competitive ratio {:.2}",
+        cost as f64 / lb as f64
+    );
     println!("machines ever opened: {}", schedule.machine_count());
     println!(
         "peak concurrent busy machines: {}",
@@ -95,5 +119,8 @@ fn main() {
             .max()
             .unwrap_or(0)
     );
-    println!("μ = {:.1} (the competitive bound scales with this)", instance.stats().mu());
+    println!(
+        "μ = {:.1} (the competitive bound scales with this)",
+        instance.stats().mu()
+    );
 }

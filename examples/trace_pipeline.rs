@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = cloud_trace_spec(800, 99, 64, 12).generate(ec2_like_dec());
     let csv_path = dir.join("trace.csv");
     std::fs::write(&csv_path, to_csv(source.jobs()))?;
-    println!("exported {} jobs to {}", source.job_count(), csv_path.display());
+    println!(
+        "exported {} jobs to {}",
+        source.job_count(),
+        csv_path.display()
+    );
 
     // 2. Re-import the CSV — the only thing bshm needs from your side.
     let jobs = parse_csv(&std::fs::read_to_string(&csv_path)?)?;

@@ -18,6 +18,8 @@
 //! * [`chart`]: demand charts, the 2-allocation placement and strip
 //!   partitioning behind the offline algorithms;
 //! * [`sim`]: the non-clairvoyant online event driver and machine pool;
+//! * [`obs`]: structured trace events, probe hooks, metrics aggregation,
+//!   trace replay and hot-path span timers (see `bshm solve --trace`);
 //! * [`algos`]: DEC-OFFLINE / DEC-ONLINE (§III), INC-OFFLINE / INC-ONLINE
 //!   (§IV), the general-case forest algorithms (§V), the single-type DBP
 //!   substrate, baselines and an exact solver;
@@ -61,6 +63,7 @@
 pub use bshm_algos as algos;
 pub use bshm_chart as chart;
 pub use bshm_core as core;
+pub use bshm_obs as obs;
 pub use bshm_sim as sim;
 pub use bshm_workload as workload;
 
@@ -72,11 +75,10 @@ pub mod prelude {
     };
     pub use bshm_chart::placement::PlacementOrder;
     pub use bshm_core::{
-        lower_bound, lp_lower_bound, schedule_cost, validate_schedule, Catalog, CatalogClass,
-        Cost, Instance, Interval, IntervalSet, Job, JobId, MachineType, Schedule, TypeIndex,
+        lower_bound, lp_lower_bound, schedule_cost, validate_schedule, Catalog, CatalogClass, Cost,
+        Instance, Interval, IntervalSet, Job, JobId, MachineType, Schedule, TypeIndex,
     };
-    pub use bshm_sim::{run_online, OnlineScheduler};
-    pub use bshm_workload::{
-        cloud_trace_spec, ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec,
-    };
+    pub use bshm_obs::{Collector, NoProbe, Probe, Recorder, TraceEvent};
+    pub use bshm_sim::{run_online, run_online_probed, OnlineScheduler};
+    pub use bshm_workload::{cloud_trace_spec, ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
 }

@@ -12,8 +12,14 @@ fn poisson(catalog: &Catalog, n: usize, seed: u64, dmin: u64, dmax: u64) -> Inst
         n,
         seed,
         arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
-        durations: DurationLaw::Uniform { min: dmin, max: dmax },
-        sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+        durations: DurationLaw::Uniform {
+            min: dmin,
+            max: dmax,
+        },
+        sizes: SizeLaw::Uniform {
+            min: 1,
+            max: catalog.max_capacity(),
+        },
     }
     .generate(catalog.clone())
 }
@@ -80,7 +86,7 @@ fn inc_online_within_bound() {
     for (dmin, dmax) in [(10u64, 10u64), (10, 40), (10, 160)] {
         for seed in [11u64, 12] {
             let instance = poisson(&catalog, 250, seed, dmin, dmax);
-            let mu = instance.stats().mu() ;
+            let mu = instance.stats().mu();
             let s = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
             let cost = schedule_cost(&s, &instance) as f64;
             let lb = lower_bound(&instance) as f64;
@@ -109,7 +115,10 @@ fn single_type_substrate_bounds() {
         .generate(catalog.clone());
         let lb = lower_bound(&instance);
         let dc = inc_offline(&instance, PlacementOrder::Arrival);
-        assert!(schedule_cost(&dc, &instance) <= 4 * lb, "dual coloring > 4×");
+        assert!(
+            schedule_cost(&dc, &instance) <= 4 * lb,
+            "dual coloring > 4×"
+        );
         let mu = instance.stats().mu_ceil();
         let ff = run_online(&instance, &mut IncOnline::new(instance.catalog())).unwrap();
         assert!(

@@ -10,8 +10,16 @@ fn instance(seed: u64) -> Instance {
         n: 200,
         seed,
         arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
-        durations: DurationLaw::BoundedPareto { min: 5, max: 100, alpha: 1.3 },
-        sizes: SizeLaw::HeavyTail { min: 1, max: 256, alpha: 1.2 },
+        durations: DurationLaw::BoundedPareto {
+            min: 5,
+            max: 100,
+            alpha: 1.3,
+        },
+        sizes: SizeLaw::HeavyTail {
+            min: 1,
+            max: 256,
+            alpha: 1.2,
+        },
     }
     .generate(dec_geometric(4, 4))
 }

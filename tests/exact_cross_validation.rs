@@ -12,7 +12,10 @@ fn tiny(seed: u64, n: usize, catalog: Catalog) -> Instance {
         seed,
         arrivals: ArrivalProcess::Poisson { mean_gap: 8.0 },
         durations: DurationLaw::Uniform { min: 5, max: 40 },
-        sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+        sizes: SizeLaw::Uniform {
+            min: 1,
+            max: catalog.max_capacity(),
+        },
     }
     .generate(catalog)
 }

@@ -109,11 +109,8 @@ fn downgrading_machine_types_is_caught_when_it_overflows() {
 fn merging_overlapping_machines_is_caught() {
     // Two size-3 jobs overlapping in time cannot share a capacity-4 box.
     let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
-    let instance = Instance::new(
-        vec![Job::new(0, 3, 0, 20), Job::new(1, 3, 10, 30)],
-        catalog,
-    )
-    .unwrap();
+    let instance =
+        Instance::new(vec![Job::new(0, 3, 0, 20), Job::new(1, 3, 10, 30)], catalog).unwrap();
     let merged = rebuild(vec![(TypeIndex(0), vec![JobId(0), JobId(1)])]);
     match validate_schedule(&merged, &instance) {
         Err(ValidationError::CapacityExceeded { at, load, .. }) => {

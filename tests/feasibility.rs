@@ -22,7 +22,14 @@ fn catalogs() -> Vec<(&'static str, Catalog)> {
 fn workloads(catalog: &Catalog) -> Vec<(&'static str, Instance)> {
     let max = catalog.max_capacity();
     let mk = |seed, arrivals, durations, sizes| {
-        WorkloadSpec { n: 150, seed, arrivals, durations, sizes }.generate(catalog.clone())
+        WorkloadSpec {
+            n: 150,
+            seed,
+            arrivals,
+            durations,
+            sizes,
+        }
+        .generate(catalog.clone())
     };
     vec![
         (
@@ -39,16 +46,32 @@ fn workloads(catalog: &Catalog) -> Vec<(&'static str, Instance)> {
             mk(
                 2,
                 ArrivalProcess::Batch,
-                DurationLaw::BoundedPareto { min: 5, max: 200, alpha: 1.2 },
-                SizeLaw::HeavyTail { min: 1, max, alpha: 1.1 },
+                DurationLaw::BoundedPareto {
+                    min: 5,
+                    max: 200,
+                    alpha: 1.2,
+                },
+                SizeLaw::HeavyTail {
+                    min: 1,
+                    max,
+                    alpha: 1.1,
+                },
             ),
         ),
         (
             "diurnal-bimodal",
             mk(
                 3,
-                ArrivalProcess::Diurnal { base: 0.05, peak: 0.8, period: 300 },
-                DurationLaw::Bimodal { short: 8, long: 160, p_long: 0.2 },
+                ArrivalProcess::Diurnal {
+                    base: 0.05,
+                    peak: 0.8,
+                    period: 300,
+                },
+                DurationLaw::Bimodal {
+                    short: 8,
+                    long: 160,
+                    p_long: 0.2,
+                },
                 SizeLaw::Uniform { min: 1, max },
             ),
         ),
@@ -58,7 +81,11 @@ fn workloads(catalog: &Catalog) -> Vec<(&'static str, Instance)> {
                 4,
                 ArrivalProcess::Regular { gap: 2 },
                 DurationLaw::Fixed(25),
-                SizeLaw::HeavyTail { min: 1, max, alpha: 1.5 },
+                SizeLaw::HeavyTail {
+                    min: 1,
+                    max,
+                    alpha: 1.5,
+                },
             ),
         ),
     ]

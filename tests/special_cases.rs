@@ -81,7 +81,14 @@ fn oversized_machine_types_are_harmless() {
     ])
     .unwrap();
     let jobs: Vec<Job> = (0..30u32)
-        .map(|i| Job::new(i, 1 + u64::from(i) % 8, u64::from(i) * 2, u64::from(i) * 2 + 15))
+        .map(|i| {
+            Job::new(
+                i,
+                1 + u64::from(i) % 8,
+                u64::from(i) * 2,
+                u64::from(i) * 2 + 15,
+            )
+        })
         .collect();
     let a = Instance::new(jobs.clone(), small).unwrap();
     let b = Instance::new(jobs, big).unwrap();
@@ -123,7 +130,10 @@ fn sawtooth_forest_jobs_stay_on_ancestor_paths() {
         seed: 4,
         arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
         durations: DurationLaw::Uniform { min: 10, max: 40 },
-        sizes: SizeLaw::Uniform { min: 1, max: catalog.max_capacity() },
+        sizes: SizeLaw::Uniform {
+            min: 1,
+            max: catalog.max_capacity(),
+        },
     }
     .generate(catalog);
     let s = general_offline(&instance, PlacementOrder::Arrival);
