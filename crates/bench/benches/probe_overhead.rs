@@ -1,6 +1,12 @@
 //! P4 — probe overhead: the no-probe driver path must cost the same as
 //! the un-instrumented driver did, and a collecting probe should stay
 //! cheap relative to scheduling itself.
+//!
+//! This Criterion bench reports the trend; the *asserted* form of the
+//! same claim lives in `bshm_bench::baseline::measure_probe_overhead`,
+//! which the `baseline` binary runs on every suite pass and records in
+//! `BENCH_*.json` (`probe_overhead.factor` must stay within
+//! `PROBE_OVERHEAD_BOUND`, or the run and the comparator exit non-zero).
 
 use bshm_bench::experiments::vm_sizes;
 use bshm_core::instance::Instance;

@@ -1,0 +1,770 @@
+//! Performance observatory: deterministic benchmark baselines,
+//! schema-versioned `BENCH_*.json` reports, and a regression comparator.
+//!
+//! [`run_suite`] pushes a fixed workload trio (DEC, INC, and general
+//! catalogs; reproducible seeds) through every registered scheduler
+//! (`bshm_cli::commands::ALG_NAMES`) with a live [`Recorder`] probe and
+//! span timing, and records per-algorithm wall-clock, decision-latency
+//! quantiles, peak open machines per type, and cost vs the §II lower
+//! bound. It also measures the `NoProbe` driver overhead against the
+//! un-instrumented driver and asserts it stays within
+//! [`PROBE_OVERHEAD_BOUND`] (the asserted form of the `probe_overhead`
+//! Criterion bench).
+//!
+//! [`compare`] diffs two reports: timing metrics are gated by a
+//! configurable factor threshold (only when the job counts match, so a
+//! `--quick` CI run never "regresses" against a full local baseline on
+//! size alone), deterministic metrics (cost, ratio, peaks) are reported
+//! whenever they moved, and the probe-overhead factor is always checked
+//! against its recorded bound. The `baseline` binary exits non-zero on
+//! any breach.
+
+use bshm_cli::commands::{run_alg_traced, ALG_NAMES};
+use bshm_core::instance::Instance;
+use bshm_core::lower_bound::lower_bound;
+use bshm_core::schedule_cost;
+use bshm_core::validate::validate_schedule;
+use bshm_obs::span::{self, SpanStat};
+use bshm_obs::{NoProbe, Recorder};
+use bshm_sim::{run_online, run_online_probed};
+use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version stamp of the `BENCH_*.json` schema. Bump on breaking changes
+/// so the comparator can refuse apples-to-oranges diffs.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The asserted probe-overhead bound: the `NoProbe` driver path must stay
+/// within this factor of the un-instrumented driver (best-of-N wall
+/// clock). `NoProbe::enabled()` is a constant `false`, so every
+/// instrumentation branch monomorphizes away and the true factor is
+/// ~1.0×; the slack absorbs shared-runner timing noise.
+pub const PROBE_OVERHEAD_BOUND: f64 = 3.0;
+
+/// Default regression threshold: a timing metric regresses when it grows
+/// by more than this factor over the prior baseline.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// A full observatory report (`BENCH_*.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Free-form label (e.g. `PR3`).
+    pub label: String,
+    /// Whether the quick (CI-sized) workload grid was used.
+    pub quick: bool,
+    /// The command that regenerates this file.
+    pub command: String,
+    /// One entry per suite workload.
+    pub workloads: Vec<WorkloadBaseline>,
+    /// The asserted probe-overhead measurement.
+    pub probe_overhead: ProbeOverhead,
+}
+
+/// All algorithms measured on one deterministic workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadBaseline {
+    /// Workload name (catalog + arrival/duration/size laws).
+    pub workload: String,
+    /// Number of jobs (differs between quick and full runs).
+    pub jobs: u64,
+    /// The §II lower bound for the instance.
+    pub lower_bound: u64,
+    /// One entry per algorithm, in `ALG_NAMES` order.
+    pub algorithms: Vec<AlgBaseline>,
+}
+
+/// One (algorithm, workload) measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AlgBaseline {
+    /// Scheduler name (`bshm solve --alg` spelling).
+    pub alg: String,
+    /// End-to-end wall clock for the traced run, nanoseconds.
+    pub wall_ns: u64,
+    /// Median per-placement decision latency (ns, histogram estimate).
+    pub decision_ns_p50: f64,
+    /// 95th-percentile decision latency (ns).
+    pub decision_ns_p95: f64,
+    /// 99th-percentile decision latency (ns).
+    pub decision_ns_p99: f64,
+    /// Peak simultaneously-open machines per catalog type.
+    pub peak_open_by_type: Vec<u32>,
+    /// Schedule cost.
+    pub cost: u64,
+    /// Cost over the lower bound.
+    pub ratio: f64,
+    /// Placement decisions made (= jobs).
+    pub placements: u64,
+    /// Hot-path span breakdown for this run (wall-clock per phase).
+    pub spans: Vec<SpanStat>,
+}
+
+/// The probe-overhead check: `NoProbe` vs the un-instrumented driver.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProbeOverhead {
+    /// Best-of-N wall clock of `run_online` (no probe plumbing), ns.
+    pub uninstrumented_ns: u64,
+    /// Best-of-N wall clock of `run_online_probed(…, NoProbe)`, ns.
+    pub noprobe_ns: u64,
+    /// `noprobe_ns / uninstrumented_ns`.
+    pub factor: f64,
+    /// The bound the factor is asserted against.
+    pub bound: f64,
+    /// Whether `factor <= bound` held when measured.
+    pub within_bound: bool,
+}
+
+/// The deterministic workload trio the suite runs. Quick mode shrinks
+/// job counts for CI; seeds and laws never change, so two runs of the
+/// same mode schedule identically.
+fn suite_instances(quick: bool) -> Vec<(String, Instance)> {
+    let n = if quick { 120 } else { 1_000 };
+    let dec = {
+        let catalog = dec_geometric(4, 4);
+        let max = catalog.max_capacity();
+        WorkloadSpec {
+            n,
+            seed: 101,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+            durations: DurationLaw::Uniform { min: 10, max: 60 },
+            sizes: SizeLaw::Uniform { min: 1, max },
+        }
+        .generate(catalog)
+    };
+    let inc = {
+        let catalog = inc_geometric(4, 4);
+        let max = catalog.max_capacity();
+        WorkloadSpec {
+            n,
+            seed: 202,
+            arrivals: ArrivalProcess::Diurnal {
+                base: 0.1,
+                peak: 0.8,
+                period: 200,
+            },
+            durations: DurationLaw::BoundedPareto {
+                min: 5,
+                max: 200,
+                alpha: 1.5,
+            },
+            sizes: SizeLaw::HeavyTail {
+                min: 1,
+                max,
+                alpha: 1.3,
+            },
+        }
+        .generate(catalog)
+    };
+    let gen = {
+        let catalog = sawtooth(4, 4);
+        let max = catalog.max_capacity();
+        WorkloadSpec {
+            n,
+            seed: 303,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+            durations: DurationLaw::Bimodal {
+                short: 8,
+                long: 120,
+                p_long: 0.2,
+            },
+            sizes: crate::experiments::vm_sizes(max),
+        }
+        .generate(catalog)
+    };
+    vec![
+        ("dec-poisson-uniform".to_string(), dec),
+        ("inc-diurnal-pareto".to_string(), inc),
+        ("gen-bimodal-vmsizes".to_string(), gen),
+    ]
+}
+
+/// Runs one algorithm on one instance under a live recorder with span
+/// timing, returning the full measurement row.
+fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
+    // Spans are process-global: drain before so the row only carries this
+    // run's timings.
+    let _ = span::take();
+    let mut rec = Recorder::new(alg, instance.catalog().len());
+    let start = Instant::now();
+    let schedule = run_alg_traced(alg, instance, &mut rec)
+        .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let spans = span::take();
+    let metrics = rec
+        .into_metrics()
+        .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
+    if let Err(e) = validate_schedule(&schedule, instance) {
+        panic!("baseline alg {alg} produced an infeasible schedule: {e}");
+    }
+    let cost = schedule_cost(&schedule, instance);
+    AlgBaseline {
+        alg: alg.to_string(),
+        wall_ns,
+        decision_ns_p50: metrics.decision_ns_quantile(0.50).unwrap_or(0.0),
+        decision_ns_p95: metrics.decision_ns_quantile(0.95).unwrap_or(0.0),
+        decision_ns_p99: metrics.decision_ns_quantile(0.99).unwrap_or(0.0),
+        peak_open_by_type: metrics.open_peak_by_type.clone(),
+        cost: u64::try_from(cost).expect("suite costs fit u64"),
+        ratio: cost as f64 / lb as f64,
+        placements: metrics.placements,
+        spans,
+    }
+}
+
+/// Measures the `NoProbe` overhead: best-of-N wall clock of the probed
+/// driver with the null probe against the un-instrumented driver, on a
+/// DEC workload sized to dominate timer noise.
+#[must_use]
+pub fn measure_probe_overhead(quick: bool) -> ProbeOverhead {
+    let catalog = dec_geometric(4, 4);
+    let max = catalog.max_capacity();
+    let inst = WorkloadSpec {
+        n: if quick { 2_000 } else { 8_000 },
+        seed: 7,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: 10, max: 60 },
+        sizes: SizeLaw::Uniform { min: 1, max },
+    }
+    .generate(catalog);
+    let reps = 5;
+    let best = |f: &dyn Fn()| -> u64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+            .min()
+            .unwrap_or(u64::MAX)
+    };
+    let uninstrumented_ns = best(&|| {
+        run_online(&inst, &mut bshm_algos::DecOnline::new(inst.catalog()))
+            .expect("dec-online never overloads");
+    });
+    let noprobe_ns = best(&|| {
+        run_online_probed(
+            &inst,
+            &mut bshm_algos::DecOnline::new(inst.catalog()),
+            &mut NoProbe,
+        )
+        .expect("dec-online never overloads");
+    });
+    let factor = noprobe_ns as f64 / uninstrumented_ns.max(1) as f64;
+    ProbeOverhead {
+        uninstrumented_ns,
+        noprobe_ns,
+        factor,
+        bound: PROBE_OVERHEAD_BOUND,
+        within_bound: factor <= PROBE_OVERHEAD_BOUND,
+    }
+}
+
+/// Runs the full observatory suite: every registered algorithm on each
+/// deterministic workload, plus the probe-overhead check.
+#[must_use]
+pub fn run_suite(quick: bool, label: &str) -> BaselineReport {
+    span::set_enabled(true);
+    let _ = span::take();
+    let workloads = suite_instances(quick)
+        .into_iter()
+        .map(|(name, instance)| {
+            let lb = lower_bound(&instance);
+            let algorithms = ALG_NAMES
+                .iter()
+                .map(|alg| measure_alg(alg, &instance, lb))
+                .collect();
+            WorkloadBaseline {
+                workload: name,
+                jobs: instance.job_count() as u64,
+                lower_bound: u64::try_from(lb).expect("suite bounds fit u64"),
+                algorithms,
+            }
+        })
+        .collect();
+    span::set_enabled(false);
+    let _ = span::take();
+    BaselineReport {
+        schema_version: SCHEMA_VERSION,
+        label: label.to_string(),
+        quick,
+        command: format!(
+            "cargo run --release -p bshm-bench --bin baseline -- run{} --out BENCH_{label}.json",
+            if quick { " --quick" } else { "" }
+        ),
+        workloads,
+        probe_overhead: measure_probe_overhead(quick),
+    }
+}
+
+// ------------------------------------------------------------ comparator
+
+/// One per-metric difference between two reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Delta {
+    /// `workload/alg/metric` path.
+    pub metric: String,
+    /// Prior value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// `new / old` (∞ when old is 0 and new is not).
+    pub factor: f64,
+    /// Whether this delta breaches the threshold.
+    pub regression: bool,
+}
+
+/// The comparator's verdict on two reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Every compared metric that moved (or regressed).
+    pub deltas: Vec<Delta>,
+    /// Human-readable breach descriptions; empty means pass.
+    pub regressions: Vec<String>,
+    /// Comparisons skipped with the reason (size mismatch etc.).
+    pub skipped: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the new report passes (no regression).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the comparison as an aligned console report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<55} {:>14} {:>14} {:>8}",
+            "metric", "old", "new", "factor"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<55} {:>14.0} {:>14.0} {:>7.2}x{}",
+                d.metric,
+                d.old,
+                d.new,
+                d.factor,
+                if d.regression { "  << REGRESSION" } else { "" }
+            );
+        }
+        for s in &self.skipped {
+            let _ = writeln!(out, "skipped: {s}");
+        }
+        if self.passed() {
+            let _ = writeln!(out, "PASS: no metric regressed");
+        } else {
+            for r in &self.regressions {
+                let _ = writeln!(out, "FAIL: {r}");
+            }
+        }
+        out
+    }
+}
+
+fn push_delta(cmp: &mut Comparison, metric: String, old: f64, new: f64, gate: Option<f64>) {
+    let factor = if old == 0.0 {
+        if new == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        new / old
+    };
+    let regression = gate.is_some_and(|t| factor > t);
+    // Keep the report focused: record gated metrics always, ungated ones
+    // only when they moved.
+    if gate.is_some() || (factor - 1.0).abs() > 1e-9 {
+        if regression {
+            cmp.regressions.push(format!(
+                "{metric}: {old:.0} -> {new:.0} ({factor:.2}x > {:.2}x threshold)",
+                gate.unwrap_or(f64::INFINITY)
+            ));
+        }
+        cmp.deltas.push(Delta {
+            metric,
+            old,
+            new,
+            factor,
+            regression,
+        });
+    }
+}
+
+/// Diffs `new` against `old` with a timing-regression `threshold`.
+///
+/// Timing metrics (wall clock, latency quantiles) are gated only when the
+/// workloads have identical job counts; deterministic metrics (cost,
+/// ratio, peaks, placements) are reported whenever they moved but only
+/// gated on equal sizes too. The probe-overhead factor is always gated
+/// against the bound recorded in `new`.
+#[must_use]
+pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Comparison {
+    let mut cmp = Comparison {
+        deltas: Vec::new(),
+        regressions: Vec::new(),
+        skipped: Vec::new(),
+    };
+    if old.schema_version != new.schema_version {
+        cmp.skipped.push(format!(
+            "schema version changed ({} -> {}): workload metrics not compared",
+            old.schema_version, new.schema_version
+        ));
+    } else {
+        for nw in &new.workloads {
+            let Some(ow) = old.workloads.iter().find(|w| w.workload == nw.workload) else {
+                cmp.skipped.push(format!(
+                    "workload {} absent from prior baseline",
+                    nw.workload
+                ));
+                continue;
+            };
+            if ow.jobs != nw.jobs {
+                cmp.skipped.push(format!(
+                    "workload {}: job count {} vs {} (quick vs full?), timing not gated",
+                    nw.workload, ow.jobs, nw.jobs
+                ));
+                continue;
+            }
+            for na in &nw.algorithms {
+                let Some(oa) = ow.algorithms.iter().find(|a| a.alg == na.alg) else {
+                    cmp.skipped.push(format!(
+                        "{}/{} absent from prior baseline",
+                        nw.workload, na.alg
+                    ));
+                    continue;
+                };
+                let path = |m: &str| format!("{}/{}/{m}", nw.workload, na.alg);
+                push_delta(
+                    &mut cmp,
+                    path("wall_ns"),
+                    oa.wall_ns as f64,
+                    na.wall_ns as f64,
+                    Some(threshold),
+                );
+                push_delta(
+                    &mut cmp,
+                    path("decision_ns_p95"),
+                    oa.decision_ns_p95,
+                    na.decision_ns_p95,
+                    Some(threshold),
+                );
+                push_delta(
+                    &mut cmp,
+                    path("decision_ns_p99"),
+                    oa.decision_ns_p99,
+                    na.decision_ns_p99,
+                    Some(threshold),
+                );
+                // Deterministic on a fixed workload: any growth is a real
+                // algorithmic change, so gate at 1.0 (shrinking is fine).
+                push_delta(
+                    &mut cmp,
+                    path("cost"),
+                    oa.cost as f64,
+                    na.cost as f64,
+                    Some(1.0 + 1e-9),
+                );
+                let (opeak, npeak) = (
+                    oa.peak_open_by_type
+                        .iter()
+                        .map(|&p| u64::from(p))
+                        .sum::<u64>(),
+                    na.peak_open_by_type
+                        .iter()
+                        .map(|&p| u64::from(p))
+                        .sum::<u64>(),
+                );
+                push_delta(
+                    &mut cmp,
+                    path("peak_open_total"),
+                    opeak as f64,
+                    npeak as f64,
+                    None,
+                );
+            }
+        }
+    }
+    if new.probe_overhead.factor > new.probe_overhead.bound {
+        cmp.regressions.push(format!(
+            "probe_overhead: NoProbe driver is {:.2}x the uninstrumented driver (bound {:.2}x)",
+            new.probe_overhead.factor, new.probe_overhead.bound
+        ));
+    }
+    push_delta(
+        &mut cmp,
+        "probe_overhead/factor".to_string(),
+        old.probe_overhead.factor,
+        new.probe_overhead.factor,
+        None,
+    );
+    cmp
+}
+
+// ------------------------------------------------------------ file I/O
+
+/// Writes a report as pretty JSON.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_report(report: &BaselineReport, path: &Path) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report).expect("reports serialize");
+    std::fs::write(path, json + "\n").map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Loads a `BENCH_*.json` report.
+///
+/// # Errors
+/// Reports unreadable files or schema mismatches.
+pub fn load_report(path: &Path) -> Result<BaselineReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let report: BaselineReport =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    if report.schema_version > SCHEMA_VERSION {
+        return Err(format!(
+            "{}: schema version {} is newer than this binary ({})",
+            path.display(),
+            report.schema_version,
+            SCHEMA_VERSION
+        ));
+    }
+    Ok(report)
+}
+
+/// Natural-sort key: digit runs compare numerically, so `BENCH_PR10` >
+/// `BENCH_PR9`.
+fn natural_key(name: &str) -> Vec<(u64, String)> {
+    let mut key = Vec::new();
+    let mut chars = name.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            let mut n = 0u64;
+            while let Some(&d) = chars.peek() {
+                let Some(v) = d.to_digit(10) else { break };
+                n = n.saturating_mul(10).saturating_add(u64::from(v));
+                chars.next();
+            }
+            key.push((n, String::new()));
+        } else {
+            let mut s = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    break;
+                }
+                s.push(d);
+                chars.next();
+            }
+            key.push((u64::MAX, s));
+        }
+    }
+    key
+}
+
+/// Finds the most recent prior `BENCH_*.json` in `dir` (highest under
+/// natural ordering), skipping `exclude` (the file being written).
+#[must_use]
+pub fn find_previous_baseline(dir: &Path, exclude: Option<&Path>) -> Option<PathBuf> {
+    let exclude_name = exclude.and_then(Path::file_name);
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+                return false;
+            };
+            name.starts_with("BENCH_")
+                && name.ends_with(".json")
+                && Some(p.file_name().unwrap_or_default()) != exclude_name
+        })
+        .collect();
+    candidates.sort_by_key(|p| natural_key(&p.file_name().unwrap_or_default().to_string_lossy()));
+    candidates.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BaselineReport {
+        BaselineReport {
+            schema_version: SCHEMA_VERSION,
+            label: "TEST".into(),
+            quick: true,
+            command: "test".into(),
+            workloads: vec![WorkloadBaseline {
+                workload: "w".into(),
+                jobs: 10,
+                lower_bound: 100,
+                algorithms: vec![AlgBaseline {
+                    alg: "dec-online".into(),
+                    wall_ns: 1_000_000,
+                    decision_ns_p50: 100.0,
+                    decision_ns_p95: 400.0,
+                    decision_ns_p99: 900.0,
+                    peak_open_by_type: vec![2, 1],
+                    cost: 120,
+                    ratio: 1.2,
+                    placements: 10,
+                    spans: vec![],
+                }],
+            }],
+            probe_overhead: ProbeOverhead {
+                uninstrumented_ns: 1_000,
+                noprobe_ns: 1_100,
+                factor: 1.1,
+                bound: PROBE_OVERHEAD_BOUND,
+                within_bound: true,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = tiny_report();
+        let cmp = compare(&r, &r, DEFAULT_THRESHOLD);
+        assert!(cmp.passed(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn synthetic_latency_regression_fails() {
+        // The acceptance gate: a 2x decision-latency regression must
+        // breach the default 1.5x threshold.
+        let old = tiny_report();
+        let mut new = old.clone();
+        for w in &mut new.workloads {
+            for a in &mut w.algorithms {
+                a.decision_ns_p95 *= 2.0;
+                a.decision_ns_p99 *= 2.0;
+                a.wall_ns *= 2;
+            }
+        }
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("decision_ns_p95")),
+            "{:?}",
+            cmp.regressions
+        );
+        assert!(cmp.render().contains("REGRESSION"));
+        // The same 2x move passes a 3x threshold.
+        assert!(compare(&old, &new, 3.0).passed());
+    }
+
+    #[test]
+    fn cost_growth_on_same_workload_fails() {
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.workloads[0].algorithms[0].cost += 1;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("cost")));
+    }
+
+    #[test]
+    fn size_mismatch_skips_instead_of_flaking() {
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.workloads[0].jobs = 1_000;
+        new.workloads[0].algorithms[0].wall_ns *= 100;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(!cmp.skipped.is_empty());
+    }
+
+    #[test]
+    fn probe_bound_breach_fails_even_without_matching_workloads() {
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.probe_overhead.factor = new.probe_overhead.bound * 2.0;
+        new.probe_overhead.within_bound = false;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("probe_overhead")));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = tiny_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BaselineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, r.schema_version);
+        assert_eq!(back.workloads.len(), 1);
+        assert_eq!(back.workloads[0].algorithms[0].alg, "dec-online");
+        assert_eq!(
+            back.workloads[0].algorithms[0].peak_open_by_type,
+            vec![2, 1]
+        );
+        assert!((back.probe_overhead.factor - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn natural_ordering_picks_highest_pr() {
+        let dir = std::env::temp_dir().join("bshm-baseline-prev");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_PR3.json", "BENCH_PR10.json", "BENCH_PR9.json"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_notes.txt"), "").unwrap();
+        let prev = find_previous_baseline(&dir, None).unwrap();
+        assert_eq!(prev.file_name().unwrap(), "BENCH_PR10.json");
+        // The file being written is excluded from candidates.
+        let prev = find_previous_baseline(&dir, Some(&dir.join("BENCH_PR10.json"))).unwrap();
+        assert_eq!(prev.file_name().unwrap(), "BENCH_PR9.json");
+    }
+
+    #[test]
+    fn quick_suite_measures_every_algorithm() {
+        let report = run_suite(true, "TEST");
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert_eq!(w.algorithms.len(), ALG_NAMES.len());
+            assert!(w.lower_bound > 0);
+            for a in &w.algorithms {
+                assert!(
+                    a.ratio >= 1.0 - 1e-9,
+                    "{}/{}: {}",
+                    w.workload,
+                    a.alg,
+                    a.ratio
+                );
+                assert_eq!(a.placements, w.jobs, "{}/{}", w.workload, a.alg);
+                assert!(a.wall_ns > 0);
+                assert!(!a.spans.is_empty(), "{}/{}: no spans", w.workload, a.alg);
+            }
+        }
+        // Determinism: a second run schedules identically (costs equal).
+        let again = run_suite(true, "TEST");
+        for (w1, w2) in report.workloads.iter().zip(&again.workloads) {
+            for (a1, a2) in w1.algorithms.iter().zip(&w2.algorithms) {
+                assert_eq!(a1.cost, a2.cost, "{}/{}", w1.workload, a1.alg);
+                assert_eq!(a1.peak_open_by_type, a2.peak_open_by_type);
+            }
+        }
+        // The asserted probe bound (satellite of the probe_overhead bench).
+        assert!(
+            report.probe_overhead.within_bound,
+            "NoProbe overhead {:.2}x exceeds {:.2}x",
+            report.probe_overhead.factor, report.probe_overhead.bound
+        );
+        // Comparing a suite run against itself passes. (Not against
+        // `again`: micro-sized quick runs have wall-clock noise beyond
+        // any sane threshold; the binary's --compare path gates runs of
+        // matching size, which CI keeps honest with release builds.)
+        assert!(compare(&report, &report, DEFAULT_THRESHOLD).passed());
+    }
+}

@@ -119,6 +119,30 @@ fn experiments_md(tables: &[Table]) -> String {
          instances). All schedules are re-validated for feasibility before any\n\
          number is recorded; a bound violation would panic the harness.\n\n",
     );
+    out.push_str(
+        "## Performance observatory (baselines & regression gating)\n\n\
+         Besides the claim tables below, the harness keeps a performance\n\
+         baseline: `BENCH_*.json` at the repo root, regenerated with\n\n\
+         ```sh\n\
+         cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR3.json\n\
+         ```\n\n\
+         The report is schema-versioned (`schema_version`) and records, for\n\
+         each deterministic suite workload (`dec-poisson-uniform`,\n\
+         `inc-diurnal-pareto`, `gen-bimodal-vmsizes`) and each of the twelve\n\
+         registered schedulers: `wall_ns` (end-to-end wall clock),\n\
+         `decision_ns_p50/p95/p99` (histogram-estimated placement latency),\n\
+         `peak_open_by_type`, `cost` + `ratio` vs the §II lower bound, and a\n\
+         per-run `spans` breakdown. `probe_overhead` stores the asserted\n\
+         NoProbe-vs-uninstrumented driver factor and its bound.\n\n\
+         To read a regression report (`baseline compare OLD NEW`, or\n\
+         `run --compare` against the most recent prior `BENCH_*.json`): each\n\
+         row is `workload/alg/metric` with old/new values and the growth\n\
+         factor; rows marked `<< REGRESSION` breached the gate (timing\n\
+         metrics: factor over the `--threshold`, default 1.5x, only when job\n\
+         counts match; `cost`: any growth on the same workload; probe\n\
+         overhead: factor over its recorded bound). `FAIL:` lines repeat the\n\
+         breaches and the binary exits non-zero — this is the CI gate.\n\n",
+    );
     out.push_str("## Summary\n\n| exp | claim (paper) | verdict |\n|---|---|---|\n");
     for t in tables {
         let verdict = t

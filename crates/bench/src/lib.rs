@@ -11,6 +11,7 @@
 #![warn(clippy::all)]
 
 pub mod algs;
+pub mod baseline;
 pub mod experiments;
 pub mod runner;
 pub mod table;

@@ -24,8 +24,11 @@ USAGE:
   bshm gen      --n N --catalog SPEC --arrivals SPEC --durations SPEC --sizes SPEC
                 [--seed S] [--out FILE]
   bshm solve    --instance FILE --alg NAME [--out FILE]
-                [--trace FILE] [--metrics]
+                [--trace FILE] [--metrics] [--metrics-format prometheus|json]
   bshm replay   --trace FILE [--instance FILE --schedule FILE] [--rows N]
+  bshm export-metrics --trace FILE [--format prometheus|json] [--alg LABEL]
+                [--out FILE]
+  bshm top      TRACE.jsonl [--cols N]
   bshm validate --instance FILE --schedule FILE
   bshm lb       --instance FILE
   bshm info     --instance FILE
@@ -39,9 +42,16 @@ OBSERVABILITY:
                        with decision latency, machine opens/closes, cost
                        accruals, departures)
   solve --metrics      prints aggregated run metrics as JSON
+  solve --metrics-format prometheus
+                       prints them as Prometheus text exposition instead
   replay               rebuilds the busy-machine timeline from a trace;
                        with --instance and --schedule it cross-checks the
                        trace against the schedule-derived timeline
+  export-metrics       folds a recorded trace JSONL into an exposition
+                       snapshot (Prometheus text or JSON)
+  top                  console summary of a trace: open-machine gauge
+                       timeline, utilization, latency quantiles, accrual
+                       rates per machine type
 
 SPEC GRAMMARS:
   catalog:   dec:M:G | inc:M:G | saw:M:G | ec2-dec | ec2-inc | custom:4x1,16x2
@@ -77,6 +87,8 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
         "gen" => cmd_gen(&flags, out),
         "solve" => cmd_solve(&flags, out),
         "replay" => cmd_replay(&flags, out),
+        "export-metrics" => cmd_export_metrics(&flags, out),
+        "top" => cmd_top(&flags, out),
         "validate" => cmd_validate(&flags, out),
         "lb" => cmd_lb(&flags, out),
         "info" => cmd_info(&flags, out),
@@ -203,11 +215,29 @@ pub fn run_alg_traced(
     Ok(s)
 }
 
+/// Parses a `--metrics-format`/`--format` value.
+fn parse_metrics_format(value: Option<&str>, flag: &str) -> Result<MetricsFormat, String> {
+    match value {
+        None | Some("json") => Ok(MetricsFormat::Json),
+        Some("prometheus") => Ok(MetricsFormat::Prometheus),
+        Some(other) => Err(format!(
+            "--{flag}: expected `prometheus` or `json`, got {other:?}"
+        )),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prometheus,
+}
+
 fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
     let alg = flags.get("alg").unwrap_or("auto");
     let trace_path = flags.get("trace");
-    let want_metrics = flags.has("metrics");
+    let format = parse_metrics_format(flags.get("metrics-format"), "metrics-format")?;
+    let want_metrics = flags.has("metrics") || flags.get("metrics-format").is_some();
     let schedule = if trace_path.is_some() || want_metrics {
         let mut rec = Recorder::new(alg, instance.catalog().len());
         if let Some(p) = trace_path {
@@ -220,9 +250,16 @@ fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
             let _ = writeln!(out, "wrote {written} trace events to {p}");
         }
         if want_metrics {
-            let _ = write!(out, "{}", metrics.summary());
-            let json = serde_json::to_string_pretty(&metrics).expect("metrics serialize");
-            let _ = writeln!(out, "{json}");
+            match format {
+                MetricsFormat::Prometheus => {
+                    let _ = write!(out, "{}", bshm_obs::encode_prometheus(&metrics, &[]));
+                }
+                MetricsFormat::Json => {
+                    let _ = write!(out, "{}", metrics.summary());
+                    let json = serde_json::to_string_pretty(&metrics).expect("metrics serialize");
+                    let _ = writeln!(out, "{json}");
+                }
+            }
         }
         schedule
     } else {
@@ -234,29 +271,207 @@ fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
         let _span = bshm_obs::span::span("core::lower_bound");
         lower_bound(&instance)
     };
-    let stats = schedule_stats(&schedule, &instance);
-    let _ = writeln!(out, "algorithm:    {alg}");
-    let _ = writeln!(out, "cost:         {cost}");
-    let _ = writeln!(out, "lower bound:  {lb}");
-    let _ = writeln!(out, "ratio:        {:.3}", cost as f64 / lb as f64);
-    let _ = writeln!(
-        out,
-        "machines:     {} used, peak {} busy",
-        stats.machines_used, stats.peak_total
-    );
-    let _ = writeln!(out, "utilization:  {:.1}%", stats.utilization * 100.0);
+    // Prometheus exposition must stay machine-parseable: suppress the
+    // human report (schedule writing still happens).
+    if !(want_metrics && format == MetricsFormat::Prometheus) {
+        let stats = schedule_stats(&schedule, &instance);
+        let _ = writeln!(out, "algorithm:    {alg}");
+        let _ = writeln!(out, "cost:         {cost}");
+        let _ = writeln!(out, "lower bound:  {lb}");
+        let _ = writeln!(out, "ratio:        {:.3}", cost as f64 / lb as f64);
+        let _ = writeln!(
+            out,
+            "machines:     {} used, peak {} busy",
+            stats.machines_used, stats.peak_total
+        );
+        let _ = writeln!(out, "utilization:  {:.1}%", stats.utilization * 100.0);
+    }
     if let Some(path) = flags.get("out") {
         let json = serde_json::to_string_pretty(&schedule).expect("schedules serialize");
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        let _ = writeln!(out, "wrote schedule to {path}");
+        if !(want_metrics && format == MetricsFormat::Prometheus) {
+            let _ = writeln!(out, "wrote schedule to {path}");
+        }
     }
+    Ok(())
+}
+
+/// Reads and parses a trace JSONL file, rejecting empty/truncated input.
+fn load_trace(path: &str) -> Result<Vec<bshm_obs::TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = replay::parse_jsonl(&text)?;
+    if events.is_empty() {
+        return Err(format!(
+            "trace {path} contains no events (empty or truncated file?)"
+        ));
+    }
+    Ok(events)
+}
+
+fn cmd_export_metrics(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = flags.require("trace")?;
+    let events = load_trace(path)?;
+    // Unlike `solve --metrics` (whose JSON dump predates this command),
+    // the exposition snapshot defaults to Prometheus text.
+    let format = match flags.get("format") {
+        None => MetricsFormat::Prometheus,
+        some => parse_metrics_format(some, "format")?,
+    };
+    let label = flags.get("alg").unwrap_or("trace");
+    let n_types = replay::infer_n_types(&events);
+    let metrics = replay::metrics_from_events(label, &events, n_types);
+    let rendered = match format {
+        MetricsFormat::Prometheus => bshm_obs::encode_prometheus(&metrics, &[]),
+        MetricsFormat::Json => {
+            serde_json::to_string_pretty(&metrics).expect("metrics serialize") + "\n"
+        }
+    };
+    match flags.get("out") {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| format!("writing {p}: {e}"))?;
+            let _ = writeln!(out, "wrote metrics snapshot to {p}");
+        }
+        None => {
+            let _ = write!(out, "{rendered}");
+        }
+    }
+    Ok(())
+}
+
+/// Scales `v` in `0..=peak` to one of nine block glyphs (space for 0).
+fn gauge_glyph(v: u32, peak: u32) -> char {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if v == 0 || peak == 0 {
+        return ' ';
+    }
+    let idx = ((u64::from(v) * 8).div_ceil(u64::from(peak.max(1))) as usize).clamp(1, 8);
+    BLOCKS[idx - 1]
+}
+
+fn cmd_top(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = match (flags.positional().first(), flags.get("trace")) {
+        (Some(p), _) => p.clone(),
+        (None, Some(p)) => p.to_string(),
+        (None, None) => return Err("top needs a trace: `bshm top TRACE.jsonl`".to_string()),
+    };
+    let events = load_trace(&path)?;
+    let cols = flags.get_or("cols", 64usize)?.max(2);
+    let n_types = replay::infer_n_types(&events);
+    let metrics = replay::metrics_from_events("trace", &events, n_types);
+    let timeline = replay::replay_timeline(&events, n_types);
+    let t0 = events.first().map_or(0, bshm_obs::TraceEvent::time);
+    let t1 = events.last().map_or(0, bshm_obs::TraceEvent::time);
+
+    let _ = writeln!(out, "trace:        {path}");
+    let _ = writeln!(
+        out,
+        "events:       {} over [{t0}, {t1}] across {n_types} machine types",
+        events.len()
+    );
+    let _ = writeln!(
+        out,
+        "jobs:         {} arrived, {} departed, {} placed ({} opened / {} reused)",
+        metrics.arrivals,
+        metrics.departures,
+        metrics.placements,
+        metrics.opened_placements,
+        metrics.reused_placements
+    );
+
+    // Per-type open-machine gauge, sampled over the trace's time span.
+    let _ = writeln!(out, "\nopen machines (sampled gauge, {cols} columns):");
+    let sample = |ty: usize| -> Vec<u32> {
+        (0..cols)
+            .map(|c| {
+                let t = t0 + (t1 - t0) * c as u64 / (cols as u64 - 1).max(1);
+                timeline.at(t).get(ty).copied().unwrap_or(0)
+            })
+            .collect()
+    };
+    for ty in 0..n_types {
+        let peak = metrics.open_peak_by_type.get(ty).copied().unwrap_or(0);
+        let row: String = sample(ty).iter().map(|&v| gauge_glyph(v, peak)).collect();
+        let _ = writeln!(out, "  type{ty} peak {peak:>4} |{row}|");
+    }
+
+    // Utilization histogram as horizontal bars.
+    let _ = writeln!(out, "\nmachine fill at placement (decile histogram):");
+    let max_count = metrics.utilization_hist.iter().copied().max().unwrap_or(0);
+    for (i, &c) in metrics.utilization_hist.iter().enumerate() {
+        let (lo, hi) = bshm_obs::recorder::utilization_bucket_bounds(i);
+        let width = if max_count == 0 {
+            0
+        } else {
+            (c as usize * 40).div_ceil(max_count as usize)
+        };
+        let _ = writeln!(
+            out,
+            "  [{lo:.1},{hi:.1}) {:<40} {c}",
+            "#".repeat(width.min(40))
+        );
+    }
+
+    // Decision latency quantiles.
+    let (p50, p95, p99) = (
+        metrics.decision_ns_quantile(0.50).unwrap_or(0.0),
+        metrics.decision_ns_quantile(0.95).unwrap_or(0.0),
+        metrics.decision_ns_quantile(0.99).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "\ndecision latency: p50 ~{p50:.0} ns, p95 ~{p95:.0} ns, p99 ~{p99:.0} ns \
+         ({} decisions, {} ns total)",
+        metrics.placements, metrics.decision_ns_sum
+    );
+
+    // Cost accrual table per machine type.
+    let mut accruals = vec![0u64; n_types];
+    let mut busy_ticks = vec![0u64; n_types];
+    let mut rates = vec![0u64; n_types];
+    for e in &events {
+        if let bshm_obs::TraceEvent::CostAccrual {
+            machine_type,
+            busy,
+            rate,
+            ..
+        } = *e
+        {
+            if let Some(i) = accruals.get_mut(machine_type.0) {
+                *i += 1;
+            }
+            if let Some(b) = busy_ticks.get_mut(machine_type.0) {
+                *b += busy;
+            }
+            if let Some(r) = rates.get_mut(machine_type.0) {
+                *r = rate;
+            }
+        }
+    }
+    let total_cost = metrics.traced_cost.max(1);
+    let _ = writeln!(out, "\ncost accrual by type:");
+    let _ = writeln!(
+        out,
+        "  {:>5} {:>9} {:>11} {:>6} {:>12} {:>6}",
+        "type", "accruals", "busy-ticks", "rate", "cost", "share"
+    );
+    for ty in 0..n_types {
+        let cost = metrics.cost_by_type.get(ty).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {ty:>5} {:>9} {:>11} {:>6} {cost:>12} {:>5.1}%",
+            accruals[ty],
+            busy_ticks[ty],
+            rates[ty],
+            cost as f64 * 100.0 / total_cost as f64
+        );
+    }
+    let _ = writeln!(out, "  total cost: {}", metrics.traced_cost);
     Ok(())
 }
 
 fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
     let path = flags.require("trace")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let events = replay::parse_jsonl(&text)?;
+    let events = load_trace(path)?;
     let mut kinds: std::collections::BTreeMap<&'static str, usize> =
         std::collections::BTreeMap::new();
     for e in &events {
@@ -269,15 +484,7 @@ fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
             _ => None,
         })
         .sum();
-    let n_types = events
-        .iter()
-        .filter_map(|e| match *e {
-            bshm_obs::TraceEvent::MachineOpen { machine_type, .. }
-            | bshm_obs::TraceEvent::MachineClose { machine_type, .. } => Some(machine_type.0 + 1),
-            _ => None,
-        })
-        .max()
-        .unwrap_or(0);
+    let n_types = replay::infer_n_types(&events);
     let _ = writeln!(out, "trace:        {path}");
     let _ = writeln!(out, "events:       {}", events.len());
     for (kind, count) in &kinds {
@@ -607,10 +814,21 @@ mod tests {
         }
     }
 
+    /// A single well-formed trace line (arrival of one job).
+    fn one_event_line() -> String {
+        serde_json::to_string(&bshm_obs::TraceEvent::Arrival {
+            t: 0,
+            job: bshm_core::job::JobId(0),
+            size: 1,
+        })
+        .unwrap()
+            + "\n"
+    }
+
     #[test]
     fn replay_needs_both_cross_check_files() {
         let trace = tmp("lonely.jsonl");
-        std::fs::write(&trace, "").unwrap();
+        std::fs::write(&trace, one_event_line()).unwrap();
         let inst = tmp("inst-lonely.json");
         run_cmd(&format!("gen --n 4 --catalog dec:2:4 --out {inst}"));
         let (code, out) = run_cmd(&format!("replay --trace {trace} --instance {inst}"));
@@ -625,6 +843,127 @@ mod tests {
         let (code, out) = run_cmd(&format!("replay --trace {trace}"));
         assert_eq!(code, 2);
         assert!(out.contains("trace line 1"), "{out}");
+    }
+
+    #[test]
+    fn replay_rejects_empty_trace() {
+        // A zero-byte file and a blank-lines-only file both fail with a
+        // clear message instead of printing an empty report.
+        for (name, content) in [("empty.jsonl", ""), ("blank.jsonl", "\n\n  \n")] {
+            let trace = tmp(name);
+            std::fs::write(&trace, content).unwrap();
+            let (code, out) = run_cmd(&format!("replay --trace {trace}"));
+            assert_eq!(code, 2, "{name}: {out}");
+            assert!(out.contains("no events"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_truncated_trace() {
+        // A valid line followed by a half-written one (cut mid-object, as a
+        // crashed producer would leave it) reports the bad line number.
+        let line = one_event_line();
+        let truncated = &line[..line.len() / 2];
+        let trace = tmp("truncated.jsonl");
+        std::fs::write(&trace, format!("{line}{truncated}")).unwrap();
+        let (code, out) = run_cmd(&format!("replay --trace {trace}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("trace line 2"), "{out}");
+    }
+
+    #[test]
+    fn solve_metrics_format_prometheus_is_valid_exposition() {
+        let inst = tmp("inst-prom.json");
+        run_cmd(&format!(
+            "gen --n 30 --seed 9 --catalog dec:3:4 --arrivals poisson:3 \
+             --durations uniform:10:40 --sizes uniform:1:48 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg dec-online --metrics-format prometheus"
+        ));
+        assert_eq!(code, 0, "{out}");
+        // The whole stdout is the scrape: no human report lines allowed.
+        bshm_obs::validate_exposition(&out).unwrap();
+        assert!(out.contains("bshm_placements_total{algorithm=\"dec-online\"}"));
+        assert!(out.contains("bshm_decision_latency_ns_bucket"));
+        assert!(!out.contains("ratio:"), "{out}");
+    }
+
+    #[test]
+    fn solve_metrics_format_json_keeps_report() {
+        let inst = tmp("inst-promj.json");
+        run_cmd(&format!("gen --n 10 --catalog dec:2:4 --out {inst}"));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg auto --metrics-format json"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"algorithm\": \"auto\""), "{out}");
+        assert!(out.contains("ratio:"), "{out}");
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg auto --metrics-format yaml"
+        ));
+        assert_eq!(code, 2);
+        assert!(out.contains("expected `prometheus` or `json`"), "{out}");
+    }
+
+    #[test]
+    fn export_metrics_converts_trace_to_exposition() {
+        let inst = tmp("inst-export.json");
+        let trace = tmp("export.jsonl");
+        run_cmd(&format!(
+            "gen --n 25 --seed 13 --catalog saw:3:4 --arrivals poisson:3 \
+             --durations uniform:5:30 --sizes uniform:1:32 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg gen-online --trace {trace}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        // Default format is prometheus; the snapshot must validate.
+        let (code, out) = run_cmd(&format!("export-metrics --trace {trace} --alg gen-online"));
+        assert_eq!(code, 0, "{out}");
+        bshm_obs::validate_exposition(&out).unwrap();
+        assert!(out.contains("algorithm=\"gen-online\""), "{out}");
+        // JSON format round-trips through serde.
+        let (code, out) = run_cmd(&format!("export-metrics --trace {trace} --format json"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"arrivals\""), "{out}");
+        // --out writes the snapshot to a file.
+        let snap = tmp("snapshot.prom");
+        let (code, _) = run_cmd(&format!("export-metrics --trace {trace} --out {snap}"));
+        assert_eq!(code, 0);
+        bshm_obs::validate_exposition(&std::fs::read_to_string(&snap).unwrap()).unwrap();
+        // Empty traces are rejected like replay rejects them.
+        let empty = tmp("export-empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let (code, out) = run_cmd(&format!("export-metrics --trace {empty}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("no events"), "{out}");
+    }
+
+    #[test]
+    fn top_renders_console_summary() {
+        let inst = tmp("inst-top.json");
+        let trace = tmp("top.jsonl");
+        run_cmd(&format!(
+            "gen --n 40 --seed 21 --catalog dec:3:4 --arrivals poisson:2 \
+             --durations uniform:10:50 --sizes uniform:1:40 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg dec-online --trace {trace}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!("top {trace} --cols 40"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("open machines"), "{out}");
+        assert!(out.contains("decision latency"), "{out}");
+        assert!(out.contains("cost accrual by type"), "{out}");
+        assert!(out.contains("total cost"), "{out}");
+        // --trace spelling works too, and an empty trace fails cleanly.
+        let (code, _) = run_cmd(&format!("top --trace {trace}"));
+        assert_eq!(code, 0);
+        let (code, out) = run_cmd("top");
+        assert_eq!(code, 2);
+        assert!(out.contains("top needs a trace"), "{out}");
     }
 
     #[test]

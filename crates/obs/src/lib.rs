@@ -26,6 +26,10 @@
 //!   [`bshm_core::analysis::machine_timeline`]. [`replay::synthesize`]
 //!   produces the canonical event stream for a *finished* (offline)
 //!   schedule so offline and online runs trace identically.
+//! * [`prometheus`] renders [`Metrics`] (and span timers) in the
+//!   Prometheus text-exposition format — counters, gauges, and the
+//!   latency/utilization histograms as cumulative `_bucket` series —
+//!   and ships the [`validate_exposition`] parser the tests gate on.
 //!
 //! Events reference jobs, machines and catalog types by the core ids
 //! ([`bshm_core::JobId`], [`bshm_core::MachineId`],
@@ -37,12 +41,16 @@
 
 pub mod event;
 pub mod probe;
+pub mod prometheus;
 pub mod recorder;
 pub mod replay;
 pub mod span;
 
 pub use event::TraceEvent;
 pub use probe::{Collector, NoProbe, Probe};
-pub use recorder::{Metrics, Recorder};
-pub use replay::{cross_check, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline};
+pub use prometheus::{encode as encode_prometheus, validate_exposition};
+pub use recorder::{bucket_quantile, merge_counts, merge_gauge_timelines, Metrics, Recorder};
+pub use replay::{
+    cross_check, metrics_from_events, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline,
+};
 pub use span::{SpanGuard, SpanStat};

@@ -1,0 +1,539 @@
+//! Prometheus text-exposition encoding of [`Metrics`] and span timers.
+//!
+//! [`encode`] renders the aggregated run metrics in the Prometheus
+//! text format (version 0.0.4): `# HELP`/`# TYPE` headers, counter and
+//! gauge samples, and the two bucketed histograms as cumulative
+//! `_bucket{le="…"}` series with exact `_sum`/`_count`. The output is
+//! scrapeable as-is (e.g. served from a file or a textfile-collector
+//! directory) and every line is checked by [`validate_exposition`], a
+//! small parser used by the test suite as the acceptance gate.
+
+use crate::recorder::{decision_ns_bucket_bounds, utilization_bucket_bounds, Metrics};
+use crate::span::SpanStat;
+use std::fmt::Write as _;
+
+/// Escapes a label value (backslash, double-quote, newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a float the way Prometheus expects (integral values without a
+/// trailing `.0` are fine; non-finite values are not produced here).
+fn fmt_value(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+        } else {
+            let rendered: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect();
+            let _ = writeln!(
+                self.out,
+                "{name}{{{}}} {}",
+                rendered.join(","),
+                fmt_value(value)
+            );
+        }
+    }
+
+    /// Emits one histogram family: cumulative buckets (trimmed past the
+    /// last non-empty one), `+Inf`, `_sum` and `_count`.
+    fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        base: &[(&str, String)],
+        counts: &[u64],
+        bounds: impl Fn(usize) -> (f64, f64),
+        sum: f64,
+    ) {
+        self.header(name, "histogram", help);
+        let last = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last.max(1)) {
+            cum += c;
+            let mut labels = base.to_vec();
+            labels.push(("le", fmt_value(bounds(i).1)));
+            self.sample(&format!("{name}_bucket"), &labels, cum as f64);
+        }
+        let total: u64 = counts.iter().sum();
+        let mut labels = base.to_vec();
+        labels.push(("le", "+Inf".to_string()));
+        self.sample(&format!("{name}_bucket"), &labels, total as f64);
+        self.sample(&format!("{name}_sum"), base, sum);
+        self.sample(&format!("{name}_count"), base, total as f64);
+    }
+}
+
+/// Renders `metrics` (plus optional hot-path `spans`) as Prometheus text
+/// exposition. All families are prefixed `bshm_` and carry an
+/// `algorithm` label; per-type series add a `type` label.
+#[must_use]
+pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
+    let mut e = Exposition { out: String::new() };
+    let alg = |_: ()| vec![("algorithm", metrics.algorithm.clone())];
+    let base = alg(());
+
+    let counters: [(&str, &str, f64); 8] = [
+        (
+            "bshm_arrivals_total",
+            "Jobs arrived.",
+            metrics.arrivals as f64,
+        ),
+        (
+            "bshm_departures_total",
+            "Jobs departed.",
+            metrics.departures as f64,
+        ),
+        (
+            "bshm_placements_total",
+            "Placement decisions made.",
+            metrics.placements as f64,
+        ),
+        (
+            "bshm_placements_opened_total",
+            "Placements that created a new machine.",
+            metrics.opened_placements as f64,
+        ),
+        (
+            "bshm_placements_reused_total",
+            "Placements onto an existing machine.",
+            metrics.reused_placements as f64,
+        ),
+        (
+            "bshm_machine_opens_total",
+            "Machine idle-to-busy transitions.",
+            metrics.opens as f64,
+        ),
+        (
+            "bshm_machine_closes_total",
+            "Machine busy-to-idle transitions.",
+            metrics.closes as f64,
+        ),
+        (
+            "bshm_cost_total",
+            "Cost accrued over closed busy spans (rate times ticks).",
+            metrics.traced_cost as f64,
+        ),
+    ];
+    for (name, help, value) in counters {
+        e.header(name, "counter", help);
+        e.sample(name, &base, value);
+    }
+
+    e.header(
+        "bshm_cost_by_type_total",
+        "counter",
+        "Accrued cost per catalog machine type.",
+    );
+    for (i, &c) in metrics.cost_by_type.iter().enumerate() {
+        let mut labels = base.clone();
+        labels.push(("type", i.to_string()));
+        e.sample("bshm_cost_by_type_total", &labels, c as f64);
+    }
+
+    e.header(
+        "bshm_open_machines_peak",
+        "gauge",
+        "Peak simultaneously-busy machines per catalog type.",
+    );
+    for (i, &p) in metrics.open_peak_by_type.iter().enumerate() {
+        let mut labels = base.clone();
+        labels.push(("type", i.to_string()));
+        e.sample("bshm_open_machines_peak", &labels, f64::from(p));
+    }
+
+    e.header(
+        "bshm_open_machines",
+        "gauge",
+        "Busy machines per catalog type at the last gauge transition.",
+    );
+    let final_gauge = metrics.gauge_timeline.last();
+    for i in 0..metrics.open_peak_by_type.len() {
+        let mut labels = base.clone();
+        labels.push(("type", i.to_string()));
+        let v = final_gauge
+            .and_then(|g| g.busy.get(i))
+            .copied()
+            .unwrap_or(0);
+        e.sample("bshm_open_machines", &labels, f64::from(v));
+    }
+
+    e.histogram(
+        "bshm_decision_latency_ns",
+        "Placement decision wall-clock latency in nanoseconds.",
+        &base,
+        &metrics.decision_ns_hist,
+        decision_ns_bucket_bounds,
+        metrics.decision_ns_sum as f64,
+    );
+    e.histogram(
+        "bshm_machine_utilization",
+        "Machine fill (load over capacity) right after each placement.",
+        &base,
+        &metrics.utilization_hist,
+        utilization_bucket_bounds,
+        metrics.utilization_sum,
+    );
+
+    if !spans.is_empty() {
+        e.header(
+            "bshm_span_duration_ns_total",
+            "counter",
+            "Total wall-clock nanoseconds spent in a named hot-path span.",
+        );
+        for s in spans {
+            let mut labels = base.clone();
+            labels.push(("span", s.name.clone()));
+            e.sample("bshm_span_duration_ns_total", &labels, s.total_ns as f64);
+        }
+        e.header(
+            "bshm_span_invocations_total",
+            "counter",
+            "Completed invocations of a named hot-path span.",
+        );
+        for s in spans {
+            let mut labels = base.clone();
+            labels.push(("span", s.name.clone()));
+            e.sample("bshm_span_invocations_total", &labels, s.count as f64);
+        }
+    }
+    e.out
+}
+
+// ------------------------------------------------------------- validation
+
+/// Checks that `text` is well-formed Prometheus text exposition:
+///
+/// * every line is blank, a `# HELP`/`# TYPE` header, or a sample matching
+///   `name{label="value",…} value`;
+/// * every sample belongs to a `# TYPE`-declared family (histogram
+///   samples via their `_bucket`/`_sum`/`_count` suffix);
+/// * every declared histogram emits `_bucket`, `_sum` and `_count`, its
+///   buckets are cumulative (non-decreasing in `le` order), and the
+///   `+Inf` bucket equals `_count`.
+///
+/// # Errors
+/// Describes the first offending line.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    // Histogram family -> (saw_sum, saw_count, last_bucket_value, inf_value, count_value)
+    #[derive(Default)]
+    struct HistState {
+        saw_sum: bool,
+        saw_count: bool,
+        last_bucket: Option<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: std::collections::BTreeMap<String, HistState> =
+        std::collections::BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !is_metric_name(name) {
+                return Err(format!("line {n}: bad metric name in TYPE: {line}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+            }
+            if kind == "histogram" {
+                hists.entry(name.to_string()).or_default();
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            if !line.starts_with("# HELP ") {
+                return Err(format!("line {n}: unexpected comment {line:?}"));
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let base = name.strip_suffix(suf)?;
+                hists.contains_key(base).then(|| base.to_string())
+            })
+            .unwrap_or_else(|| name.clone());
+        if !types.contains_key(&family) {
+            return Err(format!("line {n}: sample {name} has no # TYPE declaration"));
+        }
+        if let Some(h) = hists.get_mut(&family) {
+            if name.ends_with("_sum") {
+                h.saw_sum = true;
+            } else if name.ends_with("_count") {
+                h.saw_count = true;
+                h.count = Some(value);
+            } else if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+                if le == "+Inf" {
+                    h.inf = Some(value);
+                } else {
+                    if let Some(prev) = h.last_bucket {
+                        if value < prev {
+                            return Err(format!(
+                                "line {n}: bucket le={le} not cumulative ({value} < {prev})"
+                            ));
+                        }
+                    }
+                    h.last_bucket = Some(value);
+                }
+            } else {
+                return Err(format!("line {n}: bare sample {name} in histogram family"));
+            }
+        }
+    }
+    for (family, h) in &hists {
+        if !h.saw_sum || !h.saw_count {
+            return Err(format!("histogram {family}: missing _sum or _count"));
+        }
+        match (h.inf, h.count) {
+            (Some(i), Some(c)) if (i - c).abs() < 1e-9 => {}
+            (i, c) => {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {i:?} does not equal _count {c:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A parsed sample line: metric name, label pairs, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses one sample line into `(name, labels, value)`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_str) = match line.find('}') {
+        Some(close) => {
+            let (h, rest) = line.split_at(close + 1);
+            (h, rest.trim())
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            (it.next().unwrap_or(""), it.next().unwrap_or("").trim())
+        }
+    };
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            if !head.ends_with('}') || open + 1 >= head.len() {
+                return Err(format!("unbalanced label braces in {line:?}"));
+            }
+            let name = &head[..open];
+            let inner = head[open + 1..head.len() - 1].trim_end_matches(',');
+            let mut labels = Vec::new();
+            if !inner.is_empty() {
+                for pair in split_label_pairs(inner)? {
+                    labels.push(pair);
+                }
+            }
+            (name.to_string(), labels)
+        }
+        None => (head.to_string(), Vec::new()),
+    };
+    if !is_metric_name(&name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?}"))?,
+    };
+    Ok((name, labels, value))
+}
+
+/// Splits `k="v",k2="v2"` respecting escaped quotes inside values.
+fn split_label_pairs(inner: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let eq = inner[i..]
+            .find('=')
+            .map(|p| i + p)
+            .ok_or_else(|| format!("label pair without `=` in {inner:?}"))?;
+        let key = inner[i..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err(format!("label {key:?} value not quoted"));
+        }
+        let mut j = eq + 2;
+        let mut value = String::new();
+        loop {
+            match bytes.get(j) {
+                None => return Err(format!("unterminated label value for {key:?}")),
+                Some(b'\\') => {
+                    if let Some(&c) = bytes.get(j + 1) {
+                        value.push(c as char);
+                        j += 2;
+                    } else {
+                        return Err("dangling escape".to_string());
+                    }
+                }
+                Some(b'"') => {
+                    j += 1;
+                    break;
+                }
+                Some(&c) => {
+                    value.push(c as char);
+                    j += 1;
+                }
+            }
+        }
+        pairs.push((key, value));
+        if bytes.get(j) == Some(&b',') {
+            j += 1;
+        }
+        i = j;
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+    use crate::recorder::Recorder;
+    use bshm_core::job::JobId;
+    use bshm_core::machine::TypeIndex;
+    use bshm_core::schedule::MachineId;
+
+    fn sample_metrics() -> Metrics {
+        let mut rec = Recorder::new("dec-online", 2);
+        rec.on_arrival(0, JobId(0), 2);
+        rec.on_machine_open(0, MachineId(0), TypeIndex(0));
+        rec.on_placement(0, JobId(0), MachineId(0), TypeIndex(0), true, 100, 2, 4);
+        rec.on_arrival(1, JobId(1), 8);
+        rec.on_machine_open(1, MachineId(1), TypeIndex(1));
+        rec.on_placement(1, JobId(1), MachineId(1), TypeIndex(1), true, 7, 8, 16);
+        rec.on_departure(5, JobId(0), MachineId(0));
+        rec.on_cost_accrual(5, MachineId(0), TypeIndex(0), 5, 2);
+        rec.on_machine_close(5, MachineId(0), TypeIndex(0), 0);
+        rec.on_departure(9, JobId(1), MachineId(1));
+        rec.on_cost_accrual(9, MachineId(1), TypeIndex(1), 8, 3);
+        rec.on_machine_close(9, MachineId(1), TypeIndex(1), 1);
+        rec.into_metrics().unwrap()
+    }
+
+    #[test]
+    fn encode_is_valid_exposition() {
+        let m = sample_metrics();
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE bshm_arrivals_total counter"));
+        assert!(text.contains("bshm_arrivals_total{algorithm=\"dec-online\"} 2"));
+        assert!(text.contains("# TYPE bshm_decision_latency_ns histogram"));
+        assert!(text.contains("bshm_decision_latency_ns_count{algorithm=\"dec-online\"} 2"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("bshm_cost_by_type_total{algorithm=\"dec-online\",type=\"1\"} 24"));
+    }
+
+    #[test]
+    fn encode_includes_spans() {
+        let m = sample_metrics();
+        let spans = vec![SpanStat {
+            name: "core::lower_bound".into(),
+            count: 3,
+            total_ns: 4500,
+            max_ns: 2000,
+        }];
+        let text = encode(&m, &spans);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains(
+            "bshm_span_duration_ns_total{algorithm=\"dec-online\",span=\"core::lower_bound\"} 4500"
+        ));
+    }
+
+    #[test]
+    fn empty_metrics_still_valid() {
+        let m = Metrics::new("auto", 0);
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("bshm_placements_total{algorithm=\"auto\"} 0"));
+    }
+
+    #[test]
+    fn histogram_sum_is_exact() {
+        let m = sample_metrics();
+        let text = encode(&m, &[]);
+        assert!(text.contains("bshm_decision_latency_ns_sum{algorithm=\"dec-online\"} 107"));
+        // 2/4 + 8/16 = 1.0
+        assert!(text.contains("bshm_machine_utilization_sum{algorithm=\"dec-online\"} 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_exposition("no_type_decl 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx{bad} 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx nope\n").is_err());
+        // JSON (or any brace soup) must error, not panic.
+        assert!(validate_exposition("{\n  \"arrivals\": 25,\n}\n").is_err());
+        assert!(validate_exposition("x{ 1\n").is_err());
+        // Non-cumulative histogram buckets.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\n\
+                   h_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1\nh_count 5\n";
+        assert!(validate_exposition(bad).unwrap_err().contains("cumulative"));
+        // +Inf bucket must equal _count.
+        let bad2 = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 4\n\
+                    h_sum 1\nh_count 5\n";
+        assert!(validate_exposition(bad2).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut m = Metrics::new("weird\"alg\\name", 1);
+        m.arrivals = 1;
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+    }
+}

@@ -14,6 +14,104 @@ pub const UTILIZATION_BUCKETS: usize = 10;
 /// holds 0 ns).
 pub const DECISION_NS_BUCKETS: usize = 40;
 
+/// The value range `[lo, hi)` covered by decision-latency bucket `i`.
+#[must_use]
+pub fn decision_ns_bucket_bounds(i: usize) -> (f64, f64) {
+    let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+    (lo, (1u64 << (i + 1)) as f64)
+}
+
+/// The value range `[lo, hi)` covered by utilization decile bucket `i`.
+#[must_use]
+pub fn utilization_bucket_bounds(i: usize) -> (f64, f64) {
+    let w = 1.0 / UTILIZATION_BUCKETS as f64;
+    (i as f64 * w, (i + 1) as f64 * w)
+}
+
+/// Estimates the `q`-quantile (`q` ∈ [0, 1]) of a bucketed histogram whose
+/// bucket `i` covers the half-open value range `bounds(i)`.
+///
+/// The estimator is the standard bucket-interpolation one: the rank
+/// `q·(n−1)` is located in the cumulative counts, then positioned linearly
+/// inside its bucket's value range (samples are assumed uniform within a
+/// bucket). Exact to bucket resolution; `None` for an empty histogram.
+#[must_use]
+pub fn bucket_quantile(
+    counts: &[u64],
+    bounds: impl Fn(usize) -> (f64, f64),
+    q: f64,
+) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * (total - 1) as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if rank < (cum + c) as f64 {
+            let (lo, hi) = bounds(i);
+            let frac = (rank - cum as f64) / c as f64;
+            return Some(lo + frac * (hi - lo));
+        }
+        cum += c;
+    }
+    // rank == total-1 lands past the loop only through float edge cases;
+    // answer with the top of the last non-empty bucket.
+    let last = counts.iter().rposition(|&c| c > 0)?;
+    Some(bounds(last).1)
+}
+
+/// Adds `src` into `dst` element-wise, growing `dst` if `src` is wider.
+pub fn merge_counts(dst: &mut Vec<u64>, src: &[u64]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = d.saturating_add(s);
+    }
+}
+
+/// Sums two open-machine gauge timelines as step functions: the result has
+/// a point at every transition time of either input, holding the per-type
+/// sum of both gauges at that instant (each gauge holds its last value
+/// between its own transitions, and zero before its first).
+#[must_use]
+pub fn merge_gauge_timelines(a: &[GaugePoint], b: &[GaugePoint]) -> Vec<GaugePoint> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let types = a.iter().chain(b).map(|p| p.busy.len()).max().unwrap_or(0);
+    let value_at = |points: &[GaugePoint], t: TimePoint| -> Vec<u32> {
+        match points.partition_point(|p| p.t <= t) {
+            0 => vec![0; types],
+            i => {
+                let mut v = points[i - 1].busy.clone();
+                v.resize(types, 0);
+                v
+            }
+        }
+    };
+    let mut grid: Vec<TimePoint> = a.iter().chain(b).map(|p| p.t).collect();
+    grid.sort_unstable();
+    grid.dedup();
+    grid.into_iter()
+        .map(|t| {
+            let busy: Vec<u32> = value_at(a, t)
+                .iter()
+                .zip(&value_at(b, t))
+                .map(|(&x, &y)| x + y)
+                .collect();
+            GaugePoint { t, busy }
+        })
+        .collect()
+}
+
 /// One step of the per-type open-machine gauge: the busy-machine counts
 /// after an open or close at time `t`.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -54,8 +152,12 @@ pub struct Metrics {
     /// Decile histogram of machine fill (`load / capacity`) right after
     /// each placement.
     pub utilization_hist: Vec<u64>,
+    /// Sum of the observed fill fractions (the histogram's exact `_sum`).
+    pub utilization_sum: f64,
     /// Log₂-bucketed histogram of placement decision latency in ns.
     pub decision_ns_hist: Vec<u64>,
+    /// Sum of the observed decision latencies in ns (the exact `_sum`).
+    pub decision_ns_sum: u64,
 }
 
 impl Metrics {
@@ -76,8 +178,56 @@ impl Metrics {
             open_peak_by_type: vec![0; n_types],
             gauge_timeline: Vec::new(),
             utilization_hist: vec![0; UTILIZATION_BUCKETS],
+            utilization_sum: 0.0,
             decision_ns_hist: vec![0; DECISION_NS_BUCKETS],
+            decision_ns_sum: 0,
         }
+    }
+
+    /// Estimated `q`-quantile of the placement decision latency in ns;
+    /// `None` before the first placement.
+    #[must_use]
+    pub fn decision_ns_quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.decision_ns_hist, decision_ns_bucket_bounds, q)
+    }
+
+    /// Estimated `q`-quantile of machine fill at placement time;
+    /// `None` before the first placement.
+    #[must_use]
+    pub fn utilization_quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.utilization_hist, utilization_bucket_bounds, q)
+    }
+
+    /// Folds another run's metrics into this one: counters, costs, sums and
+    /// histograms add; per-type peaks take the max; the gauge timelines are
+    /// summed as step functions over the union of their transition times
+    /// (the merged gauge reads "busy machines across both runs").
+    pub fn merge(&mut self, other: &Metrics) {
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.placements += other.placements;
+        self.opened_placements += other.opened_placements;
+        self.reused_placements += other.reused_placements;
+        self.opens += other.opens;
+        self.closes += other.closes;
+        self.traced_cost = self.traced_cost.saturating_add(other.traced_cost);
+        merge_counts(&mut self.cost_by_type, &other.cost_by_type);
+        if other.open_peak_by_type.len() > self.open_peak_by_type.len() {
+            self.open_peak_by_type
+                .resize(other.open_peak_by_type.len(), 0);
+        }
+        for (p, &o) in self
+            .open_peak_by_type
+            .iter_mut()
+            .zip(&other.open_peak_by_type)
+        {
+            *p = (*p).max(o);
+        }
+        self.gauge_timeline = merge_gauge_timelines(&self.gauge_timeline, &other.gauge_timeline);
+        merge_counts(&mut self.utilization_hist, &other.utilization_hist);
+        self.utilization_sum += other.utilization_sum;
+        merge_counts(&mut self.decision_ns_hist, &other.decision_ns_hist);
+        self.decision_ns_sum = self.decision_ns_sum.saturating_add(other.decision_ns_sum);
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -107,12 +257,14 @@ impl Metrics {
                 let bucket =
                     ((fill * UTILIZATION_BUCKETS as f64) as usize).min(UTILIZATION_BUCKETS - 1);
                 self.utilization_hist[bucket] += 1;
+                self.utilization_sum += fill;
                 let b = if decision_ns == 0 {
                     0
                 } else {
                     (decision_ns.ilog2() as usize).min(DECISION_NS_BUCKETS - 1)
                 };
                 self.decision_ns_hist[b] += 1;
+                self.decision_ns_sum = self.decision_ns_sum.saturating_add(decision_ns);
             }
             TraceEvent::CostAccrual {
                 machine_type,
@@ -357,6 +509,147 @@ mod tests {
         assert_eq!(rec.events_written(), 9);
         // The sink is owned by the recorder; exercise the flush path.
         assert!(rec.into_metrics().is_ok());
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let m = Metrics::new("t", 1);
+        assert_eq!(m.decision_ns_quantile(0.5), None);
+        assert_eq!(m.utilization_quantile(0.99), None);
+        assert_eq!(bucket_quantile(&[], decision_ns_bucket_bounds, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        // One observation of 100 ns lands in bucket 6 ([64, 128)); with a
+        // single sample every quantile sits at the bucket's lower bound.
+        let mut hist = vec![0u64; DECISION_NS_BUCKETS];
+        hist[6] = 1;
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                bucket_quantile(&hist, decision_ns_bucket_bounds, q),
+                Some(64.0),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_cross_bucket_interpolation() {
+        // One sample in [4, 8), one in [8, 16): the median rank 0.5 sits
+        // halfway through the first bucket, p100 at the second's floor.
+        let mut hist = vec![0u64; DECISION_NS_BUCKETS];
+        hist[2] = 1;
+        hist[3] = 1;
+        assert_eq!(
+            bucket_quantile(&hist, decision_ns_bucket_bounds, 0.0),
+            Some(4.0)
+        );
+        assert_eq!(
+            bucket_quantile(&hist, decision_ns_bucket_bounds, 0.5),
+            Some(6.0)
+        );
+        assert_eq!(
+            bucket_quantile(&hist, decision_ns_bucket_bounds, 1.0),
+            Some(8.0)
+        );
+        // Uniform mass in one utilization decile interpolates inside it.
+        let mut util = vec![0u64; UTILIZATION_BUCKETS];
+        util[5] = 4;
+        // rank 0.5·(4−1)=1.5 of 4 uniform samples → 0.5 + (1.5/4)·0.1.
+        let q = bucket_quantile(&util, utilization_bucket_bounds, 0.5).unwrap();
+        assert!((q - 0.5375).abs() < 1e-9, "{q}");
+    }
+
+    #[test]
+    fn update_tracks_sums() {
+        let mut rec = Recorder::new("test", 1);
+        feed(&mut rec);
+        let m = rec.into_metrics().unwrap();
+        assert_eq!(m.decision_ns_sum, 107); // 100 + 7
+        assert!((m.utilization_sum - 1.5).abs() < 1e-9); // 2/4 + 4/4
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_peaks() {
+        let mut a = Recorder::new("a", 1);
+        feed(&mut a);
+        let mut a = a.into_metrics().unwrap();
+        let mut b = Recorder::new("b", 1);
+        feed(&mut b);
+        let b = b.into_metrics().unwrap();
+        a.merge(&b);
+        assert_eq!(a.arrivals, 4);
+        assert_eq!(a.placements, 4);
+        assert_eq!(a.traced_cost, 36);
+        assert_eq!(a.cost_by_type, vec![36]);
+        // Identical runs overlap exactly: peak doubles is wrong — peaks
+        // max per run; the merged *gauge* doubles instead.
+        assert_eq!(a.open_peak_by_type, vec![1]);
+        assert_eq!(a.utilization_hist.iter().sum::<u64>(), 4);
+        assert_eq!(a.decision_ns_sum, 214);
+        assert_eq!(
+            a.gauge_timeline,
+            vec![
+                GaugePoint {
+                    t: 0,
+                    busy: vec![2]
+                },
+                GaugePoint {
+                    t: 9,
+                    busy: vec![0]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_gauge_timelines_sums_step_functions() {
+        let a = vec![
+            GaugePoint {
+                t: 0,
+                busy: vec![1],
+            },
+            GaugePoint {
+                t: 10,
+                busy: vec![0],
+            },
+        ];
+        let b = vec![
+            GaugePoint {
+                t: 5,
+                busy: vec![2, 1],
+            },
+            GaugePoint {
+                t: 20,
+                busy: vec![0, 0],
+            },
+        ];
+        let merged = merge_gauge_timelines(&a, &b);
+        assert_eq!(
+            merged,
+            vec![
+                GaugePoint {
+                    t: 0,
+                    busy: vec![1, 0]
+                },
+                GaugePoint {
+                    t: 5,
+                    busy: vec![3, 1]
+                },
+                GaugePoint {
+                    t: 10,
+                    busy: vec![2, 1]
+                },
+                GaugePoint {
+                    t: 20,
+                    busy: vec![0, 0]
+                },
+            ]
+        );
+        // Merging with empty is the identity.
+        assert_eq!(merge_gauge_timelines(&[], &a), a);
+        assert_eq!(merge_gauge_timelines(&a, &[]), a);
     }
 
     #[test]

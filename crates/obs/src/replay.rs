@@ -59,6 +59,41 @@ impl ReplayedTimeline {
     }
 }
 
+/// The number of catalog types a trace references (1 + the highest
+/// machine-type index seen on any event; 0 for a type-free trace).
+#[must_use]
+pub fn infer_n_types(events: &[TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::MachineOpen { machine_type, .. }
+            | TraceEvent::MachineClose { machine_type, .. }
+            | TraceEvent::Placement { machine_type, .. }
+            | TraceEvent::CostAccrual { machine_type, .. } => Some(machine_type.0 + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Folds a recorded event stream back into aggregated [`Metrics`] — the
+/// same aggregates a live [`crate::Recorder`] would have produced. This is
+/// what turns a trace JSONL file into an exposition snapshot after the
+/// fact.
+#[must_use]
+pub fn metrics_from_events(
+    algorithm: impl Into<String>,
+    events: &[TraceEvent],
+    n_types: usize,
+) -> crate::Metrics {
+    let mut metrics = crate::Metrics::new(algorithm, n_types);
+    let mut busy_now = vec![0u32; n_types];
+    for e in events {
+        metrics.update(e, &mut busy_now);
+    }
+    metrics
+}
+
 /// Rebuilds the busy-machine timeline from a trace.
 ///
 /// Events must be in the order the probe emitted them (time-sorted,
@@ -299,6 +334,27 @@ mod tests {
         let replay = replay_timeline(&broken, inst.catalog().len());
         let reference = machine_timeline(&s, &inst);
         assert!(cross_check(&replay, &reference).is_err());
+    }
+
+    #[test]
+    fn metrics_from_events_matches_live_recorder() {
+        let (inst, s) = setup();
+        let mut rec = crate::Recorder::new("offline", inst.catalog().len());
+        synthesize(&s, &inst, &mut rec);
+        let live = rec.into_metrics().unwrap();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        assert_eq!(infer_n_types(&c.events), inst.catalog().len());
+        let folded = metrics_from_events("offline", &c.events, inst.catalog().len());
+        assert_eq!(folded.arrivals, live.arrivals);
+        assert_eq!(folded.placements, live.placements);
+        assert_eq!(folded.traced_cost, live.traced_cost);
+        assert_eq!(folded.cost_by_type, live.cost_by_type);
+        assert_eq!(folded.open_peak_by_type, live.open_peak_by_type);
+        assert_eq!(folded.gauge_timeline, live.gauge_timeline);
+        assert_eq!(folded.utilization_hist, live.utilization_hist);
+        assert_eq!(folded.decision_ns_hist, live.decision_ns_hist);
+        assert_eq!(folded.decision_ns_sum, live.decision_ns_sum);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! that need isolation should [`take`] before and after the measured
 //! region.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -25,7 +25,7 @@ fn registry() -> &'static Mutex<HashMap<&'static str, SpanStat>> {
 }
 
 /// Aggregated timings for one span name.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanStat {
     /// The span name.
     pub name: String,

@@ -183,4 +183,29 @@ proptest! {
         let reference = machine_timeline(&s, &inst);
         prop_assert!(replay::cross_check(&replayed, &reference).is_ok());
     }
+
+    #[test]
+    fn trace_survives_jsonl_round_trip(inst in arb_instance()) {
+        // Serialize → parse must lose nothing: the parsed stream replays
+        // to the same timeline and folds to the same metrics as the live
+        // recorder saw.
+        let mut collector = Collector::default();
+        let s = run_online_probed(&inst, &mut Probing::default(), &mut collector).unwrap();
+        let jsonl: String = collector
+            .events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = replay::parse_jsonl(&jsonl).unwrap();
+        prop_assert_eq!(&parsed, &collector.events);
+        let replayed = replay::replay_timeline(&parsed, inst.catalog().len());
+        let reference = machine_timeline(&s, &inst);
+        prop_assert!(replay::cross_check(&replayed, &reference).is_ok());
+        let folded = replay::metrics_from_events("probe", &parsed, inst.catalog().len());
+        prop_assert_eq!(folded.placements, inst.job_count() as u64);
+        prop_assert_eq!(folded.traced_cost, u64::try_from(schedule_cost(&s, &inst)).unwrap());
+        // Truncating the last line must fail loudly, not parse partially.
+        let cut = &jsonl[..jsonl.len() - 2];
+        prop_assert!(replay::parse_jsonl(cut).is_err());
+    }
 }
