@@ -17,7 +17,7 @@ pub struct OneMachinePerJob;
 
 impl OnlineScheduler for OneMachinePerJob {
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-        let class = pool.catalog().size_class(view.size).expect("job fits");
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         pool.create(class, format!("dedicated/{}", view.id))
     }
 
@@ -41,7 +41,7 @@ impl OnlineScheduler for FirstFitAny {
                 return m;
             }
         }
-        let class = pool.catalog().size_class(view.size).expect("job fits");
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("ff-any#{}", self.open.len()));
         self.open.push(m);
         m
@@ -70,7 +70,7 @@ impl OnlineScheduler for BestFit {
         if let Some(m) = best {
             return m;
         }
-        let class = pool.catalog().size_class(view.size).expect("job fits");
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("best-fit#{}", self.open.len()));
         self.open.push(m);
         m
@@ -98,7 +98,7 @@ impl OnlineScheduler for NextFit {
                 return m;
             }
         }
-        let class = pool.catalog().size_class(view.size).expect("job fits");
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("next-fit#{}", self.opened));
         self.opened += 1;
         self.current = Some(m);
@@ -154,10 +154,12 @@ impl OnlineScheduler for RandomFit {
             .filter(|&m| pool.residual(m) >= view.size)
             .collect();
         if !fitting.is_empty() {
-            let pick = (self.next_u64() % fitting.len() as u64) as usize;
+            let idx = self.next_u64() % bshm_core::convert::count_u64(fitting.len());
+            // idx < fitting.len(), so it always fits back into usize.
+            let pick = bshm_core::convert::usize_from_u64(idx).unwrap_or(0);
             return fitting[pick];
         }
-        let class = pool.catalog().size_class(view.size).expect("job fits");
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("random-fit#{}", self.open.len()));
         self.open.push(m);
         m

@@ -119,7 +119,7 @@ impl OnlineScheduler for FirstFit {
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
         self.roster
             .try_place(view.size, pool)
-            .expect("uncapped roster always places")
+            .expect("uncapped roster always places") // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
     }
 
     fn name(&self) -> &'static str {

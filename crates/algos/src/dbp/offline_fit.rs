@@ -22,17 +22,17 @@ impl FitMachine {
         if job.size > capacity {
             return false;
         }
-        let mut events: Vec<(u64, i64)> = Vec::new();
+        let mut events: Vec<(u64, i128)> = Vec::new();
         for other in &self.jobs {
             if other.interval().overlaps(&job.interval()) {
-                let s = i64::try_from(other.size).expect("size fits i64");
+                let s = i128::from(other.size);
                 events.push((other.arrival.max(job.arrival), s));
                 events.push((other.departure.min(job.departure), -s));
             }
         }
         events.sort_unstable_by_key(|&(t, d)| (t, d));
-        let free = i64::try_from(capacity - job.size).expect("capacity fits i64");
-        let mut load = 0i64;
+        let free = i128::from(capacity - job.size);
+        let mut load = 0i128;
         for (_, d) in events {
             load += d;
             if load > free {

@@ -50,10 +50,9 @@ impl DecOnline {
         let mut overflow = Vec::with_capacity(m);
         for i in 0..m {
             let cap = if i + 1 < m {
-                Some(
-                    usize::try_from(4 * (norm.rate_ratio(TypeIndex(i)) - 1))
-                        .expect("cap fits usize"),
-                )
+                // A cap beyond addressable memory is effectively unlimited,
+                // so saturating keeps the roster semantics without a trap.
+                Some(usize::try_from(4 * (norm.rate_ratio(TypeIndex(i)) - 1)).unwrap_or(usize::MAX))
             } else {
                 None
             };
@@ -150,7 +149,7 @@ impl OnlineScheduler for DecOnline {
             .norm
             .catalog()
             .size_class(view.size)
-            .expect("job fits the largest kept type")
+            .expect("job fits the largest kept type") // bshm-allow(no-panic): normalization keeps the top type, so every job has a class
             .0;
         let big = 2 * view.size > self.g(i);
         if big {
@@ -168,12 +167,12 @@ impl OnlineScheduler for DecOnline {
             self.overflow_placements += 1;
             return self.overflow[i]
                 .try_place_idle(pool)
-                .expect("unlimited overflow roster");
+                .expect("unlimited overflow roster"); // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
         }
         // s(J) ∈ (g_{i-1}, g_i/2]: Group-A First-Fit from type i upward;
         // the unlimited top type guarantees success.
         self.place_group_a(i, view.size, pool)
-            .expect("top-type Group A is unlimited and admits the job")
+            .expect("top-type Group A is unlimited and admits the job") // bshm-allow(no-panic): the top type roster is uncapped (paper Lemma 2)
     }
 
     fn name(&self) -> &'static str {

@@ -163,7 +163,7 @@ pub fn lemma3_violations(
         std::collections::HashMap::new();
     let mut violations = 0usize;
     for &(job_id, type_i, roster_idx) in placements {
-        let j = (roster_idx as u64) / 4 + 1;
+        let j = bshm_core::convert::count_u64(roster_idx) / 4 + 1;
         let stretched = cache
             .entry((type_i, j))
             .or_insert_with(|| series.interval_set(type_i, j).stretch_right(mu_ceil));

@@ -59,23 +59,17 @@ impl Search<'_> {
             return false;
         }
         // Load profile restricted to I(J): events of overlapping jobs.
-        let mut events: Vec<(u64, i64)> = Vec::new();
+        let mut events: Vec<(u64, i128)> = Vec::new();
         for &ji in &m.jobs {
             let other = &self.jobs[ji];
             if other.interval().overlaps(&job.interval()) {
-                events.push((
-                    other.arrival.max(job.arrival),
-                    i64::try_from(other.size).unwrap(),
-                ));
-                events.push((
-                    other.departure.min(job.departure),
-                    -i64::try_from(other.size).unwrap(),
-                ));
+                events.push((other.arrival.max(job.arrival), i128::from(other.size)));
+                events.push((other.departure.min(job.departure), -i128::from(other.size)));
             }
         }
         events.sort_unstable_by_key(|&(t, d)| (t, d));
-        let mut load: i64 = 0;
-        let free = i64::try_from(m.capacity - job.size).unwrap();
+        let mut load: i128 = 0;
+        let free = i128::from(m.capacity - job.size);
         for (_, d) in events {
             load += d;
             if load > free {
@@ -191,7 +185,7 @@ pub fn exact_optimal(instance: &Instance, budget: Option<u64>) -> Option<ExactRe
         .enumerate()
         .map(|(i, j)| {
             (
-                instance.catalog().size_class(j.size).expect("validated").0,
+                instance.catalog().size_class(j.size).expect("validated").0, // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
                 vec![i],
             )
         })

@@ -34,7 +34,7 @@ pub fn general_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
         let class = norm
             .catalog()
             .size_class(job.size)
-            .expect("instance validated; top type survives normalization");
+            .expect("instance validated; top type survives normalization"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         pending[class.0].push(*job);
     }
 

@@ -42,7 +42,8 @@ impl GeneralOnline {
         for j in 0..m {
             let cap = forest
                 .bottom_strips(j, &norm)
-                .map(|b| usize::try_from(4 * b).expect("cap fits usize"));
+                // A cap beyond addressable memory is effectively unlimited.
+                .map(|b| usize::try_from(4 * b).unwrap_or(usize::MAX));
             let orig = norm.original_index(TypeIndex(j));
             group_a.push(FirstFitRoster::new(orig, cap, "gen-A"));
             group_b.push(FirstFitRoster::new(orig, cap, "gen-B"));
@@ -75,7 +76,7 @@ impl OnlineScheduler for GeneralOnline {
             .norm
             .catalog()
             .size_class(view.size)
-            .expect("job fits the largest kept type")
+            .expect("job fits the largest kept type") // bshm-allow(no-panic): normalization keeps the top type, so every job has a class
             .0;
         let path = self.forest.ancestor_path(class);
         let big = 2 * view.size > self.g(class);
@@ -93,7 +94,7 @@ impl OnlineScheduler for GeneralOnline {
             self.overflow_placements += 1;
             return self.overflow[class]
                 .try_place_idle(pool)
-                .expect("unlimited overflow roster");
+                .expect("unlimited overflow roster"); // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
         }
         for &j in &path {
             if 2 * view.size <= self.g(j) {
@@ -107,7 +108,7 @@ impl OnlineScheduler for GeneralOnline {
         self.overflow_placements += 1;
         self.overflow[class]
             .try_place_idle(pool)
-            .expect("unlimited overflow roster")
+            .expect("unlimited overflow roster") // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
     }
 
     fn name(&self) -> &'static str {

@@ -20,7 +20,7 @@ pub fn inc_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {
-        let class = catalog.size_class(job.size).expect("instance validated");
+        let class = catalog.size_class(job.size).expect("instance validated"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         classes[class.0].push(*job);
     }
     let mut schedule = Schedule::new();
@@ -48,7 +48,7 @@ pub fn partitioned_ffd(instance: &Instance) -> Schedule {
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {
-        let class = catalog.size_class(job.size).expect("instance validated");
+        let class = catalog.size_class(job.size).expect("instance validated"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         classes[class.0].push(*job);
     }
     let mut schedule = Schedule::new();

@@ -32,10 +32,10 @@ impl OnlineScheduler for IncOnline {
         let class = pool
             .catalog()
             .size_class(view.size)
-            .expect("job fits the largest type");
+            .expect("job fits the largest type"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         self.rosters[class.0]
             .try_place(view.size, pool)
-            .expect("uncapped roster always places")
+            .expect("uncapped roster always places") // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
     }
 
     fn name(&self) -> &'static str {

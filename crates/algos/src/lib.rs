@@ -60,6 +60,7 @@ pub fn auto_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
 #[must_use]
 pub fn auto_online(instance: &Instance) -> Schedule {
     let run = |s: &mut dyn bshm_sim::OnlineScheduler| {
+        // bshm-allow(no-panic): documented in the # Panics section above
         bshm_sim::run_online_dyn(instance, s).expect("paper policies never overload")
     };
     match instance.classify() {

@@ -1,0 +1,521 @@
+//! The lint rules, tuned to this codebase's invariants.
+//!
+//! Each rule walks the token stream of one file (comments stripped, test
+//! regions masked) and emits raw findings; pragma filtering happens in the
+//! engine afterwards. See `DESIGN.md` § Static analysis for the rationale
+//! behind each rule.
+
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// A rule's identity and scope, used by `--list-rules` and the docs test.
+pub struct RuleInfo {
+    /// Slug used in diagnostics and pragmas.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every lint rule the engine runs (drift auditors are separate).
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        name: "no-panic",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs)",
+    },
+    RuleInfo {
+        name: "float-eq",
+        summary: "no ==/!= on expressions with float operands (costs and rates compare exactly as integers, floats need epsilons)",
+    },
+    RuleInfo {
+        name: "lossy-cast",
+        summary: "no raw `as` casts to integer types in library crates; use From/try_from or bshm_core::convert helpers",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "no Instant::now/SystemTime::now outside obs::span (timing goes through the span/clock layer)",
+    },
+    RuleInfo {
+        name: "no-print",
+        summary: "no println!/eprintln!/print!/eprint!/dbg! in library crates (output goes through Probe/Recorder or returned values)",
+    },
+    RuleInfo {
+        name: "must-use-accessor",
+        summary: "pub fns returning a value in bshm-core's schedule.rs/cost.rs must be #[must_use] (dropped Schedule/cost results hide accounting bugs)",
+    },
+];
+
+/// Integer-typed cast targets the `lossy-cast` rule polices.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Runs every applicable rule over one file's code tokens.
+///
+/// `toks` must be comment-free (see [`crate::diag::code_only`]);
+/// `in_test[i]` masks tokens inside `#[cfg(test)]`/`#[test]` regions.
+#[must_use]
+pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ctx.all_test {
+        return out;
+    }
+    let live = |i: usize| !in_test.get(i).copied().unwrap_or(false);
+    if ctx.strict_library {
+        out.extend(no_panic(ctx, toks, &live));
+        out.extend(no_print(ctx, toks, &live));
+        out.extend(lossy_cast(ctx, toks, &live));
+    }
+    out.extend(float_eq(ctx, toks, &live));
+    if !ctx.path.ends_with("obs/src/span.rs") {
+        out.extend(wall_clock(ctx, toks, &live));
+    }
+    if ctx.path.ends_with("core/src/schedule.rs") || ctx.path.ends_with("core/src/cost.rs") {
+        out.extend(must_use_accessor(ctx, toks, &live));
+    }
+    out
+}
+
+/// `no-panic`: panicking constructs in shipping library code.
+fn no_panic(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(s));
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+        let finding = match t.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is("(") => {
+                Some(format!(".{}() panics on the error path", t.text))
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
+                Some(format!("{}! aborts cost accounting mid-run", t.text))
+            }
+            _ => None,
+        };
+        if let Some(what) = finding {
+            out.push(Diagnostic::error(
+                "no-panic",
+                &ctx.path,
+                t.line,
+                format!(
+                    "{what}; return a Result or justify with `// bshm-allow(no-panic): reason`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `no-print`: direct console output from library crates.
+fn no_print(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        if is_macro
+            && matches!(
+                t.text.as_str(),
+                "println" | "print" | "eprintln" | "eprint" | "dbg"
+            )
+        {
+            out.push(Diagnostic::error(
+                "no-print",
+                &ctx.path,
+                t.line,
+                format!(
+                    "{}! in a library crate; route output through Probe/Recorder or return it",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Collects the comparison operand window on one side of position `op`,
+/// walking `dir` (+1/-1), skipping balanced bracket groups but including
+/// their contents, and stopping at expression boundaries.
+fn operand_window(toks: &[Tok], op: usize, dir: i64) -> Vec<usize> {
+    const BOUNDARY: [&str; 9] = [";", ",", "{", "}", "&&", "||", "=", "==", "!="];
+    let mut idxs = Vec::new();
+    let mut depth = 0i32;
+    let mut i = op as i64 + dir;
+    let (open, close) = if dir < 0 { (")", "(") } else { ("(", ")") };
+    while i >= 0 && (i as usize) < toks.len() && idxs.len() < 48 {
+        let t = &toks[i as usize];
+        if t.is_punct(open) || t.is_punct("]") && dir < 0 || t.is_punct("[") && dir > 0 {
+            depth += 1;
+        } else if t.is_punct(close) || t.is_punct("[") && dir < 0 || t.is_punct("]") && dir > 0 {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0
+            && (BOUNDARY.contains(&t.text.as_str()) && t.kind == TokKind::Punct
+                || t.is_ident("if")
+                || t.is_ident("return")
+                || t.is_ident("let")
+                || t.is_ident("while"))
+        {
+            break;
+        }
+        idxs.push(i as usize);
+        i += dir;
+    }
+    idxs
+}
+
+/// `float-eq`: exact equality on float-typed expressions.
+///
+/// Heuristic: a `==`/`!=` is flagged when either operand window contains a
+/// float literal, an `f32`/`f64` type token, or a cast to float. Windows
+/// are bracket-balanced so `if i == 0 { 0.0 }` (float only in the body)
+/// stays clean while `(x as f64) == y` is caught.
+fn float_eq(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let floaty = |idxs: &[usize]| {
+            idxs.iter().any(|&j| {
+                toks[j].kind == TokKind::Float || toks[j].is_ident("f64") || toks[j].is_ident("f32")
+            })
+        };
+        if floaty(&operand_window(toks, i, -1)) || floaty(&operand_window(toks, i, 1)) {
+            out.push(Diagnostic::error(
+                "float-eq",
+                &ctx.path,
+                t.line,
+                format!(
+                    "`{}` on a float expression; compare integer costs exactly or use an epsilon helper",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `lossy-cast`: raw `as` casts to integer types in library code.
+///
+/// Casts of integer literals (`7 as u64`) are compile-time checkable and
+/// exempt; everything else must go through `From`, `try_from`, or the
+/// audited helpers in `bshm_core::convert`.
+fn lossy_cast(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !INT_TYPES.contains(&target.text.as_str()) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].kind == TokKind::Int {
+            continue;
+        }
+        out.push(Diagnostic::error(
+            "lossy-cast",
+            &ctx.path,
+            t.line,
+            format!(
+                "raw `as {}` cast; use From/try_from or bshm_core::convert, or justify with `// bshm-allow(lossy-cast): reason`",
+                target.text
+            ),
+        ));
+    }
+    out
+}
+
+/// `wall-clock`: direct clock reads outside the span layer.
+fn wall_clock(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Diagnostic::error(
+                "wall-clock",
+                &ctx.path,
+                t.line,
+                format!(
+                    "{}::now() outside obs::span; use bshm_obs::span::now() so timing stays mockable and replay-safe",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `must-use-accessor`: value-returning `pub fn`s in bshm-core's schedule
+/// and cost modules must carry `#[must_use]`.
+fn must_use_accessor(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || !t.is_ident("pub") {
+            continue;
+        }
+        // `pub` [`(crate)` etc.] `fn` name
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_punct("(")) {
+            while j < toks.len() && !toks[j].is_punct(")") {
+                j += 1;
+            }
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|n| n.is_ident("fn")) {
+            continue;
+        }
+        let Some(name) = toks.get(j + 1) else {
+            continue;
+        };
+        // Does the signature have a return type? Scan to the body `{` (or
+        // `;` for trait decls) at angle/paren depth 0, looking for `->`.
+        let mut k = j + 2;
+        let mut paren = 0i32;
+        let mut returns_value = false;
+        while k < toks.len() {
+            let tk = &toks[k];
+            if tk.is_punct("(") || tk.is_punct("[") {
+                paren += 1;
+            } else if tk.is_punct(")") || tk.is_punct("]") {
+                paren -= 1;
+            } else if paren == 0 && tk.is_punct("->") {
+                returns_value = true;
+            } else if paren == 0 && (tk.is_punct("{") || tk.is_punct(";")) {
+                break;
+            }
+            k += 1;
+        }
+        if !returns_value {
+            continue;
+        }
+        // Look back for `#[must_use]` among the attributes directly above:
+        // walk preceding tokens while they form `# [ … ]` groups.
+        let mut has_must_use = false;
+        let mut b = i;
+        while b >= 1 {
+            if !toks[b - 1].is_punct("]") {
+                break;
+            }
+            let mut d = 0i32;
+            let mut s = b - 1;
+            loop {
+                if toks[s].is_punct("]") {
+                    d += 1;
+                } else if toks[s].is_punct("[") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if s == 0 {
+                    break;
+                }
+                s -= 1;
+            }
+            let attr_has = toks[s..b].iter().any(|a| a.is_ident("must_use"));
+            has_must_use |= attr_has;
+            if s == 0 || !toks[s - 1].is_punct("#") {
+                break;
+            }
+            b = s - 1;
+        }
+        if !has_must_use {
+            out.push(Diagnostic::error(
+                "must-use-accessor",
+                &ctx.path,
+                t.line,
+                format!(
+                    "pub fn {} returns a value but is not #[must_use]; a dropped Schedule/cost result hides accounting bugs",
+                    name.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_regions;
+    use crate::diag::code_only;
+    use crate::lexer::tokenize;
+
+    fn check(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext::classify(path);
+        let toks = tokenize(src);
+        let in_test_all = test_regions(&toks);
+        let code: Vec<_> = toks
+            .iter()
+            .zip(&in_test_all)
+            .filter(|(t, _)| !t.is_comment())
+            .collect();
+        let code_toks: Vec<_> = code.iter().map(|(t, _)| (*t).clone()).collect();
+        let flags: Vec<bool> = code.iter().map(|(_, f)| **f).collect();
+        let _ = code_only(&toks);
+        check_file(&ctx, &code_toks, &flags)
+    }
+
+    const LIB: &str = "crates/core/src/x.rs";
+
+    #[test]
+    fn no_panic_positive() {
+        for src in [
+            "fn f() { x.unwrap(); }",
+            "fn f() { x.expect(\"msg\"); }",
+            "fn f() { panic!(\"boom\"); }",
+            "fn f() { unreachable!(); }",
+            "fn f() { todo!(); }",
+        ] {
+            let d = check(LIB, src);
+            assert!(d.iter().any(|d| d.rule == "no-panic"), "{src}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn no_panic_negative() {
+        for src in [
+            "fn f() { x.unwrap_or(0); }",
+            "fn f() { x.unwrap_or_default(); }",
+            "fn f() { x.unwrap_or_else(|| 0); }",
+            "fn f() -> Result<(), E> { x? }",
+            // Strings and comments don't count.
+            "fn f() { let s = \"don't panic!()\"; } // unwrap() here is a comment",
+        ] {
+            assert!(check(LIB, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn no_panic_skips_tests_and_non_library() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
+        assert!(check(LIB, src).is_empty());
+        assert!(check("crates/cli/src/x.rs", "fn f() { x.unwrap(); }").is_empty());
+        assert!(check("crates/core/tests/t.rs", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_positive() {
+        for src in [
+            "fn f() { if a == 0.0 { g(); } }",
+            "fn f() { if (x as f64) == y { g(); } }",
+            "fn f() { assert_cmp(a != 1e-9); }",
+            "fn f() { if cost_ratio == other as f64 { g(); } }",
+        ] {
+            let d = check("crates/bench/src/x.rs", src);
+            assert!(d.iter().any(|d| d.rule == "float-eq"), "{src}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn float_eq_negative() {
+        for src in [
+            "fn f() { if i == 0 { return 0.0; } }", // float only in the body
+            "fn f() { let lo = if i == 0 { 0.0 } else { x as f64 }; }",
+            "fn f() { if cost == other_cost { g(); } }", // integer costs
+            "fn f() { if a <= 4.0 + 1e-9 { g(); } }",    // ordering, not equality
+        ] {
+            let d = check("crates/bench/src/x.rs", src);
+            assert!(d.is_empty(), "{src}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_cast_positive() {
+        for src in [
+            "fn f() { let x = n as u32; }",
+            "fn f() { let x = len() as usize; }",
+            "fn f() { let x = (a + b) as u64; }",
+        ] {
+            let d = check(LIB, src);
+            assert!(d.iter().any(|d| d.rule == "lossy-cast"), "{src}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_cast_negative() {
+        for src in [
+            "fn f() { let x = 7 as u64; }", // literal: compile-time checkable
+            "fn f() { let x = u64::from(n); }",
+            "fn f() { let x = u32::try_from(n)?; }",
+            "fn f() { let x = n as f64; }", // float cast: not this rule
+            "fn f() { let t = x as TimePoint; }", // alias target: not an int keyword
+        ] {
+            let d = check(LIB, src);
+            assert!(d.iter().all(|d| d.rule != "lossy-cast"), "{src}: {d:?}");
+        }
+        // Outside strict library crates the rule is off.
+        assert!(check("crates/bench/src/x.rs", "fn f() { let x = n as u32; }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_positive_and_span_exempt() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let d = check("crates/sim/src/driver.rs", src);
+        assert!(d.iter().any(|d| d.rule == "wall-clock"), "{d:?}");
+        let d = check(
+            "crates/bench/src/x.rs",
+            "fn f() { let t = std::time::SystemTime::now(); }",
+        );
+        assert!(d.iter().any(|d| d.rule == "wall-clock"), "{d:?}");
+        assert!(check("crates/obs/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_print_rule() {
+        let d = check(LIB, "fn f() { println!(\"x\"); }");
+        assert!(d.iter().any(|d| d.rule == "no-print"));
+        let d = check(LIB, "fn f() { dbg!(x); }");
+        assert!(d.iter().any(|d| d.rule == "no-print"));
+        // CLI crates may print.
+        assert!(check("crates/cli/src/x.rs", "fn f() { println!(\"x\"); }").is_empty());
+        // writeln! to a writer is fine anywhere.
+        assert!(check(LIB, "fn f(w: &mut W) { writeln!(w, \"x\"); }").is_empty());
+    }
+
+    #[test]
+    fn must_use_accessor_rule() {
+        let path = "crates/core/src/schedule.rs";
+        let d = check(path, "impl S { pub fn cost(&self) -> u64 { self.c } }");
+        assert!(d.iter().any(|d| d.rule == "must-use-accessor"), "{d:?}");
+        // Annotated: clean.
+        let d = check(
+            path,
+            "impl S { #[must_use]\npub fn cost(&self) -> u64 { self.c } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // No return value: clean.
+        let d = check(path, "impl S { pub fn clear(&mut self) { self.c = 0; } }");
+        assert!(d.is_empty(), "{d:?}");
+        // Other core files are out of scope for this rule.
+        let d = check(
+            "crates/core/src/job.rs",
+            "impl S { pub fn cost(&self) -> u64 { self.c } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Stacked attributes with must_use first still count.
+        let d = check(
+            path,
+            "impl S { #[must_use]\n#[inline]\npub fn cost(&self) -> u64 { self.c } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

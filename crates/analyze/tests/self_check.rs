@@ -1,0 +1,129 @@
+//! The analyzer's own acceptance gate, run as part of `cargo test`:
+//!
+//! 1. The committed workspace is clean — zero error-severity diagnostics.
+//!    This is the same check CI runs via `cargo run -p bshm-analyze`, so a
+//!    violation fails the test suite even before the CI job executes.
+//! 2. Introducing a violation is actually caught (the gate is live, not
+//!    vacuous): seeded fixtures trip each rule.
+//! 3. The drift auditors fail on mutated copies of the synchronized
+//!    artifacts — a new TraceEvent variant unknown to the replay checker,
+//!    a dispatched-but-undocumented subcommand, a bumped schema version.
+
+use bshm_analyze::{analyze_source, analyze_workspace, DriftInputs};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn committed_workspace_is_clean() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace analyzable");
+    let rendered = report.render_human();
+    assert_eq!(
+        report.errors, 0,
+        "lint/drift errors in committed tree:\n{rendered}"
+    );
+    assert_eq!(
+        report.warnings, 0,
+        "stale pragmas in committed tree:\n{rendered}"
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn seeded_violations_are_caught() {
+    // One fixture per rule, written as library-crate code (strict context).
+    let cases: &[(&str, &str)] = &[
+        ("no-panic", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+        ("no-panic", "fn f() { panic!(\"boom\"); }\n"),
+        ("float-eq", "fn f(rate: f64) -> bool { rate == 0.5 }\n"),
+        ("lossy-cast", "fn f(x: u64) -> u32 { x as u32 }\n"),
+        (
+            "wall-clock",
+            "fn f() { let _t = std::time::Instant::now(); }\n",
+        ),
+        ("no-print", "fn f() { println!(\"dbg\"); }\n"),
+    ];
+    for (rule, src) in cases {
+        let diags = analyze_source("crates/core/src/seeded.rs", src);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "fixture for {rule} produced {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn pragma_suppresses_seeded_violation() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // bshm-allow(no-panic): fixture\n";
+    let diags = analyze_source("crates/core/src/seeded.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { None::<u32>.unwrap(); }\n}\n";
+    let diags = analyze_source("crates/core/src/seeded.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn drift_auditor_fails_on_mutated_event_schema() {
+    let root = workspace_root();
+    let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
+    assert!(inputs.audit().is_empty(), "baseline drift audit must pass");
+
+    // Add a TraceEvent variant the replay checker has never heard of.
+    let marker = "pub enum TraceEvent {";
+    assert!(inputs.event_rs.contains(marker), "event.rs changed shape");
+    inputs.event_rs = inputs.event_rs.replace(
+        marker,
+        "pub enum TraceEvent {\n    PhantomVariantForDriftTest { t: u64 },",
+    );
+    let diags = inputs.audit();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "drift/trace-schema"
+                && d.message.contains("PhantomVariantForDriftTest")),
+        "mutated event.rs not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn drift_auditor_fails_on_undocumented_subcommand() {
+    let root = workspace_root();
+    let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
+    inputs.commands_rs = inputs.commands_rs.replace(
+        "match cmd.as_str() {",
+        "match cmd.as_str() {\n        \"phantom-subcommand\" => run_phantom(),",
+    );
+    let diags = inputs.audit();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "drift/cli" && d.message.contains("phantom-subcommand")),
+        "undocumented subcommand not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn drift_auditor_fails_on_schema_version_bump() {
+    let root = workspace_root();
+    let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
+    inputs.baseline_rs = inputs.baseline_rs.replace(
+        "pub const SCHEMA_VERSION: u64 = 1;",
+        "pub const SCHEMA_VERSION: u64 = 2;",
+    );
+    let diags = inputs.audit();
+    assert!(
+        diags.iter().any(|d| d.rule == "drift/bench-schema"),
+        "schema bump not caught: {diags:?}"
+    );
+}

@@ -31,7 +31,6 @@ use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
 use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Version stamp of the `BENCH_*.json` schema. Bump on breaking changes
 /// so the comparator can refuse apples-to-oranges diffs.
@@ -189,7 +188,7 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
     // run's timings.
     let _ = span::take();
     let mut rec = Recorder::new(alg, instance.catalog().len());
-    let start = Instant::now();
+    let start = bshm_obs::span::now();
     let schedule = run_alg_traced(alg, instance, &mut rec)
         .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -234,7 +233,7 @@ pub fn measure_probe_overhead(quick: bool) -> ProbeOverhead {
     let best = |f: &dyn Fn()| -> u64 {
         (0..reps)
             .map(|_| {
-                let t = Instant::now();
+                let t = bshm_obs::span::now();
                 f();
                 u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
             })
@@ -370,9 +369,16 @@ impl Comparison {
     }
 }
 
+/// Exact-zero test for baseline metrics: counters and byte totals arrive
+/// as integral floats, so the comparison is with the smallest positive
+/// value rather than `== 0.0` (which the `float-eq` lint bans).
+fn is_zero(x: f64) -> bool {
+    x.abs() < f64::MIN_POSITIVE
+}
+
 fn push_delta(cmp: &mut Comparison, metric: String, old: f64, new: f64, gate: Option<f64>) {
-    let factor = if old == 0.0 {
-        if new == 0.0 {
+    let factor = if is_zero(old) {
+        if is_zero(new) {
             1.0
         } else {
             f64::INFINITY

@@ -21,7 +21,6 @@ use bshm_bench::table::Table;
 use bshm_bench::{run_experiment, ALL_EXPERIMENTS};
 use std::io::Write;
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +54,7 @@ fn run(mut args: Vec<String>, out: &mut dyn Write, err: &mut dyn Write) -> i32 {
     let mut tables: Vec<Table> = Vec::new();
     for id in ids {
         let Some(mut table) = ({
-            let start = Instant::now();
+            let start = bshm_obs::span::now();
             let t = run_experiment(&id);
             if let Some(t) = &t {
                 let _ = writeln!(

@@ -26,6 +26,7 @@ pub fn machine_busy_set(machine: &MachineSchedule, jobs: &HashMap<JobId, Job>) -
     machine
         .jobs
         .iter()
+        // bshm-allow(no-panic): documented contract — run validate_schedule before costing
         .map(|id| jobs.get(id).expect("assigned job exists").interval())
         .collect()
 }
@@ -82,7 +83,7 @@ pub fn one_machine_per_job_cost(instance: &Instance) -> Cost {
             let class = instance
                 .catalog()
                 .size_class(j.size)
-                .expect("instance validated");
+                .expect("instance validated"); // bshm-allow(no-panic): Instance::new rejects oversize jobs
             let rate = instance.catalog().get(class).rate;
             u128::from(j.duration()) * u128::from(rate)
         })
@@ -159,7 +160,7 @@ mod tests {
     fn empty_machines_are_free() {
         let (inst, mut s) = setup();
         let before = schedule_cost(&s, &inst);
-        s.add_machine(TypeIndex(1), "never-used");
+        let _ = s.add_machine(TypeIndex(1), "never-used");
         assert_eq!(schedule_cost(&s, &inst), before);
     }
 }

@@ -108,7 +108,7 @@ impl Instance {
     /// Aggregate job statistics (never `None`: instances are non-empty).
     #[must_use]
     pub fn stats(&self) -> JobStats {
-        job_stats(&self.jobs).expect("instance is non-empty")
+        job_stats(&self.jobs).expect("instance is non-empty") // bshm-allow(no-panic): Instance::new rejects empty job sets
     }
 
     /// DEC / INC / general classification of the catalog.

@@ -27,6 +27,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod convert;
 pub mod cost;
 pub mod instance;
 pub mod job;

@@ -67,20 +67,24 @@ pub fn optimal_config_cost(demands: &[u64], types: &[MachineType]) -> Cost {
 fn solve_dense(demands: &[u64], types: &[MachineType], d_max: u64) -> Cost {
     let m = types.len();
     assert_eq!(demands.len(), m, "one demand per machine type");
+    // bshm-allow(no-panic): the dense DP table of d_max entries is allocated next; a demand
+    // beyond usize would OOM there anyway, so trapping here is the honest failure.
     let n = usize::try_from(d_max).expect("demand fits usize") + 1;
     const INF: Cost = Cost::MAX;
     let mut dp = vec![INF; n];
     dp[0] = 0;
     for i in 0..m {
-        let d_i = usize::try_from(demands[i]).expect("demand fits usize");
-        // Fold constraint i: R ← max(R, D_i).
+        let d_i = usize::try_from(demands[i]).expect("demand fits usize"); // bshm-allow(no-panic): demands[i] <= d_max, checked above
+                                                                           // Fold constraint i: R ← max(R, D_i).
         if d_i > 0 {
-            let best_low = dp[..=d_i].iter().copied().min().expect("non-empty");
+            let best_low = dp[..=d_i].iter().copied().min().unwrap_or(INF);
             dp[..d_i].fill(INF);
             dp[d_i] = best_low;
         }
         // Unbounded purchases of (g_i, r_i), descending pass.
-        let g = usize::try_from(types[i].capacity).expect("capacity fits usize");
+        // A capacity wider than the DP table saturates: one purchase then
+        // covers any outstanding requirement, which saturating_sub encodes.
+        let g = usize::try_from(types[i].capacity).unwrap_or(usize::MAX);
         let r = u128::from(types[i].rate);
         for rem in (1..n).rev() {
             if dp[rem] == INF {
@@ -180,6 +184,7 @@ fn solve(demands: &[u64], types: &[MachineType]) -> (Cost, Vec<u64>) {
         .filter(|(_, s)| s.remaining == 0)
         .min_by_key(|(_, s)| s.cost)
         .map(|(i, s)| (i, *s))
+        // bshm-allow(no-panic): the top type is unbounded (paper §2), so some state reaches remaining == 0
         .expect("covering with the largest type is always feasible");
 
     // Backtrack counts.

@@ -200,7 +200,7 @@ impl Catalog {
     /// Largest capacity `g_m`.
     #[must_use]
     pub fn max_capacity(&self) -> u64 {
-        self.types.last().expect("catalog non-empty").capacity
+        self.types.last().expect("catalog non-empty").capacity // bshm-allow(no-panic): Catalog::new rejects empty type lists
     }
 
     /// The smallest type whose capacity fits `size`, i.e. the size class of a

@@ -41,6 +41,7 @@ pub fn pow2_ceil_ratio(num: u64, den: u64) -> u64 {
     let mut p: u64 = 1;
     // p ≥ num/den ⟺ p·den ≥ num.
     while u128::from(p) * u128::from(den) < u128::from(num) {
+        // bshm-allow(no-panic): deliberate trap — a rate ratio beyond 2^63 is unrepresentable input
         p = p.checked_mul(2).expect("power-of-2 rate overflows u64");
     }
     p
@@ -67,7 +68,8 @@ impl NormalizedCatalog {
             }
         }
         let kept_types = keep.iter().map(|&i| catalog.types()[i]).collect();
-        let kept_catalog = Catalog::new(kept_types).expect("subset of a valid catalog stays valid");
+        // bshm-allow(no-panic): a sorted subset of a valid catalog stays valid
+        let kept_catalog = Catalog::new(kept_types).expect("subset stays valid");
         Self {
             rates_pow2: keep.iter().map(|&i| rounded[i]).collect(),
             original: keep.into_iter().map(TypeIndex).collect(),

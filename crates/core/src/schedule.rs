@@ -53,8 +53,9 @@ impl Schedule {
     }
 
     /// Opens a new machine instance of the given type.
+    #[must_use = "dropping the id orphans the machine: jobs can never be assigned to it"]
     pub fn add_machine(&mut self, machine_type: TypeIndex, label: impl Into<String>) -> MachineId {
-        let id = MachineId(u32::try_from(self.machines.len()).expect("machine count fits u32"));
+        let id = MachineId(crate::convert::index_u32(self.machines.len()));
         self.machines.push(MachineSchedule {
             machine_type,
             jobs: Vec::new(),
@@ -111,11 +112,12 @@ impl Schedule {
     }
 
     /// Iterates `(MachineId, &MachineSchedule)`.
+    #[must_use = "the iterator is the only way to read assignments back out"]
     pub fn iter(&self) -> impl Iterator<Item = (MachineId, &MachineSchedule)> {
         self.machines
             .iter()
             .enumerate()
-            .map(|(i, m)| (MachineId(i as u32), m))
+            .map(|(i, m)| (MachineId(crate::convert::index_u32(i)), m))
     }
 }
 

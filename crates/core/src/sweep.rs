@@ -31,7 +31,8 @@ pub fn event_grid(jobs: &[Job]) -> Vec<TimePoint> {
 /// Returns `None` when `t` is outside `[grid[0], grid[last])`.
 #[must_use]
 pub fn segment_of(grid: &[TimePoint], t: TimePoint) -> Option<usize> {
-    if grid.len() < 2 || t < grid[0] || t >= *grid.last().unwrap() {
+    let (&first, &last) = (grid.first()?, grid.last()?);
+    if grid.len() < 2 || t < first || t >= last {
         return None;
     }
     // partition_point gives the first index with grid[idx] > t.
@@ -86,7 +87,9 @@ pub fn load_profile(jobs: &[Job]) -> Profile {
     let nseg = grid.len().saturating_sub(1);
     let mut diff = vec![0i128; nseg + 1];
     for j in jobs {
+        // bshm-allow(no-panic): the grid is built from these very arrivals
         let a = grid.binary_search(&j.arrival).expect("arrival on grid");
+        // bshm-allow(no-panic): the grid is built from these very departures
         let d = grid.binary_search(&j.departure).expect("departure on grid");
         diff[a] += i128::from(j.size);
         diff[d] -= i128::from(j.size);
@@ -96,7 +99,7 @@ pub fn load_profile(jobs: &[Job]) -> Profile {
     for d in diff.iter().take(nseg) {
         acc += d;
         debug_assert!(acc >= 0);
-        values.push(u64::try_from(acc).expect("load fits u64"));
+        values.push(u64::try_from(acc).expect("load fits u64")); // bshm-allow(no-panic): acc >= 0 (departures never precede arrivals) and fits u64 by instance validation
     }
     Profile { grid, values }
 }
@@ -138,9 +141,11 @@ pub fn demand_grid(jobs: &[Job], catalog: &Catalog) -> DemandGrid {
     for j in jobs {
         let class = catalog
             .size_class(j.size)
-            .expect("job fits some machine type")
+            .expect("job fits some machine type") // bshm-allow(no-panic): demand grids are built for validated instances
             .0;
+        // bshm-allow(no-panic): the grid is built from these very arrivals
         let a = grid.binary_search(&j.arrival).expect("arrival on grid");
+        // bshm-allow(no-panic): the grid is built from these very departures
         let d = grid.binary_search(&j.departure).expect("departure on grid");
         diff[class][a] += i128::from(j.size);
         diff[class][d] -= i128::from(j.size);
@@ -156,7 +161,7 @@ pub fn demand_grid(jobs: &[Job], catalog: &Catalog) -> DemandGrid {
         let mut suffix: i128 = 0;
         for i in (0..m).rev() {
             suffix += acc[i];
-            demands[s][i] = u64::try_from(suffix).expect("demand fits u64");
+            demands[s][i] = u64::try_from(suffix).expect("demand fits u64"); // bshm-allow(no-panic): suffix >= 0 by the debug_assert above; total load fits u64 by instance validation
         }
     }
     DemandGrid { grid, demands }

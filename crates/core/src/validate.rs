@@ -107,7 +107,7 @@ fn peak_overload(jobs: &[Job], capacity: u64) -> Option<(TimePoint, u64)> {
     }
     // Sort by time; at equal time, departures (true) before arrivals (false):
     // `true > false`, so sort key (time, !is_departure) — simpler: (time, is_arrival).
-    events.sort_unstable_by_key(|&(t, is_departure, _)| (t, !is_departure as u8));
+    events.sort_unstable_by_key(|&(t, is_departure, _)| (t, u8::from(!is_departure)));
     let mut load: u64 = 0;
     for (t, is_departure, size) in events {
         if is_departure {
@@ -126,6 +126,7 @@ fn peak_overload(jobs: &[Job], capacity: u64) -> Option<(TimePoint, u64)> {
 /// Intended for tests and examples.
 pub fn assert_feasible(schedule: &Schedule, instance: &Instance) {
     if let Err(e) = validate_schedule(schedule, instance) {
+        // bshm-allow(no-panic): documented panicking assertion helper for tests and examples
         panic!("infeasible schedule: {e}");
     }
 }

@@ -23,7 +23,7 @@ fn escape_label(s: &str) -> String {
 /// trailing `.0` are fine; non-finite values are not produced here).
 fn fmt_value(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
-        format!("{}", x as i64)
+        format!("{}", x as i64) // bshm-allow(lossy-cast): guarded — x is integral with |x| < 1e15, well inside i64
     } else {
         format!("{x}")
     }

@@ -254,14 +254,14 @@ impl Metrics {
                 } else {
                     load as f64 / capacity as f64
                 };
-                let bucket =
-                    ((fill * UTILIZATION_BUCKETS as f64) as usize).min(UTILIZATION_BUCKETS - 1);
+                let bucket = ((fill * UTILIZATION_BUCKETS as f64) as usize) // bshm-allow(lossy-cast): float-to-usize saturates; min() bounds the bucket
+                    .min(UTILIZATION_BUCKETS - 1);
                 self.utilization_hist[bucket] += 1;
                 self.utilization_sum += fill;
                 let b = if decision_ns == 0 {
                     0
                 } else {
-                    (decision_ns.ilog2() as usize).min(DECISION_NS_BUCKETS - 1)
+                    (decision_ns.ilog2() as usize).min(DECISION_NS_BUCKETS - 1) // bshm-allow(lossy-cast): ilog2 of a u64 is at most 63
                 };
                 self.decision_ns_hist[b] += 1;
                 self.decision_ns_sum = self.decision_ns_sum.saturating_add(decision_ns);
@@ -421,12 +421,21 @@ impl std::fmt::Debug for Recorder {
 impl Probe for Recorder {
     fn record(&mut self, event: &TraceEvent) {
         if let Some(w) = self.writer.as_mut() {
-            let line = serde_json::to_string(event).expect("events serialize");
-            if let Err(e) = writeln!(w, "{line}") {
-                self.io_error
-                    .get_or_insert_with(|| format!("writing trace: {e}"));
-            } else {
-                self.events_written += 1;
+            // Serialization failure is reported through the same channel as
+            // IO failure instead of panicking mid-run.
+            match serde_json::to_string(event) {
+                Ok(line) => {
+                    if let Err(e) = writeln!(w, "{line}") {
+                        self.io_error
+                            .get_or_insert_with(|| format!("writing trace: {e}"));
+                    } else {
+                        self.events_written += 1;
+                    }
+                }
+                Err(e) => {
+                    self.io_error
+                        .get_or_insert_with(|| format!("serializing trace event: {e}"));
+                }
             }
         }
         self.metrics.update(event, &mut self.busy_now);

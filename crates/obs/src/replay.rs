@@ -70,7 +70,9 @@ pub fn infer_n_types(events: &[TraceEvent]) -> usize {
             | TraceEvent::MachineClose { machine_type, .. }
             | TraceEvent::Placement { machine_type, .. }
             | TraceEvent::CostAccrual { machine_type, .. } => Some(machine_type.0 + 1),
-            _ => None,
+            // Exhaustive on purpose: a new variant must decide its place
+            // here or fail to compile (see drift/trace-schema).
+            TraceEvent::Arrival { .. } | TraceEvent::Departure { .. } => None,
         })
         .max()
         .unwrap_or(0)
@@ -112,13 +114,22 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
             TraceEvent::MachineClose {
                 t, machine_type, ..
             } => (t, machine_type.0, -1),
-            _ => continue,
+            // Exhaustive on purpose: only open/close move the gauge, and a
+            // new variant must opt out here explicitly.
+            TraceEvent::Arrival { .. }
+            | TraceEvent::Placement { .. }
+            | TraceEvent::Departure { .. }
+            | TraceEvent::CostAccrual { .. } => continue,
         };
         if ty < n_types {
             cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);
         }
         if grid.last() == Some(&t) {
-            *busy.last_mut().expect("row per grid point") = cur.clone();
+            // grid and busy grow in lockstep, so a matching last grid point
+            // implies a last busy row; if-let keeps this panic-free.
+            if let Some(row) = busy.last_mut() {
+                *row = cur.clone();
+            }
         } else {
             grid.push(t);
             busy.push(cur.clone());
@@ -190,7 +201,7 @@ pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, p
     // Job → (machine, first-ever job on that machine?).
     let mut location: HashMap<JobId, (MachineId, bool)> = HashMap::new();
     for (mi, machine) in schedule.machines().iter().enumerate() {
-        let m = MachineId(u32::try_from(mi).expect("machine count fits u32"));
+        let m = MachineId(bshm_core::convert::index_u32(mi));
         for (k, &j) in machine.jobs.iter().enumerate() {
             location.insert(j, (m, k == 0));
         }

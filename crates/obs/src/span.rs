@@ -17,6 +17,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+/// The workspace's single wall-clock source.
+///
+/// Every `Instant::now()` outside this module is a `wall-clock` lint
+/// error (see `bshm-analyze`): routing timing through one chokepoint
+/// keeps perf numbers attributable to a single clock and leaves a seam
+/// for a mocked or virtual clock later.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 fn registry() -> &'static Mutex<HashMap<&'static str, SpanStat>> {
@@ -54,7 +65,11 @@ pub fn record(name: &'static str, ns: u64) {
     if !enabled() {
         return;
     }
-    let mut reg = registry().lock().expect("span registry poisoned");
+    // Span stats are plain counters: on a poisoned lock the partial
+    // aggregates are still meaningful, so recover rather than panic.
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let stat = reg.entry(name).or_insert_with(|| SpanStat {
         name: name.to_string(),
         count: 0,
@@ -96,7 +111,9 @@ impl Drop for SpanGuard {
 /// Drains all aggregates, sorted by total time descending.
 #[must_use]
 pub fn take() -> Vec<SpanStat> {
-    let mut reg = registry().lock().expect("span registry poisoned");
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut stats: Vec<SpanStat> = reg.drain().map(|(_, s)| s).collect();
     stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
     stats

@@ -75,7 +75,7 @@ pub fn run_clairvoyant<S: ClairvoyantScheduler>(
                 departure: job.departure,
             };
             let timing = bshm_obs::span::enabled();
-            let start = timing.then(std::time::Instant::now);
+            let start = timing.then(bshm_obs::span::now);
             let m = scheduler.on_arrival(view, &mut pool);
             if let Some(start) = start {
                 bshm_obs::span::record(

@@ -155,7 +155,7 @@ pub fn run_online_probed<S: OnlineScheduler, P: Probe + ?Sized>(
             };
             if !probing {
                 let timing = span::enabled();
-                let start = timing.then(Instant::now);
+                let start = timing.then(span::now);
                 let m = scheduler.on_arrival(view, &mut pool);
                 if let Some(start) = start {
                     span::record("sim::on_arrival", elapsed_ns(start));
@@ -166,7 +166,7 @@ pub fn run_online_probed<S: OnlineScheduler, P: Probe + ?Sized>(
             }
             probe.on_arrival(t, job.id, job.size);
             let known_machines = pool.len();
-            let start = Instant::now();
+            let start = span::now();
             let m = scheduler.on_arrival(view, &mut pool);
             let decision_ns = elapsed_ns(start);
             span::record("sim::on_arrival", decision_ns);

@@ -73,7 +73,7 @@ impl MachinePool {
 
     /// Opens a new machine of the given type.
     pub fn create(&mut self, machine_type: TypeIndex, label: impl Into<String>) -> MachineId {
-        let id = MachineId(u32::try_from(self.machines.len()).expect("machine count fits u32"));
+        let id = MachineId(bshm_core::convert::index_u32(self.machines.len()));
         self.machines.push(PoolMachine {
             machine_type,
             capacity: self.catalog.get(machine_type).capacity,
@@ -173,13 +173,13 @@ impl MachinePool {
         let m = self
             .job_location
             .remove(&job)
-            .expect("departing job is active");
+            .expect("departing job is active"); // bshm-allow(no-panic): documented contract — a departure for an inactive job is a driver bug
         let pm = &mut self.machines[m.0 as usize];
         let pos = pm
             .active
             .iter()
             .position(|&j| j == job)
-            .expect("job listed on its machine");
+            .expect("job listed on its machine"); // bshm-allow(no-panic): job_location and the machine's active list are updated together
         pm.active.swap_remove(pos);
         pm.load -= size;
         m
