@@ -3,10 +3,10 @@
 
 use crate::lexer::{Tok, TokKind};
 
-/// The four crates whose non-test code must be panic-free and cast-clean:
-/// they implement the paper's exact cost accounting and are linked into
-/// every consumer.
-pub const LIBRARY_CRATES: [&str; 4] = ["core", "algos", "sim", "obs"];
+/// The five crates whose non-test code must be panic-free and cast-clean:
+/// they implement the paper's exact cost accounting (and its fault-time
+/// ledgers) and are linked into every consumer.
+pub const LIBRARY_CRATES: [&str; 5] = ["core", "algos", "sim", "obs", "faults"];
 
 /// Where a file sits in the workspace, derived from its relative path.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -18,10 +18,10 @@ pub struct RuleInfo {
 }
 
 /// Every lint rule the engine runs (drift auditors are separate).
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         name: "no-panic",
-        summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs)",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
     },
     RuleInfo {
         name: "float-eq",
@@ -42,6 +42,10 @@ pub const RULES: [RuleInfo; 6] = [
     RuleInfo {
         name: "must-use-accessor",
         summary: "pub fns returning a value in bshm-core's schedule.rs/cost.rs must be #[must_use] (dropped Schedule/cost results hide accounting bugs)",
+    },
+    RuleInfo {
+        name: "no-raw-trace-write",
+        summary: "no File::create/fs::write in obs/sim outside obs::sink; trace-shaped output goes through the crash-safe writer (TraceWriter/atomic_write)",
     },
 ];
 
@@ -72,6 +76,46 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
     }
     if ctx.path.ends_with("core/src/schedule.rs") || ctx.path.ends_with("core/src/cost.rs") {
         out.extend(must_use_accessor(ctx, toks, &live));
+    }
+    if matches!(ctx.crate_name.as_str(), "obs" | "sim") && !ctx.path.ends_with("obs/src/sink.rs") {
+        out.extend(no_raw_trace_write(ctx, toks, &live));
+    }
+    out
+}
+
+/// `no-raw-trace-write`: direct file writes in the trace-producing crates.
+///
+/// Everything trace-shaped that obs or sim persists must go through
+/// `bshm_obs::sink` (`TraceWriter` for streams, `atomic_write` for
+/// snapshots) so a kill mid-write can never tear more than the final
+/// line. `obs/src/sink.rs` itself — the one sanctioned call site — is
+/// exempted by the caller.
+fn no_raw_trace_write(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let calls = |head: &str, method: &str| {
+            t.is_ident(head)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident(method))
+        };
+        if calls("File", "create") || calls("fs", "write") {
+            let what = format!("{}::{}", t.text, toks[i + 2].text);
+            out.push(Diagnostic::error(
+                "no-raw-trace-write",
+                &ctx.path,
+                t.line,
+                format!(
+                    "raw {what} outside obs::sink; use TraceWriter/atomic_write so a kill cannot tear the output, or justify with `// bshm-allow(no-raw-trace-write): reason`"
+                ),
+            ));
+        }
     }
     out
 }
@@ -489,6 +533,37 @@ mod tests {
         assert!(check("crates/cli/src/x.rs", "fn f() { println!(\"x\"); }").is_empty());
         // writeln! to a writer is fine anywhere.
         assert!(check(LIB, "fn f(w: &mut W) { writeln!(w, \"x\"); }").is_empty());
+    }
+
+    #[test]
+    fn no_raw_trace_write_rule() {
+        let src = "fn f(p: &Path) { let _ = File::create(p); }";
+        for path in ["crates/obs/src/recorder.rs", "crates/sim/src/driver.rs"] {
+            let d = check(path, src);
+            assert!(
+                d.iter().any(|d| d.rule == "no-raw-trace-write"),
+                "{path}: {d:?}"
+            );
+        }
+        let d = check(
+            "crates/obs/src/recorder.rs",
+            "fn f() { std::fs::write(\"t.jsonl\", text); }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-raw-trace-write"), "{d:?}");
+        // The sink module itself is the sanctioned call site.
+        assert!(check("crates/obs/src/sink.rs", src).is_empty());
+        // Other crates (cli writes schedules, bench writes reports) are
+        // out of scope; so are test regions.
+        assert!(check("crates/cli/src/commands.rs", src).is_empty());
+        assert!(check("crates/faults/src/runner.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { let _ = File::create(p); } }";
+        assert!(check("crates/obs/src/recorder.rs", test_src).is_empty());
+        // Reading is fine; only the raw write constructors are flagged.
+        let d = check(
+            "crates/obs/src/replay.rs",
+            "fn f(p: &str) { let _ = std::fs::read_to_string(p); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -57,6 +57,25 @@ fn seeded_violations_are_caught() {
             "fixture for {rule} produced {diags:?}"
         );
     }
+    // The faults crate is a strict library crate too.
+    let diags = analyze_source(
+        "crates/faults/src/seeded.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "no-panic"),
+        "faults crate not strict: {diags:?}"
+    );
+    // no-raw-trace-write fires only in obs/sim, outside the sink module.
+    let raw = "fn f(p: &std::path::Path) { let _ = std::fs::write(p, \"x\"); }\n";
+    let diags = analyze_source("crates/obs/src/seeded.rs", raw);
+    assert!(
+        diags.iter().any(|d| d.rule == "no-raw-trace-write"),
+        "raw trace write not caught: {diags:?}"
+    );
+    assert!(analyze_source("crates/obs/src/sink.rs", raw)
+        .iter()
+        .all(|d| d.rule != "no-raw-trace-write"));
 }
 
 #[test]
@@ -117,10 +136,12 @@ fn drift_auditor_fails_on_undocumented_subcommand() {
 fn drift_auditor_fails_on_schema_version_bump() {
     let root = workspace_root();
     let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
-    inputs.baseline_rs = inputs.baseline_rs.replace(
-        "pub const SCHEMA_VERSION: u64 = 1;",
+    let bumped = inputs.baseline_rs.replace(
         "pub const SCHEMA_VERSION: u64 = 2;",
+        "pub const SCHEMA_VERSION: u64 = 3;",
     );
+    assert_ne!(bumped, inputs.baseline_rs, "mutation must actually apply");
+    inputs.baseline_rs = bumped;
     let diags = inputs.audit();
     assert!(
         diags.iter().any(|d| d.rule == "drift/bench-schema"),

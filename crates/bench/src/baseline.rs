@@ -5,8 +5,9 @@
 //! catalogs; reproducible seeds) through every registered scheduler
 //! (`bshm_cli::commands::ALG_NAMES`) with a live [`Recorder`] probe and
 //! span timing, and records per-algorithm wall-clock, decision-latency
-//! quantiles, peak open machines per type, and cost vs the §II lower
-//! bound. It also measures the `NoProbe` driver overhead against the
+//! quantiles, peak open machines per type, cost vs the §II lower bound,
+//! and recovery overhead (displaced jobs + recovery-cost ratio) from a
+//! separate run under the fixed [`FAULT_PLAN_SPEC`] fault plan. It also measures the `NoProbe` driver overhead against the
 //! un-instrumented driver and asserts it stays within
 //! [`PROBE_OVERHEAD_BOUND`] (the asserted form of the `probe_overhead`
 //! Criterion bench).
@@ -19,11 +20,12 @@
 //! against its recorded bound. The `baseline` binary exits non-zero on
 //! any breach.
 
-use bshm_cli::commands::{run_alg_traced, ALG_NAMES};
+use bshm_cli::commands::{online_or_scripted, run_alg_traced, ALG_NAMES};
 use bshm_core::instance::Instance;
 use bshm_core::lower_bound::lower_bound;
 use bshm_core::schedule_cost;
 use bshm_core::validate::validate_schedule;
+use bshm_faults::{run_online_faulted, FaultPlan, SameType};
 use bshm_obs::span::{self, SpanStat};
 use bshm_obs::{NoProbe, Recorder};
 use bshm_sim::{run_online, run_online_probed};
@@ -34,7 +36,15 @@ use std::path::{Path, PathBuf};
 
 /// Version stamp of the `BENCH_*.json` schema. Bump on breaking changes
 /// so the comparator can refuse apples-to-oranges diffs.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the recovery-overhead columns (`displaced_jobs`,
+/// `recovery_cost_ratio`) measured under [`FAULT_PLAN_SPEC`].
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The fixed fault plan behind the recovery-overhead columns: a handful
+/// of seeded machine crashes, deterministic per workload. Every algorithm
+/// rides the same plan, so the columns compare like for like.
+pub const FAULT_PLAN_SPEC: &str = "seeded:1313:3";
 
 /// The asserted probe-overhead bound: the `NoProbe` driver path must stay
 /// within this factor of the un-instrumented driver (best-of-N wall
@@ -98,6 +108,12 @@ pub struct AlgBaseline {
     pub ratio: f64,
     /// Placement decisions made (= jobs).
     pub placements: u64,
+    /// Jobs displaced by the [`FAULT_PLAN_SPEC`] crashes in a separate
+    /// faulted run (the timing/cost columns above stay fault-free).
+    pub displaced_jobs: u64,
+    /// Recovery cost over base cost in that faulted run (0 when no crash
+    /// landed on a live machine).
+    pub recovery_cost_ratio: f64,
     /// Hot-path span breakdown for this run (wall-clock per phase).
     pub spans: Vec<SpanStat>,
 }
@@ -200,6 +216,7 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
         panic!("baseline alg {alg} produced an infeasible schedule: {e}");
     }
     let cost = schedule_cost(&schedule, instance);
+    let (displaced_jobs, recovery_cost_ratio) = measure_recovery(alg, instance);
     AlgBaseline {
         alg: alg.to_string(),
         wall_ns,
@@ -210,8 +227,27 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
         cost: u64::try_from(cost).expect("suite costs fit u64"),
         ratio: cost as f64 / lb as f64,
         placements: metrics.placements,
+        displaced_jobs,
+        recovery_cost_ratio,
         spans,
     }
+}
+
+/// Runs the algorithm once more under [`FAULT_PLAN_SPEC`] (same-type
+/// recovery, no probe) and returns the recovery-overhead columns. Offline
+/// algorithms replay their schedule through the script scheduler, exactly
+/// as `bshm solve --faults` does.
+fn measure_recovery(alg: &str, instance: &Instance) -> (u64, f64) {
+    let plan = FaultPlan::parse(FAULT_PLAN_SPEC).expect("fixed fault spec parses");
+    let mut scheduler =
+        online_or_scripted(alg, instance).unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
+    let mut policy = SameType::default();
+    let outcome = run_online_faulted(instance, &mut *scheduler, &plan, &mut policy, &mut NoProbe)
+        .unwrap_or_else(|e| panic!("baseline alg {alg} under {FAULT_PLAN_SPEC}: {e}"));
+    (
+        outcome.report.displaced,
+        outcome.report.recovery_cost_ratio(),
+    )
 }
 
 /// Measures the `NoProbe` overhead: best-of-N wall clock of the probed
@@ -497,6 +533,15 @@ pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Co
                     npeak as f64,
                     None,
                 );
+                // Recovery overhead is deterministic too, but legitimate
+                // policy/plan tuning moves it: report, don't gate.
+                push_delta(
+                    &mut cmp,
+                    path("displaced_jobs"),
+                    oa.displaced_jobs as f64,
+                    na.displaced_jobs as f64,
+                    None,
+                );
             }
         }
     }
@@ -622,6 +667,8 @@ mod tests {
                     cost: 120,
                     ratio: 1.2,
                     placements: 10,
+                    displaced_jobs: 2,
+                    recovery_cost_ratio: 0.05,
                     spans: vec![],
                 }],
             }],
@@ -753,12 +800,28 @@ mod tests {
                 assert!(!a.spans.is_empty(), "{}/{}: no spans", w.workload, a.alg);
             }
         }
+        // The recovery columns exist and the fixed plan actually bites on
+        // at least one (workload, algorithm) pair.
+        assert!(
+            report
+                .workloads
+                .iter()
+                .flat_map(|w| &w.algorithms)
+                .any(|a| a.displaced_jobs > 0),
+            "{FAULT_PLAN_SPEC} displaced nothing anywhere"
+        );
+        for w in &report.workloads {
+            for a in &w.algorithms {
+                assert!(a.recovery_cost_ratio >= 0.0, "{}/{}", w.workload, a.alg);
+            }
+        }
         // Determinism: a second run schedules identically (costs equal).
         let again = run_suite(true, "TEST");
         for (w1, w2) in report.workloads.iter().zip(&again.workloads) {
             for (a1, a2) in w1.algorithms.iter().zip(&w2.algorithms) {
                 assert_eq!(a1.cost, a2.cost, "{}/{}", w1.workload, a1.alg);
                 assert_eq!(a1.peak_open_by_type, a2.peak_open_by_type);
+                assert_eq!(a1.displaced_jobs, a2.displaced_jobs);
             }
         }
         // The asserted probe bound (satellite of the probe_overhead bench).

@@ -123,7 +123,7 @@ fn experiments_md(tables: &[Table]) -> String {
          Besides the claim tables below, the harness keeps a performance\n\
          baseline: `BENCH_*.json` at the repo root, regenerated with\n\n\
          ```sh\n\
-         cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR3.json\n\
+         cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR5.json\n\
          ```\n\n\
          The report is schema-versioned (`schema_version`) and records, for\n\
          each deterministic suite workload (`dec-poisson-uniform`,\n\
@@ -132,7 +132,11 @@ fn experiments_md(tables: &[Table]) -> String {
          `decision_ns_p50/p95/p99` (histogram-estimated placement latency),\n\
          `peak_open_by_type`, `cost` + `ratio` vs the §II lower bound, and a\n\
          per-run `spans` breakdown. `probe_overhead` stores the asserted\n\
-         NoProbe-vs-uninstrumented driver factor and its bound.\n\n\
+         NoProbe-vs-uninstrumented driver factor and its bound. Schema v2\n\
+         added two recovery-overhead columns measured in a separate faulted\n\
+         run (fixed plan `seeded:1313:3`, same-type recovery): `displaced_jobs`\n\
+         (jobs knocked off crashed machines) and `recovery_cost_ratio`\n\
+         (recovery-machine busy-time cost over the fault-free base cost).\n\n\
          To read a regression report (`baseline compare OLD NEW`, or\n\
          `run --compare` against the most recent prior `BENCH_*.json`): each\n\
          row is `workload/alg/metric` with old/new values and the growth\n\
@@ -141,6 +145,28 @@ fn experiments_md(tables: &[Table]) -> String {
          counts match; `cost`: any growth on the same workload; probe\n\
          overhead: factor over its recorded bound). `FAIL:` lines repeat the\n\
          breaches and the binary exits non-zero — this is the CI gate.\n\n",
+    );
+    out.push_str(
+        "## Fault injection & checkpoint format\n\n\
+         Fault runs are driven by a deterministic `FaultPlan` spec — a\n\
+         comma-separated list of directives:\n\n\
+         ```text\n\
+         crash:T:M            kill machine index M of type T at time T\n\
+         storm:T:N:SIZE:DUR   burst of N synthetic arrivals at time T\n\
+         oversized:T:SIZE:DUR inject a job larger than any machine type at T\n\
+         seeded:SEED:N        N pseudo-random crashes drawn from SEED\n\
+         ```\n\n\
+         (`\"\"` or `none` means no faults; an empty plan is byte-identical to\n\
+         the unfaulted driver.) Recovery policies are `same-type`,\n\
+         `first-fit`, and `degrade`; recovered jobs land only on machines the\n\
+         policy itself opens, so recovery cost is accounted separately from\n\
+         base cost. Checkpoints (`bshm crash-test`, or `RunOptions` in\n\
+         `bshm-faults`) are JSON decision logs: an FNV-1a digest of the\n\
+         instance, the\n\
+         algorithm/policy/plan fingerprints, and the prefix of placement\n\
+         decisions; restore replays the prefix, verifies every decision\n\
+         matches, and continues — producing a final schedule and trace suffix\n\
+         byte-identical to the uninterrupted run.\n\n",
     );
     out.push_str("## Summary\n\n| exp | claim (paper) | verdict |\n|---|---|---|\n");
     for t in tables {

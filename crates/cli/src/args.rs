@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value: `--metrics` is a switch, not `--metrics X`.
-const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "salvage"];
 
 /// Parsed flags: `--key value` pairs plus positional arguments.
 #[derive(Clone, Debug, Default)]
@@ -129,5 +129,8 @@ mod tests {
         let f = Flags::parse(&argv("--alg auto --metrics")).unwrap();
         assert!(f.has("metrics"));
         assert!(Flags::parse(&argv("--metrics --metrics")).is_err());
+        let f = Flags::parse(&argv("--salvage --trace t.jsonl")).unwrap();
+        assert!(f.has("salvage"));
+        assert_eq!(f.get("trace"), Some("t.jsonl"));
     }
 }

@@ -10,8 +10,9 @@ use bshm_core::lower_bound::{lower_bound, lp_lower_bound};
 use bshm_core::schedule::Schedule;
 use bshm_core::validate::validate_schedule;
 use bshm_core::{schedule_cost, Cost};
+use bshm_faults::{FaultOutcome, FaultPlan, ScriptScheduler};
 use bshm_obs::{replay, NoProbe, Probe, Recorder};
-use bshm_sim::{run_clairvoyant, run_online_probed};
+use bshm_sim::{run_clairvoyant, run_online_probed, OnlineScheduler};
 use bshm_workload::WorkloadSpec;
 use std::io::Write;
 
@@ -25,7 +26,11 @@ USAGE:
                 [--seed S] [--out FILE]
   bshm solve    --instance FILE --alg NAME [--out FILE]
                 [--trace FILE] [--metrics] [--metrics-format prometheus|json]
+                [--faults SPEC] [--recover POLICY]
   bshm replay   --trace FILE [--instance FILE --schedule FILE] [--rows N]
+                [--salvage]
+  bshm crash-test --instance FILE [--alg NAME] [--faults SPEC]
+                [--recover POLICY] [--stop-after N] [--artifacts DIR]
   bshm export-metrics --trace FILE [--format prometheus|json] [--alg LABEL]
                 [--out FILE]
   bshm top      TRACE.jsonl [--cols N]
@@ -53,11 +58,26 @@ OBSERVABILITY:
                        timeline, utilization, latency quantiles, accrual
                        rates per machine type
 
+FAULTS & RECOVERY:
+  solve --faults SPEC  inject machine crashes, arrival storms and oversized
+                       jobs mid-run; displaced jobs are re-placed by the
+                       --recover policy onto separately-billed recovery
+                       machines (base cost vs recovery cost stay distinct)
+  replay --salvage     tolerate a torn trailing line (killed writer):
+                       replay the valid prefix, report dropped lines
+  crash-test           end-to-end robustness check: run, kill at a
+                       checkpoint, salvage the torn trace, restore from the
+                       checkpoint, verify schedule/cost/trace-suffix
+                       equality; nonzero exit on any mismatch
+
 SPEC GRAMMARS:
   catalog:   dec:M:G | inc:M:G | saw:M:G | ec2-dec | ec2-inc | custom:4x1,16x2
   arrivals:  poisson:GAP | diurnal:BASE:PEAK:PERIOD | batch | regular:GAP
   durations: uniform:MIN:MAX | pareto:MIN:MAX:ALPHA | bimodal:S:L:P | fixed:D
   sizes:     uniform:MIN:MAX | pareto:MIN:MAX:ALPHA | discrete:1x4,8x1
+  faults:    crash:T:M | storm:T:N:SIZE:DUR | oversized:T:SIZE:DUR
+             | seeded:SEED:N   (comma-separated; `none` = no faults)
+  recover:   same-type | first-fit | degrade
 ";
 
 /// All scheduler names `bshm solve --alg` accepts.
@@ -86,6 +106,7 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
     match cmd.as_str() {
         "gen" => cmd_gen(&flags, out),
         "solve" => cmd_solve(&flags, out),
+        "crash-test" => cmd_crash_test(&flags, out),
         "replay" => cmd_replay(&flags, out),
         "export-metrics" => cmd_export_metrics(&flags, out),
         "top" => cmd_top(&flags, out),
@@ -215,6 +236,30 @@ pub fn run_alg_traced(
     Ok(s)
 }
 
+/// Builds a boxed online scheduler for `name`, so any registered
+/// algorithm can run under the faulted driver.
+///
+/// Truly online schedulers are constructed directly. Offline algorithms
+/// (and the clairvoyant baseline) compute their schedule first; a
+/// [`ScriptScheduler`] then replays it through the online driver, where
+/// crashes and injected jobs can disturb it.
+pub fn online_or_scripted(
+    name: &str,
+    instance: &Instance,
+) -> Result<Box<dyn OnlineScheduler>, String> {
+    let catalog = instance.catalog();
+    Ok(match name {
+        "dec-online" => Box::new(bshm_algos::DecOnline::new(catalog)),
+        "inc-online" => Box::new(bshm_algos::IncOnline::new(catalog)),
+        "gen-online" => Box::new(bshm_algos::GeneralOnline::new(catalog)),
+        "first-fit-any" => Box::new(FirstFitAny::default()),
+        "best-fit" => Box::new(BestFit::default()),
+        "single-type" => Box::new(SingleType::largest()),
+        "one-per-job" => Box::new(OneMachinePerJob),
+        offline => Box::new(ScriptScheduler::new(&run_alg(offline, instance)?)),
+    })
+}
+
 /// Parses a `--metrics-format`/`--format` value.
 fn parse_metrics_format(value: Option<&str>, flag: &str) -> Result<MetricsFormat, String> {
     match value {
@@ -235,6 +280,9 @@ enum MetricsFormat {
 fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
     let instance = load_instance(flags)?;
     let alg = flags.get("alg").unwrap_or("auto");
+    if let Some(spec) = flags.get("faults") {
+        return cmd_solve_faulted(flags, out, &instance, alg, spec);
+    }
     let trace_path = flags.get("trace");
     let format = parse_metrics_format(flags.get("metrics-format"), "metrics-format")?;
     let want_metrics = flags.has("metrics") || flags.get("metrics-format").is_some();
@@ -294,6 +342,145 @@ fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `solve --faults`: run under fault injection with recovery.
+///
+/// The resulting schedule is an *execution record* — a recovered job
+/// appears on both its crashed machine and its recovery machine — so
+/// feasibility validation does not apply; the fault/recovery ledger is
+/// printed instead, with recovery cost kept separate from base cost.
+fn cmd_solve_faulted(
+    flags: &Flags,
+    out: Out,
+    instance: &Instance,
+    alg: &str,
+    spec: &str,
+) -> Result<(), String> {
+    let plan = FaultPlan::parse(spec)?;
+    let policy_name = flags.get("recover").unwrap_or("same-type");
+    let mut policy = bshm_faults::policy_by_name(policy_name)?;
+    let mut scheduler = online_or_scripted(alg, instance)?;
+    let trace_path = flags.get("trace");
+    let format = parse_metrics_format(flags.get("metrics-format"), "metrics-format")?;
+    let want_metrics = flags.has("metrics") || flags.get("metrics-format").is_some();
+    let run = |probe: &mut dyn Probe,
+               scheduler: &mut dyn OnlineScheduler,
+               policy: &mut dyn bshm_faults::RecoveryPolicy|
+     -> Result<FaultOutcome, String> {
+        bshm_faults::run_online_faulted(instance, scheduler, &plan, policy, probe)
+            .map_err(|e| e.to_string())
+    };
+    let outcome = if trace_path.is_some() || want_metrics {
+        let mut rec = Recorder::new(alg, instance.catalog().len());
+        if let Some(p) = trace_path {
+            rec = rec.with_file(p).map_err(|e| format!("creating {p}: {e}"))?;
+        }
+        let outcome = run(&mut rec, &mut *scheduler, &mut *policy)?;
+        let written = rec.events_written();
+        let metrics = rec.into_metrics()?;
+        if let Some(p) = trace_path {
+            let _ = writeln!(out, "wrote {written} trace events to {p}");
+        }
+        if want_metrics {
+            match format {
+                MetricsFormat::Prometheus => {
+                    let _ = write!(out, "{}", bshm_obs::encode_prometheus(&metrics, &[]));
+                }
+                MetricsFormat::Json => {
+                    let _ = write!(out, "{}", metrics.summary());
+                    let json = serde_json::to_string_pretty(&metrics).expect("metrics serialize");
+                    let _ = writeln!(out, "{json}");
+                }
+            }
+        }
+        outcome
+    } else {
+        run(&mut NoProbe, &mut *scheduler, &mut *policy)?
+    };
+    let r = &outcome.report;
+    if !(want_metrics && format == MetricsFormat::Prometheus) {
+        let _ = writeln!(out, "algorithm:    {alg} + {policy_name} recovery");
+        let _ = writeln!(out, "faults:       {}", plan.spec());
+        let _ = writeln!(
+            out,
+            "crashes:      {} applied, {} skipped (target absent/retired)",
+            r.crashes, r.crashes_skipped
+        );
+        let _ = writeln!(out, "injected:     {} jobs", r.injected);
+        let _ = writeln!(
+            out,
+            "displaced:    {} jobs ({} recovered, {} arrivals rerouted)",
+            r.displaced, r.recovered, r.rerouted
+        );
+        let _ = writeln!(out, "dropped:      {} jobs", r.dropped.len());
+        for (job, reason) in &r.dropped {
+            let _ = writeln!(out, "  job {}: {reason}", job.0);
+        }
+        let _ = writeln!(out, "base cost:    {}", r.base_cost);
+        let _ = writeln!(
+            out,
+            "recovery:     cost {} (ratio {:.3} of base)",
+            r.recovery_cost,
+            r.recovery_cost_ratio()
+        );
+    }
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&outcome.schedule).expect("schedules serialize");
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        if !(want_metrics && format == MetricsFormat::Prometheus) {
+            let _ = writeln!(out, "wrote execution record to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `crash-test`: run, kill at a checkpoint, salvage, restore, verify.
+///
+/// Exits nonzero when any verification (salvaged prefix, final schedule,
+/// cost ledgers, trace suffix) fails to match the uninterrupted run.
+fn cmd_crash_test(flags: &Flags, out: Out) -> Result<(), String> {
+    let instance = load_instance(flags)?;
+    let alg = flags.get("alg").unwrap_or("first-fit-any");
+    let plan = FaultPlan::parse(flags.get("faults").unwrap_or("seeded:42:3"))?;
+    let policy_name = flags.get("recover").unwrap_or("same-type");
+    // Default kill point: roughly mid-run (each job contributes an arrival
+    // and a departure driver event; the harness clamps into range).
+    let stop_after = flags.get_or("stop-after", instance.job_count() as u64)?;
+    let artifacts = flags.get("artifacts").map(std::path::PathBuf::from);
+    if let Some(dir) = &artifacts {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    // Surface unknown-algorithm/policy errors once, before the factories
+    // (which must be infallible) re-build fresh state per run.
+    online_or_scripted(alg, &instance)?;
+    bshm_faults::policy_by_name(policy_name)?;
+    let mut make_scheduler =
+        || online_or_scripted(alg, &instance).expect("algorithm validated above");
+    let mut make_policy =
+        || bshm_faults::policy_by_name(policy_name).expect("policy validated above");
+    let report = bshm_faults::crash_test(
+        &instance,
+        &mut make_scheduler,
+        &plan,
+        &mut make_policy,
+        stop_after,
+        artifacts.as_deref(),
+    )
+    .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "{}", report.summary());
+    if let Some(dir) = &artifacts {
+        let _ = writeln!(
+            out,
+            "artifacts:  {} (torn trace .partial + checkpoint)",
+            dir.display()
+        );
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("crash-test verification failed (see summary above)".to_string())
+    }
 }
 
 /// Reads and parses a trace JSONL file, rejecting empty/truncated input.
@@ -471,7 +658,23 @@ fn cmd_top(flags: &Flags, out: Out) -> Result<(), String> {
 
 fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
     let path = flags.require("trace")?;
-    let events = load_trace(path)?;
+    // --salvage tolerates a torn trailing line (what a killed writer
+    // leaves behind): replay the valid prefix, report what was dropped.
+    let events = if flags.has("salvage") {
+        let s = bshm_obs::sink::salvage_jsonl(std::path::Path::new(path))?;
+        let _ = writeln!(
+            out,
+            "salvage:      kept {} events, dropped {} damaged line(s)",
+            s.events.len(),
+            s.dropped_lines
+        );
+        if s.events.is_empty() {
+            return Err(format!("trace {path} contains no salvageable events"));
+        }
+        s.events
+    } else {
+        load_trace(path)?
+    };
     let mut kinds: std::collections::BTreeMap<&'static str, usize> =
         std::collections::BTreeMap::new();
     for e in &events {

@@ -1,0 +1,173 @@
+//! Checkpoint/restore by deterministic replay.
+//!
+//! A checkpoint does **not** serialize live scheduler internals — that
+//! would force a `Serialize` bound onto every policy. Instead it records
+//! the *decision log*: every placement, recovery, reroute and drop made up
+//! to the checkpoint, plus fingerprints of the inputs. The whole faulted
+//! simulation is deterministic given (instance, fault plan, scheduler,
+//! recovery policy), so restoring means re-running from the start while
+//! asserting each decision against the log — any divergence is reported as
+//! a checkpoint error, never silently accepted — and suppressing the
+//! `trace_events_emitted` probe events that were already written. The
+//! resumed run therefore reconstructs the exact driver, pool and scheduler
+//! state and emits exactly the missing trace suffix.
+
+use bshm_core::Instance;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Sentinel machine id in a [`DecisionRecord`] for dropped jobs.
+pub const DROPPED_MACHINE: u32 = u32::MAX;
+
+/// One irrevocable decision made by the faulted driver.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// The job the decision was about.
+    pub job: u32,
+    /// Target machine id, or [`DROPPED_MACHINE`] when the job was dropped.
+    pub machine: u32,
+    /// `"place"`, `"recover"`, `"reroute"` or `"drop"`.
+    pub action: String,
+}
+
+impl DecisionRecord {
+    /// Builds a record; pass [`DROPPED_MACHINE`] for drops.
+    #[must_use]
+    pub fn new(job: u32, machine: u32, action: &str) -> Self {
+        Self {
+            job,
+            machine,
+            action: action.to_string(),
+        }
+    }
+}
+
+/// Format version written into every checkpoint; bump on layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A restorable snapshot of a faulted run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// [`CHECKPOINT_VERSION`] at write time.
+    pub version: u32,
+    /// The scheduler's display name at write time (refused on mismatch).
+    pub algorithm: String,
+    /// The recovery policy's name (refused on mismatch).
+    pub policy: String,
+    /// The fault-plan spec string (refused on mismatch).
+    pub plan_spec: String,
+    /// FNV-1a digest of the instance's JSON (refused on mismatch).
+    pub instance_digest: u64,
+    /// Driver events fully processed before this snapshot.
+    pub events_processed: u64,
+    /// Trace events emitted before this snapshot — the restore suppresses
+    /// exactly this many, so the resumed trace is the missing suffix.
+    pub trace_events_emitted: u64,
+    /// The decision log up to this snapshot.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+impl Checkpoint {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("checkpoint encode: {e}"))
+    }
+
+    /// Parses a checkpoint, refusing unknown future versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let cp: Checkpoint =
+            serde_json::from_str(text).map_err(|e| format!("checkpoint decode: {e}"))?;
+        if cp.version > CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} is newer than supported {CHECKPOINT_VERSION}",
+                cp.version
+            ));
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint torn-free (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut text = self.to_json()?;
+        text.push('\n');
+        bshm_obs::sink::atomic_write(path, &text)
+    }
+
+    /// Loads a checkpoint written by [`Checkpoint::save`].
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// FNV-1a fingerprint of the instance's canonical JSON — cheap, stable
+/// across runs, and enough to refuse restoring against the wrong input.
+pub fn instance_digest(instance: &Instance) -> Result<u64, String> {
+    let json = serde_json::to_string(instance).map_err(|e| format!("instance encode: {e}"))?;
+    Ok(fnv1a64(json.as_bytes()))
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::{Catalog, Job, MachineType};
+
+    fn checkpoint() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            algorithm: "first-fit-any".to_string(),
+            policy: "same-type".to_string(),
+            plan_spec: "crash:5:0".to_string(),
+            instance_digest: 42,
+            events_processed: 7,
+            trace_events_emitted: 19,
+            decisions: vec![
+                DecisionRecord::new(0, 0, "place"),
+                DecisionRecord::new(1, DROPPED_MACHINE, "drop"),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cp = checkpoint();
+        assert_eq!(Checkpoint::from_json(&cp.to_json().unwrap()).unwrap(), cp);
+    }
+
+    #[test]
+    fn future_versions_are_refused() {
+        let mut cp = checkpoint();
+        cp.version = CHECKPOINT_VERSION + 1;
+        assert!(Checkpoint::from_json(&cp.to_json().unwrap()).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bshm-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let cp = checkpoint();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_distinguishes_instances() {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1)]).unwrap();
+        let a = Instance::new(vec![Job::new(0, 1, 0, 5)], catalog.clone()).unwrap();
+        let b = Instance::new(vec![Job::new(0, 2, 0, 5)], catalog).unwrap();
+        assert_ne!(instance_digest(&a).unwrap(), instance_digest(&b).unwrap());
+        assert_eq!(instance_digest(&a).unwrap(), instance_digest(&a).unwrap());
+    }
+}

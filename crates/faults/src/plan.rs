@@ -1,0 +1,268 @@
+//! Fault plans: a seeded, deterministic description of what goes wrong.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (see
+//! [`FaultPlan::parse`]) and later [resolved](FaultPlan::resolve) against a
+//! concrete instance into explicit crash times and injected jobs. Every
+//! step is deterministic — `seeded:` directives expand through the
+//! workspace's seeded RNG, so the same spec against the same instance
+//! always yields the same faults, which is what makes checkpoint/restore
+//! by replay (see [`crate::checkpoint`]) possible at all.
+
+use bshm_core::{Instance, Job, MachineId, TimePoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planned machine revocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashFault {
+    /// When the machine is revoked.
+    pub t: TimePoint,
+    /// Pool index of the target (machine-creation order). A crash aimed
+    /// at a machine that does not exist at `t` — or was already revoked —
+    /// is counted as skipped by the runner, not treated as an error.
+    pub machine: MachineId,
+}
+
+/// A job-injection directive, before ids are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Injection {
+    t: TimePoint,
+    size: u64,
+    duration: u64,
+}
+
+/// How many jobs one `storm:` directive may inject — a typo guard, not a
+/// tuning knob; a burst beyond this is almost certainly a malformed spec.
+pub const MAX_STORM_JOBS: u64 = 100_000;
+
+/// Machine indices drawn by `seeded:` crashes land in `0..SEEDED_MACHINE_RANGE`.
+/// Targets that never materialize are skipped (and reported) by the runner.
+pub const SEEDED_MACHINE_RANGE: u64 = 8;
+
+/// A parsed fault plan.
+///
+/// Holds the raw directives; call [`FaultPlan::resolve`] with the instance
+/// under test to expand `seeded:` directives and assign injected-job ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    spec: String,
+    crashes: Vec<CrashFault>,
+    injections: Vec<Injection>,
+    /// `(seed, crash_count)` pairs from `seeded:` directives.
+    seeded: Vec<(u64, u64)>,
+}
+
+/// A plan resolved against an instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResolvedFaults {
+    /// All crashes (explicit and seeded), sorted by time; directive order
+    /// breaks ties so the expansion is reproducible.
+    pub crashes: Vec<CrashFault>,
+    /// Injected jobs, with ids strictly above the instance's own ids, in
+    /// directive order.
+    pub injected: Vec<Job>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults. Running under it must behave exactly
+    /// like the fault-free driver (the equivalence tests enforce this
+    /// byte-for-byte on the trace).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan contains no directives at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.injections.is_empty() && self.seeded.is_empty()
+    }
+
+    /// The original spec string (`""` for [`FaultPlan::none`]).
+    #[must_use]
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Parses a comma-separated spec. Directives (fields are
+    /// colon-separated, no spaces):
+    ///
+    /// * `crash:T:M` — revoke machine index `M` at time `T`.
+    /// * `storm:T:N:SIZE:DUR` — inject a burst of `N` jobs of size `SIZE`
+    ///   arriving at `T`, each departing at `T+DUR`.
+    /// * `oversized:T:SIZE:DUR` — inject one job of size `SIZE` at `T`;
+    ///   when `SIZE` exceeds every machine type it is dropped (and
+    ///   reported) at arrival.
+    /// * `seeded:SEED:N` — derive `N` crashes deterministically from
+    ///   `SEED` over the instance's time span.
+    ///
+    /// `""` and `"none"` parse to the empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan {
+            spec: spec.to_string(),
+            ..FaultPlan::default()
+        };
+        if spec.is_empty() || spec == "none" {
+            plan.spec.clear();
+            return Ok(plan);
+        }
+        for directive in spec.split(',') {
+            let fields: Vec<&str> = directive.split(':').collect();
+            match fields.first().copied() {
+                Some("crash") if fields.len() == 3 => {
+                    let machine =
+                        u32::try_from(parse_num(fields[2], directive)?).map_err(|_| {
+                            format!("fault spec `{directive}`: machine index too large")
+                        })?;
+                    plan.crashes.push(CrashFault {
+                        t: parse_num(fields[1], directive)?,
+                        machine: MachineId(machine),
+                    });
+                }
+                Some("storm") if fields.len() == 5 => {
+                    let t = parse_num(fields[1], directive)?;
+                    let n: u64 = parse_num(fields[2], directive)?;
+                    let size = parse_positive(fields[3], directive)?;
+                    let duration = parse_positive(fields[4], directive)?;
+                    if n == 0 || n > MAX_STORM_JOBS {
+                        return Err(format!(
+                            "fault spec `{directive}`: storm count must be in 1..={MAX_STORM_JOBS}"
+                        ));
+                    }
+                    for _ in 0..n {
+                        plan.injections.push(Injection { t, size, duration });
+                    }
+                }
+                Some("oversized") if fields.len() == 4 => {
+                    plan.injections.push(Injection {
+                        t: parse_num(fields[1], directive)?,
+                        size: parse_positive(fields[2], directive)?,
+                        duration: parse_positive(fields[3], directive)?,
+                    });
+                }
+                Some("seeded") if fields.len() == 3 => {
+                    plan.seeded.push((
+                        parse_num(fields[1], directive)?,
+                        parse_num(fields[2], directive)?,
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "fault spec `{directive}`: expected crash:T:M, storm:T:N:SIZE:DUR, \
+                         oversized:T:SIZE:DUR or seeded:SEED:N"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Expands the plan against an instance: seeded crashes are drawn from
+    /// the workspace RNG over the instance's `[first arrival, last
+    /// departure)` span, injected jobs get ids strictly above the
+    /// instance's own. Deterministic: same plan + same instance → same
+    /// resolution.
+    #[must_use]
+    pub fn resolve(&self, instance: &Instance) -> ResolvedFaults {
+        let mut crashes = self.crashes.clone();
+        let jobs = instance.jobs();
+        let lo = jobs.iter().map(|j| j.arrival).min().unwrap_or(0);
+        let hi = jobs.iter().map(|j| j.departure).max().unwrap_or(lo + 1);
+        for &(seed, n) in &self.seeded {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..n {
+                let t = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                let machine = rng.gen_range(0..SEEDED_MACHINE_RANGE);
+                crashes.push(CrashFault {
+                    t,
+                    machine: MachineId(u32::try_from(machine).unwrap_or(0)),
+                });
+            }
+        }
+        crashes.sort_by_key(|c| c.t); // stable: directive order breaks ties
+        let first_id = jobs.iter().map(|j| j.id.0).max().map_or(0, |m| m + 1);
+        let injected = self
+            .injections
+            .iter()
+            .zip(first_id..)
+            .map(|(inj, id)| Job::new(id, inj.size, inj.t, inj.t + inj.duration))
+            .collect();
+        ResolvedFaults { crashes, injected }
+    }
+}
+
+fn parse_num(field: &str, directive: &str) -> Result<u64, String> {
+    field
+        .parse::<u64>()
+        .map_err(|_| format!("fault spec `{directive}`: `{field}` is not a number"))
+}
+
+fn parse_positive(field: &str, directive: &str) -> Result<u64, String> {
+    let n = parse_num(field, directive)?;
+    if n == 0 {
+        return Err(format!(
+            "fault spec `{directive}`: `{field}` must be positive"
+        ));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::{Catalog, MachineType};
+
+    fn instance() -> Instance {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        Instance::new(vec![Job::new(0, 3, 0, 10), Job::new(7, 2, 2, 8)], catalog).unwrap()
+    }
+
+    #[test]
+    fn empty_specs_parse_to_none() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("none").unwrap().is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn grammar_round_trip() {
+        let p = FaultPlan::parse("crash:5:0,storm:3:2:4:6,oversized:1:99:2,seeded:42:2").unwrap();
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.spec(),
+            "crash:5:0,storm:3:2:4:6,oversized:1:99:2,seeded:42:2"
+        );
+        let r = p.resolve(&instance());
+        // 1 explicit + 2 seeded crashes, sorted by time.
+        assert_eq!(r.crashes.len(), 3);
+        assert!(r.crashes.windows(2).all(|w| w[0].t <= w[1].t));
+        // 2 storm jobs + 1 oversized job, ids above the instance's max (7).
+        assert_eq!(r.injected.len(), 3);
+        assert!(r.injected.iter().all(|j| j.id.0 >= 8));
+        assert_eq!(r.injected[0].size, 4);
+        assert_eq!(r.injected[2].size, 99);
+        assert_eq!(r.injected[2].departure, 3);
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let p = FaultPlan::parse("seeded:9:5,storm:0:3:1:1").unwrap();
+        let inst = instance();
+        assert_eq!(p.resolve(&inst), p.resolve(&inst));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "crash:5",
+            "crash:x:0",
+            "storm:1:0:2:3",
+            "storm:1:2:0:3",
+            "oversized:1:2:0",
+            "meteor:1:2",
+            "crash:1:2,",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+}

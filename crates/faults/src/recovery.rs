@@ -1,0 +1,228 @@
+//! Recovery policies: where displaced jobs go after a crash.
+//!
+//! The isolation rule is the load-bearing design decision here: a policy
+//! may place only onto machines **it created** — every one labelled
+//! `recovery/…` — and never onto scheduler-managed machines. The
+//! scheduler's portion of the final schedule is therefore exactly what it
+//! would have been minus the crashed spans, and the busy-time cost of the
+//! `recovery/…` machines is the separately-reported price of the faults,
+//! so the paper's fault-free competitive bounds stay checkable on the base
+//! cost alone.
+
+use bshm_core::{JobId, MachineId, TimePoint, TypeIndex};
+use bshm_sim::MachinePool;
+
+/// A job handed to a recovery policy: displaced by a crash, or an arrival
+/// whose scheduler-chosen machine turned out to be revoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DisplacedJob {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's size.
+    pub size: u64,
+    /// The machine it was (or would have been) on.
+    pub from: MachineId,
+    /// That machine's catalog type.
+    pub from_type: TypeIndex,
+    /// The current time (crash or arrival time).
+    pub t: TimePoint,
+}
+
+/// A policy that re-places displaced jobs.
+///
+/// Contract: the returned machine was created by this policy (label
+/// prefix `recovery/`) and has residual capacity ≥ `job.size`. Returning
+/// `Err(reason)` drops the job — the runner records the drop explicitly,
+/// so nothing is ever lost silently.
+pub trait RecoveryPolicy {
+    /// Chooses (or opens) the recovery machine for `job`.
+    fn recover(&mut self, job: DisplacedJob, pool: &mut MachinePool) -> Result<MachineId, String>;
+
+    /// The policy's display name (also its spec-string name).
+    fn name(&self) -> &'static str;
+}
+
+/// The recovery-policy names accepted by [`policy_by_name`].
+pub const POLICY_NAMES: [&str; 3] = ["same-type", "first-fit", "degrade"];
+
+/// Builds a recovery policy from its spec-string name.
+pub fn policy_by_name(name: &str) -> Result<Box<dyn RecoveryPolicy>, String> {
+    match name {
+        "same-type" => Ok(Box::new(SameType::default())),
+        "first-fit" => Ok(Box::new(FirstFitRepack::default())),
+        "degrade" => Ok(Box::new(DegradeToLargest::default())),
+        other => Err(format!(
+            "unknown recovery policy `{other}` (expected one of: {})",
+            POLICY_NAMES.join(", ")
+        )),
+    }
+}
+
+fn label(policy: &str, n: usize) -> String {
+    format!("recovery/{policy}/{n}")
+}
+
+/// Re-places each displaced job on a recovery machine of the *same
+/// catalog type* it was running on, first-fit over this policy's own
+/// machines of that type. Cannot fail: the job fit that type before.
+#[derive(Debug, Default)]
+pub struct SameType {
+    machines: Vec<MachineId>,
+}
+
+impl RecoveryPolicy for SameType {
+    fn recover(&mut self, job: DisplacedJob, pool: &mut MachinePool) -> Result<MachineId, String> {
+        for &m in &self.machines {
+            if pool.machine_type(m) == job.from_type && pool.residual(m) >= job.size {
+                return Ok(m);
+            }
+        }
+        let m = pool.create(job.from_type, label(self.name(), self.machines.len()));
+        self.machines.push(m);
+        Ok(m)
+    }
+
+    fn name(&self) -> &'static str {
+        "same-type"
+    }
+}
+
+/// First-fit across *all* of this policy's recovery machines regardless of
+/// type; opens the smallest type that fits when nothing does. Packs
+/// tighter than [`SameType`] when crashes displace mixed sizes.
+#[derive(Debug, Default)]
+pub struct FirstFitRepack {
+    machines: Vec<MachineId>,
+}
+
+impl RecoveryPolicy for FirstFitRepack {
+    fn recover(&mut self, job: DisplacedJob, pool: &mut MachinePool) -> Result<MachineId, String> {
+        for &m in &self.machines {
+            if pool.residual(m) >= job.size {
+                return Ok(m);
+            }
+        }
+        let Some(class) = pool.catalog().size_class(job.size) else {
+            return Err(format!("no machine type fits size {}", job.size));
+        };
+        let m = pool.create(class, label(self.name(), self.machines.len()));
+        self.machines.push(m);
+        Ok(m)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Consolidates every displaced job onto machines of the *largest*
+/// catalog type — fewest recovery machines, at the largest type's rate.
+#[derive(Debug, Default)]
+pub struct DegradeToLargest {
+    machines: Vec<MachineId>,
+}
+
+impl RecoveryPolicy for DegradeToLargest {
+    fn recover(&mut self, job: DisplacedJob, pool: &mut MachinePool) -> Result<MachineId, String> {
+        if job.size > pool.catalog().max_capacity() {
+            return Err(format!("no machine type fits size {}", job.size));
+        }
+        for &m in &self.machines {
+            if pool.residual(m) >= job.size {
+                return Ok(m);
+            }
+        }
+        let top = TypeIndex(pool.catalog().len() - 1);
+        let m = pool.create(top, label(self.name(), self.machines.len()));
+        self.machines.push(m);
+        Ok(m)
+    }
+
+    fn name(&self) -> &'static str {
+        "degrade"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::{Catalog, MachineType};
+
+    fn pool() -> MachinePool {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        MachinePool::new(catalog)
+    }
+
+    fn displaced(id: u32, size: u64, from_type: usize) -> DisplacedJob {
+        DisplacedJob {
+            id: JobId(id),
+            size,
+            from: MachineId(0),
+            from_type: TypeIndex(from_type),
+            t: 5,
+        }
+    }
+
+    #[test]
+    fn same_type_keeps_the_crashed_type() {
+        let mut p = pool();
+        let mut policy = SameType::default();
+        let m1 = policy.recover(displaced(1, 3, 0), &mut p).unwrap();
+        p.place(m1, JobId(1), 3).unwrap();
+        assert_eq!(p.machine_type(m1), TypeIndex(0));
+        // Residual 1 < 2: a second small job needs a fresh small machine.
+        let m2 = policy.recover(displaced(2, 2, 0), &mut p).unwrap();
+        assert_ne!(m1, m2);
+        assert_eq!(p.machine_type(m2), TypeIndex(0));
+    }
+
+    #[test]
+    fn first_fit_reuses_any_type() {
+        let mut p = pool();
+        let mut policy = FirstFitRepack::default();
+        let m1 = policy.recover(displaced(1, 10, 1), &mut p).unwrap();
+        p.place(m1, JobId(1), 10).unwrap();
+        assert_eq!(p.machine_type(m1), TypeIndex(1));
+        // Size 3 fits the residual 6 of the big recovery machine.
+        let m2 = policy.recover(displaced(2, 3, 0), &mut p).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn degrade_opens_only_the_largest_type() {
+        let mut p = pool();
+        let mut policy = DegradeToLargest::default();
+        let m = policy.recover(displaced(1, 2, 0), &mut p).unwrap();
+        assert_eq!(p.machine_type(m), TypeIndex(1));
+        assert!(p.active_jobs(m).is_empty());
+    }
+
+    #[test]
+    fn impossible_sizes_are_refused_not_paniced() {
+        let mut p = pool();
+        assert!(FirstFitRepack::default()
+            .recover(displaced(1, 99, 1), &mut p)
+            .is_err());
+        assert!(DegradeToLargest::default()
+            .recover(displaced(1, 99, 1), &mut p)
+            .is_err());
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        for name in POLICY_NAMES {
+            assert_eq!(policy_by_name(name).unwrap().name(), name);
+        }
+        assert!(policy_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn recovery_machines_carry_the_recovery_label() {
+        let mut p = pool();
+        let mut policy = SameType::default();
+        let m = policy.recover(displaced(1, 2, 0), &mut p).unwrap();
+        p.place(m, JobId(1), 2).unwrap();
+        let s = p.into_schedule();
+        assert!(s.machines()[0].label.starts_with("recovery/same-type/"));
+    }
+}

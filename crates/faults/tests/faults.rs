@@ -1,0 +1,398 @@
+//! Integration suite for the fault layer: empty-plan equivalence,
+//! checkpoint determinism across seeds × positions, the no-silent-loss
+//! guarantee, recovery-cost isolation, and the crash-test harness.
+
+use bshm_algos::baseline::{BestFit, FirstFitAny};
+use bshm_algos::DecOnline;
+use bshm_core::{Instance, JobId, MachineId};
+use bshm_faults::{
+    crash_test, policy_by_name, run_online_faulted, run_online_faulted_with, FaultPlan,
+    FaultReport, RunOptions, SameType,
+};
+use bshm_obs::{metrics_from_events, Collector, Deterministic, TraceEvent};
+use bshm_sim::{run_online_probed, ArrivalView, MachinePool, OnlineScheduler};
+use bshm_workload::catalogs::dec_geometric;
+use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
+
+fn workload(seed: u64, n: usize) -> Instance {
+    WorkloadSpec {
+        n,
+        seed,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3.0 },
+        durations: DurationLaw::Uniform { min: 5, max: 40 },
+        sizes: SizeLaw::Uniform { min: 1, max: 48 },
+    }
+    .generate(dec_geometric(3, 4))
+}
+
+fn total_cost_from_events(events: &[TraceEvent]) -> u128 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::CostAccrual { busy, rate, .. } => {
+                Some(u128::from(*busy) * u128::from(*rate))
+            }
+            _ => None,
+        })
+        .sum()
+}
+
+fn non_oversized_drops(report: &FaultReport) -> u64 {
+    u64::try_from(
+        report
+            .dropped
+            .iter()
+            .filter(|(_, reason)| !reason.starts_with("oversized"))
+            .count(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_plan_is_byte_identical_to_the_base_driver() {
+    let inst = workload(11, 60);
+
+    let mut base_probe = Deterministic(Collector::default());
+    let mut base_sched = DecOnline::new(inst.catalog());
+    let base = run_online_probed(&inst, &mut base_sched, &mut base_probe).unwrap();
+
+    let mut faulted_probe = Deterministic(Collector::default());
+    let mut faulted_sched = DecOnline::new(inst.catalog());
+    let mut policy = SameType::default();
+    let outcome = run_online_faulted(
+        &inst,
+        &mut faulted_sched,
+        &FaultPlan::none(),
+        &mut policy,
+        &mut faulted_probe,
+    )
+    .unwrap();
+
+    assert!(outcome.completed);
+    assert_eq!(outcome.schedule, base);
+    let r = &outcome.report;
+    assert_eq!(
+        (r.crashes, r.displaced, r.recovered, r.rerouted, r.injected),
+        (0, 0, 0, 0, 0)
+    );
+    assert!(r.dropped.is_empty());
+    assert_eq!(r.recovery_cost, 0);
+    assert_eq!(r.base_cost, total_cost_from_events(&faulted_probe.0.events));
+    let base_lines: Vec<String> = base_probe
+        .0
+        .events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect();
+    let faulted_lines: Vec<String> = faulted_probe
+        .0
+        .events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect();
+    assert_eq!(base_lines, faulted_lines);
+}
+
+#[test]
+fn no_silent_loss_under_crashes_storms_and_oversized_jobs() {
+    let inst = workload(7, 80);
+    let plan =
+        FaultPlan::parse("seeded:42:4,crash:30:0,storm:25:6:8:15,oversized:10:4096:5").unwrap();
+    for policy_name in bshm_faults::POLICY_NAMES {
+        let mut probe = Collector::default();
+        let mut sched = FirstFitAny::default();
+        let mut policy = policy_by_name(policy_name).unwrap();
+        let outcome =
+            run_online_faulted(&inst, &mut sched, &plan, &mut *policy, &mut probe).unwrap();
+        let r = &outcome.report;
+
+        // Six storm jobs plus the oversized one were injected.
+        assert_eq!(r.injected, 7, "{policy_name}");
+        assert!(r.first_injected_id.is_some());
+        // Every planned crash either hit a live machine or is reported skipped.
+        assert_eq!(r.crashes + r.crashes_skipped, 5, "{policy_name}");
+        assert!(r.crashes >= 1, "{policy_name}: no crash landed");
+        assert!(r.displaced >= 1, "{policy_name}: no job displaced");
+        // The ledger: every displaced job was re-placed (the three
+        // policies cannot fail on feasible sizes), and the only drop is
+        // the oversized job's explicit one.
+        assert_eq!(r.displaced, r.recovered, "{policy_name}");
+        assert_eq!(non_oversized_drops(r), 0, "{policy_name}");
+        assert!(
+            r.dropped
+                .iter()
+                .any(|(_, reason)| reason.starts_with("oversized")),
+            "{policy_name}: oversized drop missing from ledger"
+        );
+        // Cost ledgers agree with the trace's accruals, and recovery cost
+        // is separated from base cost.
+        assert_eq!(
+            r.base_cost + r.recovery_cost,
+            total_cost_from_events(&probe.events),
+            "{policy_name}"
+        );
+        assert!(r.recovery_cost > 0, "{policy_name}: recovery cost missing");
+        // Trace-side counters line up with the report.
+        let metrics = metrics_from_events(policy_name, &probe.events, inst.catalog().len());
+        assert_eq!(metrics.crashes, r.crashes, "{policy_name}");
+        assert_eq!(metrics.displaced_jobs, r.displaced, "{policy_name}");
+        assert_eq!(metrics.recovered_jobs, r.recovered, "{policy_name}");
+        assert_eq!(
+            metrics.dropped_jobs,
+            u64::try_from(r.dropped.len()).unwrap(),
+            "{policy_name}"
+        );
+    }
+}
+
+#[test]
+fn recovery_machines_stay_isolated_from_the_scheduler() {
+    let inst = workload(3, 60);
+    let plan = FaultPlan::parse("seeded:9:3").unwrap();
+    let mut sched = BestFit::default();
+    let mut policy = SameType::default();
+    let mut probe = Collector::default();
+    let outcome = run_online_faulted(&inst, &mut sched, &plan, &mut policy, &mut probe).unwrap();
+    if outcome.report.recovered == 0 {
+        // Seed landed every crash on idle machines; nothing to check.
+        return;
+    }
+    // Every recovered job's target is a recovery-labelled machine.
+    let recovery_machines: Vec<MachineId> = outcome
+        .schedule
+        .iter()
+        .filter(|(_, ms)| ms.label.starts_with("recovery/"))
+        .map(|(id, _)| id)
+        .collect();
+    assert!(!recovery_machines.is_empty());
+    for e in &probe.events {
+        if let TraceEvent::JobRecovery { to, .. } = e {
+            assert!(
+                recovery_machines.contains(to),
+                "recovery placed onto a scheduler machine"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_determinism_across_seeds_and_positions() {
+    for seed in [1u64, 17, 99] {
+        let inst = workload(seed, 50);
+        let plan = FaultPlan::parse("seeded:5:3,storm:20:3:4:10").unwrap();
+
+        let mut ref_probe = Deterministic(Collector::default());
+        let mut sched = FirstFitAny::default();
+        let mut policy = SameType::default();
+        let reference =
+            run_online_faulted(&inst, &mut sched, &plan, &mut policy, &mut ref_probe).unwrap();
+        let total = reference.events_processed;
+
+        for stop in [total / 4, total / 2, (3 * total) / 4] {
+            let stop = stop.max(1);
+            let mut cut_probe = Deterministic(Collector::default());
+            let mut sched = FirstFitAny::default();
+            let mut policy = SameType::default();
+            let interrupted = run_online_faulted_with(
+                &inst,
+                &mut sched,
+                &plan,
+                &mut policy,
+                &mut cut_probe,
+                &RunOptions {
+                    stop_after: Some(stop),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(!interrupted.completed);
+            let cp = interrupted
+                .checkpoint
+                .expect("stop point always checkpoints");
+
+            let mut suffix_probe = Deterministic(Collector::default());
+            let mut sched = FirstFitAny::default();
+            let mut policy = SameType::default();
+            let restored = run_online_faulted_with(
+                &inst,
+                &mut sched,
+                &plan,
+                &mut policy,
+                &mut suffix_probe,
+                &RunOptions {
+                    resume_from: Some(&cp),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+
+            // Identical final schedule, identical cost ledgers, and the
+            // restored trace is exactly the reference's missing suffix.
+            assert_eq!(
+                restored.schedule, reference.schedule,
+                "seed {seed} stop {stop}"
+            );
+            assert_eq!(
+                restored.report.base_cost, reference.report.base_cost,
+                "seed {seed} stop {stop}"
+            );
+            assert_eq!(
+                restored.report.recovery_cost, reference.report.recovery_cost,
+                "seed {seed} stop {stop}"
+            );
+            let start = usize::try_from(cp.trace_events_emitted).unwrap();
+            assert_eq!(
+                &ref_probe.0.events[start..],
+                &suffix_probe.0.events[..],
+                "seed {seed} stop {stop}"
+            );
+        }
+    }
+}
+
+#[test]
+fn restores_are_refused_against_mismatched_inputs() {
+    let inst = workload(5, 30);
+    let plan = FaultPlan::parse("crash:20:0").unwrap();
+    let mut sched = FirstFitAny::default();
+    let mut policy = SameType::default();
+    let interrupted = run_online_faulted_with(
+        &inst,
+        &mut sched,
+        &plan,
+        &mut policy,
+        &mut Collector::default(),
+        &RunOptions {
+            stop_after: Some(10),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let cp = interrupted.checkpoint.unwrap();
+
+    // Wrong instance.
+    let other = workload(6, 30);
+    let mut sched = FirstFitAny::default();
+    let mut policy = SameType::default();
+    assert!(run_online_faulted_with(
+        &other,
+        &mut sched,
+        &plan,
+        &mut policy,
+        &mut Collector::default(),
+        &RunOptions {
+            resume_from: Some(&cp),
+            ..RunOptions::default()
+        },
+    )
+    .is_err());
+
+    // Wrong plan.
+    let other_plan = FaultPlan::parse("crash:21:0").unwrap();
+    let mut sched = FirstFitAny::default();
+    let mut policy = SameType::default();
+    assert!(run_online_faulted_with(
+        &inst,
+        &mut sched,
+        &other_plan,
+        &mut policy,
+        &mut Collector::default(),
+        &RunOptions {
+            resume_from: Some(&cp),
+            ..RunOptions::default()
+        },
+    )
+    .is_err());
+}
+
+/// A scheduler that pins everything to its first machine and ignores
+/// crash notifications — the worst case for the reroute path.
+struct Stubborn {
+    m: Option<MachineId>,
+}
+
+impl OnlineScheduler for Stubborn {
+    fn on_arrival(&mut self, _view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        let top = bshm_core::TypeIndex(pool.catalog().len() - 1);
+        *self.m.get_or_insert_with(|| pool.create(top, "stubborn"))
+    }
+    fn name(&self) -> &'static str {
+        "stubborn"
+    }
+}
+
+#[test]
+fn arrivals_to_a_revoked_machine_are_rerouted_not_lost() {
+    let catalog = dec_geometric(2, 4);
+    let inst = Instance::new(
+        vec![
+            bshm_core::Job::new(0, 1, 0, 30),
+            bshm_core::Job::new(1, 1, 12, 30),
+            bshm_core::Job::new(2, 1, 14, 40),
+        ],
+        catalog,
+    )
+    .unwrap();
+    let plan = FaultPlan::parse("crash:10:0").unwrap();
+    let mut sched = Stubborn { m: None };
+    let mut policy = SameType::default();
+    let mut probe = Collector::default();
+    let outcome = run_online_faulted(&inst, &mut sched, &plan, &mut policy, &mut probe).unwrap();
+    let r = &outcome.report;
+    assert_eq!(r.crashes, 1);
+    assert_eq!(r.displaced, 1); // job 0 was running at the crash
+    assert_eq!(r.recovered, 1);
+    assert_eq!(r.rerouted, 2); // jobs 1 and 2 kept targeting the dead machine
+    assert!(r.dropped.is_empty());
+    // All three jobs ran to completion somewhere.
+    let placed: Vec<JobId> = outcome
+        .schedule
+        .iter()
+        .flat_map(|(_, ms)| ms.jobs.iter().copied())
+        .collect();
+    for id in [0u32, 1, 2] {
+        assert!(placed.contains(&JobId(id)), "job {id} lost");
+    }
+}
+
+#[test]
+fn crash_test_harness_passes_on_a_faulted_workload() {
+    let inst = workload(23, 40);
+    let plan = FaultPlan::parse("seeded:3:2,storm:15:2:6:8").unwrap();
+    for policy_name in ["same-type", "first-fit"] {
+        let report = crash_test(
+            &inst,
+            &mut || Box::new(FirstFitAny::default()),
+            &plan,
+            &mut || policy_by_name(policy_name).unwrap(),
+            37,
+            None,
+        )
+        .unwrap();
+        assert!(report.passed(), "{policy_name}: {}", report.summary());
+        assert!(report.salvaged_events > 0);
+        assert_eq!(report.salvage_dropped_lines, 1);
+    }
+}
+
+#[test]
+fn crash_test_writes_salvageable_artifacts() {
+    let dir = std::env::temp_dir().join(format!("bshm-crashtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = workload(31, 30);
+    let plan = FaultPlan::parse("crash:25:0").unwrap();
+    let report = crash_test(
+        &inst,
+        &mut || Box::new(BestFit::default()),
+        &plan,
+        &mut || policy_by_name("degrade").unwrap(),
+        20,
+        Some(&dir),
+    )
+    .unwrap();
+    assert!(report.passed(), "{}", report.summary());
+    assert!(dir.join("crash-trace.jsonl.partial").exists());
+    let cp = bshm_faults::Checkpoint::load(&dir.join("crash-checkpoint.json")).unwrap();
+    assert_eq!(cp.events_processed, 20);
+    std::fs::remove_dir_all(&dir).ok();
+}

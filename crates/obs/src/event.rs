@@ -86,6 +86,45 @@ pub enum TraceEvent {
         /// When the span being closed began.
         opened_at: TimePoint,
     },
+    /// A machine was crashed/revoked by a fault plan. Any busy span was
+    /// already closed (and charged) by the preceding `CostAccrual` +
+    /// `MachineClose` pair; this event records the revocation itself.
+    MachineCrash {
+        /// Simulation time of the revocation.
+        t: TimePoint,
+        /// The revoked machine.
+        machine: MachineId,
+        /// Its catalog type.
+        machine_type: TypeIndex,
+        /// Number of still-active jobs displaced by the crash.
+        displaced: u64,
+    },
+    /// A displaced job was re-placed by a recovery policy.
+    JobRecovery {
+        /// Simulation time (same instant as the crash).
+        t: TimePoint,
+        /// The recovered job.
+        job: JobId,
+        /// The machine it was displaced from.
+        from: MachineId,
+        /// The recovery machine it now runs on.
+        to: MachineId,
+        /// The recovery machine's catalog type.
+        machine_type: TypeIndex,
+        /// Wall-clock nanoseconds the re-placement decision took.
+        recovery_ns: u64,
+    },
+    /// A job was lost: either a recovery policy could not re-place it or it
+    /// was infeasible on arrival (e.g. an injected oversized job). Never
+    /// silent — the reason says why.
+    JobDropped {
+        /// Simulation time.
+        t: TimePoint,
+        /// The dropped job.
+        job: JobId,
+        /// Why no machine holds this job.
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -98,7 +137,10 @@ impl TraceEvent {
             | TraceEvent::Placement { t, .. }
             | TraceEvent::Departure { t, .. }
             | TraceEvent::CostAccrual { t, .. }
-            | TraceEvent::MachineClose { t, .. } => t,
+            | TraceEvent::MachineClose { t, .. }
+            | TraceEvent::MachineCrash { t, .. }
+            | TraceEvent::JobRecovery { t, .. }
+            | TraceEvent::JobDropped { t, .. } => t,
         }
     }
 
@@ -112,11 +154,18 @@ impl TraceEvent {
             TraceEvent::Departure { .. } => "Departure",
             TraceEvent::CostAccrual { .. } => "CostAccrual",
             TraceEvent::MachineClose { .. } => "MachineClose",
+            TraceEvent::MachineCrash { .. } => "MachineCrash",
+            TraceEvent::JobRecovery { .. } => "JobRecovery",
+            TraceEvent::JobDropped { .. } => "JobDropped",
         }
     }
 
     /// Whether this is a departure-side event (sorted before arrival-side
-    /// events at equal timestamps).
+    /// events at equal timestamps). `MachineCrash` is departure-side: a
+    /// crash at `t` strikes after departures at `t` but before arrivals
+    /// (half-open intervals); the recovery events it triggers
+    /// (`JobRecovery`, and `JobDropped` for unrecoverable jobs) are
+    /// arrival-side, like the re-placements they describe.
     #[must_use]
     pub fn is_departure_side(&self) -> bool {
         matches!(
@@ -124,6 +173,7 @@ impl TraceEvent {
             TraceEvent::Departure { .. }
                 | TraceEvent::CostAccrual { .. }
                 | TraceEvent::MachineClose { .. }
+                | TraceEvent::MachineCrash { .. }
         )
     }
 }
@@ -173,6 +223,25 @@ mod tests {
                 machine_type: TypeIndex(1),
                 opened_at: 3,
             },
+            TraceEvent::MachineCrash {
+                t: 6,
+                machine: MachineId(0),
+                machine_type: TypeIndex(1),
+                displaced: 2,
+            },
+            TraceEvent::JobRecovery {
+                t: 6,
+                job: JobId(7),
+                from: MachineId(0),
+                to: MachineId(3),
+                machine_type: TypeIndex(0),
+                recovery_ns: 85,
+            },
+            TraceEvent::JobDropped {
+                t: 6,
+                job: JobId(8),
+                reason: "oversized: size 99 exceeds every machine type".to_string(),
+            },
         ];
         for e in events {
             let line = serde_json::to_string(&e).unwrap();
@@ -197,5 +266,30 @@ mod tests {
             size: 1,
         };
         assert!(!a.is_departure_side());
+        let c = TraceEvent::MachineCrash {
+            t: 6,
+            machine: MachineId(0),
+            machine_type: TypeIndex(0),
+            displaced: 1,
+        };
+        assert_eq!(c.kind(), "MachineCrash");
+        assert!(c.is_departure_side());
+        let r = TraceEvent::JobRecovery {
+            t: 6,
+            job: JobId(1),
+            from: MachineId(0),
+            to: MachineId(1),
+            machine_type: TypeIndex(0),
+            recovery_ns: 10,
+        };
+        assert_eq!(r.kind(), "JobRecovery");
+        assert!(!r.is_departure_side());
+        let d = TraceEvent::JobDropped {
+            t: 6,
+            job: JobId(2),
+            reason: "no recovery capacity".to_string(),
+        };
+        assert_eq!(d.kind(), "JobDropped");
+        assert!(!d.is_departure_side());
     }
 }

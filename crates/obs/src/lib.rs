@@ -30,6 +30,11 @@
 //!   Prometheus text-exposition format — counters, gauges, and the
 //!   latency/utilization histograms as cumulative `_bucket` series —
 //!   and ships the [`validate_exposition`] parser the tests gate on.
+//! * [`sink`] gives trace files crash semantics: [`TraceWriter`] streams
+//!   to `<path>.partial` and renames into place on finalize (optionally
+//!   flushing every line), [`salvage_jsonl`] recovers the valid prefix of
+//!   a truncated trace, and [`sink::atomic_write`] writes whole artifacts
+//!   (checkpoints, reports) torn-free.
 //!
 //! Events reference jobs, machines and catalog types by the core ids
 //! ([`bshm_core::JobId`], [`bshm_core::MachineId`],
@@ -44,13 +49,15 @@ pub mod probe;
 pub mod prometheus;
 pub mod recorder;
 pub mod replay;
+pub mod sink;
 pub mod span;
 
 pub use event::TraceEvent;
-pub use probe::{Collector, NoProbe, Probe};
+pub use probe::{Collector, Deterministic, NoProbe, Probe};
 pub use prometheus::{encode as encode_prometheus, validate_exposition};
 pub use recorder::{bucket_quantile, merge_counts, merge_gauge_timelines, Metrics, Recorder};
 pub use replay::{
     cross_check, metrics_from_events, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline,
 };
+pub use sink::{salvage_jsonl, salvage_jsonl_str, Salvage, TraceWriter};
 pub use span::{SpanGuard, SpanStat};

@@ -106,6 +106,51 @@ pub trait Probe {
             opened_at,
         });
     }
+
+    /// A machine was crashed/revoked, displacing `displaced` active jobs.
+    fn on_machine_crash(
+        &mut self,
+        t: TimePoint,
+        machine: MachineId,
+        machine_type: TypeIndex,
+        displaced: u64,
+    ) {
+        self.record(&TraceEvent::MachineCrash {
+            t,
+            machine,
+            machine_type,
+            displaced,
+        });
+    }
+
+    /// A displaced job was re-placed by a recovery policy.
+    fn on_job_recovery(
+        &mut self,
+        t: TimePoint,
+        job: JobId,
+        from: MachineId,
+        to: MachineId,
+        machine_type: TypeIndex,
+        recovery_ns: u64,
+    ) {
+        self.record(&TraceEvent::JobRecovery {
+            t,
+            job,
+            from,
+            to,
+            machine_type,
+            recovery_ns,
+        });
+    }
+
+    /// A job was dropped (with the reason) instead of being placed.
+    fn on_job_dropped(&mut self, t: TimePoint, job: JobId, reason: &str) {
+        self.record(&TraceEvent::JobDropped {
+            t,
+            job,
+            reason: reason.to_string(),
+        });
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
@@ -146,6 +191,70 @@ impl Probe for Collector {
     }
 }
 
+/// An adapter that zeroes the wall-clock fields (`decision_ns` on
+/// `Placement`, `recovery_ns` on `JobRecovery`) before forwarding to the
+/// wrapped probe.
+///
+/// Those fields are live timings, so two otherwise-identical runs never
+/// produce byte-identical traces. Wrapping both probes in `Deterministic`
+/// makes byte-level trace comparison meaningful — the fault layer's
+/// empty-plan equivalence and checkpoint-determinism proofs rely on it.
+#[derive(Clone, Debug, Default)]
+pub struct Deterministic<P>(
+    /// The probe receiving the normalized events.
+    pub P,
+);
+
+impl<P: Probe> Probe for Deterministic<P> {
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Placement {
+                t,
+                job,
+                machine,
+                machine_type,
+                opened,
+                decision_ns: _,
+                load,
+                capacity,
+            } => self.0.record(&TraceEvent::Placement {
+                t,
+                job,
+                machine,
+                machine_type,
+                opened,
+                decision_ns: 0,
+                load,
+                capacity,
+            }),
+            TraceEvent::JobRecovery {
+                t,
+                job,
+                from,
+                to,
+                machine_type,
+                recovery_ns: _,
+            } => self.0.record(&TraceEvent::JobRecovery {
+                t,
+                job,
+                from,
+                to,
+                machine_type,
+                recovery_ns: 0,
+            }),
+            ref other => self.0.record(other),
+        }
+    }
+
+    fn finish(&mut self) {
+        self.0.finish();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +280,43 @@ mod tests {
                 "MachineClose"
             ]
         );
+    }
+
+    #[test]
+    fn fault_hooks_build_events() {
+        let mut c = Collector::default();
+        c.on_machine_crash(4, MachineId(0), TypeIndex(1), 3);
+        c.on_job_recovery(4, JobId(2), MachineId(0), MachineId(5), TypeIndex(0), 77);
+        c.on_job_dropped(4, JobId(3), "no capacity");
+        let kinds: Vec<&str> = c.events.iter().map(TraceEvent::kind).collect();
+        assert_eq!(kinds, ["MachineCrash", "JobRecovery", "JobDropped"]);
+        assert_eq!(
+            c.events[2],
+            TraceEvent::JobDropped {
+                t: 4,
+                job: JobId(3),
+                reason: "no capacity".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_zeroes_wall_clock_fields() {
+        let mut d = Deterministic(Collector::default());
+        assert!(d.enabled());
+        d.on_placement(1, JobId(0), MachineId(0), TypeIndex(0), true, 999, 2, 4);
+        d.on_job_recovery(2, JobId(0), MachineId(0), MachineId(1), TypeIndex(0), 999);
+        d.on_arrival(3, JobId(1), 1);
+        d.finish();
+        match &d.0.events[0] {
+            TraceEvent::Placement { decision_ns, .. } => assert_eq!(*decision_ns, 0),
+            e => panic!("unexpected {e:?}"),
+        }
+        match &d.0.events[1] {
+            TraceEvent::JobRecovery { recovery_ns, .. } => assert_eq!(*recovery_ns, 0),
+            e => panic!("unexpected {e:?}"),
+        }
+        assert_eq!(d.0.events.len(), 3);
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
     let alg = |_: ()| vec![("algorithm", metrics.algorithm.clone())];
     let base = alg(());
 
-    let counters: [(&str, &str, f64); 8] = [
+    let counters: [(&str, &str, f64); 13] = [
         (
             "bshm_arrivals_total",
             "Jobs arrived.",
@@ -134,6 +134,31 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
             "bshm_cost_total",
             "Cost accrued over closed busy spans (rate times ticks).",
             metrics.traced_cost as f64,
+        ),
+        (
+            "bshm_machine_crashes_total",
+            "Machines crashed/revoked by a fault plan.",
+            metrics.crashes as f64,
+        ),
+        (
+            "bshm_jobs_displaced_total",
+            "Active jobs displaced by machine crashes.",
+            metrics.displaced_jobs as f64,
+        ),
+        (
+            "bshm_jobs_recovered_total",
+            "Displaced jobs re-placed by a recovery policy.",
+            metrics.recovered_jobs as f64,
+        ),
+        (
+            "bshm_jobs_dropped_total",
+            "Jobs explicitly dropped with a reason (never silent).",
+            metrics.dropped_jobs as f64,
+        ),
+        (
+            "bshm_recovery_latency_ns_total",
+            "Wall-clock nanoseconds spent in recovery re-placement decisions.",
+            metrics.recovery_ns_sum as f64,
         ),
     ];
     for (name, help, value) in counters {
@@ -472,6 +497,22 @@ mod tests {
         assert!(text.contains("bshm_decision_latency_ns_count{algorithm=\"dec-online\"} 2"));
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("bshm_cost_by_type_total{algorithm=\"dec-online\",type=\"1\"} 24"));
+    }
+
+    #[test]
+    fn encode_includes_fault_counters() {
+        let mut rec = Recorder::new("dec-online", 1);
+        rec.on_machine_crash(4, MachineId(0), TypeIndex(0), 2);
+        rec.on_job_recovery(4, JobId(0), MachineId(0), MachineId(1), TypeIndex(0), 50);
+        rec.on_job_dropped(4, JobId(1), "no capacity");
+        let m = rec.into_metrics().unwrap();
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("bshm_machine_crashes_total{algorithm=\"dec-online\"} 1"));
+        assert!(text.contains("bshm_jobs_displaced_total{algorithm=\"dec-online\"} 2"));
+        assert!(text.contains("bshm_jobs_recovered_total{algorithm=\"dec-online\"} 1"));
+        assert!(text.contains("bshm_jobs_dropped_total{algorithm=\"dec-online\"} 1"));
+        assert!(text.contains("bshm_recovery_latency_ns_total{algorithm=\"dec-online\"} 50"));
     }
 
     #[test]

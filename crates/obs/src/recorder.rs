@@ -158,6 +158,16 @@ pub struct Metrics {
     pub decision_ns_hist: Vec<u64>,
     /// Sum of the observed decision latencies in ns (the exact `_sum`).
     pub decision_ns_sum: u64,
+    /// Number of `MachineCrash` events (machines revoked by a fault plan).
+    pub crashes: u64,
+    /// Jobs displaced by crashes (sum of per-crash `displaced` counts).
+    pub displaced_jobs: u64,
+    /// Displaced jobs successfully re-placed (`JobRecovery` events).
+    pub recovered_jobs: u64,
+    /// Jobs explicitly dropped with a reason (`JobDropped` events).
+    pub dropped_jobs: u64,
+    /// Sum of recovery re-placement latencies in ns.
+    pub recovery_ns_sum: u64,
 }
 
 impl Metrics {
@@ -181,6 +191,11 @@ impl Metrics {
             utilization_sum: 0.0,
             decision_ns_hist: vec![0; DECISION_NS_BUCKETS],
             decision_ns_sum: 0,
+            crashes: 0,
+            displaced_jobs: 0,
+            recovered_jobs: 0,
+            dropped_jobs: 0,
+            recovery_ns_sum: 0,
         }
     }
 
@@ -228,6 +243,11 @@ impl Metrics {
         self.utilization_sum += other.utilization_sum;
         merge_counts(&mut self.decision_ns_hist, &other.decision_ns_hist);
         self.decision_ns_sum = self.decision_ns_sum.saturating_add(other.decision_ns_sum);
+        self.crashes += other.crashes;
+        self.displaced_jobs += other.displaced_jobs;
+        self.recovered_jobs += other.recovered_jobs;
+        self.dropped_jobs += other.dropped_jobs;
+        self.recovery_ns_sum = self.recovery_ns_sum.saturating_add(other.recovery_ns_sum);
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -299,6 +319,17 @@ impl Metrics {
                 }
                 self.push_gauge(t, busy_now);
             }
+            // The crash's busy span was already closed by its CostAccrual +
+            // MachineClose pair, so the gauge does not move here.
+            TraceEvent::MachineCrash { displaced, .. } => {
+                self.crashes += 1;
+                self.displaced_jobs += displaced;
+            }
+            TraceEvent::JobRecovery { recovery_ns, .. } => {
+                self.recovered_jobs += 1;
+                self.recovery_ns_sum = self.recovery_ns_sum.saturating_add(recovery_ns);
+            }
+            TraceEvent::JobDropped { .. } => self.dropped_jobs += 1,
         }
     }
 
@@ -343,14 +374,38 @@ impl Metrics {
             "  cost:        {} traced ({:?} by type)",
             self.traced_cost, self.cost_by_type
         );
+        if self.crashes > 0 || self.dropped_jobs > 0 {
+            let _ = writeln!(
+                out,
+                "  faults:      {} crashes, {} displaced, {} recovered, {} dropped",
+                self.crashes, self.displaced_jobs, self.recovered_jobs, self.dropped_jobs
+            );
+        }
         out
+    }
+}
+
+/// Where a [`Recorder`] streams its JSONL event lines.
+enum Sink {
+    /// A caller-supplied writer (tests, pipes); flushed on finish.
+    Raw(Box<dyn Write>),
+    /// A crash-safe file: `<path>.partial` renamed into place on finish.
+    File(crate::sink::TraceWriter),
+}
+
+impl Sink {
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            Sink::Raw(w) => w.as_mut(),
+            Sink::File(w) => w,
+        }
     }
 }
 
 /// A probe that streams events to an optional JSONL writer and folds them
 /// into [`Metrics`] as they pass.
 pub struct Recorder {
-    writer: Option<Box<dyn Write>>,
+    sink: Option<Sink>,
     metrics: Metrics,
     busy_now: Vec<u32>,
     events_written: u64,
@@ -362,7 +417,7 @@ impl Recorder {
     #[must_use]
     pub fn new(algorithm: impl Into<String>, n_types: usize) -> Self {
         Recorder {
-            writer: None,
+            sink: None,
             metrics: Metrics::new(algorithm, n_types),
             busy_now: vec![0; n_types],
             events_written: 0,
@@ -373,14 +428,27 @@ impl Recorder {
     /// Adds a JSONL sink for the raw event stream.
     #[must_use]
     pub fn with_writer(mut self, writer: Box<dyn Write>) -> Self {
-        self.writer = Some(writer);
+        self.sink = Some(Sink::Raw(writer));
         self
     }
 
-    /// Adds a buffered file sink at `path` for the raw event stream.
+    /// Adds a crash-safe file sink at `path` for the raw event stream:
+    /// events stream to `<path>.partial`, renamed to `path` when the run
+    /// finishes, so `path` never holds a torn trace (see [`crate::sink`]).
     pub fn with_file(self, path: &str) -> std::io::Result<Self> {
-        let f = std::fs::File::create(path)?;
-        Ok(self.with_writer(Box::new(std::io::BufWriter::new(f))))
+        self.with_file_opts(path, false)
+    }
+
+    /// [`Recorder::with_file`] with flush-per-event control: when
+    /// `flush_each` is set every event line reaches the OS immediately, so
+    /// a killed process loses at most the line in flight (at a syscall per
+    /// event).
+    pub fn with_file_opts(mut self, path: &str, flush_each: bool) -> std::io::Result<Self> {
+        let w = crate::sink::TraceWriter::create(path)
+            .map_err(std::io::Error::other)?
+            .flush_each(flush_each);
+        self.sink = Some(Sink::File(w));
+        Ok(self)
     }
 
     /// The metrics aggregated so far.
@@ -413,19 +481,19 @@ impl std::fmt::Debug for Recorder {
         f.debug_struct("Recorder")
             .field("algorithm", &self.metrics.algorithm)
             .field("events_written", &self.events_written)
-            .field("has_writer", &self.writer.is_some())
+            .field("has_writer", &self.sink.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl Probe for Recorder {
     fn record(&mut self, event: &TraceEvent) {
-        if let Some(w) = self.writer.as_mut() {
+        if let Some(sink) = self.sink.as_mut() {
             // Serialization failure is reported through the same channel as
             // IO failure instead of panicking mid-run.
             match serde_json::to_string(event) {
                 Ok(line) => {
-                    if let Err(e) = writeln!(w, "{line}") {
+                    if let Err(e) = writeln!(sink.writer(), "{line}") {
                         self.io_error
                             .get_or_insert_with(|| format!("writing trace: {e}"));
                     } else {
@@ -442,11 +510,21 @@ impl Probe for Recorder {
     }
 
     fn finish(&mut self) {
-        if let Some(w) = self.writer.as_mut() {
-            if let Err(e) = w.flush() {
-                self.io_error
-                    .get_or_insert_with(|| format!("flushing trace: {e}"));
+        match self.sink.as_mut() {
+            Some(Sink::Raw(w)) => {
+                if let Err(e) = w.flush() {
+                    self.io_error
+                        .get_or_insert_with(|| format!("flushing trace: {e}"));
+                }
             }
+            // Finalize renames `.partial` into place; idempotent, so a
+            // second finish() is safe.
+            Some(Sink::File(w)) => {
+                if let Err(e) = w.finalize() {
+                    self.io_error.get_or_insert(e);
+                }
+            }
+            None => {}
         }
     }
 }
@@ -518,6 +596,48 @@ mod tests {
         assert_eq!(rec.events_written(), 9);
         // The sink is owned by the recorder; exercise the flush path.
         assert!(rec.into_metrics().is_ok());
+    }
+
+    #[test]
+    fn fault_events_aggregate() {
+        let mut rec = Recorder::new("faulted", 1);
+        rec.on_machine_crash(4, MachineId(0), TypeIndex(0), 2);
+        rec.on_job_recovery(4, JobId(0), MachineId(0), MachineId(1), TypeIndex(0), 50);
+        rec.on_job_dropped(4, JobId(1), "no capacity");
+        let s = rec.metrics().summary();
+        assert!(s.contains("1 crashes, 2 displaced, 1 recovered, 1 dropped"));
+        let mut m = rec.into_metrics().unwrap();
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.displaced_jobs, 2);
+        assert_eq!(m.recovered_jobs, 1);
+        assert_eq!(m.dropped_jobs, 1);
+        assert_eq!(m.recovery_ns_sum, 50);
+        let other = m.clone();
+        m.merge(&other);
+        assert_eq!(m.crashes, 2);
+        assert_eq!(m.displaced_jobs, 4);
+        assert_eq!(m.recovery_ns_sum, 100);
+    }
+
+    #[test]
+    fn file_sink_is_crash_safe() {
+        let dir = std::env::temp_dir().join("bshm-recorder-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut rec = Recorder::new("test", 1)
+            .with_file_opts(path.to_str().unwrap(), true)
+            .unwrap();
+        feed(&mut rec);
+        // Mid-run, only the .partial file exists (flush-per-event keeps it
+        // current); the final path appears atomically at finish.
+        assert!(!path.exists());
+        assert!(crate::sink::partial_path(&path).exists());
+        assert!(rec.into_metrics().is_ok());
+        assert!(path.exists());
+        assert!(!crate::sink::partial_path(&path).exists());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::replay::parse_jsonl(&text).unwrap().len(), 9);
     }
 
     #[test]

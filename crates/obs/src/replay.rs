@@ -69,10 +69,14 @@ pub fn infer_n_types(events: &[TraceEvent]) -> usize {
             TraceEvent::MachineOpen { machine_type, .. }
             | TraceEvent::MachineClose { machine_type, .. }
             | TraceEvent::Placement { machine_type, .. }
-            | TraceEvent::CostAccrual { machine_type, .. } => Some(machine_type.0 + 1),
+            | TraceEvent::CostAccrual { machine_type, .. }
+            | TraceEvent::MachineCrash { machine_type, .. }
+            | TraceEvent::JobRecovery { machine_type, .. } => Some(machine_type.0 + 1),
             // Exhaustive on purpose: a new variant must decide its place
             // here or fail to compile (see drift/trace-schema).
-            TraceEvent::Arrival { .. } | TraceEvent::Departure { .. } => None,
+            TraceEvent::Arrival { .. }
+            | TraceEvent::Departure { .. }
+            | TraceEvent::JobDropped { .. } => None,
         })
         .max()
         .unwrap_or(0)
@@ -115,11 +119,16 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
                 t, machine_type, ..
             } => (t, machine_type.0, -1),
             // Exhaustive on purpose: only open/close move the gauge, and a
-            // new variant must opt out here explicitly.
+            // new variant must opt out here explicitly. A crash's busy span
+            // is closed by its own MachineClose, so MachineCrash (and the
+            // recovery/drop events) leave the gauge alone.
             TraceEvent::Arrival { .. }
             | TraceEvent::Placement { .. }
             | TraceEvent::Departure { .. }
-            | TraceEvent::CostAccrual { .. } => continue,
+            | TraceEvent::CostAccrual { .. }
+            | TraceEvent::MachineCrash { .. }
+            | TraceEvent::JobRecovery { .. }
+            | TraceEvent::JobDropped { .. } => continue,
         };
         if ty < n_types {
             cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);

@@ -43,6 +43,14 @@ pub trait OnlineScheduler {
     /// updated). Default: no-op.
     fn on_departure(&mut self, _job: JobId, _machine: MachineId, _pool: &MachinePool) {}
 
+    /// Notification that a machine was crashed/revoked by a fault plan
+    /// (after its jobs were evicted from the pool). The scheduler should
+    /// drop the machine from its internal rosters; if it keeps routing
+    /// arrivals there anyway, the faulted driver redirects them through
+    /// the active recovery policy. Default: no-op, since the base driver
+    /// never crashes machines.
+    fn on_machine_crash(&mut self, _machine: MachineId, _pool: &MachinePool) {}
+
     /// The policy's display name (for harness output).
     fn name(&self) -> &'static str {
         "online"
@@ -55,6 +63,9 @@ impl<S: OnlineScheduler + ?Sized> OnlineScheduler for &mut S {
     }
     fn on_departure(&mut self, job: JobId, machine: MachineId, pool: &MachinePool) {
         (**self).on_departure(job, machine, pool);
+    }
+    fn on_machine_crash(&mut self, machine: MachineId, pool: &MachinePool) {
+        (**self).on_machine_crash(machine, pool);
     }
     fn name(&self) -> &'static str {
         (**self).name()

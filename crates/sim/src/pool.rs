@@ -21,6 +21,9 @@ struct PoolMachine {
     /// Full assignment history, for the final schedule.
     history: Vec<JobId>,
     label: String,
+    /// Crashed/revoked by a fault plan: capacity is zeroed, so every
+    /// further placement fails, and the still-active jobs were displaced.
+    retired: bool,
 }
 
 /// Error from an infeasible placement attempt.
@@ -81,6 +84,7 @@ impl MachinePool {
             active: Vec::new(),
             history: Vec::new(),
             label: label.into(),
+            retired: false,
         });
         id
     }
@@ -146,6 +150,36 @@ impl MachinePool {
     #[must_use]
     pub fn locate(&self, job: JobId) -> Option<MachineId> {
         self.job_location.get(&job).copied()
+    }
+
+    /// The jobs currently active on the machine, in placement order.
+    #[must_use]
+    pub fn active_jobs(&self, m: MachineId) -> &[JobId] {
+        &self.machines[m.0 as usize].active
+    }
+
+    /// Whether the machine was crashed/revoked ([`MachinePool::crash`]).
+    #[must_use]
+    pub fn is_retired(&self, m: MachineId) -> bool {
+        self.machines[m.0 as usize].retired
+    }
+
+    /// Crashes/revokes a machine: its still-active jobs are evicted and
+    /// returned (sorted by id, so fault handling is deterministic), its
+    /// capacity drops to zero and it is marked retired — every later
+    /// [`MachinePool::place`] on it fails. The assignment history is kept:
+    /// the final [`Schedule`] still shows what ran there before the crash.
+    pub fn crash(&mut self, m: MachineId) -> Vec<JobId> {
+        let pm = &mut self.machines[m.0 as usize];
+        pm.retired = true;
+        pm.capacity = 0;
+        pm.load = 0;
+        let mut displaced = std::mem::take(&mut pm.active);
+        displaced.sort_unstable();
+        for j in &displaced {
+            self.job_location.remove(j);
+        }
+        displaced
     }
 
     /// Places an active job of the given size; fails (leaving state
@@ -258,6 +292,37 @@ mod tests {
         let s = p.into_schedule();
         assert_eq!(s.machines()[0].jobs, vec![JobId(1), JobId(2)]);
         assert_eq!(s.machines()[0].machine_type, TypeIndex(1));
+    }
+
+    #[test]
+    fn crash_evicts_and_retires() {
+        let mut p = pool();
+        let m = p.create(TypeIndex(1), "big");
+        p.place(m, JobId(5), 3).unwrap();
+        p.place(m, JobId(2), 5).unwrap();
+        let displaced = p.crash(m);
+        // Sorted by id for deterministic recovery ordering.
+        assert_eq!(displaced, vec![JobId(2), JobId(5)]);
+        assert!(p.is_retired(m));
+        assert!(p.is_idle(m));
+        assert_eq!(p.load(m), 0);
+        assert_eq!(p.locate(JobId(2)), None);
+        // A retired machine refuses every placement (capacity is zero).
+        assert!(p.place(m, JobId(9), 1).is_err());
+        // History survives: the schedule still shows the pre-crash runs.
+        let s = p.into_schedule();
+        assert_eq!(s.machines()[0].jobs, vec![JobId(5), JobId(2)]);
+    }
+
+    #[test]
+    fn active_jobs_lists_current_residents() {
+        let mut p = pool();
+        let m = p.create(TypeIndex(1), "big");
+        p.place(m, JobId(1), 3).unwrap();
+        p.place(m, JobId(2), 5).unwrap();
+        assert_eq!(p.active_jobs(m), &[JobId(1), JobId(2)]);
+        p.remove(JobId(1), 3);
+        assert_eq!(p.active_jobs(m), &[JobId(2)]);
     }
 
     #[test]
