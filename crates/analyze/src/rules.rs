@@ -18,7 +18,7 @@ pub struct RuleInfo {
 }
 
 /// Every lint rule the engine runs (drift auditors are separate).
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         name: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
@@ -46,6 +46,10 @@ pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         name: "no-raw-trace-write",
         summary: "no File::create/fs::write in obs/sim outside obs::sink; trace-shaped output goes through the crash-safe writer (TraceWriter/atomic_write)",
+    },
+    RuleInfo {
+        name: "no-raw-metric",
+        summary: "no direct assignment to Metrics counter/gauge fields in obs/sim outside the recorder fold and the labeled registry; mutate through Recorder::record or Registry mutators",
     },
 ];
 
@@ -79,6 +83,81 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
     }
     if matches!(ctx.crate_name.as_str(), "obs" | "sim") && !ctx.path.ends_with("obs/src/sink.rs") {
         out.extend(no_raw_trace_write(ctx, toks, &live));
+    }
+    if matches!(ctx.crate_name.as_str(), "obs" | "sim")
+        && !ctx.path.ends_with("obs/src/recorder.rs")
+        && !ctx.path.ends_with("obs/src/registry.rs")
+    {
+        out.extend(no_raw_metric(ctx, toks, &live));
+    }
+    out
+}
+
+/// Metric field names of `bshm_obs::Metrics` whose mutation the
+/// `no-raw-metric` rule polices. Histogram/timeline vectors are appended
+/// via methods and are not assignable targets, so they are omitted.
+const METRIC_FIELDS: [&str; 21] = [
+    "arrivals",
+    "departures",
+    "placements",
+    "opened_placements",
+    "reused_placements",
+    "opens",
+    "closes",
+    "traced_cost",
+    "cost_by_type",
+    "open_peak_by_type",
+    "utilization_sum",
+    "decision_ns_sum",
+    "crashes",
+    "displaced_jobs",
+    "recovered_jobs",
+    "dropped_jobs",
+    "recovery_ns_sum",
+    "gap_samples",
+    "last_lower_bound",
+    "last_attributed_cost",
+    "max_gap_ratio",
+];
+
+/// `no-raw-metric`: direct mutation of `Metrics` counter/gauge fields.
+///
+/// Every metric mutation in obs/sim must flow through the recorder's
+/// event fold (`Metrics::apply`, in `obs/src/recorder.rs`) or the labeled
+/// registry's typed mutators (`obs/src/registry.rs`) — both exempted by
+/// the caller — so the Prometheus exposition, the drift auditors, and the
+/// replay fold can never disagree about a counter's provenance.
+fn no_raw_metric(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident || !METRIC_FIELDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `<expr> . field =` or `<expr> . field op=` — a field write, not
+        // a read, a method call, or a struct-literal/pattern position.
+        // `+=` is not a fused lexer token, so a compound assignment shows
+        // up as an operator punct followed by a bare `=` (while `==`, `=>`
+        // ARE fused, so comparisons never look like writes).
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+        let compound =
+            |n: &Tok| ["+", "-", "*", "/", "%", "|", "&", "^"].contains(&n.text.as_str());
+        let next_mutates = toks.get(i + 1).is_some_and(|n| {
+            n.is_punct("=")
+                || (n.kind == TokKind::Punct
+                    && compound(n)
+                    && toks.get(i + 2).is_some_and(|m| m.is_punct("=")))
+        });
+        if prev_is_dot && next_mutates {
+            out.push(Diagnostic::error(
+                "no-raw-metric",
+                &ctx.path,
+                t.line,
+                format!(
+                    "raw write to metric field `{}` outside the recorder fold/registry; route it through Recorder::record or a Registry mutator, or justify with `// bshm-allow(no-raw-metric): reason`",
+                    t.text
+                ),
+            ));
+        }
     }
     out
 }
@@ -564,6 +643,55 @@ mod tests {
             "fn f(p: &str) { let _ = std::fs::read_to_string(p); }",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn no_raw_metric_rule() {
+        // Writes to Metrics fields are flagged in obs/sim…
+        for src in [
+            "fn f(m: &mut Metrics) { m.gap_samples += 1; }",
+            "fn f(m: &mut Metrics) { m.last_lower_bound = lb; }",
+            "fn f(m: &mut Metrics) { m.traced_cost -= x; }",
+        ] {
+            for path in ["crates/obs/src/replay.rs", "crates/sim/src/driver.rs"] {
+                let d = check(path, src);
+                assert!(
+                    d.iter().any(|d| d.rule == "no-raw-metric"),
+                    "{path} {src}: {d:?}"
+                );
+            }
+        }
+        // …but the recorder fold and the registry are the sanctioned sites.
+        let src = "fn f(m: &mut Metrics) { m.gap_samples += 1; }";
+        assert!(check("crates/obs/src/recorder.rs", src).is_empty());
+        assert!(check("crates/obs/src/registry.rs", src).is_empty());
+        // Other crates (faults' own report counters, cli, bench) are out
+        // of scope; so are test regions.
+        assert!(check("crates/faults/src/runner.rs", src).is_empty());
+        assert!(check("crates/cli/src/commands.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { m.gap_samples += 1; } }";
+        assert!(check("crates/obs/src/replay.rs", test_src).is_empty());
+        // Reads, comparisons, method calls, and struct literals are clean.
+        for src in [
+            "fn f(m: &Metrics) -> u64 { m.gap_samples }",
+            "fn f(m: &Metrics) { if m.gap_samples == 3 { g(); } }",
+            "fn f(m: &Metrics) { if m.opens <= 4 { g(); } }",
+            "fn f(m: &Metrics) { assert(m.gap_samples >= 1); }",
+            "fn f() -> M { M { gap_samples: 1 } }",
+            "fn f(v: &mut Vec<u64>) { v.placements(); }",
+        ] {
+            let d = check("crates/obs/src/replay.rs", src);
+            assert!(d.iter().all(|d| d.rule != "no-raw-metric"), "{src}: {d:?}");
+        }
+        // A pragma on the line silences it (engine-level, but the raw
+        // finding still points at the right rule name for the pragma).
+        let d = check(
+            "crates/obs/src/replay.rs",
+            "fn f(m: &mut Metrics) { m.crashes += 1; }",
+        );
+        assert!(d
+            .iter()
+            .any(|d| d.message.contains("bshm-allow(no-raw-metric)")));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use bshm_core::schedule_cost;
 use bshm_core::validate::validate_schedule;
 use bshm_faults::{run_online_faulted, FaultPlan, SameType};
 use bshm_obs::span::{self, SpanStat};
-use bshm_obs::{NoProbe, Recorder};
+use bshm_obs::{GapProbe, NoProbe, Recorder};
 use bshm_sim::{run_online, run_online_probed};
 use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
 use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
@@ -39,7 +39,11 @@ use std::path::{Path, PathBuf};
 ///
 /// v2 added the recovery-overhead columns (`displaced_jobs`,
 /// `recovery_cost_ratio`) measured under [`FAULT_PLAN_SPEC`].
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the gap-observatory columns (`final_gap_ratio`,
+/// `max_gap_ratio`) from running the traced measurement through
+/// [`GapProbe`] (live incremental-lower-bound gauges).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The fixed fault plan behind the recovery-overhead columns: a handful
 /// of seeded machine crashes, deterministic per workload. Every algorithm
@@ -114,6 +118,12 @@ pub struct AlgBaseline {
     /// Recovery cost over base cost in that faulted run (0 when no crash
     /// landed on a live machine).
     pub recovery_cost_ratio: f64,
+    /// Final live gap gauge: accrued cost over the incremental §II lower
+    /// bound at the horizon. Equals `ratio` by the attribution-exactness
+    /// invariant; recorded independently as a cross-check.
+    pub final_gap_ratio: f64,
+    /// Worst instantaneous cost-over-bound ratio across all gap samples.
+    pub max_gap_ratio: f64,
     /// Hot-path span breakdown for this run (wall-clock per phase).
     pub spans: Vec<SpanStat>,
 }
@@ -197,18 +207,25 @@ fn suite_instances(quick: bool) -> Vec<(String, Instance)> {
     ]
 }
 
-/// Runs one algorithm on one instance under a live recorder with span
-/// timing, returning the full measurement row.
+/// Runs one algorithm on one instance under a live recorder wrapped in
+/// the gap probe, with span timing, returning the full measurement row.
 fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
     // Spans are process-global: drain before so the row only carries this
     // run's timings.
     let _ = span::take();
-    let mut rec = Recorder::new(alg, instance.catalog().len());
+    let mut probe = GapProbe::new(
+        instance.catalog(),
+        Recorder::new(alg, instance.catalog().len()),
+    );
     let start = bshm_obs::span::now();
-    let schedule = run_alg_traced(alg, instance, &mut rec)
+    let schedule = run_alg_traced(alg, instance, &mut probe)
         .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let spans = span::take();
+    if let Some(err) = probe.error() {
+        panic!("baseline alg {alg}: gap gauges over the run's own stream: {err}");
+    }
+    let (rec, timeline) = probe.into_parts();
     let metrics = rec
         .into_metrics()
         .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
@@ -229,6 +246,8 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
         placements: metrics.placements,
         displaced_jobs,
         recovery_cost_ratio,
+        final_gap_ratio: timeline.final_ratio().unwrap_or(0.0),
+        max_gap_ratio: timeline.max_ratio(),
         spans,
     }
 }
@@ -542,6 +561,15 @@ pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Co
                     na.displaced_jobs as f64,
                     None,
                 );
+                // The gap gauges track cost (already gated above); any
+                // worst-case drift is worth seeing but not gating.
+                push_delta(
+                    &mut cmp,
+                    path("max_gap_ratio"),
+                    oa.max_gap_ratio,
+                    na.max_gap_ratio,
+                    None,
+                );
             }
         }
     }
@@ -669,6 +697,8 @@ mod tests {
                     placements: 10,
                     displaced_jobs: 2,
                     recovery_cost_ratio: 0.05,
+                    final_gap_ratio: 1.2,
+                    max_gap_ratio: 1.4,
                     spans: vec![],
                 }],
             }],
@@ -798,6 +828,25 @@ mod tests {
                 assert_eq!(a.placements, w.jobs, "{}/{}", w.workload, a.alg);
                 assert!(a.wall_ns > 0);
                 assert!(!a.spans.is_empty(), "{}/{}: no spans", w.workload, a.alg);
+                // The gap columns cross-check the cost columns exactly:
+                // final gauge ratio == cost/lb, and the worst instantaneous
+                // ratio can only be at least the final one.
+                assert!(
+                    (a.final_gap_ratio - a.ratio).abs() < 1e-12,
+                    "{}/{}: final_gap_ratio {} vs ratio {}",
+                    w.workload,
+                    a.alg,
+                    a.final_gap_ratio,
+                    a.ratio
+                );
+                assert!(
+                    a.max_gap_ratio >= a.final_gap_ratio - 1e-12,
+                    "{}/{}: max {} < final {}",
+                    w.workload,
+                    a.alg,
+                    a.max_gap_ratio,
+                    a.final_gap_ratio
+                );
             }
         }
         // The recovery columns exist and the fixed plan actually bites on

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value: `--metrics` is a switch, not `--metrics X`.
-const BOOLEAN_FLAGS: &[&str] = &["metrics", "salvage"];
+const BOOLEAN_FLAGS: &[&str] = &["gap", "metrics", "salvage"];
 
 /// Parsed flags: `--key value` pairs plus positional arguments.
 #[derive(Clone, Debug, Default)]

@@ -26,9 +26,11 @@ USAGE:
                 [--seed S] [--out FILE]
   bshm solve    --instance FILE --alg NAME [--out FILE]
                 [--trace FILE] [--metrics] [--metrics-format prometheus|json]
-                [--faults SPEC] [--recover POLICY]
+                [--gap] [--faults SPEC] [--recover POLICY]
   bshm replay   --trace FILE [--instance FILE --schedule FILE] [--rows N]
-                [--salvage]
+                [--salvage] [--gap]
+  bshm gap-report TRACE.jsonl [--instance FILE] [--format json|console]
+                [--rows N] [--out FILE]
   bshm crash-test --instance FILE [--alg NAME] [--faults SPEC]
                 [--recover POLICY] [--stop-after N] [--artifacts DIR]
   bshm export-metrics --trace FILE [--format prometheus|json] [--alg LABEL]
@@ -57,6 +59,17 @@ OBSERVABILITY:
   top                  console summary of a trace: open-machine gauge
                        timeline, utilization, latency quantiles, accrual
                        rates per machine type
+  solve --gap          maintain live gap gauges while solving: one
+                       GapSample (incremental lower bound vs accrued cost)
+                       per distinct timestamp, emitted into the trace and
+                       summarized after the run
+  replay --gap         rebuild the gap timeline from a trace's GapSample
+                       events; pre-gap traces are recomputed from the
+                       --instance catalog (with a loud note)
+  gap-report           per-step gap timeline plus the per-job cost
+                       attribution table (opener pays the opening segment,
+                       extensions split proportionally by occupant size),
+                       as console text or JSON
 
 FAULTS & RECOVERY:
   solve --faults SPEC  inject machine crashes, arrival storms and oversized
@@ -108,6 +121,7 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
         "solve" => cmd_solve(&flags, out),
         "crash-test" => cmd_crash_test(&flags, out),
         "replay" => cmd_replay(&flags, out),
+        "gap-report" => cmd_gap_report(&flags, out),
         "export-metrics" => cmd_export_metrics(&flags, out),
         "top" => cmd_top(&flags, out),
         "validate" => cmd_validate(&flags, out),
@@ -286,12 +300,26 @@ fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
     let trace_path = flags.get("trace");
     let format = parse_metrics_format(flags.get("metrics-format"), "metrics-format")?;
     let want_metrics = flags.has("metrics") || flags.get("metrics-format").is_some();
-    let schedule = if trace_path.is_some() || want_metrics {
+    let want_gap = flags.has("gap");
+    let schedule = if trace_path.is_some() || want_metrics || want_gap {
         let mut rec = Recorder::new(alg, instance.catalog().len());
         if let Some(p) = trace_path {
             rec = rec.with_file(p).map_err(|e| format!("creating {p}: {e}"))?;
         }
-        let schedule = run_alg_traced(alg, &instance, &mut rec)?;
+        // --gap wraps the recorder in a GapProbe: the trace and metrics
+        // then carry one GapSample per distinct timestamp.
+        let (schedule, gap_timeline, rec) = if want_gap {
+            let mut gp = bshm_obs::GapProbe::new(instance.catalog(), rec);
+            let schedule = run_alg_traced(alg, &instance, &mut gp)?;
+            if let Some(e) = gp.error() {
+                return Err(format!("BUG: gap gauges over {alg}'s own stream: {e}"));
+            }
+            let (rec, timeline) = gp.into_parts();
+            (schedule, Some(timeline), rec)
+        } else {
+            let schedule = run_alg_traced(alg, &instance, &mut rec)?;
+            (schedule, None, rec)
+        };
         let written = rec.events_written();
         let metrics = rec.into_metrics()?;
         if let Some(p) = trace_path {
@@ -306,6 +334,27 @@ fn cmd_solve(flags: &Flags, out: Out) -> Result<(), String> {
                     let _ = write!(out, "{}", metrics.summary());
                     let json = serde_json::to_string_pretty(&metrics).expect("metrics serialize");
                     let _ = writeln!(out, "{json}");
+                }
+            }
+        }
+        if let Some(tl) = &gap_timeline {
+            if !(want_metrics && format == MetricsFormat::Prometheus) {
+                match (tl.final_point(), tl.final_ratio()) {
+                    (Some(p), Some(r)) => {
+                        let _ = writeln!(
+                            out,
+                            "gap gauges:   final {r:.3} (cost {} vs lower bound {}), \
+                             max {:.3} over {} samples",
+                            p.cost,
+                            p.lower_bound,
+                            tl.max_ratio(),
+                            tl.points.len()
+                        );
+                    }
+                    _ => {
+                        let _ =
+                            writeln!(out, "gap gauges:   no sample with a positive lower bound");
+                    }
                 }
             }
         }
@@ -357,6 +406,13 @@ fn cmd_solve_faulted(
     alg: &str,
     spec: &str,
 ) -> Result<(), String> {
+    if flags.has("gap") {
+        return Err(
+            "--gap is not supported together with --faults (an execution record bills \
+             recovered jobs twice); record a --trace and run `bshm gap-report` on it instead"
+                .to_string(),
+        );
+    }
     let plan = FaultPlan::parse(spec)?;
     let policy_name = flags.get("recover").unwrap_or("same-type");
     let mut policy = bshm_faults::policy_by_name(policy_name)?;
@@ -736,10 +792,248 @@ fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
             );
         }
         (None, None) => {}
+        // `--instance` alone feeds the gap-timeline fallback below.
+        (Some(_), None) if flags.has("gap") => {}
         _ => {
             return Err(
                 "cross-checking needs both --instance and --schedule (or neither)".to_string(),
             )
+        }
+    }
+    if flags.has("gap") {
+        let (gap_tl, recomputed) = gap_timeline_for(&events, flags, path)?;
+        if recomputed {
+            let _ = writeln!(
+                out,
+                "\nNOTE: trace predates gap gauges (no GapSample events); gap timeline \
+                 recomputed from the --instance catalog"
+            );
+        }
+        print_gap_timeline(out, &gap_tl, max_rows);
+    }
+    Ok(())
+}
+
+/// The gap timeline of a trace: recorded `GapSample` events when present,
+/// otherwise recomputed from the `--instance` catalog (flagged by the
+/// returned bool, so callers print a loud note).
+fn gap_timeline_for(
+    events: &[bshm_obs::TraceEvent],
+    flags: &Flags,
+    path: &str,
+) -> Result<(bshm_obs::GapTimeline, bool), String> {
+    let recorded = bshm_obs::gap_timeline_from_events(events);
+    if !recorded.points.is_empty() {
+        return Ok((recorded, false));
+    }
+    if flags.get("instance").is_none() {
+        return Err(format!(
+            "trace {path} carries no GapSample events (recorded before the gap \
+             observatory?); pass --instance FILE so the gap timeline can be recomputed \
+             from its catalog"
+        ));
+    }
+    let instance = load_instance(flags)?;
+    Ok((
+        bshm_obs::compute_gap_timeline(events, instance.catalog()),
+        true,
+    ))
+}
+
+/// Renders a gap timeline as a console table plus a final/max summary.
+fn print_gap_timeline(out: Out, tl: &bshm_obs::GapTimeline, max_rows: usize) {
+    let _ = writeln!(out, "\ngap timeline ({} samples):", tl.points.len());
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>8}",
+        "t", "lower-bound", "cost", "ratio"
+    );
+    for p in tl.points.iter().take(max_rows) {
+        let ratio = p
+            .ratio()
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.3}"));
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {ratio:>8}",
+            p.t, p.lower_bound, p.cost
+        );
+    }
+    if tl.points.len() > max_rows {
+        let _ = writeln!(
+            out,
+            "  … {} more samples (pass --rows N for more)",
+            tl.points.len() - max_rows
+        );
+    }
+    match (tl.final_point(), tl.final_ratio()) {
+        (Some(p), Some(r)) => {
+            let _ = writeln!(
+                out,
+                "final gap:    {r:.3} (cost {} vs lower bound {}), max {:.3}",
+                p.cost,
+                p.lower_bound,
+                tl.max_ratio()
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "final gap:    undefined (lower bound is zero)");
+        }
+    }
+}
+
+/// The machine-readable `gap-report --format json` payload.
+#[derive(serde::Serialize)]
+struct GapReport {
+    /// Trace the report was built from.
+    trace: String,
+    /// Whether the timeline was recomputed (pre-gap trace) instead of
+    /// read from recorded `GapSample` events.
+    recomputed: bool,
+    /// Number of gap samples.
+    samples: u64,
+    /// `cost / lower_bound` at the last sample (0 when undefined).
+    final_ratio: f64,
+    /// Largest ratio over all samples.
+    max_ratio: f64,
+    /// The per-timestamp gap timeline.
+    timeline: Vec<bshm_obs::GapPoint>,
+    /// Total busy-time cost accrued by the trace.
+    total_cost: u64,
+    /// Cost charged to jobs (equals `total_cost` on well-formed traces).
+    attributed_cost: u64,
+    /// Cost from orphan accruals (corrupt traces only).
+    unattributed_cost: u64,
+    /// Per-job attribution, most expensive first.
+    attribution: Vec<GapReportRow>,
+}
+
+/// One row of the per-job attribution table.
+#[derive(serde::Serialize)]
+struct GapReportRow {
+    /// The job id.
+    job: u32,
+    /// Busy-time cost charged to this job.
+    cost: u64,
+    /// `cost / total_cost` (0 when the total is zero).
+    share: f64,
+}
+
+/// Saturates an exact attribution cost into a JSON-representable `u64`.
+fn sat_cost(x: Cost) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// `gap-report`: per-step gap timeline + per-job cost attribution from a
+/// trace, as console text or JSON.
+fn cmd_gap_report(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = match (flags.positional().first(), flags.get("trace")) {
+        (Some(p), _) => p.clone(),
+        (None, Some(p)) => p.to_string(),
+        (None, None) => {
+            return Err("gap-report needs a trace: `bshm gap-report TRACE.jsonl`".to_string())
+        }
+    };
+    let events = load_trace(&path)?;
+    let (timeline, recomputed) = gap_timeline_for(&events, flags, &path)?;
+    let ledger = bshm_obs::CostLedger::from_events(&events);
+    if ledger.attributed_sum() + ledger.unattributed() != ledger.total() {
+        return Err(format!(
+            "BUG: attribution ledger does not balance: {} attributed + {} unattributed != {} total",
+            ledger.attributed_sum(),
+            ledger.unattributed(),
+            ledger.total()
+        ));
+    }
+    let max_rows = flags.get_or("rows", 40usize)?;
+    let rendered = match flags.get("format").unwrap_or("console") {
+        "json" => {
+            let total = ledger.total();
+            let attribution = ledger
+                .table()
+                .into_iter()
+                .map(|(job, cost)| GapReportRow {
+                    job: job.0,
+                    cost: sat_cost(cost),
+                    share: if total == 0 {
+                        0.0
+                    } else {
+                        sat_cost(cost) as f64 / sat_cost(total) as f64
+                    },
+                })
+                .collect();
+            let report = GapReport {
+                trace: path.clone(),
+                recomputed,
+                samples: timeline.points.len() as u64,
+                final_ratio: timeline.final_ratio().unwrap_or(0.0),
+                max_ratio: timeline.max_ratio(),
+                timeline: timeline.points.clone(),
+                total_cost: sat_cost(total),
+                attributed_cost: sat_cost(ledger.attributed_sum()),
+                unattributed_cost: sat_cost(ledger.unattributed()),
+                attribution,
+            };
+            serde_json::to_string_pretty(&report).expect("gap reports serialize") + "\n"
+        }
+        "console" => {
+            let mut buf: Vec<u8> = Vec::new();
+            let b: Out = &mut buf;
+            if recomputed {
+                let _ = writeln!(
+                    b,
+                    "NOTE: trace predates gap gauges (no GapSample events); gap timeline \
+                     recomputed from the --instance catalog"
+                );
+            }
+            let _ = writeln!(b, "trace:        {path}");
+            print_gap_timeline(b, &timeline, max_rows);
+            let _ = writeln!(
+                b,
+                "\ncost attribution (opener pays the opening segment, extensions split \
+                 proportionally by occupant size):"
+            );
+            let _ = writeln!(b, "{:>8} {:>12} {:>7}", "job", "cost", "share");
+            let table = ledger.table();
+            let total = sat_cost(ledger.total()).max(1);
+            for &(job, cost) in table.iter().take(max_rows) {
+                let _ = writeln!(
+                    b,
+                    "{:>8} {:>12} {:>6.1}%",
+                    job.0,
+                    sat_cost(cost),
+                    sat_cost(cost) as f64 * 100.0 / total as f64
+                );
+            }
+            if table.len() > max_rows {
+                let _ = writeln!(
+                    b,
+                    "  … {} more jobs (pass --rows N for more)",
+                    table.len() - max_rows
+                );
+            }
+            let _ = writeln!(
+                b,
+                "total:        {} cost, {} attributed over {} jobs, {} unattributed",
+                ledger.total(),
+                ledger.attributed_sum(),
+                table.len(),
+                ledger.unattributed()
+            );
+            String::from_utf8(buf).map_err(|e| format!("BUG: non-utf8 report: {e}"))?
+        }
+        other => {
+            return Err(format!(
+                "--format: expected `console` or `json`, got {other:?}"
+            ))
+        }
+    };
+    match flags.get("out") {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| format!("writing {p}: {e}"))?;
+            let _ = writeln!(out, "wrote gap report to {p}");
+        }
+        None => {
+            let _ = write!(out, "{rendered}");
         }
     }
     Ok(())
@@ -1167,6 +1461,105 @@ mod tests {
         let (code, out) = run_cmd("top");
         assert_eq!(code, 2);
         assert!(out.contains("top needs a trace"), "{out}");
+    }
+
+    #[test]
+    fn solve_gap_emits_samples_and_gap_report_reads_them() {
+        let inst = tmp("inst-gap.json");
+        let trace = tmp("gap.jsonl");
+        run_cmd(&format!(
+            "gen --n 30 --seed 17 --catalog dec:3:4 --arrivals poisson:3 \
+             --durations uniform:10:40 --sizes uniform:1:48 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg dec-online --gap --trace {trace}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("gap gauges:"), "{out}");
+        // The trace carries the gauges as GapSample events.
+        let events =
+            bshm_obs::replay::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let recorded = bshm_obs::gap_timeline_from_events(&events);
+        assert!(!recorded.points.is_empty());
+        // Console report: timeline + attribution table, exactly balanced.
+        let (code, out) = run_cmd(&format!("gap-report {trace}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("gap timeline"), "{out}");
+        assert!(out.contains("cost attribution"), "{out}");
+        assert!(out.contains("0 unattributed"), "{out}");
+        assert!(!out.contains("NOTE:"), "{out}");
+        // JSON report round-trips through the serde shim.
+        let report = tmp("gap-report.json");
+        let (code, out) = run_cmd(&format!("gap-report {trace} --format json --out {report}"));
+        assert_eq!(code, 0, "{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"attribution\""), "{json}");
+        assert!(json.contains("\"final_ratio\""), "{json}");
+        assert!(json.contains("\"unattributed_cost\": 0"), "{json}");
+        // Unknown formats fail loudly.
+        let (code, out) = run_cmd(&format!("gap-report {trace} --format yaml"));
+        assert_eq!(code, 2);
+        assert!(out.contains("expected `console` or `json`"), "{out}");
+    }
+
+    #[test]
+    fn gap_fallback_recomputes_pre_gap_traces() {
+        let inst = tmp("inst-pregap.json");
+        let trace = tmp("pregap.jsonl");
+        run_cmd(&format!(
+            "gen --n 20 --seed 23 --catalog saw:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes uniform:1:40 --out {inst}"
+        ));
+        // A pre-observatory trace: no --gap, so no GapSample events.
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg gen-online --trace {trace}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        // Without the catalog the timeline cannot be rebuilt: loud error.
+        let (code, out) = run_cmd(&format!("gap-report {trace}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("no GapSample events"), "{out}");
+        let (code, out) = run_cmd(&format!("replay --trace {trace} --gap"));
+        assert_eq!(code, 2);
+        assert!(out.contains("no GapSample events"), "{out}");
+        // With --instance both recompute, with a loud note.
+        let (code, out) = run_cmd(&format!("gap-report {trace} --instance {inst}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("NOTE: trace predates gap gauges"), "{out}");
+        assert!(out.contains("final gap:"), "{out}");
+        let (code, out) = run_cmd(&format!("replay --trace {trace} --gap --instance {inst}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("NOTE: trace predates gap gauges"), "{out}");
+        assert!(out.contains("gap timeline"), "{out}");
+        // The recomputed fallback agrees with live gauges on the final
+        // cost: it must equal the trace's accrued cost.
+        let events =
+            bshm_obs::replay::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let instance: Instance =
+            serde_json::from_str(&std::fs::read_to_string(&inst).unwrap()).unwrap();
+        let tl = bshm_obs::compute_gap_timeline(&events, instance.catalog());
+        let traced: u64 = events
+            .iter()
+            .filter_map(|e| match *e {
+                bshm_obs::TraceEvent::CostAccrual { busy, rate, .. } => Some(busy * rate),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(tl.final_point().unwrap().cost, traced);
+    }
+
+    #[test]
+    fn solve_gap_rejects_faults() {
+        let inst = tmp("inst-gapfault.json");
+        run_cmd(&format!("gen --n 10 --catalog dec:2:4 --out {inst}"));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg first-fit-any --faults seeded:1:2 --gap"
+        ));
+        assert_eq!(code, 2);
+        assert!(
+            out.contains("not supported together with --faults"),
+            "{out}"
+        );
     }
 
     #[test]

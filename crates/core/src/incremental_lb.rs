@@ -1,0 +1,402 @@
+//! Incrementally maintained busy-time lower bound.
+//!
+//! [`crate::lower_bound`] integrates the exact per-time optimal machine
+//! configuration over a *finished* instance by sweeping the whole event
+//! grid. That is the right tool offline, but an online run wants to watch
+//! the bound grow *live*: after every arrival or departure, "what is the
+//! lower bound of everything observed so far?" — without re-sweeping the
+//! past.
+//!
+//! [`IncrementalLowerBound`] answers that. It maintains the per-class
+//! active load (the §II nested demands are its suffix sums), the optimal
+//! configuration cost of the *current* demand vector, and the accumulated
+//! integral `∫₀^now optimal_config_cost(D(t)) dt`. Each event advances
+//! time (accumulating the current rate over the elapsed segment), applies
+//! the load delta, and refreshes the rate through a memo keyed by demand
+//! vector — amortized one [`optimal_config_cost`] call per *distinct*
+//! demand vector, an O(log n)-style update in the common case where
+//! vectors repeat across the run.
+//!
+//! The accumulated value is exactly the full sweep of the observed prefix:
+//! for any event sequence derived from jobs clipped at the current time,
+//! [`IncrementalLowerBound::accumulated`] equals
+//! [`lower_bound_prefix`] — integer equality, differentially verified by
+//! the property suite after every single event.
+
+use crate::cost::Cost;
+use crate::job::Job;
+use crate::lower_bound::optimal_config_cost;
+use crate::machine::Catalog;
+use crate::sweep::demand_grid;
+use crate::time::TimePoint;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An event fed to [`IncrementalLowerBound`] was inconsistent with the
+/// stream observed so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IlbError {
+    /// An event carried a time earlier than one already processed.
+    TimeRegression {
+        /// The structure's current time.
+        now: TimePoint,
+        /// The offending event time.
+        event: TimePoint,
+    },
+    /// A job size fits no machine type of the catalog.
+    NoSizeClass {
+        /// The offending job size.
+        size: u64,
+    },
+    /// A departure would drive a size class's active load negative.
+    LoadUnderflow {
+        /// The offending job size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for IlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlbError::TimeRegression { now, event } => {
+                write!(f, "event at t={event} precedes current time t={now}")
+            }
+            IlbError::NoSizeClass { size } => {
+                write!(f, "size {size} fits no machine type in the catalog")
+            }
+            IlbError::LoadUnderflow { size } => {
+                write!(f, "departure of size {size} exceeds the active load")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IlbError {}
+
+/// The busy-time lower bound of the observed prefix of a run, maintained
+/// incrementally across arrival/departure events.
+///
+/// ```
+/// use bshm_core::{Catalog, MachineType};
+/// use bshm_core::incremental_lb::IncrementalLowerBound;
+/// let catalog = Catalog::new(vec![
+///     MachineType::new(4, 1),
+///     MachineType::new(16, 2),
+/// ]).unwrap();
+/// let mut ilb = IncrementalLowerBound::new(&catalog);
+/// ilb.arrive(0, 16).unwrap();   // needs the big machine: rate 2
+/// ilb.depart(10, 16).unwrap();  // [0, 10) at rate 2
+/// assert_eq!(ilb.accumulated(), 20);
+/// assert_eq!(ilb.current_rate(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalLowerBound {
+    catalog: Catalog,
+    /// Active load per size class (`class_load[c]` = total size of active
+    /// jobs whose size class is `c`). The nested demands are its suffix
+    /// sums.
+    class_load: Vec<u64>,
+    /// Optimal configuration cost rate for the current demand vector.
+    rate: Cost,
+    /// `∫₀^now optimal_config_cost(D(t)) dt`, exact.
+    accumulated: Cost,
+    /// Time of the last processed event.
+    now: TimePoint,
+    /// Memoized configuration costs per distinct demand vector.
+    memo: HashMap<Vec<u64>, Cost>,
+}
+
+impl IncrementalLowerBound {
+    /// An empty bound (no active jobs, time 0) over `catalog`.
+    #[must_use]
+    pub fn new(catalog: &Catalog) -> Self {
+        let m = catalog.len();
+        IncrementalLowerBound {
+            catalog: catalog.clone(),
+            class_load: vec![0; m],
+            rate: 0,
+            accumulated: 0,
+            now: 0,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The current nested-demand vector `demands[i] = D_{i+1}` (suffix sums
+    /// of the per-class active loads), freshly materialized.
+    #[must_use]
+    pub fn demands(&self) -> Vec<u64> {
+        let mut d = vec![0u64; self.class_load.len()];
+        let mut suffix = 0u64;
+        for (i, &load) in self.class_load.iter().enumerate().rev() {
+            suffix = suffix.saturating_add(load);
+            d[i] = suffix;
+        }
+        d
+    }
+
+    /// The optimal configuration cost rate of the current demand vector —
+    /// the slope at which the bound is accruing right now.
+    #[must_use]
+    pub fn current_rate(&self) -> Cost {
+        self.rate
+    }
+
+    /// `∫₀^now optimal_config_cost(D(t)) dt`: the lower bound of the
+    /// observed prefix, exact.
+    #[must_use]
+    pub fn accumulated(&self) -> Cost {
+        self.accumulated
+    }
+
+    /// Time of the last processed event.
+    #[must_use]
+    pub fn now(&self) -> TimePoint {
+        self.now
+    }
+
+    /// Total active load across all size classes.
+    #[must_use]
+    pub fn active_load(&self) -> u64 {
+        self.class_load
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Advances the clock to `t`, accumulating the current rate over the
+    /// elapsed segment, without changing the active set. Events at the
+    /// structure's current time are free.
+    ///
+    /// # Errors
+    /// [`IlbError::TimeRegression`] when `t` precedes the current time.
+    pub fn advance_to(&mut self, t: TimePoint) -> Result<(), IlbError> {
+        if t < self.now {
+            return Err(IlbError::TimeRegression {
+                now: self.now,
+                event: t,
+            });
+        }
+        self.accumulated += self.rate * u128::from(t - self.now);
+        self.now = t;
+        Ok(())
+    }
+
+    /// Processes a job arrival of `size` at time `t`.
+    ///
+    /// # Errors
+    /// [`IlbError::TimeRegression`] on out-of-order events,
+    /// [`IlbError::NoSizeClass`] when the size fits no machine type.
+    pub fn arrive(&mut self, t: TimePoint, size: u64) -> Result<(), IlbError> {
+        self.advance_to(t)?;
+        let class = self
+            .catalog
+            .size_class(size)
+            .ok_or(IlbError::NoSizeClass { size })?;
+        if let Some(load) = self.class_load.get_mut(class.0) {
+            *load = load.saturating_add(size);
+        }
+        self.refresh_rate();
+        Ok(())
+    }
+
+    /// Processes a job departure of `size` at time `t`. The departed
+    /// interval `[arrival, t)` is half-open, so the segment ending at `t`
+    /// is charged at the rate that included this job.
+    ///
+    /// # Errors
+    /// [`IlbError::TimeRegression`] on out-of-order events,
+    /// [`IlbError::NoSizeClass`] / [`IlbError::LoadUnderflow`] when the
+    /// departure does not match a prior arrival.
+    pub fn depart(&mut self, t: TimePoint, size: u64) -> Result<(), IlbError> {
+        self.advance_to(t)?;
+        let class = self
+            .catalog
+            .size_class(size)
+            .ok_or(IlbError::NoSizeClass { size })?;
+        let load = self
+            .class_load
+            .get_mut(class.0)
+            .ok_or(IlbError::NoSizeClass { size })?;
+        *load = load
+            .checked_sub(size)
+            .ok_or(IlbError::LoadUnderflow { size })?;
+        self.refresh_rate();
+        Ok(())
+    }
+
+    /// Differential check: does the incrementally accumulated bound equal
+    /// the full sweep of `jobs` clipped at the current time? `jobs` must be
+    /// exactly the arrivals observed so far (departed or not).
+    ///
+    /// # Errors
+    /// Describes the mismatch (expected vs. got) when the values differ.
+    pub fn verify_against_full_sweep(&self, jobs: &[Job]) -> Result<(), String> {
+        let want = lower_bound_prefix(jobs, &self.catalog, self.now);
+        if self.accumulated == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "incremental LB {} != full-sweep LB {} at t={}",
+                self.accumulated, want, self.now
+            ))
+        }
+    }
+
+    fn refresh_rate(&mut self) {
+        let demands = self.demands();
+        let types = self.catalog.types();
+        self.rate = *self
+            .memo
+            .entry(demands)
+            .or_insert_with_key(|d| optimal_config_cost(d, types));
+    }
+}
+
+/// Full-sweep lower bound of `jobs` clipped to the horizon `[0, until)`:
+/// jobs arriving at or after `until` are dropped, departures are clamped
+/// to `until`. With `until` past every departure this is exactly
+/// [`crate::lower_bound`] of the instance.
+#[must_use]
+pub fn lower_bound_prefix(jobs: &[Job], catalog: &Catalog, until: TimePoint) -> Cost {
+    let clipped: Vec<Job> = jobs
+        .iter()
+        .filter(|j| j.arrival < until)
+        .map(|j| Job {
+            departure: j.departure.min(until),
+            ..*j
+        })
+        .collect();
+    let dg = demand_grid(&clipped, catalog);
+    let types = catalog.types();
+    let mut memo: HashMap<Vec<u64>, Cost> = HashMap::new();
+    let mut total: Cost = 0;
+    for (iv, row) in dg.segments() {
+        let rate = *memo
+            .entry(row.to_vec())
+            .or_insert_with(|| optimal_config_cost(row, types));
+        total += rate * u128::from(iv.len());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::lower_bound::lower_bound;
+    use crate::machine::MachineType;
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 2)]).unwrap()
+    }
+
+    #[test]
+    fn matches_doctest_instance() {
+        let cat = catalog();
+        let jobs = vec![Job::new(0, 16, 0, 10), Job::new(1, 1, 5, 15)];
+        let inst = Instance::new(jobs.clone(), cat.clone()).unwrap();
+        let mut ilb = IncrementalLowerBound::new(&cat);
+        ilb.arrive(0, 16).unwrap();
+        ilb.arrive(5, 1).unwrap();
+        ilb.verify_against_full_sweep(&jobs).unwrap();
+        ilb.depart(10, 16).unwrap();
+        ilb.verify_against_full_sweep(&jobs).unwrap();
+        ilb.depart(15, 1).unwrap();
+        // [0,5): 2; [5,10): 3; [10,15): 1 → 30, same as the full sweep.
+        assert_eq!(ilb.accumulated(), 30);
+        assert_eq!(ilb.accumulated(), lower_bound(&inst));
+        ilb.verify_against_full_sweep(&jobs).unwrap();
+        assert_eq!(ilb.current_rate(), 0);
+        assert_eq!(ilb.active_load(), 0);
+    }
+
+    #[test]
+    fn prefix_equals_full_lower_bound_at_horizon() {
+        let cat = catalog();
+        let jobs = vec![
+            Job::new(0, 16, 0, 10),
+            Job::new(1, 1, 5, 15),
+            Job::new(2, 3, 2, 20),
+        ];
+        let inst = Instance::new(jobs.clone(), cat.clone()).unwrap();
+        assert_eq!(
+            lower_bound_prefix(&jobs, &cat, u64::MAX),
+            lower_bound(&inst)
+        );
+        assert_eq!(lower_bound_prefix(&jobs, &cat, 0), 0);
+    }
+
+    #[test]
+    fn every_step_matches_the_full_sweep() {
+        let cat = catalog();
+        let jobs = vec![
+            Job::new(0, 3, 0, 10),
+            Job::new(1, 5, 5, 15),
+            Job::new(2, 12, 8, 12),
+            Job::new(3, 16, 8, 9),
+            Job::new(4, 1, 12, 30),
+        ];
+        // Event list in driver order: departures before arrivals at ties.
+        let mut events: Vec<(TimePoint, bool, u64)> = Vec::new();
+        for j in &jobs {
+            events.push((j.arrival, true, j.size));
+            events.push((j.departure, false, j.size));
+        }
+        events.sort_unstable_by_key(|&(t, is_arrival, _)| (t, is_arrival));
+        let mut ilb = IncrementalLowerBound::new(&cat);
+        let mut seen: Vec<Job> = Vec::new();
+        for (t, is_arrival, size) in events {
+            if is_arrival {
+                ilb.arrive(t, size).unwrap();
+                // Track the arrivals observed so far for the reference sweep.
+                let job = jobs
+                    .iter()
+                    .find(|j| j.arrival == t && j.size == size && !seen.contains(j))
+                    .copied()
+                    .unwrap();
+                seen.push(job);
+            } else {
+                ilb.depart(t, size).unwrap();
+            }
+            ilb.verify_against_full_sweep(&seen).unwrap();
+        }
+        let inst = Instance::new(jobs, cat).unwrap();
+        assert_eq!(ilb.accumulated(), lower_bound(&inst));
+    }
+
+    #[test]
+    fn rejects_inconsistent_streams() {
+        let cat = catalog();
+        let mut ilb = IncrementalLowerBound::new(&cat);
+        ilb.arrive(5, 2).unwrap();
+        assert_eq!(
+            ilb.arrive(3, 2),
+            Err(IlbError::TimeRegression { now: 5, event: 3 })
+        );
+        assert_eq!(ilb.arrive(6, 99), Err(IlbError::NoSizeClass { size: 99 }));
+        assert_eq!(ilb.depart(7, 4), Err(IlbError::LoadUnderflow { size: 4 }));
+        // Errors render.
+        assert!(IlbError::TimeRegression { now: 5, event: 3 }
+            .to_string()
+            .contains("precedes"));
+        assert!(IlbError::NoSizeClass { size: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(IlbError::LoadUnderflow { size: 4 }
+            .to_string()
+            .contains("active load"));
+    }
+
+    #[test]
+    fn memo_reuses_repeated_demand_vectors() {
+        let cat = catalog();
+        let mut ilb = IncrementalLowerBound::new(&cat);
+        // The same demand vector recurs: arrive/depart the same size twice.
+        ilb.arrive(0, 4).unwrap();
+        ilb.depart(2, 4).unwrap();
+        ilb.arrive(4, 4).unwrap();
+        ilb.depart(6, 4).unwrap();
+        // Two distinct non-empty vectors at most: {4} and {}.
+        assert!(ilb.memo.len() <= 2);
+        assert_eq!(ilb.accumulated(), 4); // two [t, t+2) spans at rate 1
+    }
+}

@@ -18,7 +18,9 @@
 //! * sweepline utilities for piecewise-constant load profiles ([`sweep`]);
 //! * the §II power-of-2 rate normalization ([`normalize`]);
 //! * the §II lower-bounding scheme — exact per-time optimal machine
-//!   configurations integrated over time ([`lower_bound`]).
+//!   configurations integrated over time ([`lower_bound`]);
+//! * an incrementally maintained variant of that bound for live gap
+//!   gauges ([`incremental_lb`]).
 //!
 //! Algorithms (DEC/INC/general, online and offline) live in `bshm-algos`;
 //! the non-clairvoyant event simulator in `bshm-sim`.
@@ -29,6 +31,7 @@
 pub mod analysis;
 pub mod convert;
 pub mod cost;
+pub mod incremental_lb;
 pub mod instance;
 pub mod job;
 pub mod lower_bound;
@@ -40,6 +43,7 @@ pub mod time;
 pub mod validate;
 
 pub use cost::{schedule_cost, Cost};
+pub use incremental_lb::{lower_bound_prefix, IlbError, IncrementalLowerBound};
 pub use instance::{Instance, InstanceError};
 pub use job::{Job, JobId};
 pub use lower_bound::{lower_bound, lp_lower_bound};

@@ -125,6 +125,21 @@ pub enum TraceEvent {
         /// Why no machine holds this job.
         reason: String,
     },
+    /// A live optimality-gap gauge sample: the incrementally maintained
+    /// busy-time lower bound and the cost accrued so far, both at time
+    /// `t`. Emitted by the gap observatory as the last event of each
+    /// distinct timestamp, so `replay` can rebuild the gap timeline from
+    /// the trace alone. Values saturate at `u64::MAX` (costs are exact
+    /// `u128` in-process; traces store `u64` like every other cost field).
+    GapSample {
+        /// Simulation time.
+        t: TimePoint,
+        /// Lower bound of the prefix observed so far (`∫ OPT-config dt`).
+        lower_bound: u64,
+        /// Cost accrued so far: closed busy spans plus the accrued part of
+        /// still-open spans up to `t`.
+        cost: u64,
+    },
 }
 
 impl TraceEvent {
@@ -140,7 +155,8 @@ impl TraceEvent {
             | TraceEvent::MachineClose { t, .. }
             | TraceEvent::MachineCrash { t, .. }
             | TraceEvent::JobRecovery { t, .. }
-            | TraceEvent::JobDropped { t, .. } => t,
+            | TraceEvent::JobDropped { t, .. }
+            | TraceEvent::GapSample { t, .. } => t,
         }
     }
 
@@ -157,6 +173,7 @@ impl TraceEvent {
             TraceEvent::MachineCrash { .. } => "MachineCrash",
             TraceEvent::JobRecovery { .. } => "JobRecovery",
             TraceEvent::JobDropped { .. } => "JobDropped",
+            TraceEvent::GapSample { .. } => "GapSample",
         }
     }
 
@@ -165,7 +182,9 @@ impl TraceEvent {
     /// crash at `t` strikes after departures at `t` but before arrivals
     /// (half-open intervals); the recovery events it triggers
     /// (`JobRecovery`, and `JobDropped` for unrecoverable jobs) are
-    /// arrival-side, like the re-placements they describe.
+    /// arrival-side, like the re-placements they describe. `GapSample` is
+    /// arrival-side: it samples the state *after* everything at its
+    /// timestamp, so it always closes the timestamp it stamps.
     #[must_use]
     pub fn is_departure_side(&self) -> bool {
         matches!(
@@ -242,6 +261,11 @@ mod tests {
                 job: JobId(8),
                 reason: "oversized: size 99 exceeds every machine type".to_string(),
             },
+            TraceEvent::GapSample {
+                t: 9,
+                lower_bound: 18,
+                cost: 24,
+            },
         ];
         for e in events {
             let line = serde_json::to_string(&e).unwrap();
@@ -291,5 +315,13 @@ mod tests {
         };
         assert_eq!(d.kind(), "JobDropped");
         assert!(!d.is_departure_side());
+        let g = TraceEvent::GapSample {
+            t: 7,
+            lower_bound: 10,
+            cost: 12,
+        };
+        assert_eq!(g.time(), 7);
+        assert_eq!(g.kind(), "GapSample");
+        assert!(!g.is_departure_side());
     }
 }

@@ -30,6 +30,20 @@
 //!   Prometheus text-exposition format — counters, gauges, and the
 //!   latency/utilization histograms as cumulative `_bucket` series —
 //!   and ships the [`validate_exposition`] parser the tests gate on.
+//! * [`gap`] is the live optimality-gap observatory: [`GapProbe`] wraps
+//!   any probe, maintains the incremental busy-time lower bound and the
+//!   accrued cost while events stream past, and emits one
+//!   `TraceEvent::GapSample` per distinct timestamp;
+//!   [`compute_gap_timeline`] rebuilds the same timeline from pre-gap
+//!   traces.
+//! * [`attribution`] is the deterministic cost-attribution ledger:
+//!   [`CostLedger`] charges every unit of busy-time cost to responsible
+//!   jobs (opener pays for the opening segment, extensions split
+//!   proportionally by occupant size) with an exact integer total.
+//! * [`registry`] is the labeled metrics layer above the flat
+//!   [`Metrics`]: counter/gauge/histogram families keyed by
+//!   `algorithm`/`workload`/`size_class` label sets, rendered as one
+//!   Prometheus exposition via [`Registry::encode`].
 //! * [`sink`] gives trace files crash semantics: [`TraceWriter`] streams
 //!   to `<path>.partial` and renames into place on finalize (optionally
 //!   flushing every line), [`salvage_jsonl`] recovers the valid prefix of
@@ -44,18 +58,24 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod attribution;
 pub mod event;
+pub mod gap;
 pub mod probe;
 pub mod prometheus;
 pub mod recorder;
+pub mod registry;
 pub mod replay;
 pub mod sink;
 pub mod span;
 
+pub use attribution::CostLedger;
 pub use event::TraceEvent;
+pub use gap::{compute_gap_timeline, gap_timeline_from_events, GapPoint, GapProbe, GapTimeline};
 pub use probe::{Collector, Deterministic, NoProbe, Probe};
 pub use prometheus::{encode as encode_prometheus, validate_exposition};
 pub use recorder::{bucket_quantile, merge_counts, merge_gauge_timelines, Metrics, Recorder};
+pub use registry::{labels, HistogramValue, Labels, MetricKind, Registry, RegistryError};
 pub use replay::{
     cross_check, metrics_from_events, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline,
 };

@@ -151,6 +151,16 @@ pub trait Probe {
             reason: reason.to_string(),
         });
     }
+
+    /// A gap-gauge sample: the incrementally maintained lower bound and
+    /// the cost accrued so far, both at time `t`.
+    fn on_gap_sample(&mut self, t: TimePoint, lower_bound: u64, cost: u64) {
+        self.record(&TraceEvent::GapSample {
+            t,
+            lower_bound,
+            cost,
+        });
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {

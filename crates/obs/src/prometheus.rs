@@ -13,7 +13,7 @@ use crate::span::SpanStat;
 use std::fmt::Write as _;
 
 /// Escapes a label value (backslash, double-quote, newline).
-fn escape_label(s: &str) -> String {
+pub(crate) fn escape_label(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
@@ -21,7 +21,7 @@ fn escape_label(s: &str) -> String {
 
 /// Formats a float the way Prometheus expects (integral values without a
 /// trailing `.0` are fine; non-finite values are not produced here).
-fn fmt_value(x: f64) -> String {
+pub(crate) fn fmt_value(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64) // bshm-allow(lossy-cast): guarded — x is integral with |x| < 1e15, well inside i64
     } else {
@@ -94,7 +94,7 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
     let alg = |_: ()| vec![("algorithm", metrics.algorithm.clone())];
     let base = alg(());
 
-    let counters: [(&str, &str, f64); 13] = [
+    let counters: [(&str, &str, f64); 14] = [
         (
             "bshm_arrivals_total",
             "Jobs arrived.",
@@ -160,6 +160,11 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
             "Wall-clock nanoseconds spent in recovery re-placement decisions.",
             metrics.recovery_ns_sum as f64,
         ),
+        (
+            "bshm_gap_samples_total",
+            "Gap-gauge samples observed (GapSample trace events).",
+            metrics.gap_samples as f64,
+        ),
     ];
     for (name, help, value) in counters {
         e.header(name, "counter", help);
@@ -203,6 +208,35 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
             .unwrap_or(0);
         e.sample("bshm_open_machines", &labels, f64::from(v));
     }
+
+    e.header(
+        "bshm_lower_bound",
+        "gauge",
+        "Incrementally maintained busy-time lower bound at the last gap sample.",
+    );
+    e.sample("bshm_lower_bound", &base, metrics.last_lower_bound as f64);
+    e.header(
+        "bshm_attributed_cost",
+        "gauge",
+        "Cost accrued (and attributed to jobs) at the last gap sample.",
+    );
+    e.sample(
+        "bshm_attributed_cost",
+        &base,
+        metrics.last_attributed_cost as f64,
+    );
+    e.header(
+        "bshm_gap_ratio",
+        "gauge",
+        "Cost over lower bound at the last gap sample (0 before the first).",
+    );
+    e.sample("bshm_gap_ratio", &base, metrics.gap_ratio().unwrap_or(0.0));
+    e.header(
+        "bshm_gap_ratio_max",
+        "gauge",
+        "Largest cost-over-lower-bound ratio seen at any gap sample.",
+    );
+    e.sample("bshm_gap_ratio_max", &base, metrics.max_gap_ratio);
 
     e.histogram(
         "bshm_decision_latency_ns",

@@ -168,6 +168,15 @@ pub struct Metrics {
     pub dropped_jobs: u64,
     /// Sum of recovery re-placement latencies in ns.
     pub recovery_ns_sum: u64,
+    /// Number of `GapSample` gauge events observed.
+    pub gap_samples: u64,
+    /// Lower bound carried by the last `GapSample` (0 before the first).
+    pub last_lower_bound: u64,
+    /// Accrued cost carried by the last `GapSample` (0 before the first).
+    pub last_attributed_cost: u64,
+    /// Largest `cost / lower_bound` ratio over all `GapSample` events with
+    /// a positive lower bound (0 before the first such sample).
+    pub max_gap_ratio: f64,
 }
 
 impl Metrics {
@@ -196,7 +205,19 @@ impl Metrics {
             recovered_jobs: 0,
             dropped_jobs: 0,
             recovery_ns_sum: 0,
+            gap_samples: 0,
+            last_lower_bound: 0,
+            last_attributed_cost: 0,
+            max_gap_ratio: 0.0,
         }
+    }
+
+    /// The gap ratio at the last `GapSample`: `cost / lower_bound`, or
+    /// `None` before the first sample with a positive lower bound.
+    #[must_use]
+    pub fn gap_ratio(&self) -> Option<f64> {
+        (self.gap_samples > 0 && self.last_lower_bound > 0)
+            .then(|| self.last_attributed_cost as f64 / self.last_lower_bound as f64)
     }
 
     /// Estimated `q`-quantile of the placement decision latency in ns;
@@ -248,6 +269,15 @@ impl Metrics {
         self.recovered_jobs += other.recovered_jobs;
         self.dropped_jobs += other.dropped_jobs;
         self.recovery_ns_sum = self.recovery_ns_sum.saturating_add(other.recovery_ns_sum);
+        self.gap_samples += other.gap_samples;
+        // The merged "last" gauge reads the later contributor's sample.
+        if other.gap_samples > 0 {
+            self.last_lower_bound = other.last_lower_bound;
+            self.last_attributed_cost = other.last_attributed_cost;
+        }
+        if other.max_gap_ratio > self.max_gap_ratio {
+            self.max_gap_ratio = other.max_gap_ratio;
+        }
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -330,6 +360,19 @@ impl Metrics {
                 self.recovery_ns_sum = self.recovery_ns_sum.saturating_add(recovery_ns);
             }
             TraceEvent::JobDropped { .. } => self.dropped_jobs += 1,
+            TraceEvent::GapSample {
+                lower_bound, cost, ..
+            } => {
+                self.gap_samples += 1;
+                self.last_lower_bound = lower_bound;
+                self.last_attributed_cost = cost;
+                if lower_bound > 0 {
+                    let ratio = cost as f64 / lower_bound as f64;
+                    if ratio > self.max_gap_ratio {
+                        self.max_gap_ratio = ratio;
+                    }
+                }
+            }
         }
     }
 
@@ -374,6 +417,17 @@ impl Metrics {
             "  cost:        {} traced ({:?} by type)",
             self.traced_cost, self.cost_by_type
         );
+        if let Some(r) = self.gap_ratio() {
+            let _ = writeln!(
+                out,
+                "  gap:         {:.4} (cost {} vs lower bound {}, max {:.4}, {} samples)",
+                r,
+                self.last_attributed_cost,
+                self.last_lower_bound,
+                self.max_gap_ratio,
+                self.gap_samples
+            );
+        }
         if self.crashes > 0 || self.dropped_jobs > 0 {
             let _ = writeln!(
                 out,

@@ -1,0 +1,722 @@
+//! A labeled metrics registry: counter/gauge/histogram families keyed by
+//! label sets.
+//!
+//! The flat [`Metrics`] struct aggregates one run of one algorithm; the
+//! [`Registry`] is the layer above it — it holds many label combinations
+//! (`algorithm`, `workload`, `size_class`, …) per metric family and
+//! renders them as one Prometheus exposition. [`Registry::absorb_metrics`]
+//! subsumes the flat recorder: it converts a finished [`Metrics`] into
+//! labeled families, so merging several runs is just absorbing each into
+//! the same registry.
+//!
+//! All mutation goes through the typed API ([`Registry::counter_add`],
+//! [`Registry::gauge_set`], [`Registry::histogram_merge`]); a name used
+//! with two different kinds is an error, never a silent overwrite. The
+//! `no-raw-metric` lint (see `bshm-analyze`) keeps ad-hoc gauge mutation
+//! out of the rest of the workspace.
+
+use crate::prometheus::{escape_label, fmt_value};
+use crate::recorder::{
+    decision_ns_bucket_bounds, utilization_bucket_bounds, Metrics, DECISION_NS_BUCKETS,
+    UTILIZATION_BUCKETS,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A sorted, deduplicated label set (`key → value`).
+pub type Labels = BTreeMap<String, String>;
+
+/// Builds a [`Labels`] set from `(key, value)` pairs.
+#[must_use]
+pub fn labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// The kind of a metric family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64` count.
+    Counter,
+    /// Instantaneous `f64` value.
+    Gauge,
+    /// Bucketed distribution with exact `_sum`/`_count`.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A registry mutation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A family name was reused with a different kind.
+    KindMismatch {
+        /// The family name.
+        name: String,
+        /// The kind it was registered with.
+        registered: &'static str,
+        /// The kind the call asked for.
+        requested: &'static str,
+    },
+    /// A metric name is not valid for Prometheus exposition.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// Two histograms for the same series disagree on bucket bounds.
+    BucketMismatch {
+        /// The family name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::KindMismatch {
+                name,
+                registered,
+                requested,
+            } => write!(
+                f,
+                "metric family {name:?} is a {registered}, not a {requested}"
+            ),
+            RegistryError::BadName { name } => write!(f, "invalid metric name {name:?}"),
+            RegistryError::BucketMismatch { name } => {
+                write!(f, "histogram {name:?}: incompatible bucket bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One histogram series: per-bucket counts, the buckets' upper bounds,
+/// and the exact sum of observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramValue {
+    /// Non-cumulative count per bucket (same length as `bounds`).
+    pub counts: Vec<u64>,
+    /// Upper bound of each bucket, in increasing order.
+    pub bounds: Vec<f64>,
+    /// Exact sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramValue {
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramValue),
+}
+
+impl Value {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Value::Counter(_) => MetricKind::Counter,
+            Value::Gauge(_) => MetricKind::Gauge,
+            Value::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Family {
+    kind: MetricKind,
+    help: String,
+    samples: BTreeMap<Labels, Value>,
+}
+
+/// A labeled metrics registry (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    families: BTreeMap<String, Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Number of registered families.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether the registry has no families.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family(
+        &mut self,
+        name: &str,
+        kind: MetricKind,
+        help: &str,
+    ) -> Result<&mut Family, RegistryError> {
+        if !is_valid_name(name) {
+            return Err(RegistryError::BadName {
+                name: name.to_string(),
+            });
+        }
+        let fam = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                kind,
+                help: help.to_string(),
+                samples: BTreeMap::new(),
+            });
+        if fam.kind != kind {
+            return Err(RegistryError::KindMismatch {
+                name: name.to_string(),
+                registered: fam.kind.as_str(),
+                requested: kind.as_str(),
+            });
+        }
+        Ok(fam)
+    }
+
+    /// Adds `delta` to the counter series `name{labels}` (registering the
+    /// family with `help` on first use).
+    ///
+    /// # Errors
+    /// [`RegistryError::KindMismatch`] if `name` is not a counter,
+    /// [`RegistryError::BadName`] on an invalid metric name.
+    pub fn counter_add(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &Labels,
+        delta: u64,
+    ) -> Result<(), RegistryError> {
+        let fam = self.family(name, MetricKind::Counter, help)?;
+        match fam
+            .samples
+            .entry(labels.clone())
+            .or_insert(Value::Counter(0))
+        {
+            Value::Counter(c) => *c = c.saturating_add(delta),
+            other => {
+                return Err(RegistryError::KindMismatch {
+                    name: name.to_string(),
+                    registered: other.kind().as_str(),
+                    requested: "counter",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the gauge series `name{labels}` to `value`.
+    ///
+    /// # Errors
+    /// [`RegistryError::KindMismatch`] if `name` is not a gauge,
+    /// [`RegistryError::BadName`] on an invalid metric name.
+    pub fn gauge_set(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &Labels,
+        value: f64,
+    ) -> Result<(), RegistryError> {
+        let fam = self.family(name, MetricKind::Gauge, help)?;
+        fam.samples.insert(labels.clone(), Value::Gauge(value));
+        Ok(())
+    }
+
+    /// Takes the maximum of the gauge series `name{labels}` and `value`
+    /// (for high-water-mark gauges like peak open machines).
+    ///
+    /// # Errors
+    /// Same conditions as [`Registry::gauge_set`].
+    pub fn gauge_max(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &Labels,
+        value: f64,
+    ) -> Result<(), RegistryError> {
+        let fam = self.family(name, MetricKind::Gauge, help)?;
+        match fam
+            .samples
+            .entry(labels.clone())
+            .or_insert(Value::Gauge(value))
+        {
+            Value::Gauge(g) => {
+                if value > *g {
+                    *g = value;
+                }
+            }
+            other => {
+                return Err(RegistryError::KindMismatch {
+                    name: name.to_string(),
+                    registered: other.kind().as_str(),
+                    requested: "gauge",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges a bucketed histogram into the series `name{labels}`: counts
+    /// add per bucket, sums add. An existing series must share the same
+    /// bucket bounds.
+    ///
+    /// # Errors
+    /// [`RegistryError::KindMismatch`] if `name` is not a histogram,
+    /// [`RegistryError::BucketMismatch`] on differing bounds,
+    /// [`RegistryError::BadName`] on an invalid metric name.
+    pub fn histogram_merge(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &Labels,
+        hist: &HistogramValue,
+    ) -> Result<(), RegistryError> {
+        let fam = self.family(name, MetricKind::Histogram, help)?;
+        match fam.samples.get_mut(labels) {
+            None => {
+                fam.samples
+                    .insert(labels.clone(), Value::Histogram(hist.clone()));
+            }
+            Some(Value::Histogram(h)) => {
+                if h.bounds.len() != hist.bounds.len()
+                    || h.bounds
+                        .iter()
+                        .zip(&hist.bounds)
+                        .any(|(a, b)| (a - b).abs() > 1e-12)
+                {
+                    return Err(RegistryError::BucketMismatch {
+                        name: name.to_string(),
+                    });
+                }
+                for (d, &s) in h.counts.iter_mut().zip(&hist.counts) {
+                    *d = d.saturating_add(s);
+                }
+                h.sum += hist.sum;
+            }
+            Some(other) => {
+                return Err(RegistryError::KindMismatch {
+                    name: name.to_string(),
+                    registered: other.kind().as_str(),
+                    requested: "histogram",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the counter series `name{labels}` (`None` if absent or not a
+    /// counter).
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> Option<u64> {
+        match self.families.get(name)?.samples.get(labels)? {
+            Value::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads the gauge series `name{labels}` (`None` if absent or not a
+    /// gauge).
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: &Labels) -> Option<f64> {
+        match self.families.get(name)?.samples.get(labels)? {
+            Value::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Folds a finished flat [`Metrics`] into labeled families. Every
+    /// series carries `algorithm` (from the metrics) and `workload`
+    /// labels; per-type series add a `size_class` label holding the
+    /// catalog type index.
+    ///
+    /// # Errors
+    /// Propagates the first [`RegistryError`] (only possible when the
+    /// registry already holds clashing family kinds).
+    pub fn absorb_metrics(&mut self, m: &Metrics, workload: &str) -> Result<(), RegistryError> {
+        let base = labels(&[("algorithm", &m.algorithm), ("workload", workload)]);
+        let counters: [(&str, &str, u64); 14] = [
+            ("bshm_arrivals_total", "Jobs arrived.", m.arrivals),
+            ("bshm_departures_total", "Jobs departed.", m.departures),
+            (
+                "bshm_placements_total",
+                "Placement decisions made.",
+                m.placements,
+            ),
+            (
+                "bshm_placements_opened_total",
+                "Placements that created a new machine.",
+                m.opened_placements,
+            ),
+            (
+                "bshm_placements_reused_total",
+                "Placements onto an existing machine.",
+                m.reused_placements,
+            ),
+            (
+                "bshm_machine_opens_total",
+                "Machine idle-to-busy transitions.",
+                m.opens,
+            ),
+            (
+                "bshm_machine_closes_total",
+                "Machine busy-to-idle transitions.",
+                m.closes,
+            ),
+            (
+                "bshm_cost_total",
+                "Cost accrued over closed busy spans (rate times ticks).",
+                m.traced_cost,
+            ),
+            (
+                "bshm_machine_crashes_total",
+                "Machines crashed/revoked by a fault plan.",
+                m.crashes,
+            ),
+            (
+                "bshm_jobs_displaced_total",
+                "Active jobs displaced by machine crashes.",
+                m.displaced_jobs,
+            ),
+            (
+                "bshm_jobs_recovered_total",
+                "Displaced jobs re-placed by a recovery policy.",
+                m.recovered_jobs,
+            ),
+            (
+                "bshm_jobs_dropped_total",
+                "Jobs explicitly dropped with a reason (never silent).",
+                m.dropped_jobs,
+            ),
+            (
+                "bshm_recovery_latency_ns_total",
+                "Wall-clock nanoseconds spent in recovery re-placement decisions.",
+                m.recovery_ns_sum,
+            ),
+            (
+                "bshm_gap_samples_total",
+                "Gap-gauge samples observed (GapSample trace events).",
+                m.gap_samples,
+            ),
+        ];
+        for (name, help, v) in counters {
+            self.counter_add(name, help, &base, v)?;
+        }
+
+        for (i, &c) in m.cost_by_type.iter().enumerate() {
+            let mut l = base.clone();
+            l.insert("size_class".to_string(), i.to_string());
+            self.counter_add(
+                "bshm_cost_by_type_total",
+                "Accrued cost per catalog machine type.",
+                &l,
+                c,
+            )?;
+        }
+        let final_gauge = m.gauge_timeline.last();
+        for i in 0..m.open_peak_by_type.len() {
+            let mut l = base.clone();
+            l.insert("size_class".to_string(), i.to_string());
+            self.gauge_max(
+                "bshm_open_machines_peak",
+                "Peak simultaneously-busy machines per catalog type.",
+                &l,
+                f64::from(m.open_peak_by_type[i]),
+            )?;
+            let now = final_gauge
+                .and_then(|g| g.busy.get(i))
+                .copied()
+                .unwrap_or(0);
+            self.gauge_set(
+                "bshm_open_machines",
+                "Busy machines per catalog type at the last gauge transition.",
+                &l,
+                f64::from(now),
+            )?;
+        }
+
+        self.gauge_set(
+            "bshm_lower_bound",
+            "Incrementally maintained busy-time lower bound at the last gap sample.",
+            &base,
+            m.last_lower_bound as f64,
+        )?;
+        self.gauge_set(
+            "bshm_attributed_cost",
+            "Cost accrued (and attributed to jobs) at the last gap sample.",
+            &base,
+            m.last_attributed_cost as f64,
+        )?;
+        self.gauge_set(
+            "bshm_gap_ratio",
+            "Cost over lower bound at the last gap sample (0 before the first).",
+            &base,
+            m.gap_ratio().unwrap_or(0.0),
+        )?;
+        self.gauge_max(
+            "bshm_gap_ratio_max",
+            "Largest cost-over-lower-bound ratio seen at any gap sample.",
+            &base,
+            m.max_gap_ratio,
+        )?;
+
+        self.histogram_merge(
+            "bshm_decision_latency_ns",
+            "Placement decision wall-clock latency in nanoseconds.",
+            &base,
+            &HistogramValue {
+                counts: m.decision_ns_hist.clone(),
+                bounds: (0..DECISION_NS_BUCKETS)
+                    .map(|i| decision_ns_bucket_bounds(i).1)
+                    .collect(),
+                sum: m.decision_ns_sum as f64,
+            },
+        )?;
+        self.histogram_merge(
+            "bshm_machine_utilization",
+            "Machine fill (load over capacity) right after each placement.",
+            &base,
+            &HistogramValue {
+                counts: m.utilization_hist.clone(),
+                bounds: (0..UTILIZATION_BUCKETS)
+                    .map(|i| utilization_bucket_bounds(i).1)
+                    .collect(),
+                sum: m.utilization_sum,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Renders every family as Prometheus text exposition (validated by
+    /// [`crate::prometheus::validate_exposition`] in the test suite).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (ls, value) in &fam.samples {
+                match value {
+                    Value::Counter(c) => {
+                        let _ =
+                            writeln!(out, "{name}{} {}", render_labels(ls), fmt_value(*c as f64));
+                    }
+                    Value::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(ls), fmt_value(*g));
+                    }
+                    Value::Histogram(h) => {
+                        let last = h.counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+                        let mut cum = 0u64;
+                        for (i, &c) in h.counts.iter().enumerate().take(last.max(1)) {
+                            cum += c;
+                            let mut with_le = ls.clone();
+                            with_le.insert("le".to_string(), fmt_value(h.bounds[i]));
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {}",
+                                render_labels(&with_le),
+                                fmt_value(cum as f64)
+                            );
+                        }
+                        let total = h.count();
+                        let mut with_le = ls.clone();
+                        with_le.insert("le".to_string(), "+Inf".to_string());
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            render_labels(&with_le),
+                            fmt_value(total as f64)
+                        );
+                        let _ =
+                            writeln!(out, "{name}_sum{} {}", render_labels(ls), fmt_value(h.sum));
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(ls),
+                            fmt_value(total as f64)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(ls: &Labels) -> String {
+    if ls.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = ls
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+    use crate::prometheus::validate_exposition;
+    use crate::recorder::Recorder;
+    use bshm_core::job::JobId;
+    use bshm_core::machine::TypeIndex;
+    use bshm_core::schedule::MachineId;
+
+    fn run_metrics(alg: &str) -> Metrics {
+        let mut rec = Recorder::new(alg, 2);
+        rec.on_arrival(0, JobId(0), 2);
+        rec.on_machine_open(0, MachineId(0), TypeIndex(0));
+        rec.on_placement(0, JobId(0), MachineId(0), TypeIndex(0), true, 100, 2, 4);
+        rec.on_departure(5, JobId(0), MachineId(0));
+        rec.on_cost_accrual(5, MachineId(0), TypeIndex(0), 5, 2);
+        rec.on_machine_close(5, MachineId(0), TypeIndex(0), 0);
+        rec.on_gap_sample(5, 8, 10);
+        rec.into_metrics().unwrap()
+    }
+
+    #[test]
+    fn typed_mutation_and_reads() {
+        let mut r = Registry::new();
+        let l = labels(&[("algorithm", "greedy"), ("workload", "w1")]);
+        r.counter_add("bshm_things_total", "Things.", &l, 3)
+            .unwrap();
+        r.counter_add("bshm_things_total", "Things.", &l, 2)
+            .unwrap();
+        assert_eq!(r.counter_value("bshm_things_total", &l), Some(5));
+        r.gauge_set("bshm_level", "Level.", &l, 1.5).unwrap();
+        r.gauge_max("bshm_level_max", "Peak level.", &l, 2.0)
+            .unwrap();
+        r.gauge_max("bshm_level_max", "Peak level.", &l, 1.0)
+            .unwrap();
+        assert_eq!(r.gauge_value("bshm_level", &l), Some(1.5));
+        assert_eq!(r.gauge_value("bshm_level_max", &l), Some(2.0));
+        // Kind clashes are errors, not overwrites.
+        let err = r.gauge_set("bshm_things_total", "x", &l, 1.0).unwrap_err();
+        assert!(matches!(err, RegistryError::KindMismatch { .. }));
+        assert!(err.to_string().contains("counter"));
+        assert!(r.counter_add("bad name", "x", &l, 1).is_err());
+    }
+
+    #[test]
+    fn absorb_metrics_labels_every_series() {
+        let mut r = Registry::new();
+        r.absorb_metrics(&run_metrics("greedy"), "dec-poisson")
+            .unwrap();
+        r.absorb_metrics(&run_metrics("auto"), "dec-poisson")
+            .unwrap();
+        let g = labels(&[("algorithm", "greedy"), ("workload", "dec-poisson")]);
+        assert_eq!(r.counter_value("bshm_arrivals_total", &g), Some(1));
+        assert_eq!(r.counter_value("bshm_cost_total", &g), Some(10));
+        assert_eq!(r.gauge_value("bshm_lower_bound", &g), Some(8.0));
+        assert_eq!(r.gauge_value("bshm_attributed_cost", &g), Some(10.0));
+        assert_eq!(r.gauge_value("bshm_gap_ratio", &g), Some(1.25));
+        let mut per_type = g.clone();
+        per_type.insert("size_class".to_string(), "0".to_string());
+        assert_eq!(
+            r.counter_value("bshm_cost_by_type_total", &per_type),
+            Some(10)
+        );
+        assert_eq!(
+            r.gauge_value("bshm_open_machines_peak", &per_type),
+            Some(1.0)
+        );
+        // Both algorithms coexist as distinct label sets of one family.
+        let a = labels(&[("algorithm", "auto"), ("workload", "dec-poisson")]);
+        assert_eq!(r.counter_value("bshm_arrivals_total", &a), Some(1));
+    }
+
+    #[test]
+    fn absorbing_the_same_run_twice_accumulates_counters() {
+        let mut r = Registry::new();
+        let m = run_metrics("greedy");
+        r.absorb_metrics(&m, "w").unwrap();
+        r.absorb_metrics(&m, "w").unwrap();
+        let l = labels(&[("algorithm", "greedy"), ("workload", "w")]);
+        assert_eq!(r.counter_value("bshm_arrivals_total", &l), Some(2));
+        assert_eq!(r.counter_value("bshm_cost_total", &l), Some(20));
+        // Gauges read the latest absorption, peaks stay maxed.
+        assert_eq!(r.gauge_value("bshm_gap_ratio", &l), Some(1.25));
+    }
+
+    #[test]
+    fn encode_is_valid_exposition_with_label_sets() {
+        let mut r = Registry::new();
+        r.absorb_metrics(&run_metrics("greedy"), "dec-poisson")
+            .unwrap();
+        let text = r.encode();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE bshm_arrivals_total counter"));
+        assert!(
+            text.contains("bshm_arrivals_total{algorithm=\"greedy\",workload=\"dec-poisson\"} 1")
+        );
+        assert!(text.contains(
+            "bshm_cost_by_type_total{algorithm=\"greedy\",size_class=\"0\",workload=\"dec-poisson\"} 10"
+        ));
+        assert!(text.contains("# TYPE bshm_decision_latency_ns histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("bshm_gap_ratio{algorithm=\"greedy\",workload=\"dec-poisson\"} 1.25"));
+    }
+
+    #[test]
+    fn histogram_bucket_mismatch_is_an_error() {
+        let mut r = Registry::new();
+        let l = labels(&[("algorithm", "a")]);
+        let h1 = HistogramValue {
+            counts: vec![1, 0],
+            bounds: vec![1.0, 2.0],
+            sum: 0.5,
+        };
+        let h2 = HistogramValue {
+            counts: vec![1, 0],
+            bounds: vec![1.0, 4.0],
+            sum: 0.5,
+        };
+        r.histogram_merge("bshm_h", "H.", &l, &h1).unwrap();
+        assert!(matches!(
+            r.histogram_merge("bshm_h", "H.", &l, &h2),
+            Err(RegistryError::BucketMismatch { .. })
+        ));
+        // Matching bounds merge counts and sums.
+        r.histogram_merge("bshm_h", "H.", &l, &h1).unwrap();
+        let text = r.encode();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("bshm_h_count{algorithm=\"a\"} 2"));
+        assert!(text.contains("bshm_h_sum{algorithm=\"a\"} 1"));
+    }
+}

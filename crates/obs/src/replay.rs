@@ -76,7 +76,8 @@ pub fn infer_n_types(events: &[TraceEvent]) -> usize {
             // here or fail to compile (see drift/trace-schema).
             TraceEvent::Arrival { .. }
             | TraceEvent::Departure { .. }
-            | TraceEvent::JobDropped { .. } => None,
+            | TraceEvent::JobDropped { .. }
+            | TraceEvent::GapSample { .. } => None,
         })
         .max()
         .unwrap_or(0)
@@ -128,7 +129,8 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
             | TraceEvent::CostAccrual { .. }
             | TraceEvent::MachineCrash { .. }
             | TraceEvent::JobRecovery { .. }
-            | TraceEvent::JobDropped { .. } => continue,
+            | TraceEvent::JobDropped { .. }
+            | TraceEvent::GapSample { .. } => continue,
         };
         if ty < n_types {
             cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);

@@ -12,7 +12,7 @@ use bshm_core::instance::Instance;
 use bshm_core::job::JobId;
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
-use bshm_obs::{span, NoProbe, Probe};
+use bshm_obs::{span, GapProbe, GapTimeline, NoProbe, Probe};
 use std::fmt;
 use std::time::Instant;
 
@@ -236,6 +236,22 @@ pub fn run_online_dyn(
     run_online(instance, &mut &mut *scheduler)
 }
 
+/// Like [`run_online_probed`], but with live gap gauges: wraps `probe` in
+/// a [`GapProbe`] keyed to the instance's catalog, so the emitted stream
+/// carries one `GapSample` (incremental lower bound vs accrued cost) per
+/// distinct timestamp. Returns the schedule, the wrapped probe, and the
+/// sampled [`GapTimeline`].
+pub fn run_online_gap<S: OnlineScheduler, P: Probe>(
+    instance: &Instance,
+    scheduler: &mut S,
+    probe: P,
+) -> Result<(Schedule, P, GapTimeline), SimError> {
+    let mut gap = GapProbe::new(instance.catalog(), probe);
+    let schedule = run_online_probed(instance, scheduler, &mut gap)?;
+    let (probe, timeline) = gap.into_parts();
+    Ok((schedule, probe, timeline))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +344,29 @@ mod tests {
         let s = run_online(&inst, &mut Reuse { m: None }).unwrap();
         assert_eq!(validate_schedule(&s, &inst), Ok(()));
         assert_eq!(s.machine_count(), 1);
+    }
+
+    #[test]
+    fn gap_run_gauges_cost_against_lower_bound() {
+        let inst = instance();
+        let (s, collector, timeline) =
+            run_online_gap(&inst, &mut OneMachinePerJob, bshm_obs::Collector::default()).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        // The wrapped probe saw one GapSample per distinct event time.
+        let sampled = bshm_obs::gap_timeline_from_events(&collector.events);
+        assert_eq!(sampled.points, timeline.points);
+        let last = timeline.final_point().copied().unwrap();
+        assert_eq!(
+            u128::from(last.cost),
+            bshm_core::schedule_cost(&s, &inst),
+            "final gauge equals the schedule's true cost"
+        );
+        assert_eq!(
+            u128::from(last.lower_bound),
+            bshm_core::lower_bound(&inst),
+            "final gauge equals the full-sweep lower bound"
+        );
+        assert!(timeline.final_ratio().unwrap() >= 1.0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod pool;
 
 pub use clairvoyant::{run_clairvoyant, ClairvoyantScheduler, ClairvoyantView};
 pub use driver::{
-    run_online, run_online_dyn, run_online_probed, ArrivalView, OnlineScheduler, SimError,
+    run_online, run_online_dyn, run_online_gap, run_online_probed, ArrivalView, OnlineScheduler,
+    SimError,
 };
 pub use pool::{MachinePool, PlacementError};
