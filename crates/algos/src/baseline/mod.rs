@@ -6,6 +6,7 @@
 //! fleets.
 
 use bshm_core::machine::{Catalog, TypeIndex};
+use bshm_core::ops::{NoOps, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::MachineId;
 use bshm_sim::driver::{ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
@@ -15,10 +16,34 @@ use bshm_sim::pool::MachinePool;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OneMachinePerJob;
 
+impl OneMachinePerJob {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
+        // One capacity comparison: the size-class fit test.
+        ops.compared(1);
+        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
+        let m = pool.create(class, format!("dedicated/{}", view.id));
+        ops.committed(m, PlaceReason::Opened);
+        m
+    }
+}
+
 impl OnlineScheduler for OneMachinePerJob {
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-        let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
-        pool.create(class, format!("dedicated/{}", view.id))
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {
@@ -34,17 +59,43 @@ pub struct FirstFitAny {
     open: Vec<MachineId>,
 }
 
-impl OnlineScheduler for FirstFitAny {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+impl FirstFitAny {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         for &m in &self.open {
+            ops.scanned(m);
+            ops.compared(1);
             if pool.residual(m) >= view.size {
+                ops.committed(m, PlaceReason::Reused);
                 return m;
             }
+            ops.rejected(m, RejectReason::Capacity);
         }
+        ops.compared(1);
         let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("ff-any#{}", self.open.len()));
         self.open.push(m);
+        ops.committed(m, PlaceReason::Opened);
         m
+    }
+}
+
+impl OnlineScheduler for FirstFitAny {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {
@@ -59,21 +110,57 @@ pub struct BestFit {
     open: Vec<MachineId>,
 }
 
-impl OnlineScheduler for BestFit {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-        let best = self
-            .open
-            .iter()
-            .copied()
-            .filter(|&m| pool.residual(m) >= view.size)
-            .min_by_key(|&m| (pool.residual(m), m));
-        if let Some(m) = best {
+impl BestFit {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
+        let mut best: Option<(u64, MachineId)> = None;
+        for &m in &self.open {
+            ops.scanned(m);
+            ops.compared(1);
+            let r = pool.residual(m);
+            if r < view.size {
+                ops.rejected(m, RejectReason::Capacity);
+                continue;
+            }
+            match best {
+                None => best = Some((r, m)),
+                Some(cur) => {
+                    ops.compared(1);
+                    if (r, m) < cur {
+                        best = Some((r, m));
+                    }
+                }
+            }
+        }
+        if let Some((_, m)) = best {
+            ops.committed(m, PlaceReason::Reused);
             return m;
         }
+        ops.compared(1);
         let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("best-fit#{}", self.open.len()));
         self.open.push(m);
+        ops.committed(m, PlaceReason::Opened);
         m
+    }
+}
+
+impl OnlineScheduler for BestFit {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {
@@ -91,18 +178,44 @@ pub struct NextFit {
     opened: usize,
 }
 
-impl OnlineScheduler for NextFit {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+impl NextFit {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         if let Some(m) = self.current {
+            ops.scanned(m);
+            ops.compared(1);
             if pool.residual(m) >= view.size {
+                ops.committed(m, PlaceReason::Reused);
                 return m;
             }
+            ops.rejected(m, RejectReason::Capacity);
         }
+        ops.compared(1);
         let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("next-fit#{}", self.opened));
         self.opened += 1;
         self.current = Some(m);
+        ops.committed(m, PlaceReason::Opened);
         m
+    }
+}
+
+impl OnlineScheduler for NextFit {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {
@@ -145,24 +258,52 @@ impl RandomFit {
     }
 }
 
-impl OnlineScheduler for RandomFit {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-        let fitting: Vec<MachineId> = self
-            .open
-            .iter()
-            .copied()
-            .filter(|&m| pool.residual(m) >= view.size)
-            .collect();
+impl RandomFit {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
+        let mut fitting: Vec<MachineId> = Vec::new();
+        for &m in &self.open {
+            ops.scanned(m);
+            ops.compared(1);
+            if pool.residual(m) >= view.size {
+                fitting.push(m);
+            } else {
+                ops.rejected(m, RejectReason::Capacity);
+            }
+        }
         if !fitting.is_empty() {
             let idx = self.next_u64() % bshm_core::convert::count_u64(fitting.len());
             // idx < fitting.len(), so it always fits back into usize.
             let pick = bshm_core::convert::usize_from_u64(idx).unwrap_or(0);
-            return fitting[pick];
+            let m = fitting[pick];
+            ops.committed(m, PlaceReason::Reused);
+            return m;
         }
+        ops.compared(1);
         let class = pool.catalog().size_class(view.size).expect("job fits"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         let m = pool.create(class, format!("random-fit#{}", self.open.len()));
         self.open.push(m);
+        ops.committed(m, PlaceReason::Opened);
         m
+    }
+}
+
+impl OnlineScheduler for RandomFit {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {
@@ -202,22 +343,48 @@ impl SingleType {
     }
 }
 
-impl OnlineScheduler for SingleType {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+impl SingleType {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         let t = self.resolve(pool.catalog());
+        ops.compared(1);
         assert!(
             view.size <= pool.catalog().get(t).capacity,
             "job {} does not fit the single fleet type",
             view.id
         );
         for &m in &self.open {
+            ops.scanned(m);
+            ops.compared(1);
             if pool.residual(m) >= view.size {
+                ops.committed(m, PlaceReason::Reused);
                 return m;
             }
+            ops.rejected(m, RejectReason::Capacity);
         }
         let m = pool.create(t, format!("single#{}", self.open.len()));
         self.open.push(m);
+        ops.committed(m, PlaceReason::Opened);
         m
+    }
+}
+
+impl OnlineScheduler for SingleType {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

@@ -16,6 +16,7 @@
 //! what clairvoyance buys over non-clairvoyant First Fit.
 
 use bshm_core::machine::Catalog;
+use bshm_core::ops::{NoOps, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::MachineId;
 use bshm_core::time::TimePoint;
 use bshm_sim::clairvoyant::{ClairvoyantScheduler, ClairvoyantView};
@@ -74,18 +75,31 @@ impl DurationClassFirstFit {
     fn size_class(catalog: &Catalog, size: u64) -> usize {
         catalog.size_class(size).expect("job fits largest type").0 // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
     }
-}
 
-impl ClairvoyantScheduler for DurationClassFirstFit {
-    fn on_arrival(&mut self, view: ClairvoyantView, pool: &mut MachinePool) -> MachineId {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ClairvoyantView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         let sclass = Self::size_class(pool.catalog(), view.size);
         let dclass = self.duration_class(view.duration());
         let window = self.window_len(dclass);
         let roster = self.rosters.entry((sclass, dclass)).or_default();
         for w in roster.iter() {
-            if view.departure <= w.window_end && pool.residual(w.machine) >= view.size {
-                return w.machine;
+            ops.scanned(w.machine);
+            ops.compared(1);
+            if view.departure > w.window_end {
+                ops.rejected(w.machine, RejectReason::WindowExpired);
+                continue;
             }
+            ops.compared(1);
+            if pool.residual(w.machine) < view.size {
+                ops.rejected(w.machine, RejectReason::Capacity);
+                continue;
+            }
+            ops.committed(w.machine, PlaceReason::Reused);
+            return w.machine;
         }
         let machine = pool.create(
             bshm_core::machine::TypeIndex(sclass),
@@ -100,7 +114,23 @@ impl ClairvoyantScheduler for DurationClassFirstFit {
             view.departure <= view.arrival + window,
             "fresh window admits its opener"
         );
+        ops.committed(machine, PlaceReason::Opened);
         machine
+    }
+}
+
+impl ClairvoyantScheduler for DurationClassFirstFit {
+    fn on_arrival(&mut self, view: ClairvoyantView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ClairvoyantView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

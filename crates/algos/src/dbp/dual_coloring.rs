@@ -1,9 +1,10 @@
 //! The Dual Coloring algorithm (offline, one machine type).
 
-use bshm_chart::placement::{place_jobs, PlacementOrder};
-use bshm_chart::strips::schedule_strips;
+use bshm_chart::placement::{place_jobs_logged, PlacementOrder};
+use bshm_chart::strips::schedule_strips_logged;
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::Schedule;
 
 /// Schedules `jobs` on machines of one catalog type (capacity `g`) with the
@@ -21,6 +22,29 @@ pub fn dual_coloring(
     order: PlacementOrder,
     label: &str,
 ) {
+    dual_coloring_logged(
+        schedule,
+        jobs,
+        machine_type,
+        g,
+        order,
+        label,
+        &mut DecisionLog::disabled(),
+    );
+}
+
+/// [`dual_coloring`] with per-job op accounting: placement work is charged
+/// as comparisons ([`place_jobs_logged`]) and the strip rule records the
+/// scan/commit per job ([`schedule_strips_logged`]).
+pub fn dual_coloring_logged(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    order: PlacementOrder,
+    label: &str,
+    log: &mut DecisionLog,
+) {
     if jobs.is_empty() {
         return;
     }
@@ -28,8 +52,8 @@ pub fn dual_coloring(
         jobs.iter().all(|j| j.size <= g),
         "dual_coloring: a job exceeds the machine capacity"
     );
-    let placement = place_jobs(jobs, order);
-    let leftovers = schedule_strips(schedule, &placement, g, None, machine_type, label);
+    let placement = place_jobs_logged(jobs, order, log);
+    let leftovers = schedule_strips_logged(schedule, &placement, g, None, machine_type, label, log);
     debug_assert!(leftovers.is_empty(), "no bottom limit ⇒ no leftovers");
 }
 

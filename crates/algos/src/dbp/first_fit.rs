@@ -8,6 +8,7 @@
 //! constant.
 
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::{NoOps, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::MachineId;
 use bshm_sim::driver::{ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
@@ -57,10 +58,28 @@ impl FirstFitRoster {
     /// new machine is opened if the cap allows. Returns `None` when the
     /// roster is full and nothing fits.
     pub fn try_place(&mut self, size: u64, pool: &mut MachinePool) -> Option<MachineId> {
+        self.try_place_ops(size, pool, &mut NoOps).map(|(m, _)| m)
+    }
+
+    /// [`FirstFitRoster::try_place`] with op accounting: every scanned
+    /// machine, every residual comparison and every typed rejection is
+    /// reported to `ops`. Returns the winner together with how it won
+    /// (reuse vs a fresh open); the *caller* commits the decision — the
+    /// roster never calls [`OpProbe::committed`], because one arrival may
+    /// consult several rosters before settling.
+    pub fn try_place_ops<P: OpProbe + ?Sized>(
+        &mut self,
+        size: u64,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> Option<(MachineId, PlaceReason)> {
         for &m in &self.machines {
+            ops.scanned(m);
+            ops.compared(1);
             if pool.residual(m) >= size {
-                return Some(m);
+                return Some((m, PlaceReason::Reused));
             }
+            ops.rejected(m, RejectReason::Capacity);
         }
         if self.cap.is_none_or(|c| self.machines.len() < c) {
             let idx = self.machines.len();
@@ -69,8 +88,9 @@ impl FirstFitRoster {
                 format!("{}/t{}#{}", self.label, self.machine_type.0, idx),
             );
             self.machines.push(m);
-            Some(m)
+            Some((m, PlaceReason::Opened))
         } else {
+            ops.noted(RejectReason::RosterFull);
             None
         }
     }
@@ -79,10 +99,24 @@ impl FirstFitRoster {
     /// newly created one when the cap allows. `None` when every roster
     /// machine is busy and the roster is full.
     pub fn try_place_idle(&mut self, pool: &mut MachinePool) -> Option<MachineId> {
+        self.try_place_idle_ops(pool, &mut NoOps).map(|(m, _)| m)
+    }
+
+    /// [`FirstFitRoster::try_place_idle`] with op accounting; busy roster
+    /// machines are rejected as [`RejectReason::Busy`]. Same commit
+    /// protocol as [`FirstFitRoster::try_place_ops`].
+    pub fn try_place_idle_ops<P: OpProbe + ?Sized>(
+        &mut self,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> Option<(MachineId, PlaceReason)> {
         for &m in &self.machines {
+            ops.scanned(m);
+            ops.compared(1);
             if pool.is_idle(m) {
-                return Some(m);
+                return Some((m, PlaceReason::ReusedIdle));
             }
+            ops.rejected(m, RejectReason::Busy);
         }
         if self.cap.is_none_or(|c| self.machines.len() < c) {
             let idx = self.machines.len();
@@ -91,8 +125,9 @@ impl FirstFitRoster {
                 format!("{}/t{}#{}", self.label, self.machine_type.0, idx),
             );
             self.machines.push(m);
-            Some(m)
+            Some((m, PlaceReason::Opened))
         } else {
+            ops.noted(RejectReason::RosterFull);
             None
         }
     }
@@ -115,11 +150,34 @@ impl FirstFit {
     }
 }
 
+impl FirstFit {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
+        let (m, how) = self
+            .roster
+            .try_place_ops(view.size, pool, ops)
+            .expect("uncapped roster always places"); // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
+        ops.committed(m, how);
+        m
+    }
+}
+
 impl OnlineScheduler for FirstFit {
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
-        self.roster
-            .try_place(view.size, pool)
-            .expect("uncapped roster always places") // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

@@ -16,6 +16,9 @@ mod dual_coloring;
 mod first_fit;
 mod offline_fit;
 
-pub use dual_coloring::dual_coloring;
+pub use dual_coloring::{dual_coloring, dual_coloring_logged};
 pub use first_fit::{FirstFit, FirstFitRoster};
-pub use offline_fit::{first_fit_decreasing_duration, offline_first_fit};
+pub use offline_fit::{
+    first_fit_decreasing_duration, first_fit_decreasing_duration_logged, offline_first_fit,
+    offline_first_fit_logged,
+};

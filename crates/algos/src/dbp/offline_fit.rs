@@ -9,6 +9,7 @@
 
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::{DecisionLog, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::Schedule;
 
 /// One machine's committed jobs during offline fitting.
@@ -53,6 +54,28 @@ pub fn offline_first_fit(
     g: u64,
     label: &str,
 ) {
+    offline_first_fit_logged(
+        schedule,
+        jobs,
+        machine_type,
+        g,
+        label,
+        &mut DecisionLog::disabled(),
+    );
+}
+
+/// [`offline_first_fit`] with per-job op accounting: every machine probed
+/// by the fit rule is scanned (one capacity comparison each), failed fits
+/// are typed `Capacity` rejections, and the final placement commits
+/// `Reused` (existing machine) or `Opened` (fresh machine).
+pub fn offline_first_fit_logged(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    label: &str,
+    log: &mut DecisionLog,
+) {
     assert!(
         jobs.iter().all(|j| j.size <= g),
         "offline_first_fit: a job exceeds the machine capacity"
@@ -60,12 +83,27 @@ pub fn offline_first_fit(
     let mut machines: Vec<FitMachine> = Vec::new();
     let mut ids = Vec::new();
     for job in jobs {
-        let slot = machines.iter().position(|m| m.fits(job, g));
+        log.begin(job.id);
+        let mut slot: Option<usize> = None;
+        for (i, m) in machines.iter().enumerate() {
+            log.scanned(ids[i]);
+            log.compared(1);
+            if m.fits(job, g) {
+                slot = Some(i);
+                break;
+            }
+            log.rejected(ids[i], RejectReason::Capacity);
+        }
         let idx = match slot {
-            Some(i) => i,
+            Some(i) => {
+                log.committed(ids[i], PlaceReason::Reused);
+                i
+            }
             None => {
                 machines.push(FitMachine { jobs: Vec::new() });
-                ids.push(schedule.add_machine(machine_type, format!("{label}#{}", ids.len())));
+                let mid = schedule.add_machine(machine_type, format!("{label}#{}", ids.len()));
+                ids.push(mid);
+                log.committed(mid, PlaceReason::Opened);
                 machines.len() - 1
             }
         };
@@ -84,9 +122,29 @@ pub fn first_fit_decreasing_duration(
     g: u64,
     label: &str,
 ) {
+    first_fit_decreasing_duration_logged(
+        schedule,
+        jobs,
+        machine_type,
+        g,
+        label,
+        &mut DecisionLog::disabled(),
+    );
+}
+
+/// [`first_fit_decreasing_duration`] with per-job op accounting (see
+/// [`offline_first_fit_logged`]).
+pub fn first_fit_decreasing_duration_logged(
+    schedule: &mut Schedule,
+    jobs: &[Job],
+    machine_type: TypeIndex,
+    g: u64,
+    label: &str,
+    log: &mut DecisionLog,
+) {
     let mut ordered = jobs.to_vec();
     ordered.sort_unstable_by_key(|j| (std::cmp::Reverse(j.duration()), j.arrival, j.id));
-    offline_first_fit(schedule, &ordered, machine_type, g, label);
+    offline_first_fit_logged(schedule, &ordered, machine_type, g, label, log);
 }
 
 #[cfg(test)]

@@ -6,5 +6,5 @@ mod offline;
 mod online;
 pub mod theorem2;
 
-pub use offline::{dec_offline, dec_offline_with_depth};
+pub use offline::{dec_offline, dec_offline_logged, dec_offline_with_depth};
 pub use online::DecOnline;

@@ -1,12 +1,13 @@
 //! DEC-OFFLINE (§III-A): the iterative strip algorithm, Theorem 1's
 //! 14-approximation for offline BSHM-DEC (×2 for rate normalization).
 
-use bshm_chart::placement::{place_jobs, PlacementOrder};
-use bshm_chart::strips::schedule_strips;
+use bshm_chart::placement::{place_jobs_logged, PlacementOrder};
+use bshm_chart::strips::schedule_strips_logged;
 use bshm_core::instance::Instance;
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
 use bshm_core::normalize::NormalizedCatalog;
+use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::Schedule;
 
 /// Runs DEC-OFFLINE and returns a schedule over the *original* catalog.
@@ -43,12 +44,34 @@ pub fn dec_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
     dec_offline_with_depth(instance, order, 2)
 }
 
+/// [`dec_offline`] with per-job op accounting: each job's 2-allocation
+/// search and strip placement are charged to its trace in `log`; a job
+/// deferred past the bottom strips keeps accumulating into the *same*
+/// trace on later iterations (its decision count stays 1).
+#[must_use]
+pub fn dec_offline_logged(
+    instance: &Instance,
+    order: PlacementOrder,
+    log: &mut DecisionLog,
+) -> Schedule {
+    dec_offline_inner(instance, order, 2, log)
+}
+
 /// DEC-OFFLINE with a configurable bottom-strip depth: iteration `i` keeps
 /// the bottom `depth·(r̂_{i+1}/r̂_i − 1)` strips on type-`i` machines. The
 /// paper's algorithm (and [`dec_offline`]) uses `depth = 2`; the A6
 /// ablation sweeps it. `depth ≥ 1`.
 #[must_use]
 pub fn dec_offline_with_depth(instance: &Instance, order: PlacementOrder, depth: u64) -> Schedule {
+    dec_offline_inner(instance, order, depth, &mut DecisionLog::disabled())
+}
+
+fn dec_offline_inner(
+    instance: &Instance,
+    order: PlacementOrder,
+    depth: u64,
+    log: &mut DecisionLog,
+) -> Schedule {
     assert!(depth >= 1, "strip depth must be at least 1");
     let _span = bshm_obs::span::span("algos::dec_offline");
     let norm = NormalizedCatalog::from_catalog(instance.catalog());
@@ -68,19 +91,20 @@ pub fn dec_offline_with_depth(instance: &Instance, order: PlacementOrder, depth:
         if eligible.is_empty() {
             continue;
         }
-        let placement = place_jobs(&eligible, order);
+        let placement = place_jobs_logged(&eligible, order, log);
         let bottom = if i + 1 < m {
             Some(depth * (norm.rate_ratio(TypeIndex(i)) - 1))
         } else {
             None
         };
-        let leftovers = schedule_strips(
+        let leftovers = schedule_strips_logged(
             &mut schedule,
             &placement,
             g_i, // doubled-unit strip height = g_i ⇒ real height g_i/2
             bottom,
             TypeIndex(i),
             &format!("dec-off/it{i}"),
+            log,
         );
         remaining.extend(leftovers);
     }

@@ -4,6 +4,7 @@
 use crate::dbp::FirstFitRoster;
 use bshm_core::machine::{Catalog, TypeIndex};
 use bshm_core::normalize::NormalizedCatalog;
+use bshm_core::ops::{NoOps, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::MachineId;
 use bshm_sim::driver::{ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
@@ -126,53 +127,88 @@ impl DecOnline {
 
     /// Group-A First-Fit over normalized types `start..m`, honouring the
     /// half-capacity admission rule.
-    fn place_group_a(
+    fn place_group_a<P: OpProbe + ?Sized>(
         &mut self,
         start: usize,
         size: u64,
         pool: &mut MachinePool,
-    ) -> Option<MachineId> {
+        ops: &mut P,
+    ) -> Option<(MachineId, PlaceReason)> {
         for j in start..self.norm.len() {
+            ops.compared(1);
             if 2 * size <= self.g(j) {
-                if let Some(m) = self.group_a[j].try_place(size, pool) {
-                    return Some(m);
+                if let Some(placed) = self.group_a[j].try_place_ops(size, pool, ops) {
+                    return Some(placed);
                 }
+            } else {
+                ops.noted(RejectReason::Admission);
             }
         }
         None
     }
-}
 
-impl OnlineScheduler for DecOnline {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         let i = self
             .norm
             .catalog()
             .size_class(view.size)
             .expect("job fits the largest kept type") // bshm-allow(no-panic): normalization keeps the top type, so every job has a class
             .0;
+        ops.compared(1);
         let big = 2 * view.size > self.g(i);
         if big {
             // s(J) ∈ (g_i/2, g_i]: lowest-indexed empty Group-B machine…
             if self.use_group_b {
-                if let Some(m) = self.group_b[i].try_place_idle(pool) {
+                if let Some((m, how)) = self.group_b[i].try_place_idle_ops(pool, ops) {
+                    ops.committed(m, how);
                     return m;
                 }
             }
             // …else Group-A First-Fit from type i+1 upward.
-            if let Some(m) = self.place_group_a(i + 1, view.size, pool) {
+            if let Some((m, how)) = self.place_group_a(i + 1, view.size, pool, ops) {
+                ops.committed(m, how);
                 return m;
             }
             // Non-doubling catalog: dedicated overflow machine.
             self.overflow_placements += 1;
-            return self.overflow[i]
-                .try_place_idle(pool)
+            let (m, how) = self.overflow[i]
+                .try_place_idle_ops(pool, ops)
                 .expect("unlimited overflow roster"); // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
+            let how = if how.opened() {
+                PlaceReason::OpenedOverflow
+            } else {
+                how
+            };
+            ops.committed(m, how);
+            return m;
         }
         // s(J) ∈ (g_{i-1}, g_i/2]: Group-A First-Fit from type i upward;
         // the unlimited top type guarantees success.
-        self.place_group_a(i, view.size, pool)
-            .expect("top-type Group A is unlimited and admits the job") // bshm-allow(no-panic): the top type roster is uncapped (paper Lemma 2)
+        let (m, how) = self
+            .place_group_a(i, view.size, pool, ops)
+            .expect("top-type Group A is unlimited and admits the job"); // bshm-allow(no-panic): the top type roster is uncapped (paper Lemma 2)
+        ops.committed(m, how);
+        m
+    }
+}
+
+impl OnlineScheduler for DecOnline {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

@@ -8,5 +8,5 @@ mod offline;
 mod online;
 
 pub use forest::TypeForest;
-pub use offline::general_offline;
+pub use offline::{general_offline, general_offline_logged};
 pub use online::GeneralOnline;

@@ -2,12 +2,13 @@
 //! forest, conjectured `O(√m)`-approximate.
 
 use crate::general::forest::TypeForest;
-use bshm_chart::placement::{place_jobs, PlacementOrder};
-use bshm_chart::strips::schedule_strips;
+use bshm_chart::placement::{place_jobs_logged, PlacementOrder};
+use bshm_chart::strips::schedule_strips_logged;
 use bshm_core::instance::Instance;
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
 use bshm_core::normalize::NormalizedCatalog;
+use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::Schedule;
 
 /// Runs the general-case offline algorithm.
@@ -23,6 +24,18 @@ use bshm_core::schedule::Schedule;
 /// *is* INC-OFFLINE.
 #[must_use]
 pub fn general_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
+    general_offline_logged(instance, order, &mut DecisionLog::disabled())
+}
+
+/// [`general_offline`] with per-job op accounting: placement and strip
+/// work at every forest node a job visits accumulate into that job's
+/// single trace (leftovers flowing to the parent resume it).
+#[must_use]
+pub fn general_offline_logged(
+    instance: &Instance,
+    order: PlacementOrder,
+    log: &mut DecisionLog,
+) -> Schedule {
     let _span = bshm_obs::span::span("algos::general_offline");
     let norm = NormalizedCatalog::from_catalog(instance.catalog());
     let forest = TypeForest::build(&norm);
@@ -45,15 +58,16 @@ pub fn general_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
             continue;
         }
         let g_j = norm.catalog().get(TypeIndex(j)).capacity;
-        let placement = place_jobs(&jobs, order);
+        let placement = place_jobs_logged(&jobs, order, log);
         let bottom = forest.bottom_strips(j, &norm);
-        let leftovers = schedule_strips(
+        let leftovers = schedule_strips_logged(
             &mut schedule,
             &placement,
             g_j,
             bottom,
             TypeIndex(j),
             &format!("gen-off/n{j}"),
+            log,
         );
         match forest.parent(j) {
             Some(k) => pending[k].extend(leftovers),

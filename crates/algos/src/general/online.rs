@@ -5,6 +5,7 @@ use crate::dbp::FirstFitRoster;
 use crate::general::forest::TypeForest;
 use bshm_core::machine::{Catalog, TypeIndex};
 use bshm_core::normalize::NormalizedCatalog;
+use bshm_core::ops::{NoOps, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::MachineId;
 use bshm_sim::driver::{ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
@@ -68,10 +69,13 @@ impl GeneralOnline {
     fn g(&self, j: usize) -> u64 {
         self.norm.catalog().get(TypeIndex(j)).capacity
     }
-}
 
-impl OnlineScheduler for GeneralOnline {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
         let class = self
             .norm
             .catalog()
@@ -79,36 +83,75 @@ impl OnlineScheduler for GeneralOnline {
             .expect("job fits the largest kept type") // bshm-allow(no-panic): normalization keeps the top type, so every job has a class
             .0;
         let path = self.forest.ancestor_path(class);
+        ops.compared(1);
         let big = 2 * view.size > self.g(class);
         if big {
-            if let Some(m) = self.group_b[class].try_place_idle(pool) {
+            if let Some((m, how)) = self.group_b[class].try_place_idle_ops(pool, ops) {
+                ops.committed(m, how);
                 return m;
             }
             for &j in &path[1..] {
+                ops.compared(1);
                 if 2 * view.size <= self.g(j) {
-                    if let Some(m) = self.group_a[j].try_place(view.size, pool) {
+                    if let Some((m, how)) = self.group_a[j].try_place_ops(view.size, pool, ops) {
+                        ops.committed(m, how);
                         return m;
                     }
+                } else {
+                    ops.noted(RejectReason::Admission);
                 }
             }
             self.overflow_placements += 1;
-            return self.overflow[class]
-                .try_place_idle(pool)
+            let (m, how) = self.overflow[class]
+                .try_place_idle_ops(pool, ops)
                 .expect("unlimited overflow roster"); // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
+            let how = if how.opened() {
+                PlaceReason::OpenedOverflow
+            } else {
+                how
+            };
+            ops.committed(m, how);
+            return m;
         }
         for &j in &path {
+            ops.compared(1);
             if 2 * view.size <= self.g(j) {
-                if let Some(m) = self.group_a[j].try_place(view.size, pool) {
+                if let Some((m, how)) = self.group_a[j].try_place_ops(view.size, pool, ops) {
+                    ops.committed(m, how);
                     return m;
                 }
+            } else {
+                ops.noted(RejectReason::Admission);
             }
         }
         // Root roster is unlimited; reaching here means the root's
         // half-capacity rule rejected the job (non-doubling catalog).
         self.overflow_placements += 1;
-        self.overflow[class]
-            .try_place_idle(pool)
-            .expect("unlimited overflow roster") // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
+        let (m, how) = self.overflow[class]
+            .try_place_idle_ops(pool, ops)
+            .expect("unlimited overflow roster"); // bshm-allow(no-panic): overflow rosters are uncapped and always open a machine
+        let how = if how.opened() {
+            PlaceReason::OpenedOverflow
+        } else {
+            how
+        };
+        ops.committed(m, how);
+        m
+    }
+}
+
+impl OnlineScheduler for GeneralOnline {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

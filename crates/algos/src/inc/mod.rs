@@ -6,5 +6,5 @@ pub mod lemma4;
 mod offline;
 mod online;
 
-pub use offline::{inc_offline, partitioned_ffd};
+pub use offline::{inc_offline, inc_offline_logged, partitioned_ffd, partitioned_ffd_logged};
 pub use online::IncOnline;

@@ -1,11 +1,12 @@
 //! INC-OFFLINE (§IV): size-class partitioning + per-class Dual Coloring,
 //! a 9-approximation for offline BSHM-INC.
 
-use crate::dbp::dual_coloring;
+use crate::dbp::dual_coloring_logged;
 use bshm_chart::placement::PlacementOrder;
 use bshm_core::instance::Instance;
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::{DecisionLog, OpProbe};
 use bshm_core::schedule::Schedule;
 
 /// Partitions the instance's jobs into size classes
@@ -16,22 +17,37 @@ use bshm_core::schedule::Schedule;
 /// 9-approximation.
 #[must_use]
 pub fn inc_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
+    inc_offline_logged(instance, order, &mut DecisionLog::disabled())
+}
+
+/// [`inc_offline`] with per-job op accounting (class lookup = one
+/// comparison; the per-class Dual Coloring then charges placement and
+/// strip work to each job's trace).
+#[must_use]
+pub fn inc_offline_logged(
+    instance: &Instance,
+    order: PlacementOrder,
+    log: &mut DecisionLog,
+) -> Schedule {
     let _span = bshm_obs::span::span("algos::inc_offline");
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {
+        log.begin(job.id);
+        log.compared(1);
         let class = catalog.size_class(job.size).expect("instance validated"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         classes[class.0].push(*job);
     }
     let mut schedule = Schedule::new();
     for (i, jobs) in classes.iter().enumerate() {
-        dual_coloring(
+        dual_coloring_logged(
             &mut schedule,
             jobs,
             TypeIndex(i),
             catalog.get(TypeIndex(i)).capacity,
             order,
             &format!("inc-off/class{i}"),
+            log,
         );
     }
     schedule
@@ -44,10 +60,19 @@ pub fn inc_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
 /// F5/T4 experiments.
 #[must_use]
 pub fn partitioned_ffd(instance: &Instance) -> Schedule {
+    partitioned_ffd_logged(instance, &mut DecisionLog::disabled())
+}
+
+/// [`partitioned_ffd`] with per-job op accounting (see
+/// [`crate::dbp::offline_first_fit_logged`] for the fit-scan rules).
+#[must_use]
+pub fn partitioned_ffd_logged(instance: &Instance, log: &mut DecisionLog) -> Schedule {
     let _span = bshm_obs::span::span("algos::partitioned_ffd");
     let catalog = instance.catalog();
     let mut classes: Vec<Vec<Job>> = vec![Vec::new(); catalog.len()];
     for job in instance.jobs() {
+        log.begin(job.id);
+        log.compared(1);
         let class = catalog.size_class(job.size).expect("instance validated"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
         classes[class.0].push(*job);
     }
@@ -56,12 +81,13 @@ pub fn partitioned_ffd(instance: &Instance) -> Schedule {
         if jobs.is_empty() {
             continue;
         }
-        crate::dbp::first_fit_decreasing_duration(
+        crate::dbp::first_fit_decreasing_duration_logged(
             &mut schedule,
             jobs,
             TypeIndex(i),
             catalog.get(TypeIndex(i)).capacity,
             &format!("ffd/class{i}"),
+            log,
         );
     }
     schedule

@@ -3,6 +3,7 @@
 
 use crate::dbp::FirstFitRoster;
 use bshm_core::machine::Catalog;
+use bshm_core::ops::{NoOps, OpProbe};
 use bshm_core::schedule::MachineId;
 use bshm_sim::driver::{ArrivalView, OnlineScheduler};
 use bshm_sim::pool::MachinePool;
@@ -27,15 +28,38 @@ impl IncOnline {
     }
 }
 
-impl OnlineScheduler for IncOnline {
-    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+impl IncOnline {
+    fn decide<P: OpProbe + ?Sized>(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut P,
+    ) -> MachineId {
+        ops.compared(1);
         let class = pool
             .catalog()
             .size_class(view.size)
             .expect("job fits the largest type"); // bshm-allow(no-panic): instances are validated on construction — every job fits the top type
-        self.rosters[class.0]
-            .try_place(view.size, pool)
-            .expect("uncapped roster always places") // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
+        let (m, how) = self.rosters[class.0]
+            .try_place_ops(view.size, pool, ops)
+            .expect("uncapped roster always places"); // bshm-allow(no-panic): a roster with no cap opens a fresh machine rather than fail
+        ops.committed(m, how);
+        m
+    }
+}
+
+impl OnlineScheduler for IncOnline {
+    fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
+        self.decide(view, pool, &mut NoOps)
+    }
+
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.decide(view, pool, ops)
     }
 
     fn name(&self) -> &'static str {

@@ -32,13 +32,16 @@ pub mod inc;
 use bshm_chart::placement::PlacementOrder;
 use bshm_core::instance::Instance;
 use bshm_core::machine::CatalogClass;
+use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::Schedule;
 
 pub use clairvoyant::DurationClassFirstFit;
-pub use dec::{dec_offline, dec_offline_with_depth, DecOnline};
+pub use dec::{dec_offline, dec_offline_logged, dec_offline_with_depth, DecOnline};
 pub use exact::{exact_optimal, ExactResult};
-pub use general::{general_offline, GeneralOnline, TypeForest};
-pub use inc::{inc_offline, partitioned_ffd, IncOnline};
+pub use general::{general_offline, general_offline_logged, GeneralOnline, TypeForest};
+pub use inc::{
+    inc_offline, inc_offline_logged, partitioned_ffd, partitioned_ffd_logged, IncOnline,
+};
 
 /// Schedules `instance` with the paper's offline algorithm for its catalog
 /// class: DEC-OFFLINE, INC-OFFLINE or GENERAL-OFFLINE.
@@ -48,6 +51,21 @@ pub fn auto_offline(instance: &Instance, order: PlacementOrder) -> Schedule {
         CatalogClass::Dec => dec_offline(instance, order),
         CatalogClass::Inc => inc_offline(instance, order),
         CatalogClass::General => general_offline(instance, order),
+    }
+}
+
+/// [`auto_offline`] with per-job op accounting: the dispatched solver
+/// charges every job's placement work to its trace in `log`.
+#[must_use]
+pub fn auto_offline_logged(
+    instance: &Instance,
+    order: PlacementOrder,
+    log: &mut DecisionLog,
+) -> Schedule {
+    match instance.classify() {
+        CatalogClass::Dec => dec_offline_logged(instance, order, log),
+        CatalogClass::Inc => inc_offline_logged(instance, order, log),
+        CatalogClass::General => general_offline_logged(instance, order, log),
     }
 }
 

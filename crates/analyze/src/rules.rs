@@ -18,7 +18,7 @@ pub struct RuleInfo {
 }
 
 /// Every lint rule the engine runs (drift auditors are separate).
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         name: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
@@ -33,7 +33,7 @@ pub const RULES: [RuleInfo; 8] = [
     },
     RuleInfo {
         name: "wall-clock",
-        summary: "no Instant::now/SystemTime::now outside obs::span (timing goes through the span/clock layer)",
+        summary: "no Instant::now/SystemTime::now outside obs::span (timing goes through the span/clock layer; for machine-independent profiles prefer the deterministic OpCounter columns from `bshm xray`)",
     },
     RuleInfo {
         name: "no-print",
@@ -50,6 +50,10 @@ pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         name: "no-raw-metric",
         summary: "no direct assignment to Metrics counter/gauge fields in obs/sim outside the recorder fold and the labeled registry; mutate through Recorder::record or Registry mutators",
+    },
+    RuleInfo {
+        name: "no-untyped-reject",
+        summary: "candidate rejections in scheduler code must carry a typed RejectReason — no string/char literals as reject/rejected/noted probe arguments (stringly-typed reasons break the labeled ops families)",
     },
 ];
 
@@ -90,13 +94,69 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
     {
         out.extend(no_raw_metric(ctx, toks, &live));
     }
+    if ctx.strict_library || ctx.crate_name == "chart" {
+        out.extend(no_untyped_reject(ctx, toks, &live));
+    }
+    out
+}
+
+/// `no-untyped-reject`: rejection probes fed a literal instead of a
+/// [`RejectReason`].
+///
+/// The decision x-ray's labeled families (`bshm_ops_rejected_total{reason=…}`)
+/// iterate `RejectReason::ALL`; a stringly-typed reason would silently
+/// fall outside every family. The probe API only takes the enum, so this
+/// catches the drive-by shortcut before it grows a `&str` overload.
+fn no_untyped_reject(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i)
+            || t.kind != TokKind::Ident
+            || !matches!(t.text.as_str(), "reject" | "rejected" | "noted")
+        {
+            continue;
+        }
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(".");
+        if !prev_is_dot || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // Scan the argument list for string/char literals.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(a) = toks.get(j) {
+            if a.is_punct("(") {
+                depth += 1;
+            } else if a.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if matches!(a.kind, TokKind::Str | TokKind::Char) {
+                out.push(Diagnostic::error(
+                    "no-untyped-reject",
+                    &ctx.path,
+                    a.line,
+                    format!(
+                        "literal {} passed to `.{}(…)`; rejection reasons are typed — use a RejectReason variant so the labeled ops families count it, or justify with `// bshm-allow(no-untyped-reject): reason`",
+                        a.text, t.text
+                    ),
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
     out
 }
 
 /// Metric field names of `bshm_obs::Metrics` whose mutation the
 /// `no-raw-metric` rule polices. Histogram/timeline vectors are appended
 /// via methods and are not assignable targets, so they are omitted.
-const METRIC_FIELDS: [&str; 21] = [
+const METRIC_FIELDS: [&str; 24] = [
     "arrivals",
     "departures",
     "placements",
@@ -118,6 +178,9 @@ const METRIC_FIELDS: [&str; 21] = [
     "last_lower_bound",
     "last_attributed_cost",
     "max_gap_ratio",
+    "ops",
+    "ops_hist",
+    "ops_sum",
 ];
 
 /// `no-raw-metric`: direct mutation of `Metrics` counter/gauge fields.
@@ -692,6 +755,50 @@ mod tests {
         assert!(d
             .iter()
             .any(|d| d.message.contains("bshm-allow(no-raw-metric)")));
+    }
+
+    #[test]
+    fn no_untyped_reject_rule() {
+        // String/char reasons are flagged wherever the probes live…
+        for src in [
+            "fn f(l: &mut L) { l.rejected(m, \"capacity\"); }",
+            "fn f(c: &mut C) { c.reject(\"busy\"); }",
+            "fn f(l: &mut L) { l.noted('a'); }",
+        ] {
+            for path in [
+                "crates/core/src/ops.rs",
+                "crates/chart/src/strips.rs",
+                "crates/algos/src/dbp/offline_fit.rs",
+            ] {
+                let d = check(path, src);
+                assert!(
+                    d.iter().any(|d| d.rule == "no-untyped-reject"),
+                    "{path} {src}: {d:?}"
+                );
+            }
+        }
+        // …typed enum variants and variables are clean, as are unrelated
+        // idents and non-library crates.
+        for src in [
+            "fn f(l: &mut L) { l.rejected(m, RejectReason::Capacity); }",
+            "fn f(c: &mut C) { c.reject(reason); }",
+            "fn f(l: &mut L) { l.noted(RejectReason::Admission); }",
+            "fn f() { log::rejected; }",
+            "fn f(v: &V) { v.rejected_count(\"x\"); }",
+        ] {
+            let d = check("crates/algos/src/dec/online.rs", src);
+            assert!(
+                d.iter().all(|d| d.rule != "no-untyped-reject"),
+                "{src}: {d:?}"
+            );
+        }
+        assert!(check(
+            "crates/cli/src/commands.rs",
+            "fn f(c: &mut C) { c.reject(\"busy\"); }"
+        )
+        .is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f(c: &mut C) { c.reject(\"busy\"); } }";
+        assert!(check("crates/core/src/ops.rs", test_src).is_empty());
     }
 
     #[test]

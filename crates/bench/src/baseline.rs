@@ -20,7 +20,7 @@
 //! against its recorded bound. The `baseline` binary exits non-zero on
 //! any breach.
 
-use bshm_cli::commands::{online_or_scripted, run_alg_traced, ALG_NAMES};
+use bshm_cli::commands::{online_or_scripted, run_alg_traced, run_alg_xray, ALG_NAMES};
 use bshm_core::instance::Instance;
 use bshm_core::lower_bound::lower_bound;
 use bshm_core::schedule_cost;
@@ -43,7 +43,12 @@ use std::path::{Path, PathBuf};
 /// v3 added the gap-observatory columns (`final_gap_ratio`,
 /// `max_gap_ratio`) from running the traced measurement through
 /// [`GapProbe`] (live incremental-lower-bound gauges).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the decision x-ray columns (`ops_per_decision_p50/p95/p99`,
+/// `total_scan_ops`) from a separate run under the x-ray driver
+/// (`run_alg_xray`): deterministic operation counts, not clocks, so they
+/// compare exactly across machines.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The fixed fault plan behind the recovery-overhead columns: a handful
 /// of seeded machine crashes, deterministic per workload. Every algorithm
@@ -124,6 +129,17 @@ pub struct AlgBaseline {
     pub final_gap_ratio: f64,
     /// Worst instantaneous cost-over-bound ratio across all gap samples.
     pub max_gap_ratio: f64,
+    /// Median operations (machines scanned + capacity comparisons) per
+    /// placement decision, from a separate x-ray run (histogram estimate
+    /// over deterministic counters).
+    pub ops_per_decision_p50: f64,
+    /// 95th-percentile ops per decision.
+    pub ops_per_decision_p95: f64,
+    /// 99th-percentile ops per decision.
+    pub ops_per_decision_p99: f64,
+    /// Total scan work over the whole run: machines scanned plus capacity
+    /// comparisons, exact integer.
+    pub total_scan_ops: u64,
     /// Hot-path span breakdown for this run (wall-clock per phase).
     pub spans: Vec<SpanStat>,
 }
@@ -234,6 +250,7 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
     }
     let cost = schedule_cost(&schedule, instance);
     let (displaced_jobs, recovery_cost_ratio) = measure_recovery(alg, instance);
+    let (ops_p50, ops_p95, ops_p99, total_scan_ops) = measure_ops(alg, instance);
     AlgBaseline {
         alg: alg.to_string(),
         wall_ns,
@@ -248,8 +265,31 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
         recovery_cost_ratio,
         final_gap_ratio: timeline.final_ratio().unwrap_or(0.0),
         max_gap_ratio: timeline.max_ratio(),
+        ops_per_decision_p50: ops_p50,
+        ops_per_decision_p95: ops_p95,
+        ops_per_decision_p99: ops_p99,
+        total_scan_ops,
         spans,
     }
+}
+
+/// Runs the algorithm once more under the x-ray driver (the timing
+/// columns above stay on the plain probed path, so decision latencies are
+/// never inflated by decision-trace bookkeeping) and returns the
+/// deterministic op-count columns.
+fn measure_ops(alg: &str, instance: &Instance) -> (f64, f64, f64, u64) {
+    let mut rec = Recorder::new(alg, instance.catalog().len());
+    let (_, totals) = run_alg_xray(alg, instance, &mut rec)
+        .unwrap_or_else(|e| panic!("baseline alg {alg} under x-ray: {e}"));
+    let metrics = rec
+        .into_metrics()
+        .unwrap_or_else(|e| panic!("baseline alg {alg} under x-ray: {e}"));
+    (
+        metrics.ops_per_decision_quantile(0.50).unwrap_or(0.0),
+        metrics.ops_per_decision_quantile(0.95).unwrap_or(0.0),
+        metrics.ops_per_decision_quantile(0.99).unwrap_or(0.0),
+        totals.total_ops(),
+    )
 }
 
 /// Runs the algorithm once more under [`FAULT_PLAN_SPEC`] (same-type
@@ -570,6 +610,32 @@ pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Co
                     na.max_gap_ratio,
                     None,
                 );
+                // The op counts are deterministic (control flow, not
+                // clocks), but legitimate algorithm work moves them a
+                // little; gate blowups at the timing threshold. Only
+                // reached on matching job counts, so quick-vs-full size
+                // differences never fire these.
+                push_delta(
+                    &mut cmp,
+                    path("total_scan_ops"),
+                    oa.total_scan_ops as f64,
+                    na.total_scan_ops as f64,
+                    Some(threshold),
+                );
+                push_delta(
+                    &mut cmp,
+                    path("ops_per_decision_p95"),
+                    oa.ops_per_decision_p95,
+                    na.ops_per_decision_p95,
+                    Some(threshold),
+                );
+                push_delta(
+                    &mut cmp,
+                    path("ops_per_decision_p99"),
+                    oa.ops_per_decision_p99,
+                    na.ops_per_decision_p99,
+                    Some(threshold),
+                );
             }
         }
     }
@@ -699,6 +765,10 @@ mod tests {
                     recovery_cost_ratio: 0.05,
                     final_gap_ratio: 1.2,
                     max_gap_ratio: 1.4,
+                    ops_per_decision_p50: 3.0,
+                    ops_per_decision_p95: 8.0,
+                    ops_per_decision_p99: 12.0,
+                    total_scan_ops: 60,
                     spans: vec![],
                 }],
             }],
@@ -744,6 +814,27 @@ mod tests {
         assert!(cmp.render().contains("REGRESSION"));
         // The same 2x move passes a 3x threshold.
         assert!(compare(&old, &new, 3.0).passed());
+    }
+
+    #[test]
+    fn scan_ops_blowup_fails_the_gate() {
+        // The v4 gate: a 2x jump in deterministic scan work breaches the
+        // default 1.5x threshold like any timing regression would.
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.workloads[0].algorithms[0].total_scan_ops *= 2;
+        new.workloads[0].algorithms[0].ops_per_decision_p95 *= 2.0;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("total_scan_ops")));
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.contains("ops_per_decision_p95")));
+        // Size-aware: on mismatched job counts the ops gate is skipped.
+        new.workloads[0].jobs = 77;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(cmp.passed(), "{}", cmp.render());
     }
 
     #[test]
@@ -847,6 +938,16 @@ mod tests {
                     a.max_gap_ratio,
                     a.final_gap_ratio
                 );
+                // The x-ray columns: every decision scans or compares
+                // something, and the quantiles are ordered.
+                assert!(a.total_scan_ops > 0, "{}/{}", w.workload, a.alg);
+                assert!(
+                    a.ops_per_decision_p50 <= a.ops_per_decision_p95 + 1e-9
+                        && a.ops_per_decision_p95 <= a.ops_per_decision_p99 + 1e-9,
+                    "{}/{}: ops quantiles out of order",
+                    w.workload,
+                    a.alg
+                );
             }
         }
         // The recovery columns exist and the fixed plan actually bites on
@@ -871,6 +972,13 @@ mod tests {
                 assert_eq!(a1.cost, a2.cost, "{}/{}", w1.workload, a1.alg);
                 assert_eq!(a1.peak_open_by_type, a2.peak_open_by_type);
                 assert_eq!(a1.displaced_jobs, a2.displaced_jobs);
+                // Op counts are integers derived from control flow: two
+                // runs must agree exactly, not approximately.
+                assert_eq!(
+                    a1.total_scan_ops, a2.total_scan_ops,
+                    "{}/{}",
+                    w1.workload, a1.alg
+                );
             }
         }
         // The asserted probe bound (satellite of the probe_overhead bench).

@@ -25,5 +25,7 @@ pub mod strips;
 pub mod svg;
 
 pub use demand::DemandChart;
-pub use placement::{place_jobs, verify_two_allocation, Placement, PlacementOrder};
-pub use strips::schedule_strips;
+pub use placement::{
+    place_jobs, place_jobs_logged, verify_two_allocation, Placement, PlacementOrder,
+};
+pub use strips::{schedule_strips, schedule_strips_logged};

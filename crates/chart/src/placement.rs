@@ -22,6 +22,7 @@
 //! `g_i / 2` occupies `g_i` doubled units.
 
 use bshm_core::job::Job;
+use bshm_core::ops::{DecisionLog, OpProbe};
 use bshm_core::time::{Interval, IntervalSet};
 
 /// A job with its assigned altitude (in doubled units).
@@ -107,6 +108,18 @@ impl Placement {
 /// ```
 #[must_use]
 pub fn place_jobs(jobs: &[Job], order: PlacementOrder) -> Placement {
+    place_jobs_logged(jobs, order, &mut DecisionLog::disabled())
+}
+
+/// [`place_jobs`] with per-job op accounting: each job's altitude search is
+/// charged to its [`bshm_core::ops::OpTrace`] in `log` as capacity
+/// comparisons (rectangles inspected for interval overlap plus per-segment
+/// activity checks during the blocked-altitude sweep). No machines exist at
+/// placement time, so nothing is scanned or committed here — the strip
+/// phase ([`crate::strips::schedule_strips_logged`]) finishes each
+/// decision.
+#[must_use]
+pub fn place_jobs_logged(jobs: &[Job], order: PlacementOrder, log: &mut DecisionLog) -> Placement {
     let mut ordered: Vec<Job> = jobs.to_vec();
     match order {
         PlacementOrder::Arrival => ordered.sort_unstable_by_key(|j| (j.arrival, j.id)),
@@ -121,7 +134,9 @@ pub fn place_jobs(jobs: &[Job], order: PlacementOrder) -> Placement {
         placed: Vec::with_capacity(ordered.len()),
     };
     for job in ordered {
-        let lo2 = lowest_feasible_altitude(&placement.placed, &job);
+        let (lo2, work) = lowest_feasible_altitude_counted(&placement.placed, &job);
+        log.begin(job.id);
+        log.compared(work);
         placement.placed.push(PlacedJob { job, lo2 });
     }
     placement
@@ -129,15 +144,24 @@ pub fn place_jobs(jobs: &[Job], order: PlacementOrder) -> Placement {
 
 /// The lowest altitude (doubled units) at which `job`'s rectangle overlaps
 /// at most one existing rectangle at every time in its interval.
+#[cfg(test)]
 fn lowest_feasible_altitude(placed: &[PlacedJob], job: &Job) -> u64 {
+    lowest_feasible_altitude_counted(placed, job).0
+}
+
+/// [`lowest_feasible_altitude`] plus its deterministic comparison count:
+/// one per already-placed rectangle (the overlap filter) and one per
+/// (time segment, alive rectangle) pair in the blocked-altitude sweep.
+fn lowest_feasible_altitude_counted(placed: &[PlacedJob], job: &Job) -> (u64, u64) {
     let window = job.interval();
+    let mut work = bshm_core::convert::count_u64(placed.len());
     // Rectangles alive somewhere in the job's window.
     let alive: Vec<&PlacedJob> = placed
         .iter()
         .filter(|p| p.job.interval().overlaps(&window))
         .collect();
     if alive.is_empty() {
-        return 0;
+        return (0, work);
     }
     // Time grid restricted to the window.
     let mut grid: Vec<u64> = vec![window.start()];
@@ -156,6 +180,7 @@ fn lowest_feasible_altitude(placed: &[PlacedJob], job: &Job) -> u64 {
     // edge... more precisely for the whole new rectangle.
     let mut blocked: Vec<Interval> = Vec::new();
     for &seg_start in &grid {
+        work += bshm_core::convert::count_u64(alive.len());
         let mut spans: Vec<(u64, u64)> = alive
             .iter()
             .filter(|p| p.job.active_at(seg_start))
@@ -189,7 +214,7 @@ fn lowest_feasible_altitude(placed: &[PlacedJob], job: &Job) -> u64 {
         debug_assert_eq!(cover, 0);
     }
     let blocked = IntervalSet::from_intervals(blocked);
-    first_gap(&blocked, 2 * job.size)
+    (first_gap(&blocked, 2 * job.size), work)
 }
 
 /// Lowest `a ≥ 0` such that `[a, a + height)` misses every blocked span.

@@ -17,6 +17,7 @@
 use crate::placement::{PlacedJob, Placement};
 use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::{DecisionLog, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::{MachineId, Schedule};
 use std::collections::HashMap;
 
@@ -62,15 +63,47 @@ pub fn schedule_strips(
     machine_type: TypeIndex,
     label: &str,
 ) -> Vec<Job> {
+    schedule_strips_logged(
+        schedule,
+        placement,
+        strip_height2,
+        bottom_limit,
+        machine_type,
+        label,
+        &mut DecisionLog::disabled(),
+    )
+}
+
+/// [`schedule_strips`] with per-job op accounting. Counting rules:
+/// classification costs one comparison; a deferred job gets an `Admission`
+/// note (its trace resumes on the next iteration via [`DecisionLog::begin`]);
+/// an inside job scans its strip machine and commits `Opened` for the first
+/// job on that machine, `Reused` after; a crossing job scans the boundary
+/// slots in order, rejecting busy ones as `Busy`, and commits `Opened` on a
+/// slot's first use, `ReusedIdle` after (the slot hosts one job at a time).
+pub fn schedule_strips_logged(
+    schedule: &mut Schedule,
+    placement: &Placement,
+    strip_height2: u64,
+    bottom_limit: Option<u64>,
+    machine_type: TypeIndex,
+    label: &str,
+    log: &mut DecisionLog,
+) -> Vec<Job> {
     assert!(strip_height2 > 0, "strip height must be positive");
     let mut leftovers: Vec<Job> = Vec::new();
     let mut inside: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
     let mut crossing: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
     for p in placement.placed() {
+        log.begin(p.job.id);
+        log.compared(1);
         match classify(p, strip_height2, bottom_limit) {
             StripSlot::Inside(k) => inside.entry(k).or_default().push(p),
             StripSlot::Crossing(b) => crossing.entry(b).or_default().push(p),
-            StripSlot::Leftover => leftovers.push(p.job),
+            StripSlot::Leftover => {
+                log.noted(RejectReason::Admission);
+                leftovers.push(p.job);
+            }
         }
     }
     // One machine per non-empty strip.
@@ -78,7 +111,18 @@ pub fn schedule_strips(
     strip_keys.sort_unstable();
     for k in strip_keys {
         let mid = schedule.add_machine(machine_type, format!("{label}/strip{k}"));
-        for p in &inside[&k] {
+        for (i, p) in inside[&k].iter().enumerate() {
+            log.begin(p.job.id);
+            log.scanned(mid);
+            log.compared(1);
+            log.committed(
+                mid,
+                if i == 0 {
+                    PlaceReason::Opened
+                } else {
+                    PlaceReason::Reused
+                },
+            );
             schedule.assign(mid, p.job.id);
         }
     }
@@ -93,16 +137,35 @@ pub fn schedule_strips(
             schedule.add_machine(machine_type, format!("{label}/bnd{b}b")),
         ];
         let mut busy_until = [0u64; 2];
+        let mut used = [false; 2];
         for p in jobs {
-            let free = (0..2)
-                .find(|&s| busy_until[s] <= p.job.arrival)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "three concurrent boundary-crossing jobs at boundary {b} — \
-                         the 2-allocation invariant was violated"
-                    )
-                });
+            log.begin(p.job.id);
+            let mut free: Option<usize> = None;
+            for s in 0..2 {
+                log.scanned(slots[s]);
+                log.compared(1);
+                if busy_until[s] <= p.job.arrival {
+                    free = Some(s);
+                    break;
+                }
+                log.rejected(slots[s], RejectReason::Busy);
+            }
+            let free = free.unwrap_or_else(|| {
+                panic!(
+                    "three concurrent boundary-crossing jobs at boundary {b} — \
+                     the 2-allocation invariant was violated"
+                )
+            });
             busy_until[free] = p.job.departure;
+            log.committed(
+                slots[free],
+                if used[free] {
+                    PlaceReason::ReusedIdle
+                } else {
+                    PlaceReason::Opened
+                },
+            );
+            used[free] = true;
             schedule.assign(slots[free], p.job.id);
         }
     }

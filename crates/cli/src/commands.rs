@@ -7,12 +7,15 @@ use bshm_chart::placement::PlacementOrder;
 use bshm_core::analysis::{machine_timeline, schedule_stats, timeline_csv};
 use bshm_core::instance::Instance;
 use bshm_core::lower_bound::{lower_bound, lp_lower_bound};
+use bshm_core::ops::{DecisionLog, OpCounter, RejectReason};
 use bshm_core::schedule::Schedule;
 use bshm_core::validate::validate_schedule;
 use bshm_core::{schedule_cost, Cost};
 use bshm_faults::{FaultOutcome, FaultPlan, ScriptScheduler};
 use bshm_obs::{replay, NoProbe, Probe, Recorder};
-use bshm_sim::{run_clairvoyant, run_online_probed, OnlineScheduler};
+use bshm_sim::{
+    run_clairvoyant, run_clairvoyant_logged, run_online_probed, run_online_xray, OnlineScheduler,
+};
 use bshm_workload::WorkloadSpec;
 use std::io::Write;
 
@@ -36,6 +39,10 @@ USAGE:
   bshm export-metrics --trace FILE [--format prometheus|json] [--alg LABEL]
                 [--out FILE]
   bshm top      TRACE.jsonl [--cols N]
+  bshm explain  --job J (--trace FILE | --instance FILE [--alg NAME])
+                [--machine M]
+  bshm xray     (TRACE.jsonl | --instance FILE [--alg NAME]) [--trace FILE]
+                [--format console|json] [--out FILE] [--cols N] [--rows N]
   bshm validate --instance FILE --schedule FILE
   bshm lb       --instance FILE
   bshm info     --instance FILE
@@ -70,6 +77,15 @@ OBSERVABILITY:
                        attribution table (opener pays the opening segment,
                        extensions split proportionally by occupant size),
                        as console text or JSON
+  explain              why a job landed where it did: the candidate
+                       machines its scheduler examined, each typed
+                       rejection, the winner and the deterministic op
+                       counts of that one decision
+  xray                 run (or read) a decision-traced execution and
+                       report ops-per-decision quantiles, rejection
+                       breakdown, scan-length-vs-pool-size curve and
+                       per-machine utilization heat rows; --trace records
+                       the Decision-bearing event stream for later replay
 
 FAULTS & RECOVERY:
   solve --faults SPEC  inject machine crashes, arrival storms and oversized
@@ -124,6 +140,8 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
         "gap-report" => cmd_gap_report(&flags, out),
         "export-metrics" => cmd_export_metrics(&flags, out),
         "top" => cmd_top(&flags, out),
+        "explain" => cmd_explain(&flags, out),
+        "xray" => cmd_xray(&flags, out),
         "validate" => cmd_validate(&flags, out),
         "lb" => cmd_lb(&flags, out),
         "info" => cmd_info(&flags, out),
@@ -248,6 +266,84 @@ pub fn run_alg_traced(
         other => return Err(format!("unknown algorithm {other:?}; see `bshm algs`")),
     };
     Ok(s)
+}
+
+/// Runs a scheduler by name under the decision x-ray: every placement
+/// decision is narrated into `probe` as a [`bshm_obs::TraceEvent::Decision`]
+/// (candidate machines examined, typed rejections, the winner and how it
+/// was chosen) alongside the regular event stream. Returns the schedule
+/// plus the run's deterministic operation-count totals.
+///
+/// Online schedulers run under [`bshm_sim::run_online_xray`]; offline
+/// solvers (and the clairvoyant baseline) record per-job op traces into a
+/// [`DecisionLog`] while solving, which
+/// [`bshm_obs::replay::synthesize_xray`] then interleaves into the
+/// synthesized stream. Two runs over the same instance produce identical
+/// counts — the ops are control-flow facts, not timings.
+pub fn run_alg_xray(
+    name: &str,
+    instance: &Instance,
+    probe: &mut dyn Probe,
+) -> Result<(Schedule, OpCounter), String> {
+    let order = PlacementOrder::Arrival;
+    let online = |s: &mut dyn bshm_sim::OnlineScheduler, probe: &mut dyn Probe| {
+        run_online_xray(instance, &mut &mut *s, probe).map_err(|e| e.to_string())
+    };
+    // Offline solvers fill the log first; totals are folded before
+    // synthesis because synthesize_xray drains the per-job traces.
+    let offline = |s: Schedule, mut log: DecisionLog, probe: &mut dyn Probe| {
+        let totals = log.totals();
+        replay::synthesize_xray(&s, instance, &mut log, probe);
+        (s, totals)
+    };
+    let catalog = instance.catalog();
+    let solved = |solve: &dyn Fn(&mut DecisionLog) -> Schedule, probe: &mut dyn Probe| {
+        let mut log = DecisionLog::new();
+        let s = solve(&mut log);
+        offline(s, log, probe)
+    };
+    let r = match name {
+        "auto" => solved(
+            &|log| bshm_algos::auto_offline_logged(instance, order, log),
+            probe,
+        ),
+        "dec-offline" => solved(
+            &|log| bshm_algos::dec_offline_logged(instance, order, log),
+            probe,
+        ),
+        "inc-offline" => solved(
+            &|log| bshm_algos::inc_offline_logged(instance, order, log),
+            probe,
+        ),
+        "gen-offline" => solved(
+            &|log| bshm_algos::general_offline_logged(instance, order, log),
+            probe,
+        ),
+        "part-ffd" => solved(
+            &|log| bshm_algos::partitioned_ffd_logged(instance, log),
+            probe,
+        ),
+        "dec-online" => online(&mut bshm_algos::DecOnline::new(catalog), probe)?,
+        "inc-online" => online(&mut bshm_algos::IncOnline::new(catalog), probe)?,
+        "gen-online" => online(&mut bshm_algos::GeneralOnline::new(catalog), probe)?,
+        "clairvoyant" => {
+            let base = instance.stats().min_duration;
+            let mut log = DecisionLog::new();
+            let s = run_clairvoyant_logged(
+                instance,
+                &mut bshm_algos::DurationClassFirstFit::new(base),
+                &mut log,
+            )
+            .map_err(|e| e.to_string())?;
+            offline(s, log, probe)
+        }
+        "first-fit-any" => online(&mut FirstFitAny::default(), probe)?,
+        "best-fit" => online(&mut BestFit::default(), probe)?,
+        "single-type" => online(&mut SingleType::largest(), probe)?,
+        "one-per-job" => online(&mut OneMachinePerJob, probe)?,
+        other => return Err(format!("unknown algorithm {other:?}; see `bshm algs`")),
+    };
+    Ok(r)
 }
 
 /// Builds a boxed online scheduler for `name`, so any registered
@@ -709,6 +805,422 @@ fn cmd_top(flags: &Flags, out: Out) -> Result<(), String> {
         );
     }
     let _ = writeln!(out, "  total cost: {}", metrics.traced_cost);
+
+    // Live gap gauges, when the trace carries GapSample events.
+    let gap = bshm_obs::gap_timeline_from_events(&events);
+    if !gap.points.is_empty() {
+        match (gap.points.last(), gap.final_ratio()) {
+            (Some(last), Some(r)) => {
+                let _ = writeln!(
+                    out,
+                    "\ngap gauges:   final {r:.3} (cost {} vs lower bound {}), \
+                     max {:.3} over {} samples",
+                    last.cost,
+                    last.lower_bound,
+                    gap.max_ratio(),
+                    gap.points.len()
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "\ngap gauges:   no sample with a positive lower bound \
+                     ({} samples)",
+                    gap.points.len()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decision-bearing events for `explain`/`xray`: read from a recorded
+/// trace when `path` is given, otherwise re-run `--alg` on `--instance`
+/// under the x-ray driver. Returns the events, the algorithm label and a
+/// human-readable source description.
+fn xray_events(
+    path: Option<&str>,
+    flags: &Flags,
+    out: Out,
+) -> Result<(Vec<bshm_obs::TraceEvent>, String, String), String> {
+    if let Some(path) = path {
+        let events = load_trace(path)?;
+        if !events
+            .iter()
+            .any(|e| matches!(e, bshm_obs::TraceEvent::Decision { .. }))
+        {
+            return Err(format!(
+                "trace {path} carries no Decision events (recorded without the x-ray?); \
+                 re-record it with `bshm xray --instance FILE --alg NAME --trace {path}`"
+            ));
+        }
+        let alg = flags.get("alg").unwrap_or("trace").to_string();
+        return Ok((events, alg, format!("trace {path}")));
+    }
+    let instance = load_instance(flags)
+        .map_err(|e| format!("need a Decision-bearing trace or --instance FILE: {e}"))?;
+    let alg = flags.get("alg").unwrap_or("auto").to_string();
+    let mut collector = bshm_obs::Collector::default();
+    run_alg_xray(&alg, &instance, &mut collector)?;
+    if let Some(p) = flags.get("trace") {
+        let mut buf = String::new();
+        for e in &collector.events {
+            buf.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            buf.push('\n');
+        }
+        std::fs::write(p, buf).map_err(|e| format!("writing {p}: {e}"))?;
+        let _ = writeln!(out, "wrote {} trace events to {p}", collector.events.len());
+    }
+    Ok((collector.events, alg.clone(), format!("live {alg} run")))
+}
+
+/// `explain`: why was job J placed on machine M? Prints the one decision
+/// that placed the job — every candidate its scheduler examined, each
+/// typed rejection, the winner and the decision's deterministic op counts.
+fn cmd_explain(flags: &Flags, out: Out) -> Result<(), String> {
+    let job_id: u32 = flags
+        .require("job")?
+        .parse()
+        .map_err(|e| format!("--job: {e}"))?;
+    let job = bshm_core::job::JobId(job_id);
+    let (events, _, source) = xray_events(flags.get("trace"), flags, out)?;
+    let decision = events.iter().find_map(|e| match e {
+        bshm_obs::TraceEvent::Decision {
+            t,
+            job: j,
+            machine,
+            placed,
+            pool_size,
+            candidates,
+            ops,
+        } if *j == job => Some((*t, *machine, *placed, *pool_size, candidates, ops)),
+        _ => None,
+    });
+    let Some((t, machine, placed, pool_size, candidates, ops)) = decision else {
+        return Err(format!(
+            "no decision recorded for job {job_id} (unknown id, or the job was never placed)"
+        ));
+    };
+    let size = events.iter().find_map(|e| match e {
+        bshm_obs::TraceEvent::Arrival { job: j, size, .. } if *j == job => Some(*size),
+        _ => None,
+    });
+    let _ = writeln!(out, "source:       {source}");
+    match size {
+        Some(s) => {
+            let _ = writeln!(out, "job {job_id}:       size {s}, arrived t={t}");
+        }
+        None => {
+            let _ = writeln!(out, "job {job_id}:       arrived t={t}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "decision:     machine {} ({}), {} machine(s) known to the scheduler",
+        machine.0,
+        placed.as_str(),
+        pool_size
+    );
+    let _ = writeln!(
+        out,
+        "ops:          {} scanned, {} comparisons, {} rejections",
+        ops.machines_scanned,
+        ops.capacity_comparisons,
+        ops.total_rejected()
+    );
+    if candidates.is_empty() {
+        let _ = writeln!(out, "rejected before the winner: none");
+    } else {
+        let _ = writeln!(out, "rejected before the winner:");
+        for c in candidates {
+            let _ = writeln!(out, "  machine {}: {}", c.machine.0, c.reason.as_str());
+        }
+    }
+    let noted: Vec<String> = RejectReason::ALL
+        .iter()
+        .filter_map(|&r| {
+            let counted = ops.rejected(r);
+            let attributed = candidates.iter().filter(|c| c.reason == r).count() as u64;
+            (counted > attributed).then(|| format!("{} ×{}", r.as_str(), counted - attributed))
+        })
+        .collect();
+    if !noted.is_empty() {
+        let _ = writeln!(out, "also noted (no single machine): {}", noted.join(", "));
+    }
+    if let Some(expect) = flags.get("machine") {
+        let expect: u32 = expect.parse().map_err(|e| format!("--machine: {e}"))?;
+        if expect == machine.0 {
+            let _ = writeln!(out, "confirmed:    job {job_id} landed on machine {expect}");
+        } else {
+            let _ = writeln!(
+                out,
+                "mismatch:     job {job_id} landed on machine {}, not machine {expect}",
+                machine.0
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One pool-size bucket of the scan-length curve.
+#[derive(serde::Serialize)]
+struct XrayScanRow {
+    /// Smallest pool size in the bucket.
+    pool_lo: u64,
+    /// Largest pool size in the bucket.
+    pool_hi: u64,
+    /// Decisions taken at these pool sizes.
+    decisions: u64,
+    /// Mean machines scanned per decision in the bucket.
+    mean_scanned: f64,
+}
+
+/// One machine's row in the utilization heat table.
+#[derive(serde::Serialize)]
+struct XrayMachineRow {
+    /// The machine id.
+    machine: u32,
+    /// Its catalog type.
+    machine_type: usize,
+    /// Its capacity.
+    capacity: u64,
+    /// Total time with at least one active job.
+    busy_time: u64,
+    /// Mean `load / capacity` over busy time (0 when never busy).
+    mean_utilization: f64,
+}
+
+/// The machine-readable `xray --format json` payload.
+#[derive(serde::Serialize)]
+struct XrayReport {
+    /// Where the events came from.
+    source: String,
+    /// Algorithm label.
+    algorithm: String,
+    /// Number of placement decisions.
+    decisions: u64,
+    /// Total scan work (machines scanned + comparisons) over the run.
+    total_scan_ops: u64,
+    /// Folded op-counter totals.
+    ops: OpCounter,
+    /// Ops-per-decision quantiles (bucketed estimates).
+    ops_per_decision_p50: f64,
+    /// 95th percentile.
+    ops_per_decision_p95: f64,
+    /// 99th percentile.
+    ops_per_decision_p99: f64,
+    /// Rejection counts by typed reason.
+    rejections: std::collections::BTreeMap<String, u64>,
+    /// Scan length vs pool size, in power-of-two pool buckets.
+    scan_curve: Vec<XrayScanRow>,
+    /// Per-machine utilization summary.
+    machines: Vec<XrayMachineRow>,
+}
+
+/// Buckets a pool size for the scan curve: 0, 1, 2–3, 4–7, …
+fn pool_bucket(pool: u64) -> usize {
+    match pool {
+        0 => 0,
+        p => 1 + p.ilog2() as usize,
+    }
+}
+
+/// `xray`: the op-count profile of a decision-traced run.
+fn cmd_xray(flags: &Flags, out: Out) -> Result<(), String> {
+    let input = match (flags.positional().first(), flags.get("instance")) {
+        (Some(p), _) => Some(p.clone()),
+        (None, Some(_)) => None,
+        (None, None) => {
+            return Err(
+                "xray needs a trace (`bshm xray TRACE.jsonl`) or --instance FILE".to_string(),
+            )
+        }
+    };
+    let (events, alg, source) = xray_events(input.as_deref(), flags, out)?;
+    let decisions: Vec<(u64, OpCounter)> = events
+        .iter()
+        .filter_map(|e| match e {
+            bshm_obs::TraceEvent::Decision { pool_size, ops, .. } => Some((*pool_size, *ops)),
+            _ => None,
+        })
+        .collect();
+    if decisions.is_empty() {
+        return Err(format!("{source} carries no Decision events"));
+    }
+    let n_types = replay::infer_n_types(&events);
+    let metrics = replay::metrics_from_events(&alg, &events, n_types);
+    let mut totals = OpCounter::default();
+    for (_, ops) in &decisions {
+        totals.fold(ops);
+    }
+    let (p50, p95, p99) = (
+        metrics.ops_per_decision_quantile(0.50).unwrap_or(0.0),
+        metrics.ops_per_decision_quantile(0.95).unwrap_or(0.0),
+        metrics.ops_per_decision_quantile(0.99).unwrap_or(0.0),
+    );
+    // Scan length vs pool size, in power-of-two pool buckets.
+    let n_buckets = decisions
+        .iter()
+        .map(|&(p, _)| pool_bucket(p) + 1)
+        .max()
+        .unwrap_or(1);
+    let mut bucket_count = vec![0u64; n_buckets];
+    let mut bucket_scanned = vec![0u64; n_buckets];
+    for &(pool, ops) in &decisions {
+        let b = pool_bucket(pool);
+        bucket_count[b] += 1;
+        bucket_scanned[b] += ops.machines_scanned;
+    }
+    let scan_curve: Vec<XrayScanRow> = (0..n_buckets)
+        .filter(|&b| bucket_count[b] > 0)
+        .map(|b| XrayScanRow {
+            pool_lo: if b == 0 { 0 } else { 1 << (b - 1) },
+            pool_hi: if b == 0 { 0 } else { (1 << b) - 1 },
+            decisions: bucket_count[b],
+            mean_scanned: bucket_scanned[b] as f64 / bucket_count[b] as f64,
+        })
+        .collect();
+    let usage = replay::machine_utilization(&events);
+    let machines: Vec<XrayMachineRow> = usage
+        .iter()
+        .map(|u| XrayMachineRow {
+            machine: u.machine.0,
+            machine_type: u.machine_type.0,
+            capacity: u.capacity,
+            busy_time: u.busy_time(),
+            mean_utilization: u.mean_utilization().unwrap_or(0.0),
+        })
+        .collect();
+    let rejections: std::collections::BTreeMap<String, u64> = RejectReason::ALL
+        .iter()
+        .map(|&r| (r.as_str().to_string(), totals.rejected(r)))
+        .collect();
+    let rendered = match flags.get("format").unwrap_or("console") {
+        "json" => {
+            let report = XrayReport {
+                source,
+                algorithm: alg,
+                decisions: totals.decisions,
+                total_scan_ops: totals.total_ops(),
+                ops: totals,
+                ops_per_decision_p50: p50,
+                ops_per_decision_p95: p95,
+                ops_per_decision_p99: p99,
+                rejections,
+                scan_curve,
+                machines,
+            };
+            serde_json::to_string_pretty(&report).expect("xray reports serialize") + "\n"
+        }
+        "console" => {
+            let mut buf: Vec<u8> = Vec::new();
+            let b: Out = &mut buf;
+            let _ = writeln!(b, "decision x-ray: {alg} ({source})");
+            let _ = writeln!(
+                b,
+                "decisions:    {} ({} opened / {} reused, {} rejections)",
+                totals.decisions,
+                totals.machines_opened,
+                totals.machines_reused,
+                totals.total_rejected()
+            );
+            let _ = writeln!(
+                b,
+                "ops/decision: p50 ~{p50:.0}, p95 ~{p95:.0}, p99 ~{p99:.0} \
+                 ({} scan ops total: {} scanned + {} comparisons)",
+                totals.total_ops(),
+                totals.machines_scanned,
+                totals.capacity_comparisons
+            );
+            let noted: Vec<String> = rejections
+                .iter()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(r, n)| format!("{r} {n}"))
+                .collect();
+            let _ = writeln!(
+                b,
+                "rejections:   {}",
+                if noted.is_empty() {
+                    "none".to_string()
+                } else {
+                    noted.join(", ")
+                }
+            );
+            let _ = writeln!(b, "\nscan length vs open-pool size:");
+            let _ = writeln!(
+                b,
+                "  {:>11} {:>10} {:>13}",
+                "pool", "decisions", "mean scanned"
+            );
+            for row in &scan_curve {
+                let pool = if row.pool_lo == row.pool_hi {
+                    format!("{}", row.pool_lo)
+                } else {
+                    format!("{}-{}", row.pool_lo, row.pool_hi)
+                };
+                let _ = writeln!(
+                    b,
+                    "  {pool:>11} {:>10} {:>13.1}",
+                    row.decisions, row.mean_scanned
+                );
+            }
+            let cols = flags.get_or("cols", 48usize)?.max(2);
+            let max_rows = flags.get_or("rows", 16usize)?;
+            let t0 = events.first().map_or(0, bshm_obs::TraceEvent::time);
+            let t1 = events.last().map_or(0, bshm_obs::TraceEvent::time);
+            let _ = writeln!(
+                b,
+                "\nutilization heat (fill = load/capacity, {cols} columns over [{t0}, {t1}]):"
+            );
+            for u in usage.iter().take(max_rows) {
+                let row: String = (0..cols)
+                    .map(|c| {
+                        let t = t0 + (t1 - t0) * c as u64 / (cols as u64 - 1).max(1);
+                        let load = u
+                            .points
+                            .iter()
+                            .take_while(|p| p.t <= t)
+                            .last()
+                            .map_or(0, |p| p.load);
+                        gauge_glyph(
+                            u32::try_from(load).unwrap_or(u32::MAX),
+                            u32::try_from(u.capacity).unwrap_or(u32::MAX),
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    b,
+                    "  m{:<4} type{} cap {:>6} |{row}| mean {:>5.1}%",
+                    u.machine.0,
+                    u.machine_type.0,
+                    u.capacity,
+                    u.mean_utilization().unwrap_or(0.0) * 100.0
+                );
+            }
+            if usage.len() > max_rows {
+                let _ = writeln!(
+                    b,
+                    "  … {} more machines (pass --rows N for more)",
+                    usage.len() - max_rows
+                );
+            }
+            String::from_utf8(buf).map_err(|e| format!("BUG: non-utf8 report: {e}"))?
+        }
+        other => {
+            return Err(format!(
+                "--format: expected `console` or `json`, got {other:?}"
+            ))
+        }
+    };
+    match flags.get("out") {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| format!("writing {p}: {e}"))?;
+            let _ = writeln!(out, "wrote x-ray report to {p}");
+        }
+        None => {
+            let _ = write!(out, "{rendered}");
+        }
+    }
     Ok(())
 }
 
@@ -889,6 +1401,9 @@ struct GapReport {
     /// Whether the timeline was recomputed (pre-gap trace) instead of
     /// read from recorded `GapSample` events.
     recomputed: bool,
+    /// Where the timeline came from: `"recorded"` (GapSample events) or
+    /// `"recomputed"` (pre-gauge trace replayed against the catalog).
+    gap_source: String,
     /// Number of gap samples.
     samples: u64,
     /// `cost / lower_bound` at the last sample (0 when undefined).
@@ -964,6 +1479,7 @@ fn cmd_gap_report(flags: &Flags, out: Out) -> Result<(), String> {
             let report = GapReport {
                 trace: path.clone(),
                 recomputed,
+                gap_source: if recomputed { "recomputed" } else { "recorded" }.to_string(),
                 samples: timeline.points.len() as u64,
                 final_ratio: timeline.final_ratio().unwrap_or(0.0),
                 max_ratio: timeline.max_ratio(),
@@ -1311,6 +1827,153 @@ mod tests {
         }
     }
 
+    #[test]
+    fn xray_decisions_replay_identically_for_every_alg() {
+        // The acceptance property: for every registered algorithm, the
+        // x-ray is deterministic (identical placement sequence and
+        // identical OpCounter totals across runs, integer equality), the
+        // Decision stream mirrors the Placement stream 1:1, per-decision
+        // counters fold back to the run totals, and instrumentation never
+        // perturbs the schedule itself.
+        let inst = tmp("inst-xray-all.json");
+        let (code, _) = run_cmd(&format!(
+            "gen --n 30 --seed 11 --catalog saw:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes pareto:1:60:1.4 --out {inst}"
+        ));
+        assert_eq!(code, 0);
+        let instance: Instance =
+            serde_json::from_str(&std::fs::read_to_string(&inst).unwrap()).unwrap();
+        for alg in ALG_NAMES {
+            let mut c1 = bshm_obs::Collector::default();
+            let mut c2 = bshm_obs::Collector::default();
+            let (s1, t1) = run_alg_xray(alg, &instance, &mut c1).unwrap();
+            let (s2, t2) = run_alg_xray(alg, &instance, &mut c2).unwrap();
+            assert_eq!(s1, s2, "alg {alg}: schedule not deterministic");
+            assert_eq!(t1, t2, "alg {alg}: op totals not deterministic");
+            // Placement events carry wall-clock decision_ns; the Decision
+            // stream is derived from control flow alone and must be
+            // byte-identical across runs.
+            let decision_events = |c: &bshm_obs::Collector| -> Vec<bshm_obs::TraceEvent> {
+                c.events
+                    .iter()
+                    .filter(|e| matches!(e, bshm_obs::TraceEvent::Decision { .. }))
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(
+                decision_events(&c1),
+                decision_events(&c2),
+                "alg {alg}: decision trace differs"
+            );
+            assert_eq!(
+                s1,
+                run_alg(alg, &instance).unwrap(),
+                "alg {alg}: x-ray perturbed the schedule"
+            );
+            let placements: Vec<(u32, u32)> = c1
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    bshm_obs::TraceEvent::Placement { job, machine, .. } => {
+                        Some((job.0, machine.0))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let decisions: Vec<(u32, u32)> = c1
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    bshm_obs::TraceEvent::Decision { job, machine, .. } => Some((job.0, machine.0)),
+                    _ => None,
+                })
+                .collect();
+            assert!(!decisions.is_empty(), "alg {alg}: no decisions recorded");
+            assert_eq!(placements, decisions, "alg {alg}: decision/placement skew");
+            let mut folded = bshm_core::ops::OpCounter::default();
+            for e in &c1.events {
+                if let bshm_obs::TraceEvent::Decision { ops, .. } = e {
+                    folded.fold(ops);
+                }
+            }
+            assert_eq!(folded, t1, "alg {alg}: folded decision ops != run totals");
+            assert_eq!(
+                folded.decisions,
+                placements.len() as u64,
+                "alg {alg}: decision count != placements"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_names_the_winning_machine() {
+        let inst = tmp("inst-explain.json");
+        run_cmd(&format!(
+            "gen --n 12 --seed 9 --catalog dec:3:4 --arrivals poisson:3 \
+             --durations uniform:10:30 --sizes uniform:1:40 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "explain --job 0 --instance {inst} --alg first-fit-any"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("decision:"), "{out}");
+        assert!(out.contains("ops:"), "{out}");
+        // Pinning the wrong machine is called out, not silently accepted.
+        let (code, out) = run_cmd(&format!(
+            "explain --job 0 --machine 4096 --instance {inst} --alg first-fit-any"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("mismatch:"), "{out}");
+        // Unknown jobs fail loudly.
+        let (code, out) = run_cmd(&format!(
+            "explain --job 9999 --instance {inst} --alg first-fit-any"
+        ));
+        assert_eq!(code, 2);
+        assert!(out.contains("no decision recorded"), "{out}");
+    }
+
+    #[test]
+    fn xray_profiles_live_runs_and_recorded_traces() {
+        let inst = tmp("inst-xray.json");
+        let trace = tmp("xray.jsonl");
+        run_cmd(&format!(
+            "gen --n 25 --seed 13 --catalog saw:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes uniform:1:50 --out {inst}"
+        ));
+        // Live run, recording a decision-bearing trace on the side.
+        let (code, out) = run_cmd(&format!(
+            "xray --instance {inst} --alg best-fit --trace {trace}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("decision x-ray"), "{out}");
+        assert!(out.contains("scan length vs open-pool size"), "{out}");
+        assert!(out.contains("utilization heat"), "{out}");
+        // The recorded trace feeds both xray and explain after the fact.
+        let (code, out) = run_cmd(&format!("xray {trace}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("decision x-ray"), "{out}");
+        let (code, out) = run_cmd(&format!("explain --job 0 --trace {trace}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("decision:"), "{out}");
+        // The JSON report carries the schema-v4 op columns.
+        let report = tmp("xray.json");
+        let (code, out) = run_cmd(&format!("xray {trace} --format json --out {report}"));
+        assert_eq!(code, 0, "{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"total_scan_ops\""), "{json}");
+        assert!(json.contains("\"ops_per_decision_p95\""), "{json}");
+        assert!(json.contains("\"scan_curve\""), "{json}");
+        assert!(json.contains("\"rejections\""), "{json}");
+        // Decision-free traces are rejected with a pointer at the recorder.
+        let plain = tmp("xray-plain.jsonl");
+        run_cmd(&format!(
+            "solve --instance {inst} --alg best-fit --trace {plain}"
+        ));
+        let (code, out) = run_cmd(&format!("xray {plain}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("no Decision events"), "{out}");
+    }
+
     /// A single well-formed trace line (arrival of one job).
     fn one_event_line() -> String {
         serde_json::to_string(&bshm_obs::TraceEvent::Arrival {
@@ -1496,6 +2159,7 @@ mod tests {
         assert!(json.contains("\"attribution\""), "{json}");
         assert!(json.contains("\"final_ratio\""), "{json}");
         assert!(json.contains("\"unattributed_cost\": 0"), "{json}");
+        assert!(json.contains("\"gap_source\": \"recorded\""), "{json}");
         // Unknown formats fail loudly.
         let (code, out) = run_cmd(&format!("gap-report {trace} --format yaml"));
         assert_eq!(code, 2);
@@ -1531,6 +2195,15 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("NOTE: trace predates gap gauges"), "{out}");
         assert!(out.contains("gap timeline"), "{out}");
+        // The JSON report says, machine-readably, that the timeline was
+        // recomputed rather than read from recorded gauges.
+        let report = tmp("pregap-report.json");
+        let (code, out) = run_cmd(&format!(
+            "gap-report {trace} --instance {inst} --format json --out {report}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"gap_source\": \"recomputed\""), "{json}");
         // The recomputed fallback agrees with live gauges on the final
         // cost: it must equal the trace's accrued cost.
         let events =

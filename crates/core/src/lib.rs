@@ -20,7 +20,10 @@
 //! * the §II lower-bounding scheme — exact per-time optimal machine
 //!   configurations integrated over time ([`lower_bound`]);
 //! * an incrementally maintained variant of that bound for live gap
-//!   gauges ([`incremental_lb`]).
+//!   gauges ([`incremental_lb`]);
+//! * deterministic per-decision operation accounting — typed rejection
+//!   reasons, scan/compare counters, and the zero-cost [`ops::OpProbe`]
+//!   hook the algorithms report into ([`ops`]).
 //!
 //! Algorithms (DEC/INC/general, online and offline) live in `bshm-algos`;
 //! the non-clairvoyant event simulator in `bshm-sim`.
@@ -37,6 +40,7 @@ pub mod job;
 pub mod lower_bound;
 pub mod machine;
 pub mod normalize;
+pub mod ops;
 pub mod schedule;
 pub mod sweep;
 pub mod time;
@@ -49,6 +53,9 @@ pub use job::{Job, JobId};
 pub use lower_bound::{lower_bound, lp_lower_bound};
 pub use machine::{Catalog, CatalogClass, CatalogError, MachineType, TypeIndex};
 pub use normalize::NormalizedCatalog;
+pub use ops::{
+    DecisionLog, NoOps, OpCounter, OpProbe, OpTrace, PlaceReason, RejectReason, RejectedCandidate,
+};
 pub use schedule::{MachineId, Schedule};
 pub use time::{Interval, IntervalSet, TimePoint};
 pub use validate::{validate_schedule, ValidationError};

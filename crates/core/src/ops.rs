@@ -1,0 +1,558 @@
+//! Deterministic operation accounting for placement decisions.
+//!
+//! Wall-clock latency is noisy at small scale and banned on hot paths by
+//! the workspace lints; this module gives every placement decision an
+//! *exact, reproducible* cost instead. Algorithms report the machines they
+//! scanned, the capacity comparisons they made, and the candidates they
+//! rejected (with a typed [`RejectReason`]) into an [`OpProbe`]. The
+//! default probe, [`NoOps`], reports `enabled() == false` and has empty
+//! method bodies, so the uninstrumented path monomorphizes to exactly the
+//! code it compiled to before instrumentation existed.
+//!
+//! Two counting rules keep totals meaningful across algorithms:
+//!
+//! * **Per-decision attribution.** Every count is charged to exactly one
+//!   placement decision (an arrival in the online drivers, a job in the
+//!   offline kernels), so summing per-decision [`OpCounter`]s equals the
+//!   run total by construction.
+//! * **Integer determinism.** All counts are integers derived from the
+//!   algorithm's control flow, never from clocks, so two runs over the
+//!   same instance produce identical counters.
+
+use crate::job::JobId;
+use crate::schedule::MachineId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why a candidate machine (or machine class) was rejected for a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The machine's residual capacity is smaller than the job.
+    Capacity,
+    /// The machine is busy and the policy wanted an idle one.
+    Busy,
+    /// A machine class failed the policy's admission rule (e.g. the
+    /// doubling test `2·size ≤ g` of the DEC/general online groups).
+    Admission,
+    /// A capped roster had no room for another machine.
+    RosterFull,
+    /// The machine's reuse window closed before the job would depart
+    /// (clairvoyant duration-class rosters).
+    WindowExpired,
+}
+
+impl RejectReason {
+    /// Every reason, in a fixed order (label families iterate this).
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::Capacity,
+        RejectReason::Busy,
+        RejectReason::Admission,
+        RejectReason::RosterFull,
+        RejectReason::WindowExpired,
+    ];
+
+    /// A stable lowercase label (`"capacity"`, `"busy"`, …).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Capacity => "capacity",
+            RejectReason::Busy => "busy",
+            RejectReason::Admission => "admission",
+            RejectReason::RosterFull => "roster_full",
+            RejectReason::WindowExpired => "window_expired",
+        }
+    }
+}
+
+/// How the winning machine of a decision was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlaceReason {
+    /// A machine was created for this job.
+    Opened,
+    /// A machine was created on an overflow roster after the policy's
+    /// regular groups rejected the job.
+    OpenedOverflow,
+    /// An existing machine with residual capacity was reused.
+    Reused,
+    /// An existing *idle* machine was reused (group-B style placements).
+    ReusedIdle,
+}
+
+impl PlaceReason {
+    /// Whether this reason created a new machine.
+    #[must_use]
+    pub fn opened(self) -> bool {
+        matches!(self, PlaceReason::Opened | PlaceReason::OpenedOverflow)
+    }
+
+    /// A stable lowercase label (`"opened"`, `"reused_idle"`, …).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlaceReason::Opened => "opened",
+            PlaceReason::OpenedOverflow => "opened_overflow",
+            PlaceReason::Reused => "reused",
+            PlaceReason::ReusedIdle => "reused_idle",
+        }
+    }
+}
+
+/// One rejected candidate of a decision: the machine examined and why it
+/// lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectedCandidate {
+    /// The candidate machine.
+    pub machine: MachineId,
+    /// Why the policy rejected it.
+    pub reason: RejectReason,
+}
+
+/// Deterministic operation counts for one decision (or, folded, a run).
+///
+/// All fields are exact integers derived from control flow; two runs over
+/// the same instance produce identical counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounter {
+    /// Placement decisions made (1 per job in a per-decision counter).
+    pub decisions: u64,
+    /// Candidate machines examined.
+    pub machines_scanned: u64,
+    /// Residual-capacity / fit comparisons evaluated.
+    pub capacity_comparisons: u64,
+    /// Candidates rejected for lack of residual capacity.
+    pub rejected_capacity: u64,
+    /// Candidates rejected because they were busy (idle-only scans).
+    pub rejected_busy: u64,
+    /// Machine classes rejected by an admission rule.
+    pub rejected_admission: u64,
+    /// Placements refused by a full (capped) roster.
+    pub rejected_roster_full: u64,
+    /// Candidates rejected because their reuse window had closed.
+    pub rejected_window: u64,
+    /// Decisions that created a new machine.
+    pub machines_opened: u64,
+    /// Decisions that reused an existing machine.
+    pub machines_reused: u64,
+}
+
+impl OpCounter {
+    /// Counts one rejection under `reason`.
+    pub fn reject(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::Capacity => self.rejected_capacity += 1,
+            RejectReason::Busy => self.rejected_busy += 1,
+            RejectReason::Admission => self.rejected_admission += 1,
+            RejectReason::RosterFull => self.rejected_roster_full += 1,
+            RejectReason::WindowExpired => self.rejected_window += 1,
+        }
+    }
+
+    /// Counts the winning placement under `how`.
+    pub fn commit(&mut self, how: PlaceReason) {
+        if how.opened() {
+            self.machines_opened += 1;
+        } else {
+            self.machines_reused += 1;
+        }
+    }
+
+    /// Rejections under `reason`.
+    #[must_use]
+    pub fn rejected(&self, reason: RejectReason) -> u64 {
+        match reason {
+            RejectReason::Capacity => self.rejected_capacity,
+            RejectReason::Busy => self.rejected_busy,
+            RejectReason::Admission => self.rejected_admission,
+            RejectReason::RosterFull => self.rejected_roster_full,
+            RejectReason::WindowExpired => self.rejected_window,
+        }
+    }
+
+    /// Total rejections across every reason.
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        RejectReason::ALL.iter().map(|&r| self.rejected(r)).sum()
+    }
+
+    /// The decision's scan work: machines examined plus comparisons made.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.machines_scanned + self.capacity_comparisons
+    }
+
+    /// Adds another counter into this one field-wise.
+    pub fn fold(&mut self, other: &OpCounter) {
+        self.decisions += other.decisions;
+        self.machines_scanned += other.machines_scanned;
+        self.capacity_comparisons += other.capacity_comparisons;
+        self.rejected_capacity += other.rejected_capacity;
+        self.rejected_busy += other.rejected_busy;
+        self.rejected_admission += other.rejected_admission;
+        self.rejected_roster_full += other.rejected_roster_full;
+        self.rejected_window += other.rejected_window;
+        self.machines_opened += other.machines_opened;
+        self.machines_reused += other.machines_reused;
+    }
+}
+
+/// The hook trait placement decisions report into.
+///
+/// Mirrors the shape of `bshm_obs::Probe`: [`NoOps`] answers
+/// `enabled() == false` with empty bodies, so generic callers that pass it
+/// monomorphize all instrumentation away; real probes collect counts and
+/// rejected candidates. Object-safe — drivers thread `&mut dyn OpProbe`
+/// through trait objects.
+pub trait OpProbe {
+    /// Whether this probe records anything. Guards work that is only
+    /// worth doing when someone is listening (e.g. building labels).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A candidate machine was examined.
+    fn scanned(&mut self, machine: MachineId);
+
+    /// `n` capacity / fit comparisons were evaluated.
+    fn compared(&mut self, n: u64);
+
+    /// A specific candidate machine was rejected.
+    fn rejected(&mut self, machine: MachineId, reason: RejectReason);
+
+    /// A rejection with no single machine identity (admission rules,
+    /// full rosters) — count-only.
+    fn noted(&mut self, reason: RejectReason);
+
+    /// The decision committed to `machine`, obtained per `how`. Called
+    /// exactly once per decision.
+    fn committed(&mut self, machine: MachineId, how: PlaceReason);
+}
+
+/// The disabled probe: `enabled()` is `false` and every hook is empty, so
+/// instrumented code paths compile down to the uninstrumented ones.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOps;
+
+impl OpProbe for NoOps {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn scanned(&mut self, _machine: MachineId) {}
+    fn compared(&mut self, _n: u64) {}
+    fn rejected(&mut self, _machine: MachineId, _reason: RejectReason) {}
+    fn noted(&mut self, _reason: RejectReason) {}
+    fn committed(&mut self, _machine: MachineId, _how: PlaceReason) {}
+}
+
+impl<P: OpProbe + ?Sized> OpProbe for &mut P {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn scanned(&mut self, machine: MachineId) {
+        (**self).scanned(machine);
+    }
+    fn compared(&mut self, n: u64) {
+        (**self).compared(n);
+    }
+    fn rejected(&mut self, machine: MachineId, reason: RejectReason) {
+        (**self).rejected(machine, reason);
+    }
+    fn noted(&mut self, reason: RejectReason) {
+        (**self).noted(reason);
+    }
+    fn committed(&mut self, machine: MachineId, how: PlaceReason) {
+        (**self).committed(machine, how);
+    }
+}
+
+/// A recording probe for one decision: the counter, the rejected
+/// candidate set in examination order, and the winner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Operation counts for this decision.
+    pub counter: OpCounter,
+    /// Every candidate rejected with a machine identity, in order.
+    pub candidates: Vec<RejectedCandidate>,
+    /// The winning machine and how it was obtained.
+    pub placed: Option<(MachineId, PlaceReason)>,
+}
+
+impl OpTrace {
+    /// A fresh trace for one decision (counts it).
+    #[must_use]
+    pub fn begin() -> Self {
+        OpTrace {
+            counter: OpCounter {
+                decisions: 1,
+                ..OpCounter::default()
+            },
+            candidates: Vec::new(),
+            placed: None,
+        }
+    }
+}
+
+impl OpProbe for OpTrace {
+    fn scanned(&mut self, _machine: MachineId) {
+        self.counter.machines_scanned += 1;
+    }
+    fn compared(&mut self, n: u64) {
+        self.counter.capacity_comparisons += n;
+    }
+    fn rejected(&mut self, machine: MachineId, reason: RejectReason) {
+        self.counter.reject(reason);
+        self.candidates.push(RejectedCandidate { machine, reason });
+    }
+    fn noted(&mut self, reason: RejectReason) {
+        self.counter.reject(reason);
+    }
+    fn committed(&mut self, machine: MachineId, how: PlaceReason) {
+        self.counter.commit(how);
+        self.placed = Some((machine, how));
+    }
+}
+
+/// A per-job decision log for the offline kernels: every count lands on
+/// the job whose [`DecisionLog::begin`] was called last, so a finished
+/// offline solve can be x-rayed job by job even though its kernels place
+/// jobs in sorted (not arrival) order.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionLog {
+    enabled: bool,
+    current: Option<JobId>,
+    records: HashMap<JobId, OpTrace>,
+}
+
+impl DecisionLog {
+    /// An enabled log.
+    #[must_use]
+    pub fn new() -> Self {
+        DecisionLog {
+            enabled: true,
+            current: None,
+            records: HashMap::new(),
+        }
+    }
+
+    /// A disabled log: `enabled() == false`, every hook is a no-op. The
+    /// un-instrumented entry points pass this.
+    #[must_use]
+    pub fn disabled() -> Self {
+        DecisionLog::default()
+    }
+
+    /// Starts (or resumes) the decision for `job`; subsequent hook calls
+    /// are charged to it. First call per job counts the decision.
+    pub fn begin(&mut self, job: JobId) {
+        if self.enabled {
+            self.records.entry(job).or_insert_with(OpTrace::begin);
+            self.current = Some(job);
+        }
+    }
+
+    /// The recorded decision for `job`, if any.
+    #[must_use]
+    pub fn get(&self, job: JobId) -> Option<&OpTrace> {
+        self.records.get(&job)
+    }
+
+    /// Removes and returns the recorded decision for `job`.
+    pub fn take(&mut self, job: JobId) -> Option<OpTrace> {
+        self.records.remove(&job)
+    }
+
+    /// Number of decisions recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no decision has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The run total: every per-job counter folded together.
+    #[must_use]
+    pub fn totals(&self) -> OpCounter {
+        let mut total = OpCounter::default();
+        for tr in self.records.values() {
+            total.fold(&tr.counter);
+        }
+        total
+    }
+
+    fn current_mut(&mut self) -> Option<&mut OpTrace> {
+        let job = self.current?;
+        self.records.get_mut(&job)
+    }
+}
+
+impl OpProbe for DecisionLog {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+    fn scanned(&mut self, machine: MachineId) {
+        if let Some(tr) = self.current_mut() {
+            tr.scanned(machine);
+        }
+    }
+    fn compared(&mut self, n: u64) {
+        if let Some(tr) = self.current_mut() {
+            tr.compared(n);
+        }
+    }
+    fn rejected(&mut self, machine: MachineId, reason: RejectReason) {
+        if let Some(tr) = self.current_mut() {
+            tr.rejected(machine, reason);
+        }
+    }
+    fn noted(&mut self, reason: RejectReason) {
+        if let Some(tr) = self.current_mut() {
+            tr.noted(reason);
+        }
+    }
+    fn committed(&mut self, machine: MachineId, how: PlaceReason) {
+        if let Some(tr) = self.current_mut() {
+            tr.committed(machine, how);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_folds_and_classifies() {
+        let mut a = OpCounter {
+            decisions: 1,
+            machines_scanned: 3,
+            capacity_comparisons: 3,
+            ..OpCounter::default()
+        };
+        a.reject(RejectReason::Capacity);
+        a.reject(RejectReason::Busy);
+        a.commit(PlaceReason::Reused);
+        let mut b = OpCounter {
+            decisions: 1,
+            machines_scanned: 2,
+            ..OpCounter::default()
+        };
+        b.reject(RejectReason::Admission);
+        b.reject(RejectReason::RosterFull);
+        b.reject(RejectReason::WindowExpired);
+        b.commit(PlaceReason::OpenedOverflow);
+        a.fold(&b);
+        assert_eq!(a.decisions, 2);
+        assert_eq!(a.machines_scanned, 5);
+        assert_eq!(a.total_ops(), 8);
+        assert_eq!(a.total_rejected(), 5);
+        assert_eq!(a.rejected(RejectReason::Capacity), 1);
+        assert_eq!(a.machines_opened, 1);
+        assert_eq!(a.machines_reused, 1);
+    }
+
+    #[test]
+    fn reasons_have_stable_labels() {
+        let labels: Vec<&str> = RejectReason::ALL.iter().map(|r| r.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "capacity",
+                "busy",
+                "admission",
+                "roster_full",
+                "window_expired"
+            ]
+        );
+        assert!(PlaceReason::Opened.opened());
+        assert!(PlaceReason::OpenedOverflow.opened());
+        assert!(!PlaceReason::Reused.opened());
+        assert!(!PlaceReason::ReusedIdle.opened());
+        assert_eq!(PlaceReason::ReusedIdle.as_str(), "reused_idle");
+    }
+
+    #[test]
+    fn reject_reason_serde_round_trip() {
+        for r in RejectReason::ALL {
+            let s = serde_json::to_string(&r).unwrap();
+            let back: RejectReason = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn noops_is_disabled() {
+        let mut p = NoOps;
+        assert!(!p.enabled());
+        // Exercises the empty bodies (and the &mut blanket impl).
+        let q = &mut p;
+        assert!(!OpProbe::enabled(&q));
+        q.scanned(MachineId(0));
+        q.compared(2);
+        q.rejected(MachineId(0), RejectReason::Capacity);
+        q.noted(RejectReason::Admission);
+        q.committed(MachineId(0), PlaceReason::Opened);
+    }
+
+    #[test]
+    fn op_trace_records_candidates_and_winner() {
+        let mut tr = OpTrace::begin();
+        tr.scanned(MachineId(0));
+        tr.compared(1);
+        tr.rejected(MachineId(0), RejectReason::Capacity);
+        tr.scanned(MachineId(1));
+        tr.compared(1);
+        tr.committed(MachineId(1), PlaceReason::Reused);
+        assert_eq!(tr.counter.decisions, 1);
+        assert_eq!(tr.counter.total_ops(), 4);
+        assert_eq!(
+            tr.candidates,
+            vec![RejectedCandidate {
+                machine: MachineId(0),
+                reason: RejectReason::Capacity
+            }]
+        );
+        assert_eq!(tr.placed, Some((MachineId(1), PlaceReason::Reused)));
+    }
+
+    #[test]
+    fn decision_log_attributes_per_job() {
+        let mut log = DecisionLog::new();
+        assert!(log.enabled());
+        log.begin(JobId(0));
+        log.scanned(MachineId(0));
+        log.compared(1);
+        log.committed(MachineId(0), PlaceReason::Opened);
+        log.begin(JobId(1));
+        log.scanned(MachineId(0));
+        log.compared(1);
+        log.rejected(MachineId(0), RejectReason::Capacity);
+        log.committed(MachineId(1), PlaceReason::Opened);
+        // Resuming job 0 does not double-count its decision.
+        log.begin(JobId(0));
+        log.compared(1);
+        assert_eq!(log.len(), 2);
+        let totals = log.totals();
+        assert_eq!(totals.decisions, 2);
+        assert_eq!(totals.capacity_comparisons, 3);
+        assert_eq!(totals.machines_opened, 2);
+        let j0 = log.get(JobId(0)).unwrap();
+        assert_eq!(j0.counter.capacity_comparisons, 2);
+        let j1 = log.take(JobId(1)).unwrap();
+        assert_eq!(j1.candidates.len(), 1);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = DecisionLog::disabled();
+        assert!(!OpProbe::enabled(&log));
+        log.begin(JobId(0));
+        log.scanned(MachineId(0));
+        log.committed(MachineId(0), PlaceReason::Opened);
+        assert!(log.is_empty());
+        assert_eq!(log.totals(), OpCounter::default());
+    }
+}

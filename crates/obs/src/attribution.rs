@@ -236,8 +236,11 @@ impl CostLedger {
                 }
             }
             // Dropped jobs stop accruing; their past segments were already
-            // cut by the crash/departure path. Gap samples are gauges.
-            TraceEvent::JobDropped { .. } | TraceEvent::GapSample { .. } => {}
+            // cut by the crash/departure path. Gap samples and decision
+            // x-rays are gauges.
+            TraceEvent::JobDropped { .. }
+            | TraceEvent::Decision { .. }
+            | TraceEvent::GapSample { .. } => {}
         }
     }
 

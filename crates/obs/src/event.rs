@@ -2,6 +2,7 @@
 
 use bshm_core::job::JobId;
 use bshm_core::machine::TypeIndex;
+use bshm_core::ops::{OpCounter, PlaceReason, RejectedCandidate};
 use bshm_core::schedule::MachineId;
 use bshm_core::time::TimePoint;
 use serde::{Deserialize, Serialize};
@@ -125,6 +126,29 @@ pub enum TraceEvent {
         /// Why no machine holds this job.
         reason: String,
     },
+    /// The decision x-ray behind a `Placement`: the candidate machines
+    /// the policy examined and rejected (with typed reasons), the winner
+    /// with how it was obtained, and the deterministic operation counts
+    /// the decision cost. Opt-in — only x-ray runs emit it — and
+    /// arrival-side, immediately after its matching `Placement`. Every
+    /// field is derived from control flow (never clocks), so two runs
+    /// over the same instance produce byte-identical decision traces.
+    Decision {
+        /// Simulation time.
+        t: TimePoint,
+        /// The placed job.
+        job: JobId,
+        /// The winning machine.
+        machine: MachineId,
+        /// How the winner was obtained (opened vs reused, and flavor).
+        placed: PlaceReason,
+        /// Open-machine pool size when the decision started.
+        pool_size: u64,
+        /// Candidates rejected with a machine identity, in scan order.
+        candidates: Vec<RejectedCandidate>,
+        /// Exact operation counts for this decision.
+        ops: OpCounter,
+    },
     /// A live optimality-gap gauge sample: the incrementally maintained
     /// busy-time lower bound and the cost accrued so far, both at time
     /// `t`. Emitted by the gap observatory as the last event of each
@@ -156,6 +180,7 @@ impl TraceEvent {
             | TraceEvent::MachineCrash { t, .. }
             | TraceEvent::JobRecovery { t, .. }
             | TraceEvent::JobDropped { t, .. }
+            | TraceEvent::Decision { t, .. }
             | TraceEvent::GapSample { t, .. } => t,
         }
     }
@@ -173,6 +198,7 @@ impl TraceEvent {
             TraceEvent::MachineCrash { .. } => "MachineCrash",
             TraceEvent::JobRecovery { .. } => "JobRecovery",
             TraceEvent::JobDropped { .. } => "JobDropped",
+            TraceEvent::Decision { .. } => "Decision",
             TraceEvent::GapSample { .. } => "GapSample",
         }
     }
@@ -200,6 +226,7 @@ impl TraceEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bshm_core::ops::RejectReason;
 
     #[test]
     fn json_round_trip() {
@@ -266,6 +293,32 @@ mod tests {
                 lower_bound: 18,
                 cost: 24,
             },
+            TraceEvent::Decision {
+                t: 3,
+                job: JobId(7),
+                machine: MachineId(0),
+                placed: PlaceReason::Opened,
+                pool_size: 2,
+                candidates: vec![
+                    RejectedCandidate {
+                        machine: MachineId(1),
+                        reason: RejectReason::Capacity,
+                    },
+                    RejectedCandidate {
+                        machine: MachineId(2),
+                        reason: RejectReason::Busy,
+                    },
+                ],
+                ops: OpCounter {
+                    decisions: 1,
+                    machines_scanned: 2,
+                    capacity_comparisons: 2,
+                    rejected_capacity: 1,
+                    rejected_busy: 1,
+                    machines_opened: 1,
+                    ..OpCounter::default()
+                },
+            },
         ];
         for e in events {
             let line = serde_json::to_string(&e).unwrap();
@@ -323,5 +376,17 @@ mod tests {
         assert_eq!(g.time(), 7);
         assert_eq!(g.kind(), "GapSample");
         assert!(!g.is_departure_side());
+        let x = TraceEvent::Decision {
+            t: 7,
+            job: JobId(1),
+            machine: MachineId(0),
+            placed: PlaceReason::Reused,
+            pool_size: 1,
+            candidates: Vec::new(),
+            ops: OpCounter::default(),
+        };
+        assert_eq!(x.time(), 7);
+        assert_eq!(x.kind(), "Decision");
+        assert!(!x.is_departure_side());
     }
 }

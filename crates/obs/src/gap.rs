@@ -283,9 +283,11 @@ impl<P: Probe> GapProbe<P> {
                     }
                 }
             }
-            // Placements do not move load (the arrival already did), and
-            // recorded samples are gauges, not state.
-            TraceEvent::Placement { .. } | TraceEvent::GapSample { .. } => {}
+            // Placements do not move load (the arrival already did);
+            // decision x-rays and recorded samples are gauges, not state.
+            TraceEvent::Placement { .. }
+            | TraceEvent::Decision { .. }
+            | TraceEvent::GapSample { .. } => {}
         }
     }
 }

@@ -77,7 +77,8 @@ pub use prometheus::{encode as encode_prometheus, validate_exposition};
 pub use recorder::{bucket_quantile, merge_counts, merge_gauge_timelines, Metrics, Recorder};
 pub use registry::{labels, HistogramValue, Labels, MetricKind, Registry, RegistryError};
 pub use replay::{
-    cross_check, metrics_from_events, parse_jsonl, replay_timeline, synthesize, ReplayedTimeline,
+    cross_check, machine_utilization, metrics_from_events, parse_jsonl, replay_timeline,
+    synthesize, synthesize_xray, MachineUsage, ReplayedTimeline, UsagePoint,
 };
 pub use sink::{salvage_jsonl, salvage_jsonl_str, Salvage, TraceWriter};
 pub use span::{SpanGuard, SpanStat};

@@ -8,8 +8,11 @@
 //! directory) and every line is checked by [`validate_exposition`], a
 //! small parser used by the test suite as the acceptance gate.
 
-use crate::recorder::{decision_ns_bucket_bounds, utilization_bucket_bounds, Metrics};
+use crate::recorder::{
+    decision_ns_bucket_bounds, ops_bucket_bounds, utilization_bucket_bounds, Metrics,
+};
 use crate::span::SpanStat;
+use bshm_core::ops::RejectReason;
 use std::fmt::Write as _;
 
 /// Escapes a label value (backslash, double-quote, newline).
@@ -238,6 +241,60 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
     );
     e.sample("bshm_gap_ratio_max", &base, metrics.max_gap_ratio);
 
+    let ops_counters: [(&str, &str, f64); 5] = [
+        (
+            "bshm_ops_decisions_total",
+            "Placement decisions carrying deterministic operation counts.",
+            metrics.ops.decisions as f64,
+        ),
+        (
+            "bshm_ops_machines_scanned_total",
+            "Candidate machines examined across all decisions.",
+            metrics.ops.machines_scanned as f64,
+        ),
+        (
+            "bshm_ops_capacity_comparisons_total",
+            "Residual-capacity / fit comparisons evaluated across all decisions.",
+            metrics.ops.capacity_comparisons as f64,
+        ),
+        (
+            "bshm_ops_machines_opened_total",
+            "Decisions that created a new machine.",
+            metrics.ops.machines_opened as f64,
+        ),
+        (
+            "bshm_ops_machines_reused_total",
+            "Decisions that reused an existing machine.",
+            metrics.ops.machines_reused as f64,
+        ),
+    ];
+    for (name, help, value) in ops_counters {
+        e.header(name, "counter", help);
+        e.sample(name, &base, value);
+    }
+    e.header(
+        "bshm_ops_rejections_total",
+        "counter",
+        "Candidates rejected per typed reason across all decisions.",
+    );
+    for r in RejectReason::ALL {
+        let mut labels = base.clone();
+        labels.push(("reason", r.as_str().to_string()));
+        e.sample(
+            "bshm_ops_rejections_total",
+            &labels,
+            metrics.ops.rejected(r) as f64,
+        );
+    }
+
+    e.histogram(
+        "bshm_ops_per_decision",
+        "Deterministic scan work (machines scanned plus comparisons) per placement decision.",
+        &base,
+        &metrics.ops_hist,
+        ops_bucket_bounds,
+        metrics.ops_sum as f64,
+    );
     e.histogram(
         "bshm_decision_latency_ns",
         "Placement decision wall-clock latency in nanoseconds.",
@@ -296,17 +353,32 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
 /// Describes the first offending line.
 pub fn validate_exposition(text: &str) -> Result<(), String> {
     let mut types: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
-    // Histogram family -> (saw_sum, saw_count, last_bucket_value, inf_value, count_value)
+    // Histogram family -> per-series (label set minus `le`) bucket state.
+    // One family can carry many label sets; cumulativity and the
+    // +Inf == _count invariant hold per series, not per family.
     #[derive(Default)]
-    struct HistState {
-        saw_sum: bool,
-        saw_count: bool,
+    struct SeriesState {
         last_bucket: Option<f64>,
         inf: Option<f64>,
         count: Option<f64>,
     }
+    #[derive(Default)]
+    struct HistState {
+        saw_sum: bool,
+        saw_count: bool,
+        series: std::collections::BTreeMap<String, SeriesState>,
+    }
     let mut hists: std::collections::BTreeMap<String, HistState> =
         std::collections::BTreeMap::new();
+    fn series_key(labels: &[(String, String)]) -> String {
+        let mut parts: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        parts.sort();
+        parts.join(",")
+    }
 
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
@@ -349,11 +421,12 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
             return Err(format!("line {n}: sample {name} has no # TYPE declaration"));
         }
         if let Some(h) = hists.get_mut(&family) {
+            let series = h.series.entry(series_key(&labels)).or_default();
             if name.ends_with("_sum") {
                 h.saw_sum = true;
             } else if name.ends_with("_count") {
                 h.saw_count = true;
-                h.count = Some(value);
+                series.count = Some(value);
             } else if name.ends_with("_bucket") {
                 let le = labels
                     .iter()
@@ -361,16 +434,16 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                     .map(|(_, v)| v.clone())
                     .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
                 if le == "+Inf" {
-                    h.inf = Some(value);
+                    series.inf = Some(value);
                 } else {
-                    if let Some(prev) = h.last_bucket {
+                    if let Some(prev) = series.last_bucket {
                         if value < prev {
                             return Err(format!(
                                 "line {n}: bucket le={le} not cumulative ({value} < {prev})"
                             ));
                         }
                     }
-                    h.last_bucket = Some(value);
+                    series.last_bucket = Some(value);
                 }
             } else {
                 return Err(format!("line {n}: bare sample {name} in histogram family"));
@@ -381,12 +454,14 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
         if !h.saw_sum || !h.saw_count {
             return Err(format!("histogram {family}: missing _sum or _count"));
         }
-        match (h.inf, h.count) {
-            (Some(i), Some(c)) if (i - c).abs() < 1e-9 => {}
-            (i, c) => {
-                return Err(format!(
-                    "histogram {family}: +Inf bucket {i:?} does not equal _count {c:?}"
-                ))
+        for (key, series) in &h.series {
+            match (series.inf, series.count) {
+                (Some(i), Some(c)) if (i - c).abs() < 1e-9 => {}
+                (i, c) => {
+                    return Err(format!(
+                        "histogram {family}{{{key}}}: +Inf bucket {i:?} does not equal _count {c:?}"
+                    ))
+                }
             }
         }
     }
@@ -606,9 +681,55 @@ mod tests {
 
     #[test]
     fn label_escaping_round_trips() {
-        let mut m = Metrics::new("weird\"alg\\name", 1);
+        // Quotes, backslashes and newlines must all render escaped —
+        // a raw newline would split the sample across exposition lines.
+        let mut m = Metrics::new("weird\"alg\\name\nline", 1);
         m.arrivals = 1;
         let text = encode(&m, &[]);
         validate_exposition(&text).unwrap();
+        assert!(text.contains("algorithm=\"weird\\\"alg\\\\name\\nline\""));
+        assert!(!text.contains("weird\"alg"));
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label("plain"), "plain");
+    }
+
+    #[test]
+    fn encode_includes_ops_families() {
+        use crate::event::TraceEvent;
+        use bshm_core::ops::{OpCounter, PlaceReason, RejectedCandidate};
+        let mut rec = Recorder::new("best-fit", 1);
+        rec.record(&TraceEvent::Decision {
+            t: 0,
+            job: JobId(0),
+            machine: MachineId(1),
+            placed: PlaceReason::Reused,
+            pool_size: 2,
+            candidates: vec![RejectedCandidate {
+                machine: MachineId(0),
+                reason: RejectReason::Capacity,
+            }],
+            ops: OpCounter {
+                decisions: 1,
+                machines_scanned: 2,
+                capacity_comparisons: 2,
+                rejected_capacity: 1,
+                machines_reused: 1,
+                ..OpCounter::default()
+            },
+        });
+        let m = rec.into_metrics().unwrap();
+        assert_eq!(m.ops_sum, 4);
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("bshm_ops_decisions_total{algorithm=\"best-fit\"} 1"));
+        assert!(text.contains("bshm_ops_machines_scanned_total{algorithm=\"best-fit\"} 2"));
+        assert!(text.contains("bshm_ops_machines_reused_total{algorithm=\"best-fit\"} 1"));
+        assert!(text
+            .contains("bshm_ops_rejections_total{algorithm=\"best-fit\",reason=\"capacity\"} 1"));
+        assert!(text.contains(
+            "bshm_ops_rejections_total{algorithm=\"best-fit\",reason=\"window_expired\"} 0"
+        ));
+        assert!(text.contains("bshm_ops_per_decision_count{algorithm=\"best-fit\"} 1"));
+        assert!(text.contains("bshm_ops_per_decision_sum{algorithm=\"best-fit\"} 4"));
     }
 }

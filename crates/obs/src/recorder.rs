@@ -2,6 +2,7 @@
 
 use crate::event::TraceEvent;
 use crate::probe::Probe;
+use bshm_core::ops::OpCounter;
 use bshm_core::time::TimePoint;
 use serde::Serialize;
 use std::io::Write;
@@ -19,6 +20,18 @@ pub const DECISION_NS_BUCKETS: usize = 40;
 pub fn decision_ns_bucket_bounds(i: usize) -> (f64, f64) {
     let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
     (lo, (1u64 << (i + 1)) as f64)
+}
+
+/// Number of log₂ buckets in the per-decision operation-count histogram:
+/// bucket `i` counts decisions whose scan work ([`OpCounter::total_ops`])
+/// lies in `[2^i, 2^(i+1))` (bucket 0 also holds 0- and 1-op decisions).
+pub const OPS_BUCKETS: usize = 40;
+
+/// The value range `[lo, hi)` covered by operation-count bucket `i` (the
+/// same log₂ layout as the latency buckets).
+#[must_use]
+pub fn ops_bucket_bounds(i: usize) -> (f64, f64) {
+    decision_ns_bucket_bounds(i)
 }
 
 /// The value range `[lo, hi)` covered by utilization decile bucket `i`.
@@ -177,6 +190,14 @@ pub struct Metrics {
     /// Largest `cost / lower_bound` ratio over all `GapSample` events with
     /// a positive lower bound (0 before the first such sample).
     pub max_gap_ratio: f64,
+    /// Deterministic operation counters folded from `Decision` events
+    /// (all-zero for runs traced without the decision x-ray).
+    pub ops: OpCounter,
+    /// Log₂-bucketed histogram of per-decision scan work
+    /// ([`OpCounter::total_ops`] per `Decision` event).
+    pub ops_hist: Vec<u64>,
+    /// Sum of per-decision scan work (the histogram's exact `_sum`).
+    pub ops_sum: u64,
 }
 
 impl Metrics {
@@ -209,6 +230,9 @@ impl Metrics {
             last_lower_bound: 0,
             last_attributed_cost: 0,
             max_gap_ratio: 0.0,
+            ops: OpCounter::default(),
+            ops_hist: vec![0; OPS_BUCKETS],
+            ops_sum: 0,
         }
     }
 
@@ -232,6 +256,13 @@ impl Metrics {
     #[must_use]
     pub fn utilization_quantile(&self, q: f64) -> Option<f64> {
         bucket_quantile(&self.utilization_hist, utilization_bucket_bounds, q)
+    }
+
+    /// Estimated `q`-quantile of per-decision scan work; `None` before
+    /// the first `Decision` event.
+    #[must_use]
+    pub fn ops_per_decision_quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.ops_hist, ops_bucket_bounds, q)
     }
 
     /// Folds another run's metrics into this one: counters, costs, sums and
@@ -278,6 +309,9 @@ impl Metrics {
         if other.max_gap_ratio > self.max_gap_ratio {
             self.max_gap_ratio = other.max_gap_ratio;
         }
+        self.ops.fold(&other.ops);
+        merge_counts(&mut self.ops_hist, &other.ops_hist);
+        self.ops_sum = self.ops_sum.saturating_add(other.ops_sum);
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -360,6 +394,17 @@ impl Metrics {
                 self.recovery_ns_sum = self.recovery_ns_sum.saturating_add(recovery_ns);
             }
             TraceEvent::JobDropped { .. } => self.dropped_jobs += 1,
+            TraceEvent::Decision { ref ops, .. } => {
+                self.ops.fold(ops);
+                let work = ops.total_ops();
+                let b = if work == 0 {
+                    0
+                } else {
+                    (work.ilog2() as usize).min(OPS_BUCKETS - 1) // bshm-allow(lossy-cast): ilog2 of a u64 is at most 63
+                };
+                self.ops_hist[b] += 1;
+                self.ops_sum = self.ops_sum.saturating_add(work);
+            }
             TraceEvent::GapSample {
                 lower_bound, cost, ..
             } => {
@@ -426,6 +471,17 @@ impl Metrics {
                 self.last_lower_bound,
                 self.max_gap_ratio,
                 self.gap_samples
+            );
+        }
+        if self.ops.decisions > 0 {
+            let _ = writeln!(
+                out,
+                "  ops:         {} scanned + {} compared over {} decisions ({} opened, {} reused)",
+                self.ops.machines_scanned,
+                self.ops.capacity_comparisons,
+                self.ops.decisions,
+                self.ops.machines_opened,
+                self.ops.machines_reused
             );
         }
         if self.crashes > 0 || self.dropped_jobs > 0 {

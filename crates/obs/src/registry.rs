@@ -17,9 +17,10 @@
 
 use crate::prometheus::{escape_label, fmt_value};
 use crate::recorder::{
-    decision_ns_bucket_bounds, utilization_bucket_bounds, Metrics, DECISION_NS_BUCKETS,
-    UTILIZATION_BUCKETS,
+    decision_ns_bucket_bounds, ops_bucket_bounds, utilization_bucket_bounds, Metrics,
+    DECISION_NS_BUCKETS, OPS_BUCKETS, UTILIZATION_BUCKETS,
 };
+use bshm_core::ops::RejectReason;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -428,6 +429,47 @@ impl Registry {
             self.counter_add(name, help, &base, v)?;
         }
 
+        let ops_counters: [(&str, &str, u64); 5] = [
+            (
+                "bshm_ops_decisions_total",
+                "Placement decisions carrying deterministic operation counts.",
+                m.ops.decisions,
+            ),
+            (
+                "bshm_ops_machines_scanned_total",
+                "Candidate machines examined across all decisions.",
+                m.ops.machines_scanned,
+            ),
+            (
+                "bshm_ops_capacity_comparisons_total",
+                "Residual-capacity / fit comparisons evaluated across all decisions.",
+                m.ops.capacity_comparisons,
+            ),
+            (
+                "bshm_ops_machines_opened_total",
+                "Decisions that created a new machine.",
+                m.ops.machines_opened,
+            ),
+            (
+                "bshm_ops_machines_reused_total",
+                "Decisions that reused an existing machine.",
+                m.ops.machines_reused,
+            ),
+        ];
+        for (name, help, v) in ops_counters {
+            self.counter_add(name, help, &base, v)?;
+        }
+        for r in RejectReason::ALL {
+            let mut l = base.clone();
+            l.insert("reason".to_string(), r.as_str().to_string());
+            self.counter_add(
+                "bshm_ops_rejections_total",
+                "Candidates rejected per typed reason across all decisions.",
+                &l,
+                m.ops.rejected(r),
+            )?;
+        }
+
         for (i, &c) in m.cost_by_type.iter().enumerate() {
             let mut l = base.clone();
             l.insert("size_class".to_string(), i.to_string());
@@ -507,6 +549,16 @@ impl Registry {
                     .map(|i| utilization_bucket_bounds(i).1)
                     .collect(),
                 sum: m.utilization_sum,
+            },
+        )?;
+        self.histogram_merge(
+            "bshm_ops_per_decision",
+            "Deterministic scan work (machines scanned plus comparisons) per placement decision.",
+            &base,
+            &HistogramValue {
+                counts: m.ops_hist.clone(),
+                bounds: (0..OPS_BUCKETS).map(|i| ops_bucket_bounds(i).1).collect(),
+                sum: m.ops_sum as f64,
             },
         )?;
         Ok(())
@@ -718,5 +770,72 @@ mod tests {
         validate_exposition(&text).unwrap();
         assert!(text.contains("bshm_h_count{algorithm=\"a\"} 2"));
         assert!(text.contains("bshm_h_sum{algorithm=\"a\"} 1"));
+    }
+
+    #[test]
+    fn label_values_with_quotes_backslashes_and_newlines_stay_escaped() {
+        let mut r = Registry::new();
+        let l = labels(&[("algorithm", "a\"b\\c\nd"), ("workload", "w")]);
+        r.counter_add("bshm_things_total", "Things.", &l, 1)
+            .unwrap();
+        let text = r.encode();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("algorithm=\"a\\\"b\\\\c\\nd\""));
+        // HELP + TYPE + one sample: a raw newline leaking from the label
+        // value would add a fourth line break.
+        assert_eq!(text.matches('\n').count(), 3);
+    }
+
+    #[test]
+    fn histogram_family_merges_across_label_sets() {
+        let mut r = Registry::new();
+        let h = HistogramValue {
+            counts: vec![1, 2],
+            bounds: vec![1.0, 2.0],
+            sum: 3.0,
+        };
+        let la = labels(&[("algorithm", "a")]);
+        let lb = labels(&[("algorithm", "b")]);
+        r.histogram_merge("bshm_h", "H.", &la, &h).unwrap();
+        r.histogram_merge("bshm_h", "H.", &lb, &h).unwrap();
+        r.histogram_merge("bshm_h", "H.", &la, &h).unwrap();
+        let text = r.encode();
+        validate_exposition(&text).unwrap();
+        // Same label set accumulates; distinct label sets stay separate series.
+        assert!(text.contains("bshm_h_count{algorithm=\"a\"} 6"));
+        assert!(text.contains("bshm_h_sum{algorithm=\"a\"} 6"));
+        assert!(text.contains("bshm_h_count{algorithm=\"b\"} 3"));
+        // One family header serves every label set.
+        assert_eq!(text.matches("# TYPE bshm_h histogram").count(), 1);
+    }
+
+    #[test]
+    fn absorb_metrics_exports_ops_families() {
+        let mut m = run_metrics("greedy");
+        m.ops.decisions = 2;
+        m.ops.machines_scanned = 5;
+        m.ops.capacity_comparisons = 7;
+        m.ops.rejected_capacity = 3;
+        m.ops.machines_opened = 1;
+        m.ops.machines_reused = 1;
+        m.ops_hist[2] = 2;
+        m.ops_sum = 12;
+        let mut r = Registry::new();
+        r.absorb_metrics(&m, "w1").unwrap();
+        let text = r.encode();
+        validate_exposition(&text).unwrap();
+        let base = "algorithm=\"greedy\",workload=\"w1\"";
+        assert!(text.contains(&format!("bshm_ops_decisions_total{{{base}}} 2")));
+        assert!(text.contains(&format!("bshm_ops_machines_scanned_total{{{base}}} 5")));
+        assert!(text.contains(&format!("bshm_ops_capacity_comparisons_total{{{base}}} 7")));
+        // Labels render in sorted key order, so "reason" lands in the middle.
+        assert!(text.contains(
+            "bshm_ops_rejections_total{algorithm=\"greedy\",reason=\"capacity\",workload=\"w1\"} 3"
+        ));
+        assert!(text.contains(
+            "bshm_ops_rejections_total{algorithm=\"greedy\",reason=\"window_expired\",workload=\"w1\"} 0"
+        ));
+        assert!(text.contains(&format!("bshm_ops_per_decision_count{{{base}}} 2")));
+        assert!(text.contains(&format!("bshm_ops_per_decision_sum{{{base}}} 12")));
     }
 }

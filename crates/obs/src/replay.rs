@@ -9,6 +9,8 @@ use crate::probe::Probe;
 use bshm_core::analysis::MachineTimeline;
 use bshm_core::instance::Instance;
 use bshm_core::job::JobId;
+use bshm_core::machine::TypeIndex;
+use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
 use std::collections::HashMap;
@@ -77,6 +79,7 @@ pub fn infer_n_types(events: &[TraceEvent]) -> usize {
             TraceEvent::Arrival { .. }
             | TraceEvent::Departure { .. }
             | TraceEvent::JobDropped { .. }
+            | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. } => None,
         })
         .max()
@@ -130,6 +133,7 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
             | TraceEvent::MachineCrash { .. }
             | TraceEvent::JobRecovery { .. }
             | TraceEvent::JobDropped { .. }
+            | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. } => continue,
         };
         if ty < n_types {
@@ -205,6 +209,30 @@ pub fn cross_check(replay: &ReplayedTimeline, reference: &MachineTimeline) -> Re
 ///
 /// Jobs the schedule leaves unassigned are skipped.
 pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, probe: &mut P) {
+    synthesize_inner(schedule, instance, None, probe);
+}
+
+/// [`synthesize`] plus the decision x-ray: after each `Placement`, emits
+/// the matching `TraceEvent::Decision` carrying the per-job operation
+/// counts an offline kernel recorded into `log` while solving. `pool_size`
+/// is the number of machines that had already received a placement when
+/// the job's turn came (the offline analogue of the open pool); jobs the
+/// log never saw get a zeroed counter.
+pub fn synthesize_xray<P: Probe + ?Sized>(
+    schedule: &Schedule,
+    instance: &Instance,
+    log: &mut DecisionLog,
+    probe: &mut P,
+) {
+    synthesize_inner(schedule, instance, Some(log), probe);
+}
+
+fn synthesize_inner<P: Probe + ?Sized>(
+    schedule: &Schedule,
+    instance: &Instance,
+    mut log: Option<&mut DecisionLog>,
+    probe: &mut P,
+) {
     if !probe.enabled() {
         return;
     }
@@ -231,6 +259,8 @@ pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, p
     let mut active = vec![0u32; n_machines];
     let mut load = vec![0u64; n_machines];
     let mut opened_at = vec![0 as TimePoint; n_machines];
+    let mut ever_placed = vec![false; n_machines];
+    let mut pool_size = 0u64;
     for (t, is_arrival, idx) in events {
         let job = &jobs[idx];
         let (m, first) = location[&job.id];
@@ -246,6 +276,27 @@ pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, p
             active[mi] += 1;
             load[mi] += job.size;
             probe.on_placement(t, job.id, m, ty, first, 0, load[mi], mt.capacity);
+            if let Some(log) = log.as_deref_mut() {
+                let tr = log.take(job.id).unwrap_or_default();
+                let fallback = if first {
+                    bshm_core::ops::PlaceReason::Opened
+                } else {
+                    bshm_core::ops::PlaceReason::Reused
+                };
+                probe.record(&TraceEvent::Decision {
+                    t,
+                    job: job.id,
+                    machine: m,
+                    placed: tr.placed.map_or(fallback, |(_, how)| how),
+                    pool_size,
+                    candidates: tr.candidates,
+                    ops: tr.counter,
+                });
+            }
+            if !ever_placed[mi] {
+                ever_placed[mi] = true;
+                pool_size += 1;
+            }
         } else {
             probe.on_departure(t, job.id, m);
             active[mi] -= 1;
@@ -257,6 +308,191 @@ pub fn synthesize<P: Probe + ?Sized>(schedule: &Schedule, instance: &Instance, p
         }
     }
     probe.finish();
+}
+
+/// One step of a machine's utilization timeline: the load and occupancy
+/// right after a transition at `t`, holding until the next point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UsagePoint {
+    /// Time of the transition.
+    pub t: TimePoint,
+    /// Machine load after the transition.
+    pub load: u64,
+    /// Active jobs after the transition.
+    pub active: u32,
+}
+
+/// One machine's utilization/occupancy timeline derived from a trace's
+/// `Placement`/`Departure` (and fault) events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineUsage {
+    /// The machine.
+    pub machine: MachineId,
+    /// Its catalog type (from its first `Placement`).
+    pub machine_type: TypeIndex,
+    /// Its capacity (from its first `Placement`; 0 if never seen).
+    pub capacity: u64,
+    /// Load/occupancy steps in time order, coalesced per instant.
+    pub points: Vec<UsagePoint>,
+}
+
+impl MachineUsage {
+    /// Total time the machine held at least one active job.
+    #[must_use]
+    pub fn busy_time(&self) -> u64 {
+        self.windows().filter(|w| w.0.active > 0).map(|w| w.1).sum()
+    }
+
+    /// `∫ load dt` over the timeline.
+    #[must_use]
+    pub fn load_integral(&self) -> u128 {
+        self.windows()
+            .map(|w| u128::from(w.0.load) * u128::from(w.1))
+            .sum()
+    }
+
+    /// Mean fill (`load / capacity`) over busy time; `None` for a machine
+    /// that was never busy or has no recorded capacity.
+    #[must_use]
+    pub fn mean_utilization(&self) -> Option<f64> {
+        let busy = self.busy_time();
+        (busy > 0 && self.capacity > 0)
+            .then(|| self.load_integral() as f64 / (self.capacity as f64 * busy as f64))
+    }
+
+    fn windows(&self) -> impl Iterator<Item = (&UsagePoint, u64)> {
+        self.points
+            .windows(2)
+            .map(|w| (&w[0], w[1].t.saturating_sub(w[0].t)))
+    }
+}
+
+/// Derives every machine's utilization/occupancy timeline from a trace.
+///
+/// Walks `Placement`/`Departure` events (job sizes from `Arrival`s),
+/// handles crash displacement (`MachineCrash` empties the machine;
+/// `JobRecovery` moves load to the recovery machine), and returns one
+/// [`MachineUsage`] per machine seen, sorted by machine id.
+#[must_use]
+pub fn machine_utilization(events: &[TraceEvent]) -> Vec<MachineUsage> {
+    struct State {
+        usage: MachineUsage,
+        load: u64,
+        active: u32,
+    }
+    let mut sizes: HashMap<JobId, u64> = HashMap::new();
+    let mut machines: HashMap<MachineId, State> = HashMap::new();
+    let push = |machines: &mut HashMap<MachineId, State>,
+                m: MachineId,
+                ty: Option<(TypeIndex, u64)>,
+                t: TimePoint,
+                dload: i64,
+                dactive: i64| {
+        let st = machines.entry(m).or_insert_with(|| State {
+            usage: MachineUsage {
+                machine: m,
+                machine_type: TypeIndex(0),
+                capacity: 0,
+                points: Vec::new(),
+            },
+            load: 0,
+            active: 0,
+        });
+        if let Some((ty, cap)) = ty {
+            if st.usage.capacity == 0 {
+                st.usage.machine_type = ty;
+                st.usage.capacity = cap;
+            }
+        }
+        st.load = st.load.saturating_add_signed(dload);
+        st.active = u32::try_from(i64::from(st.active) + dactive).unwrap_or(0);
+        let point = UsagePoint {
+            t,
+            load: st.load,
+            active: st.active,
+        };
+        match st.usage.points.last_mut() {
+            Some(last) if last.t == t => *last = point,
+            _ => st.usage.points.push(point),
+        }
+    };
+    for e in events {
+        match *e {
+            TraceEvent::Arrival { job, size, .. } => {
+                sizes.insert(job, size);
+            }
+            TraceEvent::Placement {
+                t,
+                job,
+                machine,
+                machine_type,
+                capacity,
+                ..
+            } => {
+                let size = sizes.get(&job).copied().unwrap_or(0);
+                push(
+                    &mut machines,
+                    machine,
+                    Some((machine_type, capacity)),
+                    t,
+                    i64::try_from(size).unwrap_or(i64::MAX),
+                    1,
+                );
+            }
+            TraceEvent::Departure { t, job, machine } => {
+                let size = sizes.get(&job).copied().unwrap_or(0);
+                push(
+                    &mut machines,
+                    machine,
+                    None,
+                    t,
+                    -i64::try_from(size).unwrap_or(i64::MAX),
+                    -1,
+                );
+            }
+            TraceEvent::MachineCrash { t, machine, .. } => {
+                // Displaced jobs leave the machine at the crash instant;
+                // JobRecovery events re-add them elsewhere.
+                let cleared = machines.get(&machine).map(|st| (st.load, st.active));
+                if let Some((dl, da)) = cleared {
+                    push(
+                        &mut machines,
+                        machine,
+                        None,
+                        t,
+                        -i64::try_from(dl).unwrap_or(i64::MAX),
+                        -i64::from(da),
+                    );
+                }
+            }
+            TraceEvent::JobRecovery {
+                t,
+                job,
+                to,
+                machine_type,
+                ..
+            } => {
+                let size = sizes.get(&job).copied().unwrap_or(0);
+                push(
+                    &mut machines,
+                    to,
+                    Some((machine_type, 0)),
+                    t,
+                    i64::try_from(size).unwrap_or(i64::MAX),
+                    1,
+                );
+            }
+            TraceEvent::MachineOpen { .. }
+            | TraceEvent::CostAccrual { .. }
+            | TraceEvent::MachineClose { .. }
+            | TraceEvent::JobDropped { .. }
+            | TraceEvent::Decision { .. }
+            | TraceEvent::GapSample { .. } => {}
+        }
+    }
+    let mut out: Vec<MachineUsage> = machines.into_values().map(|s| s.usage).collect();
+    out.sort_by_key(|u| u.machine);
+    out
 }
 
 #[cfg(test)]
@@ -377,6 +613,130 @@ mod tests {
         assert_eq!(folded.utilization_hist, live.utilization_hist);
         assert_eq!(folded.decision_ns_hist, live.decision_ns_hist);
         assert_eq!(folded.decision_ns_sum, live.decision_ns_sum);
+    }
+
+    #[test]
+    fn synthesize_xray_emits_decisions() {
+        use bshm_core::ops::{OpProbe, PlaceReason, RejectReason};
+        let (inst, s) = setup();
+        let mut log = DecisionLog::new();
+        // Pretend a kernel recorded scan work for jobs 0 and 2.
+        log.begin(JobId(0));
+        log.scanned(MachineId(0));
+        log.compared(1);
+        log.committed(MachineId(0), PlaceReason::Opened);
+        log.begin(JobId(2));
+        log.scanned(MachineId(0));
+        log.compared(1);
+        log.rejected(MachineId(0), RejectReason::Capacity);
+        log.committed(MachineId(1), PlaceReason::Opened);
+        let mut c = Collector::default();
+        synthesize_xray(&s, &inst, &mut log, &mut c);
+        let n_decisions = c
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Decision { .. }))
+            .count();
+        assert_eq!(n_decisions, 4);
+        // Each Decision immediately follows its job's Placement.
+        for (i, e) in c.events.iter().enumerate() {
+            if let TraceEvent::Decision { job, machine, .. } = e {
+                match &c.events[i - 1] {
+                    TraceEvent::Placement {
+                        job: pj,
+                        machine: pm,
+                        ..
+                    } => {
+                        assert_eq!(pj, job);
+                        assert_eq!(pm, machine);
+                    }
+                    other => panic!("decision not after placement: {other:?}"),
+                }
+            }
+        }
+        // Logged jobs carry their counters; unlogged ones fold to zero.
+        let m = metrics_from_events("x", &c.events, inst.catalog().len());
+        assert_eq!(m.ops.decisions, 2);
+        assert_eq!(m.ops.machines_scanned, 2);
+        assert_eq!(m.ops.rejected_capacity, 1);
+        assert_eq!(m.ops_hist.iter().sum::<u64>(), 4);
+        // pool_size counts machines already placed-on when the job's turn
+        // came: job 0 → 0, job 2 → 1, jobs 1 and 3 → 2.
+        let pools: Vec<u64> = c
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Decision { pool_size, .. } => Some(pool_size),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pools, vec![0, 1, 2, 2]);
+        // The decision events do not disturb timeline replay, and the
+        // plain synthesize stream stays decision-free.
+        let replay = replay_timeline(&c.events, inst.catalog().len());
+        cross_check(&replay, &machine_timeline(&s, &inst)).unwrap();
+        let mut plain = Collector::default();
+        synthesize(&s, &inst, &mut plain);
+        assert_eq!(plain.events.len(), 21);
+    }
+
+    #[test]
+    fn machine_utilization_derives_per_machine_timelines() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let usage = machine_utilization(&c.events);
+        assert_eq!(usage.len(), 2);
+        let small = &usage[0];
+        assert_eq!(small.machine, MachineId(0));
+        assert_eq!(small.machine_type, TypeIndex(0));
+        assert_eq!(small.capacity, 4);
+        assert_eq!(
+            small.points,
+            vec![
+                UsagePoint {
+                    t: 0,
+                    load: 2,
+                    active: 1
+                },
+                UsagePoint {
+                    t: 5,
+                    load: 4,
+                    active: 2
+                },
+                UsagePoint {
+                    t: 10,
+                    load: 2,
+                    active: 1
+                },
+                UsagePoint {
+                    t: 15,
+                    load: 0,
+                    active: 0
+                },
+                UsagePoint {
+                    t: 30,
+                    load: 4,
+                    active: 1
+                },
+                UsagePoint {
+                    t: 40,
+                    load: 0,
+                    active: 0
+                },
+            ]
+        );
+        assert_eq!(small.busy_time(), 25);
+        assert_eq!(small.load_integral(), 80);
+        let u = small.mean_utilization().unwrap();
+        assert!((u - 0.8).abs() < 1e-9, "{u}");
+        let big = &usage[1];
+        assert_eq!(big.machine_type, TypeIndex(1));
+        assert_eq!(big.capacity, 16);
+        assert_eq!(big.busy_time(), 20);
+        assert_eq!(big.load_integral(), 200);
+        // A never-busy machine reports no mean utilization.
+        assert_eq!(machine_utilization(&[]).len(), 0);
     }
 
     #[test]

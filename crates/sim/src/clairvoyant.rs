@@ -6,6 +6,7 @@ use crate::driver::SimError;
 use crate::pool::MachinePool;
 use bshm_core::instance::Instance;
 use bshm_core::job::JobId;
+use bshm_core::ops::{DecisionLog, OpProbe};
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::{Interval, TimePoint};
 
@@ -41,6 +42,19 @@ pub trait ClairvoyantScheduler {
     /// Chooses the machine for an arriving job (departure known).
     fn on_arrival(&mut self, view: ClairvoyantView, pool: &mut MachinePool) -> MachineId;
 
+    /// Like [`ClairvoyantScheduler::on_arrival`], but narrates the
+    /// decision into `ops` (machines scanned, comparisons, typed
+    /// rejections, the final commit). Defaults to the silent entry point,
+    /// mirroring [`crate::driver::OnlineScheduler::on_arrival_explained`].
+    fn on_arrival_explained(
+        &mut self,
+        view: ClairvoyantView,
+        pool: &mut MachinePool,
+        _ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.on_arrival(view, pool)
+    }
+
     /// Departure notification. Default: no-op.
     fn on_departure(&mut self, _job: JobId, _machine: MachineId, _pool: &MachinePool) {}
 
@@ -55,6 +69,27 @@ pub trait ClairvoyantScheduler {
 pub fn run_clairvoyant<S: ClairvoyantScheduler>(
     instance: &Instance,
     scheduler: &mut S,
+) -> Result<Schedule, SimError> {
+    run_clairvoyant_inner(instance, scheduler, None)
+}
+
+/// Like [`run_clairvoyant`], but routes every arrival through
+/// [`ClairvoyantScheduler::on_arrival_explained`] with `log` as the
+/// op probe, calling [`DecisionLog::begin`] per job first — so after the
+/// run, `log` holds one [`bshm_core::ops::OpTrace`] per job, ready for
+/// [`bshm_obs::replay::synthesize_xray`] to turn into Decision events.
+pub fn run_clairvoyant_logged<S: ClairvoyantScheduler>(
+    instance: &Instance,
+    scheduler: &mut S,
+    log: &mut DecisionLog,
+) -> Result<Schedule, SimError> {
+    run_clairvoyant_inner(instance, scheduler, Some(log))
+}
+
+fn run_clairvoyant_inner<S: ClairvoyantScheduler>(
+    instance: &Instance,
+    scheduler: &mut S,
+    mut log: Option<&mut DecisionLog>,
 ) -> Result<Schedule, SimError> {
     let jobs = instance.jobs();
     let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(jobs.len() * 2);
@@ -76,7 +111,12 @@ pub fn run_clairvoyant<S: ClairvoyantScheduler>(
             };
             let timing = bshm_obs::span::enabled();
             let start = timing.then(bshm_obs::span::now);
-            let m = scheduler.on_arrival(view, &mut pool);
+            let m = if let Some(log) = log.as_deref_mut() {
+                log.begin(job.id);
+                scheduler.on_arrival_explained(view, &mut pool, log)
+            } else {
+                scheduler.on_arrival(view, &mut pool)
+            };
             if let Some(start) = start {
                 bshm_obs::span::record(
                     "sim::clairvoyant_on_arrival",

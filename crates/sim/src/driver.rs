@@ -8,11 +8,13 @@
 //! decisions are irrevocable.
 
 use crate::pool::MachinePool;
+use bshm_core::convert::count_u64;
 use bshm_core::instance::Instance;
 use bshm_core::job::JobId;
+use bshm_core::ops::{OpCounter, OpProbe, OpTrace, PlaceReason};
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
-use bshm_obs::{span, GapProbe, GapTimeline, NoProbe, Probe};
+use bshm_obs::{span, GapProbe, GapTimeline, NoProbe, Probe, TraceEvent};
 use std::fmt;
 use std::time::Instant;
 
@@ -39,6 +41,24 @@ pub trait OnlineScheduler {
     /// capacity (the driver verifies and errors otherwise).
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId;
 
+    /// Like [`OnlineScheduler::on_arrival`], but narrates the decision into
+    /// `ops`: every machine scanned, every capacity comparison, every
+    /// rejected candidate (with its typed reason) and the final commit.
+    ///
+    /// The default forwards to `on_arrival` and reports nothing, so
+    /// policies opt in one at a time; the built-in `bshm-algos` policies
+    /// all override this by routing both entry points through one
+    /// instrumented decision body (with [`bshm_core::ops::NoOps`] on the
+    /// uninstrumented path, which monomorphizes the counting away).
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        _ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        self.on_arrival(view, pool)
+    }
+
     /// Notification that a job departed from a machine (after the pool was
     /// updated). Default: no-op.
     fn on_departure(&mut self, _job: JobId, _machine: MachineId, _pool: &MachinePool) {}
@@ -60,6 +80,14 @@ pub trait OnlineScheduler {
 impl<S: OnlineScheduler + ?Sized> OnlineScheduler for &mut S {
     fn on_arrival(&mut self, view: ArrivalView, pool: &mut MachinePool) -> MachineId {
         (**self).on_arrival(view, pool)
+    }
+    fn on_arrival_explained(
+        &mut self,
+        view: ArrivalView,
+        pool: &mut MachinePool,
+        ops: &mut dyn OpProbe,
+    ) -> MachineId {
+        (**self).on_arrival_explained(view, pool, ops)
     }
     fn on_departure(&mut self, job: JobId, machine: MachineId, pool: &MachinePool) {
         (**self).on_departure(job, machine, pool);
@@ -252,6 +280,111 @@ pub fn run_online_gap<S: OnlineScheduler, P: Probe>(
     Ok((schedule, probe, timeline))
 }
 
+/// Like [`run_online_probed`], but drives the scheduler through
+/// [`OnlineScheduler::on_arrival_explained`] and emits one
+/// [`TraceEvent::Decision`] per arrival — the candidate machines the
+/// policy examined (with typed rejection reasons), the winner and how it
+/// won, the pool size the decision scanned against, and the decision's
+/// deterministic [`OpCounter`].
+///
+/// Every Decision event lands immediately after its job's `Placement`
+/// event at the same timestamp. Returns the schedule together with the
+/// fold of every per-decision counter, so callers can cross-check the
+/// trace against the run total with integer equality. This entry point is
+/// deliberately separate from [`run_online_probed`]: un-x-rayed runs
+/// (including the fault harness, which byte-compares against the plain
+/// probed stream) never see Decision events.
+pub fn run_online_xray<S: OnlineScheduler, P: Probe + ?Sized>(
+    instance: &Instance,
+    scheduler: &mut S,
+    probe: &mut P,
+) -> Result<(Schedule, OpCounter), SimError> {
+    let jobs = instance.jobs();
+    let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(jobs.len() * 2);
+    for (idx, j) in jobs.iter().enumerate() {
+        events.push((j.arrival, true, idx));
+        events.push((j.departure, false, idx));
+    }
+    events.sort_unstable_by_key(|&(t, is_arrival, idx)| (t, is_arrival, jobs[idx].id));
+
+    let mut totals = OpCounter::default();
+    let mut open_since: Vec<TimePoint> = Vec::new();
+    let mut pool = MachinePool::new(instance.catalog().clone());
+    for (t, is_arrival, idx) in events {
+        let job = &jobs[idx];
+        if is_arrival {
+            let view = ArrivalView {
+                id: job.id,
+                size: job.size,
+                time: t,
+            };
+            probe.on_arrival(t, job.id, job.size);
+            let known_machines = pool.len();
+            let mut tr = OpTrace::begin();
+            let start = span::now();
+            let m = scheduler.on_arrival_explained(view, &mut pool, &mut tr);
+            let decision_ns = elapsed_ns(start);
+            span::record("sim::on_arrival", decision_ns);
+            let was_idle = pool.is_idle(m);
+            pool.place(m, job.id, job.size)
+                .map_err(|cause| SimError { job: job.id, cause })?;
+            let ty = pool.machine_type(m);
+            if was_idle {
+                if open_since.len() < pool.len() {
+                    open_since.resize(pool.len(), 0);
+                }
+                open_since[m.0 as usize] = t;
+                probe.on_machine_open(t, m, ty);
+            }
+            let opened = (m.0 as usize) >= known_machines;
+            probe.on_placement(
+                t,
+                job.id,
+                m,
+                ty,
+                opened,
+                decision_ns,
+                pool.load(m),
+                pool.capacity(m),
+            );
+            // Schedulers that haven't opted into on_arrival_explained
+            // leave the trace empty; classify their commit from the
+            // pool's own evidence so the Decision stream stays total.
+            let fallback = if opened {
+                PlaceReason::Opened
+            } else {
+                PlaceReason::Reused
+            };
+            let placed = tr.placed.map_or(fallback, |(_, how)| how);
+            if tr.placed.is_none() {
+                tr.counter.commit(placed);
+            }
+            totals.fold(&tr.counter);
+            probe.record(&TraceEvent::Decision {
+                t,
+                job: job.id,
+                machine: m,
+                placed,
+                pool_size: count_u64(known_machines),
+                candidates: tr.candidates,
+                ops: tr.counter,
+            });
+        } else {
+            let m = pool.remove(job.id, job.size);
+            probe.on_departure(t, job.id, m);
+            if pool.is_idle(m) {
+                let ty = pool.machine_type(m);
+                let opened_at = open_since[m.0 as usize];
+                probe.on_cost_accrual(t, m, ty, t - opened_at, pool.rate(m));
+                probe.on_machine_close(t, m, ty, opened_at);
+            }
+            scheduler.on_departure(job.id, m, &pool);
+        }
+    }
+    probe.finish();
+    Ok((pool.into_schedule(), totals))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +500,58 @@ mod tests {
             "final gauge equals the full-sweep lower bound"
         );
         assert!(timeline.final_ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn xray_run_emits_one_decision_per_arrival() {
+        let inst = instance();
+        let mut collector = bshm_obs::Collector::default();
+        let (s, totals) =
+            run_online_xray(&inst, &mut NaiveFirstFit { open: vec![] }, &mut collector).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        let decisions: Vec<_> = collector
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Decision {
+                    job,
+                    machine,
+                    placed,
+                    pool_size,
+                    ..
+                } => Some((job, machine, placed, pool_size)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), inst.jobs().len());
+        // NaiveFirstFit hasn't opted into on_arrival_explained, so the
+        // driver classifies commits from pool evidence: the first arrival
+        // opens, the rest reuse the one big machine.
+        assert_eq!(decisions[0].2, PlaceReason::Opened);
+        assert!(decisions[1..].iter().all(|d| d.2 == PlaceReason::Reused));
+        assert_eq!(
+            decisions.iter().map(|d| d.3).collect::<Vec<_>>(),
+            vec![0, 1, 1, 1],
+            "pool_size is the machine count each decision scanned against"
+        );
+        assert_eq!(totals.decisions, 4);
+        assert_eq!(totals.machines_opened, 1);
+        assert_eq!(totals.machines_reused, 3);
+        // Each Decision immediately follows its job's Placement.
+        for (i, e) in collector.events.iter().enumerate() {
+            if let TraceEvent::Decision { job, machine, .. } = *e {
+                match collector.events[i - 1] {
+                    TraceEvent::Placement {
+                        job: pj,
+                        machine: pm,
+                        ..
+                    } => {
+                        assert_eq!((pj, pm), (job, machine));
+                    }
+                    ref other => panic!("Decision not preceded by Placement: {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]
