@@ -18,7 +18,7 @@ pub struct RuleInfo {
 }
 
 /// Every lint rule the engine runs (drift auditors are separate).
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         name: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
@@ -54,6 +54,10 @@ pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         name: "no-untyped-reject",
         summary: "candidate rejections in scheduler code must carry a typed RejectReason — no string/char literals as reject/rejected/noted probe arguments (stringly-typed reasons break the labeled ops families)",
+    },
+    RuleInfo {
+        name: "no-unbounded-buffer",
+        summary: "ring/queue types (VecDeque) in obs must declare a capacity — no VecDeque::new(), and the file must name a `capacity`/`with_capacity` bound (the health plane's buffers stay O(1) by design)",
     },
 ];
 
@@ -91,11 +95,68 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
     if matches!(ctx.crate_name.as_str(), "obs" | "sim")
         && !ctx.path.ends_with("obs/src/recorder.rs")
         && !ctx.path.ends_with("obs/src/registry.rs")
+        && !ctx.path.ends_with("obs/src/window.rs")
     {
         out.extend(no_raw_metric(ctx, toks, &live));
     }
     if ctx.strict_library || ctx.crate_name == "chart" {
         out.extend(no_untyped_reject(ctx, toks, &live));
+    }
+    if ctx.crate_name == "obs" {
+        out.extend(no_unbounded_buffer(ctx, toks, &live));
+    }
+    out
+}
+
+/// `no-unbounded-buffer`: ring/queue types in obs without a declared bound.
+///
+/// The live health plane holds long-running state (flight-recorder ring,
+/// rolling-window history) inside the trace hot path, so every `VecDeque`
+/// in the obs crate must be capacity-bounded: `VecDeque::new()` is always
+/// flagged, and a file that mentions `VecDeque` at all must also name a
+/// `capacity`/`with_capacity` identifier somewhere, proving the bound is
+/// part of the type's contract rather than an accident of today's usage.
+fn no_unbounded_buffer(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let declares_bound = toks.iter().enumerate().any(|(i, t)| {
+        live(i)
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "capacity" | "with_capacity")
+    });
+    let mut first_use: Option<&Tok> = None;
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || !t.is_ident("VecDeque") {
+            continue;
+        }
+        if first_use.is_none() {
+            first_use = Some(t);
+        }
+        // `VecDeque::new()` grows without limit no matter what else the
+        // file declares.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("new"))
+        {
+            out.push(Diagnostic::error(
+                "no-unbounded-buffer",
+                &ctx.path,
+                t.line,
+                "VecDeque::new() in obs is an unbounded buffer; construct with with_capacity and evict at the bound, or justify with `// bshm-allow(no-unbounded-buffer): reason`".to_string(),
+            ));
+        }
+    }
+    if let Some(t) = first_use {
+        if !declares_bound {
+            out.push(Diagnostic::error(
+                "no-unbounded-buffer",
+                &ctx.path,
+                t.line,
+                "VecDeque used in obs without a declared capacity anywhere in the file; ring/queue state in the health plane must be bounded, or justify with `// bshm-allow(no-unbounded-buffer): reason`".to_string(),
+            ));
+        }
     }
     out
 }
@@ -156,7 +217,7 @@ fn no_untyped_reject(
 /// Metric field names of `bshm_obs::Metrics` whose mutation the
 /// `no-raw-metric` rule polices. Histogram/timeline vectors are appended
 /// via methods and are not assignable targets, so they are omitted.
-const METRIC_FIELDS: [&str; 24] = [
+const METRIC_FIELDS: [&str; 26] = [
     "arrivals",
     "departures",
     "placements",
@@ -181,15 +242,19 @@ const METRIC_FIELDS: [&str; 24] = [
     "ops",
     "ops_hist",
     "ops_sum",
+    "alerts",
+    "alerts_by_reason",
 ];
 
 /// `no-raw-metric`: direct mutation of `Metrics` counter/gauge fields.
 ///
 /// Every metric mutation in obs/sim must flow through the recorder's
-/// event fold (`Metrics::apply`, in `obs/src/recorder.rs`) or the labeled
-/// registry's typed mutators (`obs/src/registry.rs`) — both exempted by
-/// the caller — so the Prometheus exposition, the drift auditors, and the
-/// replay fold can never disagree about a counter's provenance.
+/// event fold (`Metrics::apply`, in `obs/src/recorder.rs`), the labeled
+/// registry's typed mutators (`obs/src/registry.rs`), or the rolling-window
+/// fold (`obs/src/window.rs`, whose per-window counters deliberately share
+/// the `Metrics` field names) — all exempted by the caller — so the
+/// Prometheus exposition, the drift auditors, and the replay fold can
+/// never disagree about a counter's provenance.
 fn no_raw_metric(ctx: &FileContext, toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -799,6 +864,41 @@ mod tests {
         .is_empty());
         let test_src = "#[cfg(test)]\nmod tests { fn f(c: &mut C) { c.reject(\"busy\"); } }";
         assert!(check("crates/core/src/ops.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn no_unbounded_buffer_rule() {
+        // An unbounded ring in obs is flagged even when the file declares
+        // a capacity elsewhere.
+        let d = check(
+            "crates/obs/src/flight.rs",
+            "struct R { capacity: usize }\nfn f() -> VecDeque<u64> { VecDeque::new() }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-unbounded-buffer"), "{d:?}");
+        // Using VecDeque with no capacity identifier anywhere: flagged.
+        let d = check(
+            "crates/obs/src/seeded.rs",
+            "struct R { ring: VecDeque<u64> }\nfn f(r: &mut R) { r.ring.push_back(1); }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-unbounded-buffer"), "{d:?}");
+        // Bounded construction with a declared capacity: clean.
+        let d = check(
+            "crates/obs/src/flight.rs",
+            "struct R { capacity: usize, ring: VecDeque<u64> }\nfn f(c: usize) -> VecDeque<u64> { VecDeque::with_capacity(c) }",
+        );
+        assert!(d.iter().all(|d| d.rule != "no-unbounded-buffer"), "{d:?}");
+        // Other crates (sim's event queues, cli) are out of scope; so are
+        // test regions.
+        let src = "fn f() -> VecDeque<u64> { VecDeque::new() }";
+        assert!(check("crates/sim/src/driver.rs", src).is_empty());
+        assert!(check("crates/cli/src/commands.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() -> VecDeque<u64> { VecDeque::new() } }";
+        assert!(check("crates/obs/src/flight.rs", test_src).is_empty());
+        // The finding names the pragma that would silence it.
+        let d = check("crates/obs/src/seeded.rs", src);
+        assert!(d
+            .iter()
+            .any(|d| d.message.contains("bshm-allow(no-unbounded-buffer)")));
     }
 
     #[test]

@@ -137,8 +137,8 @@ fn drift_auditor_fails_on_schema_version_bump() {
     let root = workspace_root();
     let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
     let bumped = inputs.baseline_rs.replace(
-        "pub const SCHEMA_VERSION: u64 = 4;",
         "pub const SCHEMA_VERSION: u64 = 5;",
+        "pub const SCHEMA_VERSION: u64 = 6;",
     );
     assert_ne!(bumped, inputs.baseline_rs, "mutation must actually apply");
     inputs.baseline_rs = bumped;

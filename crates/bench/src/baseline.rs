@@ -27,7 +27,7 @@ use bshm_core::schedule_cost;
 use bshm_core::validate::validate_schedule;
 use bshm_faults::{run_online_faulted, FaultPlan, SameType};
 use bshm_obs::span::{self, SpanStat};
-use bshm_obs::{GapProbe, NoProbe, Recorder};
+use bshm_obs::{GapProbe, HealthProbe, NoProbe, Recorder, SloSpec};
 use bshm_sim::{run_online, run_online_probed};
 use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
 use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
@@ -48,7 +48,14 @@ use std::path::{Path, PathBuf};
 /// `total_scan_ops`) from a separate run under the x-ray driver
 /// (`run_alg_xray`): deterministic operation counts, not clocks, so they
 /// compare exactly across machines.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the live-health-plane columns: `alerts_fired` (alerts under
+/// the default SLO spec, event-clock deterministic, gated exactly like
+/// cost) and `windowed_p99_ns` (the worst per-window decision-latency p99
+/// from the rolling-window fold, wall-clock and gated like the other
+/// timing columns), both measured by wrapping the traced run in a
+/// [`HealthProbe`].
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The fixed fault plan behind the recovery-overhead columns: a handful
 /// of seeded machine crashes, deterministic per workload. Every algorithm
@@ -140,6 +147,15 @@ pub struct AlgBaseline {
     /// Total scan work over the whole run: machines scanned plus capacity
     /// comparisons, exact integer.
     pub total_scan_ops: u64,
+    /// Alerts fired by the default SLO spec over the traced run. The
+    /// engine's rules are event-clock and fixed-point only, so this count
+    /// is deterministic per (workload, algorithm) and compares exactly.
+    pub alerts_fired: u64,
+    /// Worst per-window decision-latency p99 (ns) across the rolling
+    /// windows retained by the health probe — the windowed counterpart of
+    /// `decision_ns_p99`, showing latency bursts the whole-run quantile
+    /// averages away. Wall-clock: gated like the other timing columns.
+    pub windowed_p99_ns: f64,
     /// Hot-path span breakdown for this run (wall-clock per phase).
     pub spans: Vec<SpanStat>,
 }
@@ -224,14 +240,17 @@ fn suite_instances(quick: bool) -> Vec<(String, Instance)> {
 }
 
 /// Runs one algorithm on one instance under a live recorder wrapped in
-/// the gap probe, with span timing, returning the full measurement row.
+/// the health probe and the gap probe, with span timing, returning the
+/// full measurement row. The gap probe sits outermost so its `GapSample`
+/// gauges flow through the health plane's windowed gap rule.
 fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
     // Spans are process-global: drain before so the row only carries this
     // run's timings.
     let _ = span::take();
+    let n_types = instance.catalog().len();
     let mut probe = GapProbe::new(
         instance.catalog(),
-        Recorder::new(alg, instance.catalog().len()),
+        HealthProbe::new(SloSpec::default(), n_types, Recorder::new(alg, n_types)),
     );
     let start = bshm_obs::span::now();
     let schedule = run_alg_traced(alg, instance, &mut probe)
@@ -241,7 +260,16 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
     if let Some(err) = probe.error() {
         panic!("baseline alg {alg}: gap gauges over the run's own stream: {err}");
     }
-    let (rec, timeline) = probe.into_parts();
+    let (health, timeline) = probe.into_parts();
+    // The driver finished the probe chain, so every window (including the
+    // trailing partial one) is in the history ring by now.
+    let windowed_p99_ns = health
+        .windows()
+        .history()
+        .iter()
+        .filter_map(|w| w.decision_ns_quantile(0.99))
+        .fold(0.0_f64, f64::max);
+    let (rec, health_report) = health.into_parts();
     let metrics = rec
         .into_metrics()
         .unwrap_or_else(|e| panic!("baseline alg {alg}: {e}"));
@@ -269,6 +297,8 @@ fn measure_alg(alg: &str, instance: &Instance, lb: u128) -> AlgBaseline {
         ops_per_decision_p95: ops_p95,
         ops_per_decision_p99: ops_p99,
         total_scan_ops,
+        alerts_fired: bshm_core::convert::count_u64(health_report.alerts.len()),
+        windowed_p99_ns,
         spans,
     }
 }
@@ -636,6 +666,25 @@ pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Co
                     na.ops_per_decision_p99,
                     Some(threshold),
                 );
+                // Alert counts are event-clock deterministic on a fixed
+                // workload: any new alert is a real behavioural change,
+                // so gate growth exactly (like cost; quieter is fine).
+                push_delta(
+                    &mut cmp,
+                    path("alerts_fired"),
+                    oa.alerts_fired as f64,
+                    na.alerts_fired as f64,
+                    Some(1.0 + 1e-9),
+                );
+                // Windowed latency bursts are wall-clock: same gate as
+                // the whole-run quantiles.
+                push_delta(
+                    &mut cmp,
+                    path("windowed_p99_ns"),
+                    oa.windowed_p99_ns,
+                    na.windowed_p99_ns,
+                    Some(threshold),
+                );
             }
         }
     }
@@ -769,6 +818,8 @@ mod tests {
                     ops_per_decision_p95: 8.0,
                     ops_per_decision_p99: 12.0,
                     total_scan_ops: 60,
+                    alerts_fired: 0,
+                    windowed_p99_ns: 1_200.0,
                     spans: vec![],
                 }],
             }],
@@ -845,6 +896,30 @@ mod tests {
         let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
         assert!(!cmp.passed());
         assert!(cmp.regressions.iter().any(|r| r.contains("cost")));
+    }
+
+    #[test]
+    fn new_alerts_on_same_workload_fail_the_gate() {
+        // The v5 gate: a previously quiet (workload, algorithm) pair that
+        // starts alerting under the default SLO is a regression, exactly
+        // like a cost increase; going quiet again is fine.
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.workloads[0].algorithms[0].alerts_fired = 2;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.contains("alerts_fired")));
+        assert!(compare(&new, &old, DEFAULT_THRESHOLD).passed());
+        // Windowed latency bursts ride the timing threshold instead.
+        let mut slow = old.clone();
+        slow.workloads[0].algorithms[0].windowed_p99_ns *= 2.0;
+        let cmp = compare(&old, &slow, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.contains("windowed_p99_ns")));
+        assert!(compare(&old, &slow, 3.0).passed());
     }
 
     #[test]
@@ -941,6 +1016,9 @@ mod tests {
                 // The x-ray columns: every decision scans or compares
                 // something, and the quantiles are ordered.
                 assert!(a.total_scan_ops > 0, "{}/{}", w.workload, a.alg);
+                // The health-plane columns: every suite run places jobs,
+                // so some window carries a real latency quantile.
+                assert!(a.windowed_p99_ns > 0.0, "{}/{}", w.workload, a.alg);
                 assert!(
                     a.ops_per_decision_p50 <= a.ops_per_decision_p95 + 1e-9
                         && a.ops_per_decision_p95 <= a.ops_per_decision_p99 + 1e-9,
@@ -976,6 +1054,13 @@ mod tests {
                 // runs must agree exactly, not approximately.
                 assert_eq!(
                     a1.total_scan_ops, a2.total_scan_ops,
+                    "{}/{}",
+                    w1.workload, a1.alg
+                );
+                // Alerting is event-clock only: byte-for-byte the same
+                // verdict on every rerun (the v5 determinism gate).
+                assert_eq!(
+                    a1.alerts_fired, a2.alerts_fired,
                     "{}/{}",
                     w1.workload, a1.alg
                 );

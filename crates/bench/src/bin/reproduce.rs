@@ -118,55 +118,129 @@ fn experiments_md(tables: &[Table]) -> String {
          instances). All schedules are re-validated for feasibility before any\n\
          number is recorded; a bound violation would panic the harness.\n\n",
     );
+    // Static sections below are kept byte-identical to the committed
+    // EXPERIMENTS.md (the drift auditor reads the schema_version literal
+    // out of the file, so regeneration must not lose it).
     out.push_str(
-        "## Performance observatory (baselines & regression gating)\n\n\
-         Besides the claim tables below, the harness keeps a performance\n\
-         baseline: `BENCH_*.json` at the repo root, regenerated with\n\n\
-         ```sh\n\
-         cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR5.json\n\
-         ```\n\n\
-         The report is schema-versioned (`schema_version`) and records, for\n\
-         each deterministic suite workload (`dec-poisson-uniform`,\n\
-         `inc-diurnal-pareto`, `gen-bimodal-vmsizes`) and each of the twelve\n\
-         registered schedulers: `wall_ns` (end-to-end wall clock),\n\
-         `decision_ns_p50/p95/p99` (histogram-estimated placement latency),\n\
-         `peak_open_by_type`, `cost` + `ratio` vs the §II lower bound, and a\n\
-         per-run `spans` breakdown. `probe_overhead` stores the asserted\n\
-         NoProbe-vs-uninstrumented driver factor and its bound. Schema v2\n\
-         added two recovery-overhead columns measured in a separate faulted\n\
-         run (fixed plan `seeded:1313:3`, same-type recovery): `displaced_jobs`\n\
-         (jobs knocked off crashed machines) and `recovery_cost_ratio`\n\
-         (recovery-machine busy-time cost over the fault-free base cost).\n\n\
-         To read a regression report (`baseline compare OLD NEW`, or\n\
-         `run --compare` against the most recent prior `BENCH_*.json`): each\n\
-         row is `workload/alg/metric` with old/new values and the growth\n\
-         factor; rows marked `<< REGRESSION` breached the gate (timing\n\
-         metrics: factor over the `--threshold`, default 1.5x, only when job\n\
-         counts match; `cost`: any growth on the same workload; probe\n\
-         overhead: factor over its recorded bound). `FAIL:` lines repeat the\n\
-         breaches and the binary exits non-zero — this is the CI gate.\n\n",
-    );
-    out.push_str(
-        "## Fault injection & checkpoint format\n\n\
-         Fault runs are driven by a deterministic `FaultPlan` spec — a\n\
-         comma-separated list of directives:\n\n\
-         ```text\n\
-         crash:T:M            kill machine index M of type T at time T\n\
-         storm:T:N:SIZE:DUR   burst of N synthetic arrivals at time T\n\
-         oversized:T:SIZE:DUR inject a job larger than any machine type at T\n\
-         seeded:SEED:N        N pseudo-random crashes drawn from SEED\n\
-         ```\n\n\
-         (`\"\"` or `none` means no faults; an empty plan is byte-identical to\n\
-         the unfaulted driver.) Recovery policies are `same-type`,\n\
-         `first-fit`, and `degrade`; recovered jobs land only on machines the\n\
-         policy itself opens, so recovery cost is accounted separately from\n\
-         base cost. Checkpoints (`bshm crash-test`, or `RunOptions` in\n\
-         `bshm-faults`) are JSON decision logs: an FNV-1a digest of the\n\
-         instance, the\n\
-         algorithm/policy/plan fingerprints, and the prefix of placement\n\
-         decisions; restore replays the prefix, verifies every decision\n\
-         matches, and continues — producing a final schedule and trace suffix\n\
-         byte-identical to the uninterrupted run.\n\n",
+        r#"## Performance observatory (baselines & regression gating)
+
+Besides the claim tables below, the harness keeps a performance
+baseline: `BENCH_*.json` at the repo root, regenerated with
+
+```sh
+cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR8.json
+```
+
+The report is schema-versioned (currently `schema_version = 5`; the
+constant lives in `crates/bench/src/baseline.rs` and `bshm-analyze`
+fails CI if this paragraph drifts from it) and records, for
+each deterministic suite workload (`dec-poisson-uniform`,
+`inc-diurnal-pareto`, `gen-bimodal-vmsizes`) and each of the twelve
+registered schedulers: `wall_ns` (end-to-end wall clock),
+`decision_ns_p50/p95/p99` (histogram-estimated placement latency),
+`peak_open_by_type`, `cost` + `ratio` vs the §II lower bound, and a
+per-run `spans` breakdown. `probe_overhead` stores the asserted
+NoProbe-vs-uninstrumented driver factor and its bound. Schema v2
+added two recovery-overhead columns measured in a separate faulted
+run (fixed plan `seeded:1313:3`, same-type recovery): `displaced_jobs`
+(jobs knocked off crashed machines) and `recovery_cost_ratio`
+(recovery-machine busy-time cost over the fault-free base cost).
+Schema v3 added two gap-observatory columns from the same traced run,
+now driven through `GapProbe`: `final_gap_ratio` (final accrued cost
+over the incremental §II lower bound at the horizon — equals `ratio`
+by the attribution-exactness invariant, recorded independently as a
+cross-check) and `max_gap_ratio` (the worst instantaneous
+cost-over-bound ratio across all gap samples in the run).
+Schema v4 added four decision x-ray columns from a separate run under
+the x-ray driver (`bshm xray` / `run_alg_xray`, so decision-latency
+columns are never inflated by the extra bookkeeping):
+`ops_per_decision_p50/p95/p99` (histogram-estimated operations —
+machines scanned + capacity comparisons — per placement decision) and
+`total_scan_ops` (the run's total scan work, an exact integer).
+Unlike the `*_ns` columns these are deterministic counters derived
+from control flow, so they compare exactly across machines; the
+comparator gates them at the timing threshold whenever job counts
+match.
+Schema v5 added two live-health-plane columns from the same traced
+run, now driven through `HealthProbe` under the default SLO spec:
+`alerts_fired` (alerts raised over the run — the engine's rules read
+only the event clock and fixed-point milli values, so the count is
+deterministic per workload/algorithm and any growth on the same
+workload gates exactly like `cost`) and `windowed_p99_ns` (the worst
+per-window decision-latency p99 from the rolling-window fold —
+wall-clock, gated at the timing threshold on matching job counts).
+
+**Cost-attribution rule** (`bshm gap-report`, `bshm_obs::CostLedger`):
+the job whose placement opens a machine pays the opening busy-time
+segment; each extension segment is split across the jobs occupying
+the machine in proportion to their sizes, with largest-remainder
+rounding and the final share taking the exact remainder. Charges are
+exact integers and sum exactly (integer equality) to total schedule
+cost; `unattributed` is non-zero only for corrupt/truncated traces.
+
+## Live health plane (SLO gating & alert taxonomy)
+
+`bshm health TRACE.jsonl` evaluates a declarative SLO spec against a
+recorded trace and exits non-zero on breach; `bshm watch` renders the
+same rolling windows as a dashboard. The spec grammar is a
+semicolon-separated rule list (any subset, any order):
+
+```text
+window:W          event-clock window width (default 64)
+gap:MILLI:N       gap ratio > MILLI/1000 for N consecutive windows
+storm:C           ≥ C jobs displaced by crashes within one window
+latency:MILLI:N   windowed p99 > MILLI/1000 × the run-start baseline
+                  for N consecutive windows
+drops:C           ≥ C jobs dropped within one window
+```
+
+The default spec is `window:64;gap:20000:2;storm:1;drops:1` (the
+latency rule is deliberately absent from the default: it reads the
+wall clock, so CI gates on the event-clock rules only). Each breach
+emits a `TraceEvent::Alert` into the trace itself with a typed
+reason — the full taxonomy is `gap-breach`, `displacement-storm`,
+`latency-regression`, `drop-surge` — stamped with the closed window's
+end time, and dumps the flight recorder (the last 256 events, bounded
+ring) to `alert-NNN-<reason>.jsonl` when snapshots are enabled.
+Because every rule reads the event clock and fixed-point milli
+integers, the alert stream is byte-identical across same-seed runs;
+the fault-injection suite proves each directive trips exactly its
+expected reason (`crash`/`seeded` → `displacement-storm`,
+`oversized` → `drop-surge`), and `bshm health --expect REASON` turns
+that proof into a CI assertion.
+
+## Fault injection & checkpoint format
+
+Fault runs are driven by a deterministic `FaultPlan` spec — a
+comma-separated list of directives:
+
+```text
+crash:T:M            kill machine index M of type T at time T
+storm:T:N:SIZE:DUR   burst of N synthetic arrivals at time T
+oversized:T:SIZE:DUR inject a job larger than any machine type at T
+seeded:SEED:N        N pseudo-random crashes drawn from SEED
+```
+
+(`""` or `none` means no faults; an empty plan is byte-identical to
+the unfaulted driver.) Recovery policies are `same-type`,
+`first-fit`, and `degrade`; recovered jobs land only on machines the
+policy itself opens, so recovery cost is accounted separately from
+base cost. Checkpoints (`bshm crash-test`, or `RunOptions` in
+`bshm-faults`) are JSON decision logs: an FNV-1a digest of the instance, the
+algorithm/policy/plan fingerprints, and the prefix of placement
+decisions; restore replays the prefix, verifies every decision
+matches, and continues — producing a final schedule and trace suffix
+byte-identical to the uninterrupted run.
+
+To read a regression report (`baseline compare OLD NEW`, or
+`run --compare` against the most recent prior `BENCH_*.json`): each
+row is `workload/alg/metric` with old/new values and the growth
+factor; rows marked `<< REGRESSION` breached the gate (timing
+metrics: factor over the `--threshold`, default 1.5x, only when job
+counts match; `cost`: any growth on the same workload; probe
+overhead: factor over its recorded bound). `FAIL:` lines repeat the
+breaches and the binary exits non-zero — this is the CI gate.
+"#,
     );
     out.push_str("## Summary\n\n| exp | claim (paper) | verdict |\n|---|---|---|\n");
     for t in tables {

@@ -39,6 +39,9 @@ USAGE:
   bshm export-metrics --trace FILE [--format prometheus|json] [--alg LABEL]
                 [--out FILE]
   bshm top      TRACE.jsonl [--cols N]
+  bshm watch    TRACE.jsonl [--window W] [--rows N] [--follow N]
+  bshm health   TRACE.jsonl [--slo SPEC] [--expect REASON]
+                [--snapshots DIR] [--report FILE]
   bshm explain  --job J (--trace FILE | --instance FILE [--alg NAME])
                 [--machine M]
   bshm xray     (TRACE.jsonl | --instance FILE [--alg NAME]) [--trace FILE]
@@ -87,6 +90,24 @@ OBSERVABILITY:
                        per-machine utilization heat rows; --trace records
                        the Decision-bearing event stream for later replay
 
+LIVE HEALTH PLANE:
+  watch                rolling dashboard of a (possibly live) trace:
+                       event-clock windows with open-machine and arrival
+                       sparklines, windowed latency quantiles, windowed
+                       gap ratio and alert counts; tolerates a torn
+                       trailing line, and --follow N polls the file N
+                       more times for growth
+  health               evaluate an SLO spec against a trace, exiting
+                       nonzero on breach (CI-usable); --expect REASON
+                       inverts the check (pass iff that typed alert
+                       fired), --snapshots DIR dumps the flight-recorder
+                       ring at each alert, --report FILE writes the JSON
+                       health report
+  slo:                 window:W;gap:MILLI:N;storm:C;latency:MILLI:N;drops:C
+                       (fixed-point milli thresholds; N = consecutive
+                       windows; alert reasons: gap-breach,
+                       displacement-storm, latency-regression, drop-surge)
+
 FAULTS & RECOVERY:
   solve --faults SPEC  inject machine crashes, arrival storms and oversized
                        jobs mid-run; displaced jobs are re-placed by the
@@ -94,6 +115,7 @@ FAULTS & RECOVERY:
                        machines (base cost vs recovery cost stay distinct)
   replay --salvage     tolerate a torn trailing line (killed writer):
                        replay the valid prefix, report dropped lines
+                       and the exact bytes lost to the tear
   crash-test           end-to-end robustness check: run, kill at a
                        checkpoint, salvage the torn trace, restore from the
                        checkpoint, verify schedule/cost/trace-suffix
@@ -140,6 +162,8 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
         "gap-report" => cmd_gap_report(&flags, out),
         "export-metrics" => cmd_export_metrics(&flags, out),
         "top" => cmd_top(&flags, out),
+        "watch" => cmd_watch(&flags, out),
+        "health" => cmd_health(&flags, out),
         "explain" => cmd_explain(&flags, out),
         "xray" => cmd_xray(&flags, out),
         "validate" => cmd_validate(&flags, out),
@@ -834,6 +858,227 @@ fn cmd_top(flags: &Flags, out: Out) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the trace argument shared by the trace-reading subcommands:
+/// first positional, falling back to `--trace`.
+fn trace_arg(flags: &Flags, cmd: &str) -> Result<String, String> {
+    match (flags.positional().first(), flags.get("trace")) {
+        (Some(p), _) => Ok(p.clone()),
+        (None, Some(p)) => Ok(p.to_string()),
+        (None, None) => Err(format!("{cmd} needs a trace: `bshm {cmd} TRACE.jsonl`")),
+    }
+}
+
+/// `health`: evaluate an SLO spec against a recorded trace and exit
+/// nonzero on breach — the CI-facing face of the live health plane.
+///
+/// The trace is read twice through the streaming iterator (never held in
+/// memory): one pass to infer the catalog width, one to feed the
+/// [`bshm_obs::HealthProbe`]. Because the engine's rules are event-clock
+/// and fixed-point only, the verdict for a given trace and spec is fully
+/// deterministic.
+fn cmd_health(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = trace_arg(flags, "health")?;
+    let spec = spec::parse_slo(flags.get("slo").unwrap_or(bshm_obs::DEFAULT_SLO_SPEC))?;
+    // Pass 1 (streaming): the catalog width.
+    let mut n_types = 0usize;
+    let mut total = 0u64;
+    for e in replay::stream_jsonl_file(std::path::Path::new(&path))? {
+        n_types = n_types.max(replay::event_type_bound(&e?));
+        total += 1;
+    }
+    if total == 0 {
+        return Err(format!(
+            "trace {path} contains no events (empty or truncated file?)"
+        ));
+    }
+    // Pass 2 (streaming): feed the health plane.
+    let mut probe = bshm_obs::HealthProbe::new(spec, n_types, NoProbe);
+    if let Some(dir) = flags.get("snapshots") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        probe = probe.with_snapshot_dir(dir);
+    }
+    for e in replay::stream_jsonl_file(std::path::Path::new(&path))? {
+        probe.record(&e?);
+    }
+    let (_, report) = probe.into_parts();
+    let _ = writeln!(out, "trace:        {path} ({total} events)");
+    let _ = write!(out, "{}", report.summary());
+    for s in &report.snapshots {
+        let _ = writeln!(out, "snapshot:     {s}");
+    }
+    for s in &report.snapshot_errors {
+        let _ = writeln!(out, "snapshot err: {s}");
+    }
+    if let Some(p) = flags.get("report") {
+        bshm_obs::write_health_report(std::path::Path::new(p), &report)?;
+        let _ = writeln!(out, "wrote health report to {p}");
+    }
+    match flags.get("expect") {
+        Some(name) => {
+            let reason = bshm_obs::AlertReason::parse(name).ok_or_else(|| {
+                let all: Vec<&str> = bshm_obs::AlertReason::ALL
+                    .iter()
+                    .map(|r| r.as_str())
+                    .collect();
+                format!(
+                    "--expect: unknown alert reason {name:?} (one of: {})",
+                    all.join(", ")
+                )
+            })?;
+            let n = report.count(reason);
+            if n > 0 {
+                let _ = writeln!(out, "expected:     [{name}] fired {n} time(s)");
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected alert [{name}] did not fire ({} alert(s) total)",
+                    report.alerts.len()
+                ))
+            }
+        }
+        None if report.breached() => Err(format!(
+            "SLO breached: {} alert(s) fired (see list above)",
+            report.alerts.len()
+        )),
+        None => {
+            let _ = writeln!(out, "SLO:          PASS (no alerts)");
+            Ok(())
+        }
+    }
+}
+
+/// `watch`: the rolling dashboard of a (possibly live) trace.
+///
+/// Streams the trace into a bounded [`bshm_obs::RollingWindows`] fold and
+/// renders the retained windows: open-machine/arrival sparklines (the
+/// same glyph scale as `bshm top`), windowed latency quantiles, windowed
+/// gap ratio and per-window alert counts. A torn trailing line — what a
+/// live writer mid-flush looks like — truncates the view instead of
+/// failing. `--follow N` re-polls the file N more times.
+fn cmd_watch(flags: &Flags, out: Out) -> Result<(), String> {
+    let path = trace_arg(flags, "watch")?;
+    let width = flags.get_or("window", 64u64)?;
+    if width == 0 {
+        return Err("--window must be positive".to_string());
+    }
+    let rows = flags.get_or("rows", 12usize)?.max(1);
+    let polls = flags.get_or("follow", 0u32)?;
+    let mut seen = watch_render(out, &path, width, rows)?;
+    for poll in 1..=polls {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let _ = writeln!(out, "\n── poll {poll}/{polls}");
+        let now = watch_render(out, &path, width, rows)?;
+        if now == seen {
+            let _ = writeln!(out, "(no new events)");
+        }
+        seen = now;
+    }
+    Ok(())
+}
+
+/// One render of the `watch` dashboard. Returns the parsed event count,
+/// so the `--follow` loop can report an idle poll.
+fn watch_render(out: Out, path: &str, width: u64, rows: usize) -> Result<u64, String> {
+    // Pass 1 (streaming): catalog width; a torn tail ends the view early.
+    let mut n_types = 0usize;
+    let mut total = 0u64;
+    let mut torn: Option<String> = None;
+    for e in replay::stream_jsonl_file(std::path::Path::new(path))? {
+        match e {
+            Ok(e) => {
+                n_types = n_types.max(replay::event_type_bound(&e));
+                total += 1;
+            }
+            Err(note) => {
+                torn = Some(note);
+                break;
+            }
+        }
+    }
+    // Pass 2 (streaming): fold into a ring of at most `rows` windows.
+    let mut rw = bshm_obs::RollingWindows::new(width, rows, n_types);
+    for e in replay::stream_jsonl_file(std::path::Path::new(path))? {
+        let Ok(e) = e else { break };
+        rw.observe(&e);
+    }
+    let _ = rw.flush(); // the in-progress window joins the dashboard
+    let totals = rw.totals().clone();
+    let hist = rw.history();
+
+    let _ = writeln!(out, "trace:        {path}");
+    let _ = writeln!(
+        out,
+        "events:       {total} over {} machine type(s), window width {width}",
+        n_types
+    );
+    if let Some(note) = &torn {
+        let _ = writeln!(
+            out,
+            "tail:         torn mid-write (live writer?) — showing the valid prefix ({note})"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "windows:      {} shown of {} closed (ring capacity {rows})",
+        hist.len(),
+        hist.len() as u64 + rw.evicted()
+    );
+
+    // Sparklines across the retained windows, on `top`'s glyph scale.
+    let gauge32 = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+    let spark = |vals: &[u64]| -> (String, u64) {
+        let peak = vals.iter().copied().max().unwrap_or(0);
+        let row: String = vals
+            .iter()
+            .map(|&v| gauge_glyph(gauge32(v), gauge32(peak)))
+            .collect();
+        (row, peak)
+    };
+    let opens: Vec<u64> = hist
+        .iter()
+        .map(bshm_obs::WindowStats::open_machines)
+        .collect();
+    let arrivals: Vec<u64> = hist.iter().map(|w| w.arrivals).collect();
+    let (row, peak) = spark(&opens);
+    let _ = writeln!(out, "open machines |{row}| peak {peak}");
+    let (row, peak) = spark(&arrivals);
+    let _ = writeln!(out, "arrivals      |{row}| peak {peak}");
+
+    // Per-window table: the same quantities the SLO engine sees.
+    let _ = writeln!(
+        out,
+        "\n{:>7} {:>13} {:>5} {:>6} {:>9} {:>7} {:>6} {:>6}",
+        "window", "span", "arr", "place", "p99-ns", "gap", "alerts", "open"
+    );
+    for w in hist {
+        let gap = w.gap_ratio_milli().map_or_else(
+            || "-".to_string(),
+            |m| format!("{}.{:03}", m / 1000, m % 1000),
+        );
+        let p99 = w
+            .decision_ns_quantile(0.99)
+            .map_or_else(|| "-".to_string(), |q| format!("{q:.0}"));
+        let _ = writeln!(
+            out,
+            "{:>7} {:>13} {:>5} {:>6} {:>9} {:>7} {:>6} {:>6}",
+            w.window,
+            format!("[{},{})", w.start, w.end),
+            w.arrivals,
+            w.placements,
+            p99,
+            gap,
+            w.alerts,
+            w.open_machines()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntotals:       {} arrivals, {} placements, {} alert(s), cost {}",
+        totals.arrivals, totals.placements, totals.alerts, totals.traced_cost
+    );
+    Ok(total)
+}
+
 /// Decision-bearing events for `explain`/`xray`: read from a recorded
 /// trace when `path` is given, otherwise re-run `--alg` on `--instance`
 /// under the x-ray driver. Returns the events, the algorithm label and a
@@ -1232,9 +1477,10 @@ fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
         let s = bshm_obs::sink::salvage_jsonl(std::path::Path::new(path))?;
         let _ = writeln!(
             out,
-            "salvage:      kept {} events, dropped {} damaged line(s)",
+            "salvage:      kept {} events, dropped {} damaged line(s) / {} byte(s)",
             s.events.len(),
-            s.dropped_lines
+            s.dropped_lines,
+            s.dropped_bytes
         );
         if s.events.is_empty() {
             return Err(format!("trace {path} contains no salvageable events"));
@@ -2242,6 +2488,100 @@ mod tests {
         let (code, out) = run_cmd(&format!("solve --instance {inst} --alg nope"));
         assert_eq!(code, 2);
         assert!(out.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn watch_renders_the_rolling_dashboard() {
+        let inst = tmp("inst-watch.json");
+        let trace = tmp("watch.jsonl");
+        run_cmd(&format!(
+            "gen --n 30 --seed 5 --catalog saw:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes uniform:1:40 --out {inst}"
+        ));
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg best-fit --trace {trace} --gap"
+        ));
+        assert_eq!(code, 0, "{out}");
+        // A narrow window and small ring: eviction keeps the view bounded.
+        let (code, out) = run_cmd(&format!("watch {trace} --window 8 --rows 4"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("open machines |"), "{out}");
+        assert!(out.contains("arrivals      |"), "{out}");
+        assert!(out.contains("windows:"), "{out}");
+        assert!(out.contains("totals:"), "{out}");
+        // A torn trailing line — a live writer mid-flush — truncates the
+        // dashboard to the valid prefix instead of failing.
+        let mut text = std::fs::read_to_string(&trace).unwrap();
+        text.push_str("{\"Arrival\":{\"t\":9");
+        std::fs::write(&trace, text).unwrap();
+        let (code, out) = run_cmd(&format!("watch {trace} --window 8 --rows 4"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("torn mid-write"), "{out}");
+        let (code, out) = run_cmd(&format!("watch {trace} --window 0"));
+        assert_eq!(code, 2);
+        assert!(out.contains("--window must be positive"), "{out}");
+    }
+
+    #[test]
+    fn health_gates_clean_and_faulted_traces() {
+        let inst = tmp("inst-health.json");
+        run_cmd(&format!(
+            "gen --n 30 --seed 7 --catalog dec:3:4 --arrivals poisson:4 \
+             --durations uniform:8:25 --sizes uniform:1:40 --out {inst}"
+        ));
+        // A clean run passes the default SLO with exit 0.
+        let clean = tmp("health-clean.jsonl");
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg first-fit-any --trace {clean}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cmd(&format!("health {clean}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("PASS (no alerts)"), "{out}");
+        // A crash-faulted run trips the displacement-storm rule, leaves a
+        // flight-recorder snapshot per alert, and writes the JSON report.
+        let faulted = tmp("health-faulted.jsonl");
+        let (code, out) = run_cmd(&format!(
+            "solve --instance {inst} --alg first-fit-any \
+             --faults seeded:42:4,crash:30:0,storm:25:6:8:15 --trace {faulted}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let snaps = tmp("health-snaps");
+        let report = tmp("health-report.json");
+        let (code, out) = run_cmd(&format!(
+            "health {faulted} --expect displacement-storm --snapshots {snaps} \
+             --report {report}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("[displacement-storm] fired"), "{out}");
+        assert!(std::fs::read_dir(&snaps).unwrap().next().is_some());
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("DisplacementStorm"), "{json}");
+        // Without --expect the same trace is an SLO breach: nonzero exit.
+        let (code, out) = run_cmd(&format!("health {faulted}"));
+        assert_eq!(code, 2);
+        assert!(out.contains("SLO breached"), "{out}");
+        // Unknown --expect reasons are rejected with the valid set.
+        let (code, out) = run_cmd(&format!("health {faulted} --expect nope"));
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown alert reason"), "{out}");
+        assert!(out.contains("displacement-storm"), "{out}");
+    }
+
+    #[test]
+    fn replay_salvage_reports_dropped_bytes() {
+        let trace = tmp("torn-bytes.jsonl");
+        let torn = "{\"MachineOpen\":{\"t\":3,\"mach";
+        std::fs::write(&trace, format!("{}{torn}", one_event_line())).unwrap();
+        let (code, out) = run_cmd(&format!("replay --trace {trace} --salvage"));
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains(&format!(
+                "dropped 1 damaged line(s) / {} byte(s)",
+                torn.len()
+            )),
+            "{out}"
+        );
     }
 
     #[test]

@@ -130,6 +130,13 @@ pub fn parse_sizes(spec: &str) -> Result<SizeLaw, String> {
     }
 }
 
+/// Parses an SLO spec for `bshm health`, delegating to the health plane's
+/// own grammar (`window:W;gap:MILLI:N;storm:C;latency:MILLI:N;drops:C` —
+/// see [`bshm_obs::SloSpec::parse`]).
+pub fn parse_slo(spec: &str) -> Result<bshm_obs::SloSpec, String> {
+    bshm_obs::SloSpec::parse(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +201,15 @@ mod tests {
             DurationLaw::Fixed(25)
         ));
         assert!(parse_durations("uniform:10").is_err());
+    }
+
+    #[test]
+    fn slo_specs() {
+        let spec = parse_slo(bshm_obs::DEFAULT_SLO_SPEC).unwrap();
+        assert_eq!(spec.render(), bshm_obs::DEFAULT_SLO_SPEC);
+        assert_eq!(parse_slo("window:8;storm:2").unwrap().width, 8);
+        assert!(parse_slo("window:0").is_err());
+        assert!(parse_slo("gap:high:2").is_err());
     }
 
     #[test]

@@ -57,5 +57,5 @@ pub use ops::{
     DecisionLog, NoOps, OpCounter, OpProbe, OpTrace, PlaceReason, RejectReason, RejectedCandidate,
 };
 pub use schedule::{MachineId, Schedule};
-pub use time::{Interval, IntervalSet, TimePoint};
+pub use time::{Interval, IntervalSet, TimePoint, WindowClock};
 pub use validate::{validate_schedule, ValidationError};

@@ -255,6 +255,58 @@ impl FromIterator<Interval> for IntervalSet {
     }
 }
 
+/// A fixed-width partition of the event clock into half-open windows
+/// `[w·width, (w+1)·width)`, indexed from 0.
+///
+/// Rolling telemetry (windowed quantiles, rates, SLO evaluation) is
+/// driven by this clock rather than wall time, so the same trace always
+/// lands events in the same windows — the determinism the live health
+/// plane's byte-identical alert streams rest on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowClock {
+    width: u64,
+}
+
+impl WindowClock {
+    /// Creates a clock with windows of `width` ticks. Panics if
+    /// `width == 0` (a zero-width window never closes).
+    #[must_use]
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "WindowClock requires width > 0");
+        Self { width }
+    }
+
+    /// Window width in ticks.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The index of the window containing `t`.
+    #[must_use]
+    pub fn index_of(&self, t: TimePoint) -> u64 {
+        t / self.width
+    }
+
+    /// Inclusive start of window `w` (saturating on overflow).
+    #[must_use]
+    pub fn start_of(&self, w: u64) -> TimePoint {
+        w.saturating_mul(self.width)
+    }
+
+    /// Exclusive end of window `w` (saturating on overflow).
+    #[must_use]
+    pub fn end_of(&self, w: u64) -> TimePoint {
+        w.saturating_add(1).saturating_mul(self.width)
+    }
+
+    /// The window as a half-open interval, `None` if it would overflow.
+    #[must_use]
+    pub fn interval_of(&self, w: u64) -> Option<Interval> {
+        Interval::try_new(self.start_of(w), self.end_of(w))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +413,28 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.total_len(), 10);
         assert_eq!(u.span_count(), 2);
+    }
+
+    #[test]
+    fn window_clock_boundaries() {
+        let c = WindowClock::new(10);
+        assert_eq!(c.width(), 10);
+        assert_eq!(c.index_of(0), 0);
+        assert_eq!(c.index_of(9), 0);
+        assert_eq!(c.index_of(10), 1);
+        assert_eq!(c.start_of(3), 30);
+        assert_eq!(c.end_of(3), 40);
+        assert_eq!(c.interval_of(2), Some(iv(20, 30)));
+        // Windows tile the clock: index_of(end_of(w)) == w + 1.
+        for w in [0u64, 1, 7, 1000] {
+            assert_eq!(c.index_of(c.end_of(w)), w + 1);
+            assert_eq!(c.index_of(c.start_of(w)), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width > 0")]
+    fn window_clock_rejects_zero_width() {
+        let _ = WindowClock::new(0);
     }
 }

@@ -42,6 +42,8 @@ pub struct CrashTestReport {
     pub salvaged_events: u64,
     /// Damaged/lost trailing lines the salvage dropped.
     pub salvage_dropped_lines: u64,
+    /// Bytes lost to the tear (start of the damaged line to end of file).
+    pub salvage_dropped_bytes: u64,
     /// Salvaged events are a prefix of the reference trace.
     pub salvage_match: bool,
     /// Restored run's final schedule equals the reference's.
@@ -66,7 +68,7 @@ impl CrashTestReport {
     pub fn summary(&self) -> String {
         let verdict = |ok: bool| if ok { "ok" } else { "MISMATCH" };
         format!(
-            "crash-test {alg} + {pol}: {verdict}\n  events:     stopped after {stop}/{total} driver events\n  trace:      {at_stop}/{trace} events before kill\n  salvage:    {salv} events recovered, {lost} damaged line(s) dropped [{s}]\n  schedule:   [{sch}]  cost: [{c}]  trace suffix: [{suf}]",
+            "crash-test {alg} + {pol}: {verdict}\n  events:     stopped after {stop}/{total} driver events\n  trace:      {at_stop}/{trace} events before kill\n  salvage:    {salv} events recovered, {lost} damaged line(s) / {lost_bytes} byte(s) dropped [{s}]\n  schedule:   [{sch}]  cost: [{c}]  trace suffix: [{suf}]",
             alg = self.algorithm,
             pol = self.policy,
             verdict = if self.passed() { "PASS" } else { "FAIL" },
@@ -76,6 +78,7 @@ impl CrashTestReport {
             trace = self.trace_events_total,
             salv = self.salvaged_events,
             lost = self.salvage_dropped_lines,
+            lost_bytes = self.salvage_dropped_bytes,
             s = verdict(self.salvage_match),
             sch = verdict(self.schedule_match),
             c = verdict(self.cost_match),
@@ -189,6 +192,7 @@ pub fn crash_test(
         trace_events_at_stop: checkpoint.trace_events_emitted,
         salvaged_events: count(salvage.events.len()),
         salvage_dropped_lines: salvage.dropped_lines,
+        salvage_dropped_bytes: salvage.dropped_bytes,
         salvage_match,
         schedule_match: restored.schedule == reference.schedule,
         cost_match: restored.report.base_cost == reference.report.base_cost
@@ -230,5 +234,38 @@ mod tests {
         let s = salvage_jsonl_str(&torn);
         assert_eq!(s.events.len(), 0); // not real events, all malformed
         assert_eq!(s.dropped_lines, 3);
+        // Every byte of the torn text is accounted for as dropped (the
+        // first "line" is already malformed, so the loss starts at 0).
+        assert_eq!(s.dropped_bytes, torn.len() as u64);
+    }
+
+    #[test]
+    fn torn_real_trace_reports_the_exact_byte_loss() {
+        use bshm_core::{JobId, MachineId, TypeIndex};
+        let events = vec![
+            TraceEvent::Arrival {
+                t: 1,
+                job: JobId(0),
+                size: 2,
+            },
+            TraceEvent::MachineOpen {
+                t: 1,
+                machine: MachineId(0),
+                machine_type: TypeIndex(0),
+            },
+            TraceEvent::Departure {
+                t: 5,
+                job: JobId(0),
+                machine: MachineId(0),
+            },
+        ];
+        let full = to_jsonl(&events).unwrap();
+        let torn = tear_final_line(&full);
+        let s = salvage_jsonl_str(&torn);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.dropped_lines, 1);
+        let intact = to_jsonl(&events[..2]).unwrap().len();
+        assert_eq!(s.dropped_bytes, (torn.len() - intact) as u64);
+        assert!(s.dropped_bytes > 0);
     }
 }

@@ -355,6 +355,102 @@ fn arrivals_to_a_revoked_machine_are_rerouted_not_lost() {
     }
 }
 
+/// Runs a faulted workload under the health plane (events normalized by
+/// [`Deterministic`], so the alert path sees no wall-clock jitter) and
+/// returns the final report plus the full recorded stream.
+fn health_run(
+    inst: &Instance,
+    plan: &FaultPlan,
+    spec: &str,
+) -> (FaultReport, bshm_obs::HealthReport, Vec<TraceEvent>) {
+    let spec = bshm_obs::SloSpec::parse(spec).unwrap();
+    let health = bshm_obs::HealthProbe::new(spec, inst.catalog().len(), Collector::default());
+    let mut probe = Deterministic(health);
+    let mut sched = FirstFitAny::default();
+    let mut policy = SameType::default();
+    let outcome = run_online_faulted(inst, &mut sched, plan, &mut policy, &mut probe).unwrap();
+    let (collector, report) = probe.0.into_parts();
+    (outcome.report, report, collector.events)
+}
+
+#[test]
+fn injected_fault_storms_trip_their_typed_alerts() {
+    let inst = workload(7, 80);
+    let plan =
+        FaultPlan::parse("seeded:42:4,crash:30:0,storm:25:6:8:15,oversized:10:4096:5").unwrap();
+    let (fault_report, health, events) = health_run(&inst, &plan, bshm_obs::DEFAULT_SLO_SPEC);
+
+    // The injections provably landed…
+    assert!(fault_report.displaced >= 1);
+    assert!(!fault_report.dropped.is_empty());
+    // …and each tripped exactly its typed alert.
+    use bshm_obs::AlertReason;
+    assert!(
+        health.count(AlertReason::DisplacementStorm) >= 1,
+        "displacement storm did not trip its alert: {}",
+        health.summary()
+    );
+    assert!(
+        health.count(AlertReason::DropSurge) >= 1,
+        "oversized drop did not trip its alert: {}",
+        health.summary()
+    );
+    assert_eq!(health.count(AlertReason::GapBreach), 0);
+    assert_eq!(health.count(AlertReason::LatencyRegression), 0);
+
+    // The alerts are in the trace, and the metrics fold counts them.
+    let metrics = metrics_from_events("first-fit-any", &events, inst.catalog().len());
+    assert_eq!(metrics.alerts, u64::try_from(health.alerts.len()).unwrap());
+    assert_eq!(
+        metrics.alerts_by_reason[AlertReason::DisplacementStorm.index()],
+        health.count(AlertReason::DisplacementStorm)
+    );
+}
+
+#[test]
+fn clean_runs_trip_no_alerts_under_the_default_slo() {
+    let inst = workload(11, 60);
+    let (fault_report, health, events) =
+        health_run(&inst, &FaultPlan::none(), bshm_obs::DEFAULT_SLO_SPEC);
+    assert_eq!(fault_report.crashes, 0);
+    assert!(
+        !health.breached(),
+        "clean run breached: {}",
+        health.summary()
+    );
+    assert!(health.windows_closed > 0);
+    assert!(!events.iter().any(|e| matches!(e, TraceEvent::Alert { .. })));
+}
+
+#[test]
+fn alert_streams_are_byte_identical_across_same_seed_runs() {
+    let inst = workload(7, 80);
+    let plan = FaultPlan::parse("seeded:42:4,storm:25:6:8:15,oversized:10:4096:5").unwrap();
+    let run = || health_run(&inst, &plan, bshm_obs::DEFAULT_SLO_SPEC);
+    let (_, health_a, events_a) = run();
+    let (_, health_b, events_b) = run();
+
+    let alert_lines = |events: &[TraceEvent]| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Alert { .. }))
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect()
+    };
+    let (lines_a, lines_b) = (alert_lines(&events_a), alert_lines(&events_b));
+    assert!(!lines_a.is_empty(), "expected alerts under the storm plan");
+    assert_eq!(lines_a, lines_b, "alert streams diverged across reruns");
+    assert_eq!(health_a.alerts, health_b.alerts);
+    // The whole normalized trace is byte-identical too, alerts included.
+    let all = |events: &[TraceEvent]| -> Vec<String> {
+        events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect()
+    };
+    assert_eq!(all(&events_a), all(&events_b));
+}
+
 #[test]
 fn crash_test_harness_passes_on_a_faulted_workload() {
     let inst = workload(23, 40);
@@ -372,6 +468,12 @@ fn crash_test_harness_passes_on_a_faulted_workload() {
         assert!(report.passed(), "{policy_name}: {}", report.summary());
         assert!(report.salvaged_events > 0);
         assert_eq!(report.salvage_dropped_lines, 1);
+        // The torn final line's bytes are reported exactly: more than
+        // nothing, less than a whole extra line.
+        assert!(report.salvage_dropped_bytes > 0);
+        assert!(report
+            .summary()
+            .contains(&format!("{} byte(s) dropped", report.salvage_dropped_bytes)));
     }
 }
 

@@ -236,11 +236,12 @@ impl CostLedger {
                 }
             }
             // Dropped jobs stop accruing; their past segments were already
-            // cut by the crash/departure path. Gap samples and decision
-            // x-rays are gauges.
+            // cut by the crash/departure path. Gap samples, decision
+            // x-rays and SLO alerts are gauges.
             TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
-            | TraceEvent::GapSample { .. } => {}
+            | TraceEvent::GapSample { .. }
+            | TraceEvent::Alert { .. } => {}
         }
     }
 

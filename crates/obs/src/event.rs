@@ -7,6 +7,64 @@ use bshm_core::schedule::MachineId;
 use bshm_core::time::TimePoint;
 use serde::{Deserialize, Serialize};
 
+/// Why an SLO alert fired. The taxonomy is closed and typed so alert
+/// streams can be asserted on in tests and aggregated per reason in the
+/// metrics registry (mirroring `RejectReason` for placement rejections).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertReason {
+    /// The windowed gap ratio (cost over lower bound) stayed above the
+    /// configured fraction of the proven competitive bound for the
+    /// configured number of consecutive windows.
+    GapBreach,
+    /// A displacement storm: crashes displaced at least the configured
+    /// number of jobs inside one window.
+    DisplacementStorm,
+    /// Windowed p99 decision latency regressed past the configured factor
+    /// of the run-start baseline window.
+    LatencyRegression,
+    /// Jobs were dropped (never silent) at or above the configured count
+    /// inside one window.
+    DropSurge,
+}
+
+impl AlertReason {
+    /// Every reason, in stable registry/report order.
+    pub const ALL: [AlertReason; 4] = [
+        AlertReason::GapBreach,
+        AlertReason::DisplacementStorm,
+        AlertReason::LatencyRegression,
+        AlertReason::DropSurge,
+    ];
+
+    /// Stable kebab-case name (label value, CLI `--expect` argument).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertReason::GapBreach => "gap-breach",
+            AlertReason::DisplacementStorm => "displacement-storm",
+            AlertReason::LatencyRegression => "latency-regression",
+            AlertReason::DropSurge => "drop-surge",
+        }
+    }
+
+    /// Parses the kebab-case name produced by [`AlertReason::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AlertReason> {
+        AlertReason::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Index into [`AlertReason::ALL`] (per-reason counter slot).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AlertReason::GapBreach => 0,
+            AlertReason::DisplacementStorm => 1,
+            AlertReason::LatencyRegression => 2,
+            AlertReason::DropSurge => 3,
+        }
+    }
+}
+
 /// One observable moment of a scheduling run.
 ///
 /// Traces are streams of these, one JSON object per line, in
@@ -164,6 +222,25 @@ pub enum TraceEvent {
         /// still-open spans up to `t`.
         cost: u64,
     },
+    /// An SLO breach detected by the deterministic alert engine over a
+    /// closed telemetry window. `t` is the window's exclusive end, and the
+    /// event is departure-side: an alert summarizing `[start, t)` precedes
+    /// everything that happens at `t`. Both `value` and `threshold` are
+    /// fixed-point milli-units (`u64`, value × 1000) so alert streams stay
+    /// byte-identical across runs — no float formatting in the trace.
+    Alert {
+        /// Simulation time: exclusive end of the breached window.
+        t: TimePoint,
+        /// Typed cause of the breach.
+        reason: AlertReason,
+        /// Index of the breached window (window `w` covers
+        /// `[w·width, (w+1)·width)`).
+        window: u64,
+        /// Observed value in milli-units (e.g. gap ratio 1.25 → 1250).
+        value_milli: u64,
+        /// Configured threshold in the same milli-units.
+        threshold_milli: u64,
+    },
 }
 
 impl TraceEvent {
@@ -181,7 +258,8 @@ impl TraceEvent {
             | TraceEvent::JobRecovery { t, .. }
             | TraceEvent::JobDropped { t, .. }
             | TraceEvent::Decision { t, .. }
-            | TraceEvent::GapSample { t, .. } => t,
+            | TraceEvent::GapSample { t, .. }
+            | TraceEvent::Alert { t, .. } => t,
         }
     }
 
@@ -200,6 +278,7 @@ impl TraceEvent {
             TraceEvent::JobDropped { .. } => "JobDropped",
             TraceEvent::Decision { .. } => "Decision",
             TraceEvent::GapSample { .. } => "GapSample",
+            TraceEvent::Alert { .. } => "Alert",
         }
     }
 
@@ -210,7 +289,9 @@ impl TraceEvent {
     /// (`JobRecovery`, and `JobDropped` for unrecoverable jobs) are
     /// arrival-side, like the re-placements they describe. `GapSample` is
     /// arrival-side: it samples the state *after* everything at its
-    /// timestamp, so it always closes the timestamp it stamps.
+    /// timestamp, so it always closes the timestamp it stamps. `Alert` is
+    /// departure-side: it summarizes the window `[start, t)` that just
+    /// closed, so it *opens* its timestamp, before anything else at `t`.
     #[must_use]
     pub fn is_departure_side(&self) -> bool {
         matches!(
@@ -219,6 +300,7 @@ impl TraceEvent {
                 | TraceEvent::CostAccrual { .. }
                 | TraceEvent::MachineClose { .. }
                 | TraceEvent::MachineCrash { .. }
+                | TraceEvent::Alert { .. }
         )
     }
 }
@@ -292,6 +374,13 @@ mod tests {
                 t: 9,
                 lower_bound: 18,
                 cost: 24,
+            },
+            TraceEvent::Alert {
+                t: 20,
+                reason: AlertReason::GapBreach,
+                window: 1,
+                value_milli: 1250,
+                threshold_milli: 1100,
             },
             TraceEvent::Decision {
                 t: 3,
@@ -388,5 +477,24 @@ mod tests {
         assert_eq!(x.time(), 7);
         assert_eq!(x.kind(), "Decision");
         assert!(!x.is_departure_side());
+        let al = TraceEvent::Alert {
+            t: 30,
+            reason: AlertReason::DisplacementStorm,
+            window: 2,
+            value_milli: 5000,
+            threshold_milli: 3000,
+        };
+        assert_eq!(al.time(), 30);
+        assert_eq!(al.kind(), "Alert");
+        assert!(al.is_departure_side());
+    }
+
+    #[test]
+    fn alert_reason_names_round_trip() {
+        for r in AlertReason::ALL {
+            assert_eq!(AlertReason::parse(r.as_str()), Some(r));
+            assert_eq!(AlertReason::ALL[r.index()], r);
+        }
+        assert_eq!(AlertReason::parse("nope"), None);
     }
 }

@@ -284,10 +284,12 @@ impl<P: Probe> GapProbe<P> {
                 }
             }
             // Placements do not move load (the arrival already did);
-            // decision x-rays and recorded samples are gauges, not state.
+            // decision x-rays, recorded samples and alerts are gauges,
+            // not state.
             TraceEvent::Placement { .. }
             | TraceEvent::Decision { .. }
-            | TraceEvent::GapSample { .. } => {}
+            | TraceEvent::GapSample { .. }
+            | TraceEvent::Alert { .. } => {}
         }
     }
 }
@@ -298,9 +300,13 @@ impl<P: Probe> Probe for GapProbe<P> {
     }
 
     fn record(&mut self, event: &TraceEvent) {
-        // Recorded samples pass through untouched: re-emitting or folding
-        // them would duplicate gauges when replaying a gap-aware trace.
-        if matches!(event, TraceEvent::GapSample { .. }) {
+        // Recorded samples and alerts pass through untouched: re-emitting
+        // or folding them would duplicate gauges when replaying a
+        // gap-aware (or health-aware) trace.
+        if matches!(
+            event,
+            TraceEvent::GapSample { .. } | TraceEvent::Alert { .. }
+        ) {
             self.inner.record(event);
             return;
         }

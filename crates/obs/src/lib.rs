@@ -49,6 +49,19 @@
 //!   flushing every line), [`salvage_jsonl`] recovers the valid prefix of
 //!   a truncated trace, and [`sink::atomic_write`] writes whole artifacts
 //!   (checkpoints, reports) torn-free.
+//! * [`flight`] is the bounded flight recorder: [`FlightRecorder`] keeps
+//!   the last N events in a fixed-capacity ring and dumps them as an
+//!   atomic JSONL snapshot when the health plane asks for a post-mortem.
+//! * [`window`] is rolling-window telemetry: [`RollingWindows`] cuts the
+//!   stream into event-clock windows ([`bshm_core::WindowClock`]) and
+//!   folds each into a [`WindowStats`] (windowed latency percentiles,
+//!   windowed gap ratio, open-machine and displacement rates) with a
+//!   bounded history ring.
+//! * [`slo`] is the deterministic SLO engine: [`SloSpec`] parses the
+//!   declarative threshold grammar, [`SloEngine`] evaluates closed
+//!   windows in fixed-point integer arithmetic, and [`HealthProbe`]
+//!   packages windows + engine + flight recorder as probe middleware
+//!   that emits typed `TraceEvent::Alert`s into the wrapped probe.
 //!
 //! Events reference jobs, machines and catalog types by the core ids
 //! ([`bshm_core::JobId`], [`bshm_core::MachineId`],
@@ -60,6 +73,7 @@
 
 pub mod attribution;
 pub mod event;
+pub mod flight;
 pub mod gap;
 pub mod probe;
 pub mod prometheus;
@@ -67,10 +81,13 @@ pub mod recorder;
 pub mod registry;
 pub mod replay;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod window;
 
 pub use attribution::CostLedger;
-pub use event::TraceEvent;
+pub use event::{AlertReason, TraceEvent};
+pub use flight::FlightRecorder;
 pub use gap::{compute_gap_timeline, gap_timeline_from_events, GapPoint, GapProbe, GapTimeline};
 pub use probe::{Collector, Deterministic, NoProbe, Probe};
 pub use prometheus::{encode as encode_prometheus, validate_exposition};
@@ -78,7 +95,13 @@ pub use recorder::{bucket_quantile, merge_counts, merge_gauge_timelines, Metrics
 pub use registry::{labels, HistogramValue, Labels, MetricKind, Registry, RegistryError};
 pub use replay::{
     cross_check, machine_utilization, metrics_from_events, parse_jsonl, replay_timeline,
-    synthesize, synthesize_xray, MachineUsage, ReplayedTimeline, UsagePoint,
+    stream_jsonl_file, synthesize, synthesize_xray, EventStream, MachineUsage, ReplayedTimeline,
+    UsagePoint,
 };
 pub use sink::{salvage_jsonl, salvage_jsonl_str, Salvage, TraceWriter};
+pub use slo::{
+    write_health_report, AlertFire, AlertRecord, HealthProbe, HealthReport, SloEngine, SloRule,
+    SloSpec, DEFAULT_SLO_SPEC,
+};
 pub use span::{SpanGuard, SpanStat};
+pub use window::{sum_windows, RollingWindows, WindowStats};

@@ -161,6 +161,25 @@ pub trait Probe {
             cost,
         });
     }
+
+    /// An SLO alert fired by the health plane over the closed window
+    /// `window` ending at `t`. Values are fixed-point milli-units.
+    fn on_alert(
+        &mut self,
+        t: TimePoint,
+        reason: crate::event::AlertReason,
+        window: u64,
+        value_milli: u64,
+        threshold_milli: u64,
+    ) {
+        self.record(&TraceEvent::Alert {
+            t,
+            reason,
+            window,
+            value_milli,
+            threshold_milli,
+        });
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {

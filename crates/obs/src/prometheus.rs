@@ -8,6 +8,7 @@
 //! directory) and every line is checked by [`validate_exposition`], a
 //! small parser used by the test suite as the acceptance gate.
 
+use crate::event::AlertReason;
 use crate::recorder::{
     decision_ns_bucket_bounds, ops_bucket_bounds, utilization_bucket_bounds, Metrics,
 };
@@ -240,6 +241,23 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
         "Largest cost-over-lower-bound ratio seen at any gap sample.",
     );
     e.sample("bshm_gap_ratio_max", &base, metrics.max_gap_ratio);
+
+    e.header(
+        "bshm_alerts_total",
+        "counter",
+        "SLO alerts fired by the deterministic health plane.",
+    );
+    e.sample("bshm_alerts_total", &base, metrics.alerts as f64);
+    e.header(
+        "bshm_alerts_by_reason_total",
+        "counter",
+        "SLO alerts per typed reason.",
+    );
+    for (r, &c) in AlertReason::ALL.iter().zip(&metrics.alerts_by_reason) {
+        let mut labels = base.clone();
+        labels.push(("reason", r.as_str().to_string()));
+        e.sample("bshm_alerts_by_reason_total", &labels, c as f64);
+    }
 
     let ops_counters: [(&str, &str, f64); 5] = [
         (
@@ -622,6 +640,23 @@ mod tests {
         assert!(text.contains("bshm_jobs_recovered_total{algorithm=\"dec-online\"} 1"));
         assert!(text.contains("bshm_jobs_dropped_total{algorithm=\"dec-online\"} 1"));
         assert!(text.contains("bshm_recovery_latency_ns_total{algorithm=\"dec-online\"} 50"));
+    }
+
+    #[test]
+    fn encode_includes_alert_counters() {
+        let mut rec = Recorder::new("dec-online", 1);
+        rec.on_alert(10, AlertReason::DisplacementStorm, 0, 5000, 3000);
+        rec.on_alert(20, AlertReason::GapBreach, 1, 1300, 1100);
+        let m = rec.into_metrics().unwrap();
+        let text = encode(&m, &[]);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("bshm_alerts_total{algorithm=\"dec-online\"} 2"));
+        assert!(text.contains(
+            "bshm_alerts_by_reason_total{algorithm=\"dec-online\",reason=\"displacement-storm\"} 1"
+        ));
+        assert!(text.contains(
+            "bshm_alerts_by_reason_total{algorithm=\"dec-online\",reason=\"drop-surge\"} 0"
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Recorder`] probe: JSONL event log plus aggregated [`Metrics`].
 
-use crate::event::TraceEvent;
+use crate::event::{AlertReason, TraceEvent};
 use crate::probe::Probe;
 use bshm_core::ops::OpCounter;
 use bshm_core::time::TimePoint;
@@ -198,6 +198,10 @@ pub struct Metrics {
     pub ops_hist: Vec<u64>,
     /// Sum of per-decision scan work (the histogram's exact `_sum`).
     pub ops_sum: u64,
+    /// Number of `Alert` events (SLO breaches) observed.
+    pub alerts: u64,
+    /// Alerts per typed reason, indexed by [`AlertReason::index`].
+    pub alerts_by_reason: Vec<u64>,
 }
 
 impl Metrics {
@@ -233,6 +237,8 @@ impl Metrics {
             ops: OpCounter::default(),
             ops_hist: vec![0; OPS_BUCKETS],
             ops_sum: 0,
+            alerts: 0,
+            alerts_by_reason: vec![0; AlertReason::ALL.len()],
         }
     }
 
@@ -312,6 +318,8 @@ impl Metrics {
         self.ops.fold(&other.ops);
         merge_counts(&mut self.ops_hist, &other.ops_hist);
         self.ops_sum = self.ops_sum.saturating_add(other.ops_sum);
+        self.alerts += other.alerts;
+        merge_counts(&mut self.alerts_by_reason, &other.alerts_by_reason);
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -418,6 +426,12 @@ impl Metrics {
                     }
                 }
             }
+            TraceEvent::Alert { reason, .. } => {
+                self.alerts += 1;
+                if let Some(c) = self.alerts_by_reason.get_mut(reason.index()) {
+                    *c += 1;
+                }
+            }
         }
     }
 
@@ -489,6 +503,20 @@ impl Metrics {
                 out,
                 "  faults:      {} crashes, {} displaced, {} recovered, {} dropped",
                 self.crashes, self.displaced_jobs, self.recovered_jobs, self.dropped_jobs
+            );
+        }
+        if self.alerts > 0 {
+            let by_reason: Vec<String> = AlertReason::ALL
+                .iter()
+                .zip(&self.alerts_by_reason)
+                .filter(|(_, &c)| c > 0)
+                .map(|(r, c)| format!("{} {}", c, r.as_str()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  alerts:      {} SLO breaches ({})",
+                self.alerts,
+                by_reason.join(", ")
             );
         }
         out
@@ -889,6 +917,29 @@ mod tests {
         // Merging with empty is the identity.
         assert_eq!(merge_gauge_timelines(&[], &a), a);
         assert_eq!(merge_gauge_timelines(&a, &[]), a);
+    }
+
+    #[test]
+    fn alert_events_aggregate() {
+        let mut rec = Recorder::new("health", 1);
+        rec.on_alert(10, AlertReason::GapBreach, 0, 1250, 1100);
+        rec.on_alert(20, AlertReason::GapBreach, 1, 1300, 1100);
+        rec.on_alert(20, AlertReason::DisplacementStorm, 1, 5000, 3000);
+        let s = rec.metrics().summary();
+        assert!(s.contains("3 SLO breaches"));
+        assert!(s.contains("2 gap-breach"));
+        let mut m = rec.into_metrics().unwrap();
+        assert_eq!(m.alerts, 3);
+        assert_eq!(m.alerts_by_reason[AlertReason::GapBreach.index()], 2);
+        assert_eq!(
+            m.alerts_by_reason[AlertReason::DisplacementStorm.index()],
+            1
+        );
+        assert_eq!(m.alerts_by_reason[AlertReason::DropSurge.index()], 0);
+        let other = m.clone();
+        m.merge(&other);
+        assert_eq!(m.alerts, 6);
+        assert_eq!(m.alerts_by_reason[AlertReason::GapBreach.index()], 4);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! `no-raw-metric` lint (see `bshm-analyze`) keeps ad-hoc gauge mutation
 //! out of the rest of the workspace.
 
+use crate::event::AlertReason;
 use crate::prometheus::{escape_label, fmt_value};
 use crate::recorder::{
     decision_ns_bucket_bounds, ops_bucket_bounds, utilization_bucket_bounds, Metrics,
@@ -361,7 +362,7 @@ impl Registry {
     /// registry already holds clashing family kinds).
     pub fn absorb_metrics(&mut self, m: &Metrics, workload: &str) -> Result<(), RegistryError> {
         let base = labels(&[("algorithm", &m.algorithm), ("workload", workload)]);
-        let counters: [(&str, &str, u64); 14] = [
+        let counters: [(&str, &str, u64); 15] = [
             ("bshm_arrivals_total", "Jobs arrived.", m.arrivals),
             ("bshm_departures_total", "Jobs departed.", m.departures),
             (
@@ -424,9 +425,24 @@ impl Registry {
                 "Gap-gauge samples observed (GapSample trace events).",
                 m.gap_samples,
             ),
+            (
+                "bshm_alerts_total",
+                "SLO alerts fired by the health plane (Alert trace events).",
+                m.alerts,
+            ),
         ];
         for (name, help, v) in counters {
             self.counter_add(name, help, &base, v)?;
+        }
+        for r in AlertReason::ALL {
+            let mut l = base.clone();
+            l.insert("reason".to_string(), r.as_str().to_string());
+            self.counter_add(
+                "bshm_alerts_by_reason_total",
+                "SLO alerts fired per typed reason.",
+                &l,
+                m.alerts_by_reason.get(r.index()).copied().unwrap_or(0),
+            )?;
         }
 
         let ops_counters: [(&str, &str, u64); 5] = [

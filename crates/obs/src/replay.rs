@@ -14,6 +14,7 @@ use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
 use std::collections::HashMap;
+use std::io::BufRead;
 
 /// Parses a JSONL trace (one event per line; blank lines ignored).
 ///
@@ -30,6 +31,88 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
         events.push(e);
     }
     Ok(events)
+}
+
+/// A streaming JSONL trace reader: yields one event at a time without ever
+/// holding the whole trace in memory. This is what `watch`/`health` use to
+/// follow arbitrarily long (or still-growing) traces; [`parse_jsonl`]
+/// remains the whole-buffer convenience for small recorded files.
+///
+/// Iteration yields `Err` once for the first malformed line (with its
+/// 1-based line number) and then stops — the same prefix semantics a
+/// salvage pass has, minus the recovery.
+#[derive(Debug)]
+pub struct EventStream<R> {
+    reader: R,
+    line: u64,
+    buf: String,
+    done: bool,
+}
+
+impl<R: BufRead> EventStream<R> {
+    /// Streams events out of `reader`.
+    #[must_use]
+    pub fn new(reader: R) -> Self {
+        EventStream {
+            reader,
+            line: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// 1-based number of the last line read (0 before the first).
+    #[must_use]
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+}
+
+impl<R: BufRead> Iterator for EventStream<R> {
+    type Item = Result<TraceEvent, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line += 1;
+                    let line = self.buf.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return Some(match serde_json::from_str::<TraceEvent>(line) {
+                        Ok(e) => Ok(e),
+                        Err(e) => {
+                            self.done = true;
+                            Err(format!("trace line {}: {e}", self.line))
+                        }
+                    });
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(format!("trace line {}: read: {e}", self.line + 1)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Opens `path` (falling back to its `.partial` twin, like salvage does)
+/// as a streaming event iterator.
+///
+/// # Errors
+/// When neither the file nor its `.partial` twin can be opened.
+pub fn stream_jsonl_file(
+    path: &std::path::Path,
+) -> Result<EventStream<std::io::BufReader<std::fs::File>>, String> {
+    let file = std::fs::File::open(path).or_else(|first| {
+        std::fs::File::open(crate::sink::partial_path(path))
+            .map_err(|_| format!("open {}: {first}", path.display()))
+    })?;
+    Ok(EventStream::new(std::io::BufReader::new(file)))
 }
 
 /// A per-type busy-machine step function rebuilt from a trace's
@@ -65,25 +148,31 @@ impl ReplayedTimeline {
 /// machine-type index seen on any event; 0 for a type-free trace).
 #[must_use]
 pub fn infer_n_types(events: &[TraceEvent]) -> usize {
-    events
-        .iter()
-        .filter_map(|e| match *e {
-            TraceEvent::MachineOpen { machine_type, .. }
-            | TraceEvent::MachineClose { machine_type, .. }
-            | TraceEvent::Placement { machine_type, .. }
-            | TraceEvent::CostAccrual { machine_type, .. }
-            | TraceEvent::MachineCrash { machine_type, .. }
-            | TraceEvent::JobRecovery { machine_type, .. } => Some(machine_type.0 + 1),
-            // Exhaustive on purpose: a new variant must decide its place
-            // here or fail to compile (see drift/trace-schema).
-            TraceEvent::Arrival { .. }
-            | TraceEvent::Departure { .. }
-            | TraceEvent::JobDropped { .. }
-            | TraceEvent::Decision { .. }
-            | TraceEvent::GapSample { .. } => None,
-        })
-        .max()
-        .unwrap_or(0)
+    events.iter().map(event_type_bound).max().unwrap_or(0)
+}
+
+/// The catalog width implied by one event: 1 + its machine-type index, or
+/// 0 for type-free events. `max`-folding this over an [`EventStream`] is
+/// the streaming counterpart of [`infer_n_types`] (used by `bshm health`
+/// and `bshm watch`, which never hold the whole trace in memory).
+#[must_use]
+pub fn event_type_bound(e: &TraceEvent) -> usize {
+    match *e {
+        TraceEvent::MachineOpen { machine_type, .. }
+        | TraceEvent::MachineClose { machine_type, .. }
+        | TraceEvent::Placement { machine_type, .. }
+        | TraceEvent::CostAccrual { machine_type, .. }
+        | TraceEvent::MachineCrash { machine_type, .. }
+        | TraceEvent::JobRecovery { machine_type, .. } => machine_type.0 + 1,
+        // Exhaustive on purpose: a new variant must decide its place
+        // here or fail to compile (see drift/trace-schema).
+        TraceEvent::Arrival { .. }
+        | TraceEvent::Departure { .. }
+        | TraceEvent::JobDropped { .. }
+        | TraceEvent::Decision { .. }
+        | TraceEvent::GapSample { .. }
+        | TraceEvent::Alert { .. } => 0,
+    }
 }
 
 /// Folds a recorded event stream back into aggregated [`Metrics`] — the
@@ -134,7 +223,8 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
             | TraceEvent::JobRecovery { .. }
             | TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
-            | TraceEvent::GapSample { .. } => continue,
+            | TraceEvent::GapSample { .. }
+            | TraceEvent::Alert { .. } => continue,
         };
         if ty < n_types {
             cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);
@@ -487,7 +577,8 @@ pub fn machine_utilization(events: &[TraceEvent]) -> Vec<MachineUsage> {
             | TraceEvent::MachineClose { .. }
             | TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
-            | TraceEvent::GapSample { .. } => {}
+            | TraceEvent::GapSample { .. }
+            | TraceEvent::Alert { .. } => {}
         }
     }
     let mut out: Vec<MachineUsage> = machines.into_values().map(|s| s.usage).collect();
@@ -753,5 +844,76 @@ mod tests {
         assert_eq!(back, c.events);
         assert!(parse_jsonl("{not json}").is_err());
         assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn event_stream_matches_whole_buffer_parse() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let text: String = c
+            .events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let streamed: Result<Vec<TraceEvent>, String> = EventStream::new(text.as_bytes()).collect();
+        assert_eq!(streamed.unwrap(), parse_jsonl(&text).unwrap());
+        // Blank lines are skipped, like parse_jsonl.
+        let padded = format!("\n{text}\n\n");
+        let streamed: Vec<TraceEvent> = EventStream::new(padded.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed.len(), c.events.len());
+    }
+
+    #[test]
+    fn event_stream_stops_at_first_malformed_line() {
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let mut text: String = c.events[..3]
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        text.push_str("{torn");
+        let mut stream = EventStream::new(text.as_bytes());
+        let mut ok = 0;
+        let mut err = None;
+        for item in &mut stream {
+            match item {
+                Ok(_) => ok += 1,
+                Err(e) => err = Some(e),
+            }
+        }
+        assert_eq!(ok, 3);
+        assert!(err.unwrap().contains("trace line 4"), "line number lost");
+        // After the error the iterator is fused.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_jsonl_file_falls_back_to_partial() {
+        let dir = std::env::temp_dir().join("bshm-replay-stream-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let partial = crate::sink::partial_path(&path);
+        let (inst, s) = setup();
+        let mut c = Collector::default();
+        synthesize(&s, &inst, &mut c);
+        let text: String = c
+            .events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        std::fs::write(&partial, &text).unwrap();
+        // Only the .partial twin exists: the stream still opens.
+        let streamed: Vec<TraceEvent> = stream_jsonl_file(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, c.events);
+        let _ = std::fs::remove_file(&partial);
+        assert!(stream_jsonl_file(&path).is_err());
     }
 }

@@ -146,6 +146,9 @@ pub struct Salvage {
     pub events: Vec<TraceEvent>,
     /// Non-empty lines dropped (the damaged line and everything after it).
     pub dropped_lines: u64,
+    /// Bytes dropped: everything from the start of the first damaged line
+    /// to the end of the input, including line terminators.
+    pub dropped_bytes: u64,
 }
 
 /// Parses the longest valid prefix of a JSONL trace string.
@@ -158,13 +161,18 @@ pub struct Salvage {
 pub fn salvage_jsonl_str(text: &str) -> Salvage {
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut dropped_bytes = 0u64;
     let mut damaged = false;
-    for line in text.lines() {
+    let mut offset = 0usize;
+    for raw in text.split_inclusive('\n') {
+        let line = raw.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
+            offset += raw.len();
             continue;
         }
         if damaged {
             dropped += 1;
+            offset += raw.len();
             continue;
         }
         match serde_json::from_str::<TraceEvent>(line) {
@@ -172,12 +180,16 @@ pub fn salvage_jsonl_str(text: &str) -> Salvage {
             Err(_) => {
                 damaged = true;
                 dropped += 1;
+                // Everything from this line's first byte to EOF is lost.
+                dropped_bytes = bshm_core::convert::count_u64(text.len() - offset);
             }
         }
+        offset += raw.len();
     }
     Salvage {
         events,
         dropped_lines: dropped,
+        dropped_bytes,
     }
 }
 
@@ -285,6 +297,7 @@ mod tests {
         let s = salvage_jsonl(&path).unwrap();
         assert_eq!(s.events.len(), 3);
         assert_eq!(s.dropped_lines, 0);
+        assert_eq!(s.dropped_bytes, 0);
     }
 
     #[test]
@@ -311,6 +324,9 @@ mod tests {
         let s = salvage_jsonl_str(truncated);
         assert_eq!(s.events.len(), 2);
         assert_eq!(s.dropped_lines, 1);
+        // The torn tail is everything past the two intact lines.
+        let intact = jsonl(&sample_events()[..2]).len();
+        assert_eq!(s.dropped_bytes, (truncated.len() - intact) as u64);
         assert_eq!(s.events, sample_events()[..2].to_vec());
         // The strict parser refuses the same text.
         assert!(crate::replay::parse_jsonl(truncated).is_err());
@@ -325,6 +341,8 @@ mod tests {
         let s = salvage_jsonl_str(&text);
         assert_eq!(s.events.len(), 1);
         assert_eq!(s.dropped_lines, 3);
+        let intact = jsonl(&events[..1]).len();
+        assert_eq!(s.dropped_bytes, (text.len() - intact) as u64);
     }
 
     #[test]
@@ -332,9 +350,11 @@ mod tests {
         let s = salvage_jsonl_str(&jsonl(&sample_events()));
         assert_eq!(s.events.len(), 3);
         assert_eq!(s.dropped_lines, 0);
+        assert_eq!(s.dropped_bytes, 0);
         let s = salvage_jsonl_str("");
         assert!(s.events.is_empty());
         assert_eq!(s.dropped_lines, 0);
+        assert_eq!(s.dropped_bytes, 0);
     }
 
     #[test]

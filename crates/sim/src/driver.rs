@@ -14,7 +14,9 @@ use bshm_core::job::JobId;
 use bshm_core::ops::{OpCounter, OpProbe, OpTrace, PlaceReason};
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
-use bshm_obs::{span, GapProbe, GapTimeline, NoProbe, Probe, TraceEvent};
+use bshm_obs::{
+    span, GapProbe, GapTimeline, HealthProbe, HealthReport, NoProbe, Probe, TraceEvent,
+};
 use std::fmt;
 use std::time::Instant;
 
@@ -280,6 +282,28 @@ pub fn run_online_gap<S: OnlineScheduler, P: Probe>(
     Ok((schedule, probe, timeline))
 }
 
+/// Like [`run_online_gap`], but with the live health plane between the
+/// gap gauge and the caller's probe: the stream is
+/// `driver → GapProbe → HealthProbe → probe`, so the SLO engine sees
+/// every event *including* the `GapSample` gauges it needs for the
+/// windowed gap-ratio rule, and the alerts it emits land in the caller's
+/// probe (and trace) like any other event.
+///
+/// Returns the schedule, the caller's probe, the gap timeline, and the
+/// final [`HealthReport`] (alerts fired, windows evaluated, snapshot
+/// files written when `health` was configured with a snapshot dir).
+pub fn run_online_health<S: OnlineScheduler, P: Probe>(
+    instance: &Instance,
+    scheduler: &mut S,
+    health: HealthProbe<P>,
+) -> Result<(Schedule, P, GapTimeline, HealthReport), SimError> {
+    let mut gap = GapProbe::new(instance.catalog(), health);
+    let schedule = run_online_probed(instance, scheduler, &mut gap)?;
+    let (health, timeline) = gap.into_parts();
+    let (probe, report) = health.into_parts();
+    Ok((schedule, probe, timeline, report))
+}
+
 /// Like [`run_online_probed`], but drives the scheduler through
 /// [`OnlineScheduler::on_arrival_explained`] and emits one
 /// [`TraceEvent::Decision`] per arrival — the candidate machines the
@@ -500,6 +524,37 @@ mod tests {
             "final gauge equals the full-sweep lower bound"
         );
         assert!(timeline.final_ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn health_run_evaluates_windows_and_stays_clean() {
+        let inst = instance();
+        let spec = bshm_obs::SloSpec::parse("window:4;gap:20000:2;storm:1;drops:1").unwrap();
+        let health = HealthProbe::new(spec, inst.catalog().len(), bshm_obs::Collector::default());
+        let (s, collector, timeline, report) =
+            run_online_health(&inst, &mut OneMachinePerJob, health).unwrap();
+        assert_eq!(validate_schedule(&s, &inst), Ok(()));
+        // No faults, sane gap ratio: the default-style rules stay quiet.
+        assert!(!report.breached(), "unexpected alerts: {:?}", report.alerts);
+        assert!(report.windows_closed > 0);
+        // The health layer forwarded everything, gap samples included.
+        let sampled = bshm_obs::gap_timeline_from_events(&collector.events);
+        assert_eq!(sampled.points, timeline.points);
+    }
+
+    #[test]
+    fn health_run_alerts_on_a_tight_gap_slo() {
+        let inst = instance();
+        // Any gap ratio exceeds a zero-milli threshold after one window.
+        let spec = bshm_obs::SloSpec::parse("window:4;gap:0:1").unwrap();
+        let health = HealthProbe::new(spec, inst.catalog().len(), bshm_obs::Collector::default());
+        let (_, collector, _, report) =
+            run_online_health(&inst, &mut OneMachinePerJob, health).unwrap();
+        assert!(report.breached());
+        assert!(collector
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Alert { .. })));
     }
 
     #[test]
