@@ -165,12 +165,37 @@ pub fn collect_pragmas(toks: &[Tok], file: &str) -> (Vec<Pragma>, Vec<Diagnostic
     (pragmas, diags)
 }
 
+/// Whether `name` names something a pragma can suppress: a registered
+/// rule, a drift auditor slug, or the blanket `all`.
+#[must_use]
+pub fn known_rule(name: &str) -> bool {
+    name == "all"
+        || crate::rules::RULES.iter().any(|r| r.name == name)
+        || crate::drift::DRIFT_AUDITORS.contains(&name)
+}
+
 /// Applies pragmas to raw findings: covered findings are dropped, pragmas
 /// that cover nothing are reported as `pragma-unused` warnings so stale
-/// suppressions do not accumulate.
+/// suppressions do not accumulate, and a pragma naming a rule the registry
+/// has never heard of gets `pragma-unknown-rule` instead (a typo'd slug
+/// must not read as a merely-stale suppression).
 #[must_use]
 pub fn apply_pragmas(findings: Vec<Diagnostic>, pragmas: &[Pragma], file: &str) -> Vec<Diagnostic> {
+    let (out, _) = apply_pragmas_tracked(findings, pragmas, file);
+    out
+}
+
+/// Like [`apply_pragmas`], but also returns the findings each pragma
+/// suppressed, paired with the pragma's reason — the taint report lists
+/// these so every silenced source→sink path stays visible in the artifact.
+#[must_use]
+pub fn apply_pragmas_tracked(
+    findings: Vec<Diagnostic>,
+    pragmas: &[Pragma],
+    file: &str,
+) -> (Vec<Diagnostic>, Vec<(Diagnostic, String)>) {
     let mut used = vec![false; pragmas.len()];
+    let mut suppressed = Vec::new();
     let mut out: Vec<Diagnostic> = findings
         .into_iter()
         .filter(|d| {
@@ -179,8 +204,9 @@ pub fn apply_pragmas(findings: Vec<Diagnostic>, pragmas: &[Pragma], file: &str) 
                 .enumerate()
                 .find(|(_, p)| (p.rule == d.rule || p.rule == "all") && p.covers.contains(&d.line));
             match hit {
-                Some((i, _)) => {
+                Some((i, p)) => {
                     used[i] = true;
+                    suppressed.push((d.clone(), p.reason.clone()));
                     false
                 }
                 None => true,
@@ -188,7 +214,17 @@ pub fn apply_pragmas(findings: Vec<Diagnostic>, pragmas: &[Pragma], file: &str) 
         })
         .collect();
     for (p, used) in pragmas.iter().zip(used) {
-        if !used {
+        if !known_rule(&p.rule) {
+            out.push(Diagnostic::warning(
+                "pragma-unknown-rule",
+                file,
+                p.line,
+                format!(
+                    "bshm-allow({}) names a rule the registry does not know; run `--list-rules` for valid slugs",
+                    p.rule
+                ),
+            ));
+        } else if !used {
             out.push(Diagnostic::warning(
                 "pragma-unused",
                 file,
@@ -200,7 +236,7 @@ pub fn apply_pragmas(findings: Vec<Diagnostic>, pragmas: &[Pragma], file: &str) 
             ));
         }
     }
-    out
+    (out, suppressed)
 }
 
 /// The full analysis result, serializable as the CI artifact.
@@ -346,6 +382,38 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "pragma-unused");
         assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_flagged_as_such() {
+        let toks = tokenize("let x = 1; // bshm-allow(no-pnaic): typo'd slug\n");
+        let (pragmas, diags) = collect_pragmas(&toks, "f.rs");
+        assert!(diags.is_empty());
+        let out = apply_pragmas(Vec::new(), &pragmas, "f.rs");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "pragma-unknown-rule");
+        // Known-but-idle pragmas still read as stale, not unknown.
+        let toks = tokenize("let x = 1; // bshm-allow(no-panic): nothing here\n");
+        let (pragmas, _) = collect_pragmas(&toks, "f.rs");
+        let out = apply_pragmas(Vec::new(), &pragmas, "f.rs");
+        assert_eq!(out[0].rule, "pragma-unused");
+        // Drift slugs and `all` are known names.
+        assert!(known_rule("all"));
+        assert!(known_rule("drift/rules-manifest"));
+        assert!(known_rule("taint-path"));
+        assert!(!known_rule("no-pnaic"));
+    }
+
+    #[test]
+    fn tracked_application_returns_suppressions_with_reasons() {
+        let toks = tokenize("x.unwrap(); // bshm-allow(no-panic): len checked\n");
+        let (pragmas, _) = collect_pragmas(&toks, "f.rs");
+        let findings = vec![Diagnostic::error("no-panic", "f.rs", 1, "unwrap")];
+        let (out, suppressed) = apply_pragmas_tracked(findings, &pragmas, "f.rs");
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].0.rule, "no-panic");
+        assert_eq!(suppressed[0].1, "len checked");
     }
 
     #[test]

@@ -354,6 +354,115 @@ pub fn audit_cli(commands_rs: &str, args_rs: &str, readme: &str) -> Vec<Diagnost
     out
 }
 
+/// Slugs of every drift auditor, used by `--list-rules`, pragma-name
+/// validation, and the committed `ANALYZE_RULES.json` manifest.
+pub const DRIFT_AUDITORS: [&str; 5] = [
+    "drift/trace-schema",
+    "drift/prometheus",
+    "drift/cli",
+    "drift/bench-schema",
+    "drift/rules-manifest",
+];
+
+/// Extracts the string array stored under `"key"` in a JSON document.
+/// Same shallow string-extraction style as the other auditors — enough
+/// for the flat manifest format, with no dependence on a deserializer.
+#[must_use]
+pub fn json_string_array(json: &str, key: &str) -> Option<Vec<String>> {
+    let rest = json.split(&format!("\"{key}\"")).nth(1)?;
+    let start = rest.find('[')?;
+    let end = start + rest[start..].find(']')?;
+    Some(
+        rest[start + 1..end]
+            .split(',')
+            .map(|s| s.trim().trim_matches('"'))
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
+}
+
+/// Audits the rule registry against its committed manifest and docs:
+/// `ANALYZE_RULES.json` must list exactly the registered rules and drift
+/// auditors (name/count/order drift trips the build, same pattern as the
+/// schema auditors), and every rule name must appear in the EXPERIMENTS.md
+/// taxonomy table *and* in the `reproduce` generator's static text, so
+/// regenerating the docs can never silently drop the taxonomy.
+#[must_use]
+pub fn audit_rules_manifest(
+    manifest_json: &str,
+    experiments_md: &str,
+    reproduce_rs: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let expected_rules: Vec<&str> = crate::rules::RULES.iter().map(|r| r.name).collect();
+    let sections: [(&str, &[&str]); 2] = [
+        ("rules", &expected_rules),
+        ("drift_auditors", &DRIFT_AUDITORS),
+    ];
+    for (key, expected) in sections {
+        let Some(listed) = json_string_array(manifest_json, key) else {
+            out.push(Diagnostic::error(
+                "drift/rules-manifest",
+                "ANALYZE_RULES.json",
+                0,
+                format!("manifest has no `{key}` array; regenerate it from `--list-rules`"),
+            ));
+            continue;
+        };
+        for e in expected {
+            if !listed.iter().any(|l| l == e) {
+                out.push(Diagnostic::error(
+                    "drift/rules-manifest",
+                    "ANALYZE_RULES.json",
+                    0,
+                    format!("`{e}` is registered but missing from the manifest's `{key}` array"),
+                ));
+            }
+        }
+        for l in &listed {
+            if !expected.contains(&l.as_str()) {
+                out.push(Diagnostic::error(
+                    "drift/rules-manifest",
+                    "ANALYZE_RULES.json",
+                    0,
+                    format!("manifest `{key}` lists `{l}`, which is not registered"),
+                ));
+            }
+        }
+        if out.is_empty() && listed != *expected {
+            out.push(Diagnostic::error(
+                "drift/rules-manifest",
+                "ANALYZE_RULES.json",
+                0,
+                format!("manifest `{key}` order differs from the registry"),
+            ));
+        }
+    }
+    for name in &expected_rules {
+        let span = format!("`{name}`");
+        if !experiments_md.contains(&span) {
+            out.push(Diagnostic::error(
+                "drift/rules-manifest",
+                "EXPERIMENTS.md",
+                0,
+                format!("rule {span} is missing from the EXPERIMENTS.md rule-taxonomy table"),
+            ));
+        }
+        if !reproduce_rs.contains(&span) {
+            out.push(Diagnostic::error(
+                "drift/rules-manifest",
+                "crates/bench/src/bin/reproduce.rs",
+                0,
+                format!(
+                    "rule {span} is missing from the reproduce generator's taxonomy section; regenerated docs would drop it"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Extracts `pub const SCHEMA_VERSION: u64 = N` from `baseline.rs`.
 #[must_use]
 pub fn bench_schema_version(baseline_rs: &str) -> Option<u64> {
@@ -593,6 +702,79 @@ mod tests {
         let d = audit_bench_schema(rs, "no mention", &[json_ok]);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("does not state"));
+    }
+
+    fn full_manifest() -> String {
+        let rules: Vec<String> = crate::rules::RULES
+            .iter()
+            .map(|r| format!("\"{}\"", r.name))
+            .collect();
+        let auds: Vec<String> = DRIFT_AUDITORS.iter().map(|a| format!("\"{a}\"")).collect();
+        format!(
+            "{{\n  \"rules\": [{}],\n  \"drift_auditors\": [{}]\n}}\n",
+            rules.join(", "),
+            auds.join(", ")
+        )
+    }
+
+    fn full_taxonomy() -> String {
+        crate::rules::RULES
+            .iter()
+            .map(|r| format!("| `{}` | x |\n", r.name))
+            .collect()
+    }
+
+    #[test]
+    fn json_string_array_extraction() {
+        let j = "{\"rules\": [\"a\", \"b\"], \"other\": []}";
+        assert_eq!(json_string_array(j, "rules").unwrap(), ["a", "b"]);
+        assert_eq!(json_string_array(j, "other").unwrap(), Vec::<String>::new());
+        assert!(json_string_array(j, "missing").is_none());
+    }
+
+    #[test]
+    fn rules_manifest_clean_when_in_sync() {
+        let tax = full_taxonomy();
+        let d = audit_rules_manifest(&full_manifest(), &tax, &tax);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn rules_manifest_catches_missing_and_unknown_rules() {
+        let tax = full_taxonomy();
+        // Drop one registered rule from the manifest.
+        let missing = full_manifest().replace("\"no-panic\", ", "");
+        let d = audit_rules_manifest(&missing, &tax, &tax);
+        assert!(
+            d.iter().any(|d| d.message.contains("`no-panic`")
+                && d.message.contains("missing from the manifest")),
+            "{d:?}"
+        );
+        // Add a rule the registry does not know.
+        let phantom = full_manifest().replace("\"no-panic\"", "\"no-panic\", \"made-up\"");
+        let d = audit_rules_manifest(&phantom, &tax, &tax);
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("`made-up`") && d.message.contains("not registered")),
+            "{d:?}"
+        );
+        // No rules array at all.
+        let d = audit_rules_manifest("{}", &tax, &tax);
+        assert!(d.iter().any(|d| d.message.contains("no `rules` array")));
+    }
+
+    #[test]
+    fn rules_manifest_catches_doc_and_generator_drift() {
+        let tax = full_taxonomy();
+        let gutted = tax.replace("`taint-path`", "`taint–path`");
+        let d = audit_rules_manifest(&full_manifest(), &gutted, &tax);
+        assert!(
+            d.iter()
+                .any(|d| d.file == "EXPERIMENTS.md" && d.message.contains("`taint-path`")),
+            "{d:?}"
+        );
+        let d = audit_rules_manifest(&full_manifest(), &tax, &gutted);
+        assert!(d.iter().any(|d| d.file.contains("reproduce.rs")), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,741 @@
+//! Layer 1 of the whole-workspace analysis: an item parser on top of the
+//! lexer.
+//!
+//! [`parse_items`] walks one file's comment-free token stream and extracts
+//! the items the call graph ([`crate::graph`]) and the taint engine
+//! ([`crate::taint`]) need: functions (free fns, inherent/trait methods,
+//! trait default bodies) with their body token ranges and inline-module
+//! paths, `use` imports (groups and aliases expanded), type definitions
+//! (`struct`/`enum`/`union` names, plus named-struct field types for the
+//! unordered-collection heuristics), and `static` items with their
+//! mutability and type tokens for the concurrency audit.
+//!
+//! This is deliberately not a Rust parser: it only tracks the brace
+//! structure and the handful of item keywords, and it degrades gracefully
+//! (an item it cannot make sense of is skipped, never mis-attributed).
+//! Test regions are carried through from [`crate::context::test_regions`]
+//! so downstream passes can ignore `#[cfg(test)]` code the way rustc's
+//! release builds do.
+
+use crate::lexer::Tok;
+
+/// One function item: free fn, inherent/trait method, or trait default.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` type head for methods (`Schedule`, `DecOnline`),
+    /// `None` for free functions.
+    pub self_ty: Option<String>,
+    /// Inline-module path within the file (`["tests"]`, `[]` at top level).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `[start, end]` of the body braces in the file's
+    /// comment-free stream; `None` for bodiless trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the `fn` token sits in a test region.
+    pub is_test: bool,
+    /// Whether the item carries a `pub` qualifier.
+    pub is_pub: bool,
+}
+
+/// One binding introduced by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct UseItem {
+    /// Full path segments (`["std", "collections", "HashMap"]`).
+    pub segments: Vec<String>,
+    /// The name the binding is visible as (alias if `as` was used).
+    pub name: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// A named field and the identifier tokens of its type.
+#[derive(Clone, Debug)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// Identifier tokens appearing in the type (`["HashMap", "JobId", "u64"]`).
+    pub ty_idents: Vec<String>,
+}
+
+/// A `struct`/`enum`/`union` definition (fields only for named structs).
+#[derive(Clone, Debug)]
+pub struct TypeItem {
+    /// Type name.
+    pub name: String,
+    /// Named fields (empty for tuple/unit structs, enums and unions).
+    pub fields: Vec<FieldItem>,
+    /// 1-based line of the defining keyword.
+    pub line: u32,
+}
+
+/// A `static` item, the concurrency audit's main quarry.
+#[derive(Clone, Debug)]
+pub struct StaticItem {
+    /// Static's name.
+    pub name: String,
+    /// Whether it is `static mut`.
+    pub is_mut: bool,
+    /// Identifier tokens of its type annotation.
+    pub ty_idents: Vec<String>,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether it sits in a test region.
+    pub is_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Use bindings in source order.
+    pub uses: Vec<UseItem>,
+    /// Type definitions in source order.
+    pub types: Vec<TypeItem>,
+    /// Static items in source order.
+    pub statics: Vec<StaticItem>,
+}
+
+/// Keywords that can prefix an item and are skipped when looking for the
+/// item keyword proper.
+const ITEM_QUALIFIERS: [&str; 6] = ["pub", "const", "unsafe", "async", "extern", "default"];
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    mask: &'a [bool],
+    out: FileItems,
+}
+
+impl<'a> Parser<'a> {
+    fn is_test(&self, i: usize) -> bool {
+        self.mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Index just past a balanced `{…}` starting at the `{` at `open`.
+    fn skip_braces(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < self.toks.len() {
+            if self.toks[i].is_punct("{") {
+                depth += 1;
+            } else if self.toks[i].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Skips one `#[…]` / `#![…]` attribute starting at the `#` at `i`.
+    fn skip_attr(&self, i: usize) -> usize {
+        let mut j = i + 1;
+        if j < self.toks.len() && self.toks[j].is_punct("!") {
+            j += 1;
+        }
+        if j >= self.toks.len() || !self.toks[j].is_punct("[") {
+            return i + 1;
+        }
+        let mut depth = 0i32;
+        while j < self.toks.len() {
+            if self.toks[j].is_punct("[") {
+                depth += 1;
+            } else if self.toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Parses `use …;` starting after the `use` keyword; returns the index
+    /// just past the terminating `;`.
+    fn parse_use(&mut self, start: usize, line: u32) -> usize {
+        // Collect the whole declaration's tokens up to `;`.
+        let mut end = start;
+        while end < self.toks.len() && !self.toks[end].is_punct(";") {
+            end += 1;
+        }
+        let decl = &self.toks[start..end];
+        Self::expand_use(decl, &mut Vec::new(), line, &mut self.out.uses);
+        end + 1
+    }
+
+    /// Recursively expands a use tree (`a::b::{c, d as e, f::*}`).
+    fn expand_use(toks: &[Tok], prefix: &mut Vec<String>, line: u32, out: &mut Vec<UseItem>) {
+        let mut i = 0;
+        let base_len = prefix.len();
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_punct("::") || t.is_punct(",") {
+                i += 1;
+                continue;
+            }
+            if t.is_punct("{") {
+                // Split the group body at top-level commas, recurse per arm.
+                let mut depth = 0i32;
+                let mut j = i;
+                let mut arm_start = i + 1;
+                while j < toks.len() {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            if arm_start < j {
+                                Self::expand_use(&toks[arm_start..j], prefix, line, out);
+                            }
+                            break;
+                        }
+                    } else if depth == 1 && toks[j].is_punct(",") {
+                        if arm_start < j {
+                            Self::expand_use(&toks[arm_start..j], prefix, line, out);
+                        }
+                        arm_start = j + 1;
+                    }
+                    j += 1;
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            if t.is_punct("*") {
+                // Glob import: record with the wildcard as the name so the
+                // resolver can report it, not silently resolve through it.
+                let mut segments = prefix.clone();
+                segments.push("*".to_string());
+                out.push(UseItem {
+                    segments,
+                    name: "*".to_string(),
+                    line,
+                });
+                prefix.truncate(base_len);
+                return;
+            }
+            if t.is_ident("as") {
+                // Alias: previous segments stand, the binding name follows.
+                if let Some(alias) = toks.get(i + 1) {
+                    out.push(UseItem {
+                        segments: prefix.clone(),
+                        name: alias.text.clone(),
+                        line,
+                    });
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            // An ordinary path segment.
+            prefix.push(t.text.clone());
+            // If this segment ends the tree (next is `,`/end), it binds.
+            let next_real = toks.get(i + 1);
+            let ends = match next_real {
+                None => true,
+                Some(n) => n.is_punct(","),
+            };
+            if ends {
+                out.push(UseItem {
+                    segments: prefix.clone(),
+                    name: t.text.clone(),
+                    line,
+                });
+                prefix.truncate(base_len);
+                if next_real.is_none() {
+                    return;
+                }
+            }
+            i += 1;
+        }
+        prefix.truncate(base_len);
+    }
+
+    /// Extracts the implemented type's head name from the tokens between
+    /// `impl` and its body `{` (handles `impl<T> Trait for Type<T>`).
+    fn impl_type_head(&self, start: usize, body_open: usize) -> Option<String> {
+        let toks = &self.toks[start..body_open];
+        // Prefer the path after `for` (trait impls); otherwise the first
+        // path. The head is the last identifier of that path at angle
+        // depth 0, before generics/where.
+        let mut angle = 0i32;
+        let mut after_for = None;
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 && t.is_ident("for") {
+                after_for = Some(i + 1);
+            }
+        }
+        let scan_from = after_for.unwrap_or(0);
+        let mut head = None;
+        let mut angle = 0i32;
+        for t in &toks[scan_from.min(toks.len())..] {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_ident("where") {
+                    break;
+                }
+                if t.kind == crate::lexer::TokKind::Ident
+                    && !ITEM_QUALIFIERS.contains(&t.text.as_str())
+                    && t.text != "impl"
+                    && t.text != "dyn"
+                {
+                    head = Some(t.text.clone());
+                }
+            }
+        }
+        head
+    }
+
+    /// Parses named-struct fields from the body range `(open, close)`.
+    fn parse_fields(&self, open: usize, close: usize) -> Vec<FieldItem> {
+        let mut fields = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            // Skip attributes and visibility.
+            if self.toks[i].is_punct("#") {
+                i = self.skip_attr(i);
+                continue;
+            }
+            if self.toks[i].is_ident("pub") {
+                i += 1;
+                if i < close && self.toks[i].is_punct("(") {
+                    while i < close && !self.toks[i].is_punct(")") {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            // `name : type-tokens ,` at depth 1.
+            if self.toks[i].kind == crate::lexer::TokKind::Ident
+                && self.toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                let name = self.toks[i].text.clone();
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut ty = Vec::new();
+                while j < close {
+                    let t = &self.toks[j];
+                    if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                        depth += 1;
+                    } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(",") {
+                        break;
+                    } else if t.kind == crate::lexer::TokKind::Ident {
+                        ty.push(t.text.clone());
+                    }
+                    j += 1;
+                }
+                fields.push(FieldItem {
+                    name,
+                    ty_idents: ty,
+                });
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        fields
+    }
+
+    /// Parses the items of one brace-delimited region (`start..stop`, both
+    /// token indices into the whole stream), recursing into `mod`/`impl`/
+    /// `trait` bodies and skipping `fn` bodies.
+    fn parse_region(
+        &mut self,
+        start: usize,
+        stop: usize,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+    ) {
+        let mut i = start;
+        let mut is_pub = false;
+        while i < stop.min(self.toks.len()) {
+            let t = &self.toks[i];
+            if t.is_punct("#") {
+                i = self.skip_attr(i);
+                continue;
+            }
+            if t.is_ident("pub") {
+                is_pub = true;
+                i += 1;
+                // `pub(crate)` / `pub(in path)`.
+                if i < stop && self.toks[i].is_punct("(") {
+                    while i < stop && !self.toks[i].is_punct(")") {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            if t.kind == crate::lexer::TokKind::Ident {
+                match t.text.as_str() {
+                    "const" | "unsafe" | "async" | "extern" | "default" => {
+                        // Qualifier — unless it is a `const NAME: …` item,
+                        // in which case skip to the `;` (or body for
+                        // `const fn`, handled by the qualifier loop).
+                        if t.is_ident("const")
+                            && self
+                                .toks
+                                .get(i + 1)
+                                .is_some_and(|n| n.kind == crate::lexer::TokKind::Ident)
+                            && self.toks.get(i + 2).is_some_and(|n| n.is_punct(":"))
+                        {
+                            while i < stop && !self.toks[i].is_punct(";") {
+                                i += 1;
+                            }
+                            i += 1;
+                            is_pub = false;
+                            continue;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    "mod" => {
+                        let name = self.toks.get(i + 1).map(|n| n.text.clone());
+                        let mut j = i + 2;
+                        if self.toks.get(j).is_some_and(|n| n.is_punct("{")) {
+                            let end = self.skip_braces(j);
+                            if let Some(name) = name {
+                                module.push(name);
+                                self.parse_region(j + 1, end - 1, module, None);
+                                module.pop();
+                            }
+                            i = end;
+                        } else {
+                            // `mod name;` — out-of-line, nothing here.
+                            while j < stop && !self.toks[j].is_punct(";") {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        }
+                        is_pub = false;
+                        continue;
+                    }
+                    "impl" | "trait" => {
+                        let kw = i;
+                        // `trait Name` / `impl … { … }`: find the body `{`
+                        // at angle/paren depth 0.
+                        let mut j = i + 1;
+                        let mut angle = 0i32;
+                        while j < stop {
+                            let tj = &self.toks[j];
+                            if tj.is_punct("<") {
+                                angle += 1;
+                            } else if tj.is_punct(">") {
+                                angle -= 1;
+                            } else if angle <= 0 && tj.is_punct("{") {
+                                break;
+                            } else if tj.is_punct(";") {
+                                break; // `trait X: Y;`-ish degenerate
+                            }
+                            j += 1;
+                        }
+                        if j >= stop || !self.toks[j].is_punct("{") {
+                            i = j + 1;
+                            is_pub = false;
+                            continue;
+                        }
+                        let head = if t.is_ident("trait") {
+                            self.toks.get(kw + 1).map(|n| n.text.clone())
+                        } else {
+                            self.impl_type_head(kw + 1, j)
+                        };
+                        let end = self.skip_braces(j);
+                        self.parse_region(j + 1, end - 1, module, head.as_deref());
+                        i = end;
+                        is_pub = false;
+                        continue;
+                    }
+                    "fn" => {
+                        let Some(name_tok) = self.toks.get(i + 1) else {
+                            i += 1;
+                            continue;
+                        };
+                        let name = name_tok.text.clone();
+                        // Scan the signature to the body `{` or decl `;`,
+                        // tracking paren/bracket depth (a `{` inside a
+                        // signature only occurs in const-generic braces,
+                        // which we accept as the body start and tolerate).
+                        let mut j = i + 2;
+                        let mut depth = 0i32;
+                        let mut body = None;
+                        while j < self.toks.len() {
+                            let tj = &self.toks[j];
+                            if tj.is_punct("(") || tj.is_punct("[") {
+                                depth += 1;
+                            } else if tj.is_punct(")") || tj.is_punct("]") {
+                                depth -= 1;
+                            } else if depth == 0 && tj.is_punct("{") {
+                                let end = self.skip_braces(j);
+                                body = Some((j, end - 1));
+                                j = end;
+                                break;
+                            } else if depth == 0 && tj.is_punct(";") {
+                                j += 1;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        self.out.fns.push(FnItem {
+                            name,
+                            self_ty: self_ty.map(str::to_string),
+                            module: module.clone(),
+                            line: t.line,
+                            body,
+                            is_test: self.is_test(i),
+                            is_pub,
+                        });
+                        i = j;
+                        is_pub = false;
+                        continue;
+                    }
+                    "use" => {
+                        i = self.parse_use(i + 1, t.line);
+                        is_pub = false;
+                        continue;
+                    }
+                    "struct" | "enum" | "union" => {
+                        let Some(name_tok) = self.toks.get(i + 1) else {
+                            i += 1;
+                            continue;
+                        };
+                        let name = name_tok.text.clone();
+                        let line = t.line;
+                        let is_struct = t.is_ident("struct");
+                        // To the body `{`, tuple `(`, or unit `;`.
+                        let mut j = i + 2;
+                        let mut angle = 0i32;
+                        while j < stop {
+                            let tj = &self.toks[j];
+                            if tj.is_punct("<") {
+                                angle += 1;
+                            } else if tj.is_punct(">") {
+                                angle -= 1;
+                            } else if angle <= 0
+                                && (tj.is_punct("{") || tj.is_punct("(") || tj.is_punct(";"))
+                            {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        let fields = if j < stop && self.toks[j].is_punct("{") && is_struct {
+                            let end = self.skip_braces(j);
+                            let f = self.parse_fields(j, end - 1);
+                            i = end;
+                            f
+                        } else if j < stop && self.toks[j].is_punct("{") {
+                            i = self.skip_braces(j);
+                            Vec::new()
+                        } else if j < stop && self.toks[j].is_punct("(") {
+                            // Tuple struct: skip to `;`.
+                            let mut k = j;
+                            let mut d = 0i32;
+                            while k < stop {
+                                if self.toks[k].is_punct("(") {
+                                    d += 1;
+                                } else if self.toks[k].is_punct(")") {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                k += 1;
+                            }
+                            while k < stop && !self.toks[k].is_punct(";") {
+                                k += 1;
+                            }
+                            i = k + 1;
+                            Vec::new()
+                        } else {
+                            i = j + 1;
+                            Vec::new()
+                        };
+                        self.out.types.push(TypeItem { name, fields, line });
+                        is_pub = false;
+                        continue;
+                    }
+                    "static" => {
+                        let mut j = i + 1;
+                        let is_mut = self.toks.get(j).is_some_and(|n| n.is_ident("mut"));
+                        if is_mut {
+                            j += 1;
+                        }
+                        let Some(name_tok) = self.toks.get(j) else {
+                            i += 1;
+                            continue;
+                        };
+                        let name = name_tok.text.clone();
+                        // Type tokens between `:` and `=`/`;`.
+                        let mut ty = Vec::new();
+                        let mut k = j + 1;
+                        while k < stop && !self.toks[k].is_punct("=") && !self.toks[k].is_punct(";")
+                        {
+                            if self.toks[k].kind == crate::lexer::TokKind::Ident {
+                                ty.push(self.toks[k].text.clone());
+                            }
+                            k += 1;
+                        }
+                        while k < stop && !self.toks[k].is_punct(";") {
+                            k += 1;
+                        }
+                        self.out.statics.push(StaticItem {
+                            name,
+                            is_mut,
+                            ty_idents: ty,
+                            line: t.line,
+                            is_test: self.is_test(i),
+                        });
+                        i = k + 1;
+                        is_pub = false;
+                        continue;
+                    }
+                    "macro_rules" => {
+                        // `macro_rules! name { … }`.
+                        let mut j = i + 1;
+                        while j < stop && !self.toks[j].is_punct("{") {
+                            j += 1;
+                        }
+                        i = if j < stop { self.skip_braces(j) } else { stop };
+                        is_pub = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            is_pub = false;
+            i += 1;
+        }
+    }
+}
+
+/// Parses one file's comment-free token stream (with its aligned test
+/// mask) into items. Never fails; unrecognized constructs are skipped.
+#[must_use]
+pub fn parse_items(toks: &[Tok], mask: &[bool]) -> FileItems {
+    let mut p = Parser {
+        toks,
+        mask,
+        out: FileItems::default(),
+    };
+    p.parse_region(0, toks.len(), &mut Vec::new(), None);
+    p.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_regions;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> FileItems {
+        let toks = tokenize(src);
+        let mask_all = test_regions(&toks);
+        let mut code = Vec::new();
+        let mut mask = Vec::new();
+        for (t, &f) in toks.iter().zip(&mask_all) {
+            if !t.is_comment() {
+                code.push(t.clone());
+                mask.push(f);
+            }
+        }
+        parse_items(&code, &mask)
+    }
+
+    #[test]
+    fn free_fns_and_modules() {
+        let items = parse(
+            "pub fn alpha() -> u32 { beta() }\nfn beta() -> u32 { 1 }\nmod inner { pub fn gamma() {} }\n",
+        );
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        assert!(items.fns[0].is_pub);
+        assert!(!items.fns[1].is_pub);
+        assert_eq!(items.fns[2].module, ["inner"]);
+        assert!(items.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_ty() {
+        let items = parse(
+            "struct Pool;\nimpl Pool { pub fn place(&mut self) {} }\nimpl<T> Iterator for Wrap<T> { fn next(&mut self) -> Option<T> { None } }\ntrait Sched { fn decide(&self) -> u32 { 0 } }\n",
+        );
+        let by_name: std::collections::BTreeMap<_, _> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref()))
+            .collect();
+        assert_eq!(by_name["place"], Some("Pool"));
+        assert_eq!(by_name["next"], Some("Wrap"));
+        assert_eq!(by_name["decide"], Some("Sched"));
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let items = parse(
+            "use std::collections::{HashMap, HashSet};\nuse bshm_core::job::JobId as J;\nuse crate::pool::*;\n",
+        );
+        let names: Vec<_> = items.uses.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, ["HashMap", "HashSet", "J", "*"]);
+        assert_eq!(items.uses[0].segments, ["std", "collections", "HashMap"]);
+        assert_eq!(items.uses[2].segments, ["bshm_core", "job", "JobId"]);
+    }
+
+    #[test]
+    fn struct_fields_and_statics() {
+        let items = parse(
+            "pub struct Pool { jobs: HashMap<JobId, u64>, names: Vec<String> }\nstruct Unit;\nstruct Tup(u32, u32);\nstatic mut COUNTER: u64 = 0;\nstatic TABLE: Mutex<BTreeMap<u32, u32>> = Mutex::new(BTreeMap::new());\n",
+        );
+        assert_eq!(items.types.len(), 3);
+        assert_eq!(items.types[0].fields.len(), 2);
+        assert_eq!(items.types[0].fields[0].name, "jobs");
+        assert!(items.types[0].fields[0]
+            .ty_idents
+            .contains(&"HashMap".to_string()));
+        assert_eq!(items.statics.len(), 2);
+        assert!(items.statics[0].is_mut);
+        assert!(!items.statics[1].is_mut);
+        assert!(items.statics[1].ty_idents.contains(&"Mutex".to_string()));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let items = parse("fn live() {}\n#[cfg(test)]\nmod tests { #[test]\nfn case() {} }\n");
+        let live = items.fns.iter().find(|f| f.name == "live").unwrap();
+        let case = items.fns.iter().find(|f| f.name == "case").unwrap();
+        assert!(!live.is_test);
+        assert!(case.is_test);
+        assert_eq!(case.module, ["tests"]);
+    }
+
+    #[test]
+    fn fn_bodies_are_ranges_into_the_stream() {
+        let src = "fn a() { inner_call(); }\nfn b() {}\n";
+        let toks = tokenize(src);
+        let mask = vec![false; toks.len()];
+        let items = parse_items(&toks, &mask);
+        let (s, e) = items.fns[0].body.unwrap();
+        let body_texts: Vec<_> = toks[s..=e].iter().map(|t| t.text.as_str()).collect();
+        assert!(body_texts.contains(&"inner_call"));
+        assert!(!body_texts.contains(&"b"));
+    }
+
+    #[test]
+    fn const_items_do_not_swallow_fns() {
+        let items = parse("const N: usize = 3;\npub const fn k() -> u32 { 1 }\nfn after() {}\n");
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["k", "after"]);
+    }
+}

@@ -82,8 +82,13 @@ impl<'a> Lexer<'a> {
         self.src.get(self.pos + ahead).copied()
     }
 
-    /// Advances one byte, counting newlines.
+    /// Advances one byte, counting newlines. Saturates at end of input so
+    /// a truncated literal (`"\` at EOF) can never push `pos` past the
+    /// buffer and panic the slice in [`Lexer::slice_from`].
     fn bump(&mut self) {
+        if self.pos >= self.src.len() {
+            return;
+        }
         if self.peek(0) == Some(b'\n') {
             self.line += 1;
         }
@@ -465,6 +470,57 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn nested_raw_string_fences() {
+        // An `r#"…"#` fence closing quote inside an `r##"…"##` body must
+        // not terminate the outer string early.
+        let toks = kinds("let s = r##\"outer r#\"inner\"# rest\"##; x");
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert!(toks[3].1.contains("inner"), "{:?}", toks[3].1);
+        assert!(toks[3].1.contains("rest"), "{:?}", toks[3].1);
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "x".into()));
+        // Quotes inside a single-hash raw string.
+        let toks = kinds("r#\"say \"hi\" loud\"#");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].1.contains("\"hi\""));
+    }
+
+    #[test]
+    fn byte_string_literals() {
+        let toks = kinds("let b = b\"bytes \\\" escaped\"; y");
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert!(toks[3].1.starts_with("b\""));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Ident, "y".into()));
+        let toks = kinds("br##\"raw bytes \"# inside\"##");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.contains("inside"));
+    }
+
+    #[test]
+    fn truncated_literals_do_not_panic() {
+        // A trailing escape at EOF used to push the cursor past the buffer.
+        for src in ["\"\\", "'\\", "b\"\\", "r#\"open", "/* open", "\"open"] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comment_code_fences_stay_comments() {
+        // Attribute-looking text inside `///` code fences must remain part
+        // of the comment token: test-region masking walks punct tokens, so
+        // a `#[test]` that leaked out of the comment would mask live code.
+        let src = "/// ```\n/// #[test]\n/// fn case() { x.unwrap(); }\n/// ```\nfn live() {}\n";
+        let toks = tokenize(src);
+        let comments: Vec<_> = toks.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 4);
+        assert!(comments[1].text.contains("#[test]"));
+        // No punct `#` escaped the comments.
+        assert!(!toks.iter().any(|t| t.is_punct("#")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("live")));
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! Options:
 //!   --format human|json   output format (default human)
 //!   --out FILE            also write the JSON report to FILE
+//!   --graph FILE          write the call-graph JSON report to FILE
+//!   --taint FILE          write the taint/concurrency JSON report to FILE
 //!   --root DIR            workspace root (default: auto-detect)
 //!   --list-rules          print the rule table and exit
 //!
 //! Exit status: 0 when no error-severity diagnostics remain, 1 otherwise,
 //! 2 on usage/IO errors.
 
-use bshm_analyze::{analyze_workspace, rules};
+use bshm_analyze::{analyze_workspace_full, drift, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +19,8 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = "human".to_string();
     let mut out_path: Option<String> = None;
+    let mut graph_path: Option<String> = None;
+    let mut taint_path: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -34,6 +38,20 @@ fn run() -> Result<bool, String> {
                         .clone(),
                 );
             }
+            "--graph" => {
+                graph_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--graph expects a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--taint" => {
+                taint_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--taint expects a path".to_string())?
+                        .clone(),
+                );
+            }
             "--root" => {
                 root = Some(PathBuf::from(
                     it.next()
@@ -42,17 +60,21 @@ fn run() -> Result<bool, String> {
             }
             "--list-rules" => {
                 for r in rules::RULES {
-                    println!("{:<18} {}", r.name, r.summary);
+                    println!("{:<22} {}", r.name, r.summary);
                 }
-                println!("{:<18} drift: TraceEvent variants vs replay/recorder, Metrics fields vs prometheus encoder", "drift/trace-schema");
-                println!(
-                    "{:<18} drift: dispatch match vs USAGE vs README vs args.rs switches",
-                    "drift/cli"
-                );
-                println!(
-                    "{:<18} drift: SCHEMA_VERSION vs EXPERIMENTS.md vs committed BENCH_*.json",
-                    "drift/bench-schema"
-                );
+                let drift_lines = [
+                    ("drift/trace-schema", "drift: TraceEvent variants vs replay/recorder, Metrics fields vs prometheus encoder"),
+                    ("drift/prometheus", "drift: Metrics fields vs the Prometheus exposition (reported under trace-schema's auditor)"),
+                    ("drift/cli", "drift: dispatch match vs USAGE vs README vs args.rs switches"),
+                    ("drift/bench-schema", "drift: SCHEMA_VERSION vs EXPERIMENTS.md vs committed BENCH_*.json"),
+                    ("drift/rules-manifest", "drift: rule registry vs committed ANALYZE_RULES.json vs EXPERIMENTS.md taxonomy vs reproduce generator"),
+                ];
+                // Every auditor slug gets a line, and vice versa — the
+                // self-check pins this list to drift::DRIFT_AUDITORS.
+                for (slug, line) in drift_lines {
+                    assert!(drift::DRIFT_AUDITORS.contains(&slug));
+                    println!("{slug:<22} {line}");
+                }
                 return Ok(true);
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -66,7 +88,8 @@ fn run() -> Result<bool, String> {
         // The binary lives in crates/analyze; the workspace root is two up.
         None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
     };
-    let report = analyze_workspace(&root)?;
+    let wa = analyze_workspace_full(&root)?;
+    let report = &wa.report;
     if format == "json" {
         println!("{}", report.render_json()?);
     } else {
@@ -74,6 +97,16 @@ fn run() -> Result<bool, String> {
     }
     if let Some(p) = out_path {
         std::fs::write(&p, report.render_json()?).map_err(|e| format!("writing {p}: {e}"))?;
+    }
+    if let Some(p) = graph_path {
+        let json = serde_json::to_string_pretty(&wa.graph)
+            .map_err(|e| format!("serializing graph report: {e}"))?;
+        std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
+    }
+    if let Some(p) = taint_path {
+        let json = serde_json::to_string_pretty(&wa.taint)
+            .map_err(|e| format!("serializing taint report: {e}"))?;
+        std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
     }
     Ok(report.errors == 0)
 }

@@ -18,7 +18,10 @@ pub struct RuleInfo {
 }
 
 /// Every lint rule the engine runs (drift auditors are separate).
-pub const RULES: [RuleInfo; 10] = [
+/// `taint-path` and `concurrency-audit` are whole-workspace rules
+/// implemented in `taint.rs` over the call graph; they are listed here so
+/// `--list-rules`, pragmas, and the committed manifest see one registry.
+pub const RULES: [RuleInfo; 14] = [
     RuleInfo {
         name: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
@@ -59,6 +62,22 @@ pub const RULES: [RuleInfo; 10] = [
         name: "no-unbounded-buffer",
         summary: "ring/queue types (VecDeque) in obs must declare a capacity — no VecDeque::new(), and the file must name a `capacity`/`with_capacity` bound (the health plane's buffers stay O(1) by design)",
     },
+    RuleInfo {
+        name: "unordered-iter",
+        summary: "no iteration over HashMap/HashSet values in library crates — iteration order varies per process and per run; use BTreeMap/BTreeSet so replay and sharded solving stay deterministic",
+    },
+    RuleInfo {
+        name: "shared-mutable-static",
+        summary: "no `static mut` or thread_local! state in library crates — shared mutable globals race under sharded solving and make runs depend on thread interleaving",
+    },
+    RuleInfo {
+        name: "taint-path",
+        summary: "no call-graph path from a nondeterminism source (wall-clock, unseeded RNG, unordered iteration, env/thread-id reads, pointer addresses) to a determinism sink (TraceEvent emission, bench baseline writers, checkpoint digests, SLO alert stamps)",
+    },
+    RuleInfo {
+        name: "concurrency-audit",
+        summary: "no unordered iteration or interior-mutability state in fns reachable from the solver entry points — the pre-flight gate for sharded solving (ROADMAP item 1)",
+    },
 ];
 
 /// Integer-typed cast targets the `lossy-cast` rule polices.
@@ -81,6 +100,8 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
         out.extend(no_panic(ctx, toks, &live));
         out.extend(no_print(ctx, toks, &live));
         out.extend(lossy_cast(ctx, toks, &live));
+        out.extend(unordered_iter(ctx, toks, &live));
+        out.extend(shared_mutable_static(ctx, toks, &live));
     }
     out.extend(float_eq(ctx, toks, &live));
     if !ctx.path.ends_with("obs/src/span.rs") {
@@ -321,6 +342,187 @@ fn no_raw_trace_write(
                 format!(
                     "raw {what} outside obs::sink; use TraceWriter/atomic_write so a kill cannot tear the output, or justify with `// bshm-allow(no-raw-trace-write): reason`"
                 ),
+            ));
+        }
+    }
+    out
+}
+
+/// One unordered-iteration site found by [`unordered_iter_sites`].
+pub struct UnorderedIterSite {
+    /// Source line of the receiver identifier.
+    pub line: u32,
+    /// Token index of the receiver identifier in the scanned stream.
+    pub idx: usize,
+    /// Human-readable form, e.g. `records.values()`.
+    pub what: String,
+}
+
+/// Methods whose call on a `HashMap`/`HashSet` observes iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Finds iteration over `HashMap`/`HashSet`-typed locals, params, and
+/// fields in one file. Shared between the per-file `unordered-iter` rule
+/// and the taint engine's `UnorderedIter` source detector.
+///
+/// Heuristic, by design: a name is *hash-typed* when the file declares it
+/// as `name: …HashMap/HashSet…` (param, field, or annotated let — the type
+/// window stops at a depth-0 `, ; ) = ( {`) or binds it via
+/// `name = HashMap::…`/`HashSet::…`. A *site* is an order-observing method
+/// call or a `for … in` loop whose receiver root is that name — bare, or
+/// behind exactly `self.` — so `machine.jobs.iter()` (a `Vec` field whose
+/// name collides with a hash-typed param elsewhere) stays clean. Known
+/// miss: iteration through an intermediate local (`let g = m.lock(); …
+/// g.drain()`), which renames the collection; conversions to BTreeMap at
+/// the declaration remove the name from the hash set and the miss with it.
+#[must_use]
+pub fn unordered_iter_sites(toks: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<UnorderedIterSite> {
+    let mut hash_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut angle = 0i32;
+            for w in toks.iter().take((i + 14).min(toks.len())).skip(i + 2) {
+                if w.is_punct("<") {
+                    angle += 1;
+                } else if w.is_punct(">") {
+                    angle -= 1;
+                } else if angle == 0
+                    && w.kind == TokKind::Punct
+                    && matches!(w.text.as_str(), "," | ";" | ")" | "=" | "(" | "{")
+                {
+                    break;
+                }
+                if w.is_ident("HashMap") || w.is_ident("HashSet") {
+                    hash_names.insert(&t.text);
+                    break;
+                }
+            }
+        }
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("="))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident("HashMap") || n.is_ident("HashSet"))
+        {
+            hash_names.insert(&t.text);
+        }
+    }
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident || !hash_names.contains(t.text.as_str()) {
+            continue;
+        }
+        // Receiver root only: bare `name`, or exactly `self . name`.
+        if i > 0 && toks[i - 1].is_punct(".") && !(i >= 2 && toks[i - 2].is_ident("self")) {
+            continue;
+        }
+        // `name . method (` with an order-observing method.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(UnorderedIterSite {
+                line: t.line,
+                idx: i,
+                what: format!("{}.{}()", t.text, toks[i + 2].text),
+            });
+            continue;
+        }
+        // `for x in [& [mut]] [self .] name {` — direct IntoIterator use.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            let mut b = i;
+            if b >= 2 && toks[b - 1].is_punct(".") && toks[b - 2].is_ident("self") {
+                b -= 2;
+            }
+            if b >= 1 && toks[b - 1].is_ident("mut") {
+                b -= 1;
+            }
+            if b >= 1 && toks[b - 1].is_punct("&") {
+                b -= 1;
+            }
+            if b >= 1 && toks[b - 1].is_ident("in") {
+                out.push(UnorderedIterSite {
+                    line: t.line,
+                    idx: i,
+                    what: format!("for … in {}", t.text),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `unordered-iter`: iteration over hash-ordered collections in library
+/// code. Order differs between processes (SipHash keys are randomized) and
+/// between runs, so anything fold-ordered downstream — replay, digests,
+/// report rows — silently diverges.
+fn unordered_iter(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    unordered_iter_sites(toks, live)
+        .into_iter()
+        .map(|s| {
+            Diagnostic::error(
+                "unordered-iter",
+                &ctx.path,
+                s.line,
+                format!(
+                    "iteration over unordered collection ({}); HashMap/HashSet order varies per process and breaks replay — switch to BTreeMap/BTreeSet, or justify with `// bshm-allow(unordered-iter): reason`",
+                    s.what
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `shared-mutable-static`: `static mut` / `thread_local!` globals in
+/// library code. Both make results depend on thread interleaving the
+/// moment solving is sharded (ROADMAP item 1); `Sync` statics behind
+/// `Mutex`/`OnceLock` are fine and not matched.
+fn shared_mutable_static(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("static") && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            out.push(Diagnostic::error(
+                "shared-mutable-static",
+                &ctx.path,
+                t.line,
+                "`static mut` in a library crate; unsynchronized global state races under sharded solving — use a Sync wrapper (Mutex/OnceLock/atomic) or pass state explicitly, or justify with `// bshm-allow(shared-mutable-static): reason`".to_string(),
+            ));
+        }
+        if t.is_ident("thread_local") && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            out.push(Diagnostic::error(
+                "shared-mutable-static",
+                &ctx.path,
+                t.line,
+                "thread_local! in a library crate; per-thread state makes results depend on which worker runs the code — pass state explicitly, or justify with `// bshm-allow(shared-mutable-static): reason`".to_string(),
             ));
         }
     }
@@ -899,6 +1101,65 @@ mod tests {
         assert!(d
             .iter()
             .any(|d| d.message.contains("bshm-allow(no-unbounded-buffer)")));
+    }
+
+    #[test]
+    fn unordered_iter_rule() {
+        // Annotated lets, params, fields, and HashMap::new() bindings all
+        // register the name; iteration methods and for-loops are flagged.
+        for src in [
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for v in m.values() { g(v); } }",
+            "fn f(m: &HashMap<u32, u32>) { for (k, v) in m.iter() { g(k, v); } }",
+            "fn f() { let mut s = HashSet::new(); s.retain(|x| p(x)); }",
+            "struct R { index: HashMap<u32, u32> }\nimpl R { fn f(&mut self) { self.index.drain(); } }",
+            "fn f(m: HashMap<u32, u32>) { for v in m { g(v); } }",
+            "fn f(m: &mut HashMap<u32, u32>) { for v in &mut m { g(v); } }",
+        ] {
+            let d = check(LIB, src);
+            assert!(d.iter().any(|d| d.rule == "unordered-iter"), "{src}: {d:?}");
+        }
+        // Lookups and inserts are fine; so are BTree collections, Vec
+        // fields whose name collides with a hash-typed param elsewhere,
+        // non-library crates, and test regions.
+        for src in [
+            "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }",
+            "fn f(m: &mut HashMap<u32, u32>) { m.insert(1, 2); m.remove(&1); }",
+            "fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); for v in m.values() { g(v); } }",
+            // `jobs` is hash-typed as a param, but `machine.jobs` is a
+            // different (Vec) field — receiver-root matching keeps it clean.
+            "fn f(jobs: &HashMap<u32, u32>, machine: &M) { for j in machine.jobs.iter() { g(j); } }",
+            "fn f(v: &[u32]) { for x in v.iter() { g(x); } }",
+        ] {
+            let d = check(LIB, src);
+            assert!(d.iter().all(|d| d.rule != "unordered-iter"), "{src}: {d:?}");
+        }
+        let src = "fn f(m: &HashMap<u32, u32>) { for v in m.values() { g(v); } }";
+        assert!(check("crates/cli/src/commands.rs", src).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests { fn f(m: &HashMap<u32, u32>) { for v in m.values() { g(v); } } }";
+        assert!(check(LIB, test_src).is_empty());
+    }
+
+    #[test]
+    fn shared_mutable_static_rule() {
+        let d = check(LIB, "static mut COUNTER: u64 = 0;");
+        assert!(d.iter().any(|d| d.rule == "shared-mutable-static"), "{d:?}");
+        let d = check(LIB, "thread_local! { static TL: u32 = 0; }");
+        assert!(d.iter().any(|d| d.rule == "shared-mutable-static"), "{d:?}");
+        // Sync statics are fine; so are non-library crates and tests.
+        for src in [
+            "static REGISTRY: OnceLock<Mutex<u64>> = OnceLock::new();",
+            "static NAMES: [&str; 2] = [\"a\", \"b\"];",
+        ] {
+            let d = check(LIB, src);
+            assert!(
+                d.iter().all(|d| d.rule != "shared-mutable-static"),
+                "{src}: {d:?}"
+            );
+        }
+        assert!(check("crates/cli/src/x.rs", "static mut C: u64 = 0;").is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { static mut C: u64 = 0; }";
+        assert!(check(LIB, test_src).is_empty());
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //!    vacuous): seeded fixtures trip each rule.
 //! 3. The drift auditors fail on mutated copies of the synchronized
 //!    artifacts — a new TraceEvent variant unknown to the replay checker,
-//!    a dispatched-but-undocumented subcommand, a bumped schema version.
+//!    a dispatched-but-undocumented subcommand, a bumped schema version,
+//!    a rule missing from the committed `ANALYZE_RULES.json` manifest.
+//! 4. The graph/taint layers hold their committed invariants on the real
+//!    workspace: low unresolved fraction, zero concurrency-audit findings
+//!    reachable from the solver entry points, and a seeded wall-clock →
+//!    TraceEvent fixture fails analysis.
 
-use bshm_analyze::{analyze_source, analyze_workspace, DriftInputs};
+use bshm_analyze::{analyze_files, analyze_source, analyze_workspace_full, DriftInputs};
 use std::path::PathBuf;
 
 fn workspace_root() -> PathBuf {
@@ -17,8 +22,16 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn committed_workspace_is_clean() {
-    let report = analyze_workspace(&workspace_root()).expect("workspace analyzable");
+fn committed_workspace_is_clean_and_fast() {
+    // Generous wall-clock bound: the whole three-layer pass (lint rules,
+    // item parse, call graph, taint, drift audits) must stay interactive
+    // so pre-merge checks never become minutes-slow. Debug builds on a
+    // loaded CI box run ~10x slower than release; 60s is ~20x headroom
+    // over the observed debug-mode runtime.
+    let started = std::time::Instant::now();
+    let wa = analyze_workspace_full(&workspace_root()).expect("workspace analyzable");
+    let elapsed = started.elapsed();
+    let report = &wa.report;
     let rendered = report.render_human();
     assert_eq!(
         report.errors, 0,
@@ -33,6 +46,79 @@ fn committed_workspace_is_clean() {
         report.files_scanned > 100,
         "only {} files scanned",
         report.files_scanned
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "analyze took {elapsed:?}; the graph passes made pre-merge checks too slow"
+    );
+}
+
+#[test]
+fn call_graph_unresolved_bucket_stays_small() {
+    let wa = analyze_workspace_full(&workspace_root()).expect("workspace analyzable");
+    let g = &wa.graph;
+    // The workspace has ~1500 fns; a collapse in item parsing or call
+    // resolution would show up as a tiny graph or a ballooning bucket.
+    assert!(g.fns > 500, "only {} fns in the call graph", g.fns);
+    assert!(g.edges > 1000, "only {} resolved edges", g.edges);
+    assert!(
+        g.unresolved_fraction < 0.15,
+        "unresolved fraction {:.3} breached the committed threshold (sample: {:?})",
+        g.unresolved_fraction,
+        g.unresolved_sample
+    );
+}
+
+#[test]
+fn concurrency_audit_is_clean_on_solver_paths() {
+    let wa = analyze_workspace_full(&workspace_root()).expect("workspace analyzable");
+    let a = &wa.taint.audit;
+    // The 12 algorithm decision paths all enter through non-test algos
+    // fns; a shrunken entry set would make the zero-findings claim vacuous.
+    assert!(a.entry_points >= 12, "only {} entry points", a.entry_points);
+    assert!(
+        a.reachable_fns > a.entry_points,
+        "solver closure did not expand past its entry points"
+    );
+    assert_eq!(
+        a.unordered_iter_reachable, 0,
+        "unordered iteration reachable from solvers"
+    );
+    assert_eq!(
+        a.interior_mutability_reachable, 0,
+        "interior mutability reachable from solvers"
+    );
+    assert_eq!(a.shared_mutable_statics, 0, "static mut in library crates");
+    // Every surviving suppression carries its reason into the artifact.
+    assert!(wa.taint.suppressed.iter().all(|s| !s.reason.is_empty()));
+}
+
+#[test]
+fn seeded_wall_clock_to_trace_event_path_fails_analysis() {
+    // The ISSUE's acceptance fixture: wall-clock value flowing through a
+    // helper into a TraceEvent emission must fail whole-workspace analysis
+    // with a taint-path error (on top of the per-file wall-clock lint).
+    let sources = vec![
+        (
+            "crates/sim/src/seeded_stamp.rs".to_string(),
+            "pub fn seeded_stamp() -> u64 { elapsed_ns(std::time::Instant::now()) }\n\
+             fn elapsed_ns(_t: u64) -> u64 { 0 }\n"
+                .to_string(),
+        ),
+        (
+            "crates/sim/src/seeded_emit.rs".to_string(),
+            "pub fn seeded_emit(p: &mut Probe) { p.record(TraceEvent::Tick { t: seeded_stamp() }); }\n"
+                .to_string(),
+        ),
+    ];
+    let wa = analyze_files(&sources);
+    assert!(wa.report.errors > 0, "fixture passed analysis");
+    assert!(
+        wa.report.diagnostics.iter().any(|d| d.rule == "taint-path"
+            && d.file == "crates/sim/src/seeded_stamp.rs"
+            && d.message.contains("wall-clock")),
+        "no taint-path error: {:?}",
+        wa.report.diagnostics
     );
 }
 
@@ -129,6 +215,28 @@ fn drift_auditor_fails_on_undocumented_subcommand() {
             .iter()
             .any(|d| d.rule == "drift/cli" && d.message.contains("phantom-subcommand")),
         "undocumented subcommand not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn drift_auditor_fails_on_rules_manifest_drift() {
+    let root = workspace_root();
+    let mut inputs = DriftInputs::load(&root).expect("artifacts readable");
+    assert!(inputs.audit().is_empty(), "baseline drift audit must pass");
+
+    // Drop a registered rule from the committed manifest.
+    let pruned = inputs.rules_manifest.replace("    \"no-panic\",\n", "");
+    assert_ne!(
+        pruned, inputs.rules_manifest,
+        "mutation must actually apply"
+    );
+    inputs.rules_manifest = pruned;
+    let diags = inputs.audit();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "drift/rules-manifest" && d.message.contains("no-panic")),
+        "pruned manifest not caught: {diags:?}"
     );
 }
 

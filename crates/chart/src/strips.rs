@@ -19,7 +19,7 @@ use bshm_core::job::Job;
 use bshm_core::machine::TypeIndex;
 use bshm_core::ops::{DecisionLog, OpProbe, PlaceReason, RejectReason};
 use bshm_core::schedule::{MachineId, Schedule};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where the strip rule sends a placed job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,8 +92,8 @@ pub fn schedule_strips_logged(
 ) -> Vec<Job> {
     assert!(strip_height2 > 0, "strip height must be positive");
     let mut leftovers: Vec<Job> = Vec::new();
-    let mut inside: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
-    let mut crossing: HashMap<u64, Vec<&PlacedJob>> = HashMap::new();
+    let mut inside: BTreeMap<u64, Vec<&PlacedJob>> = BTreeMap::new();
+    let mut crossing: BTreeMap<u64, Vec<&PlacedJob>> = BTreeMap::new();
     for p in placement.placed() {
         log.begin(p.job.id);
         log.compared(1);
@@ -106,9 +106,8 @@ pub fn schedule_strips_logged(
             }
         }
     }
-    // One machine per non-empty strip.
-    let mut strip_keys: Vec<u64> = inside.keys().copied().collect();
-    strip_keys.sort_unstable();
+    // One machine per non-empty strip (BTreeMap keys iterate sorted).
+    let strip_keys: Vec<u64> = inside.keys().copied().collect();
     for k in strip_keys {
         let mid = schedule.add_machine(machine_type, format!("{label}/strip{k}"));
         for (i, p) in inside[&k].iter().enumerate() {
@@ -127,8 +126,7 @@ pub fn schedule_strips_logged(
         }
     }
     // Two machines per non-empty boundary, filled greedily in arrival order.
-    let mut boundary_keys: Vec<u64> = crossing.keys().copied().collect();
-    boundary_keys.sort_unstable();
+    let boundary_keys: Vec<u64> = crossing.keys().copied().collect();
     for b in boundary_keys {
         let mut jobs: Vec<&PlacedJob> = crossing[&b].clone();
         jobs.sort_unstable_by_key(|p| (p.job.arrival, p.job.id));
@@ -182,7 +180,7 @@ pub fn machines_busy_at(
     t: u64,
 ) -> usize {
     let mut strips: Vec<u64> = Vec::new();
-    let mut boundaries: HashMap<u64, usize> = HashMap::new();
+    let mut boundaries: BTreeMap<u64, usize> = BTreeMap::new();
     for p in placement.placed() {
         if !p.job.active_at(t) {
             continue;

@@ -35,7 +35,7 @@ use crate::cost::Cost;
 use crate::instance::Instance;
 use crate::machine::MachineType;
 use crate::sweep::demand_grid;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Exact minimum cost rate of a machine configuration covering nested
 /// demands `demands[i] = D_{i+1}` with the given machine types
@@ -139,7 +139,7 @@ fn solve(demands: &[u64], types: &[MachineType]) -> (Cost, Vec<u64>) {
         let r = u128::from(types[i].rate);
         let prev = &levels[i];
         // R' → best (cost, bought, parent).
-        let mut next: HashMap<u64, State> = HashMap::new();
+        let mut next: BTreeMap<u64, State> = BTreeMap::new();
         for (pidx, st) in prev.iter().enumerate() {
             let need = st.remaining.max(demands[i]);
             let w_max = need.div_ceil(g);
@@ -163,10 +163,10 @@ fn solve(demands: &[u64], types: &[MachineType]) -> (Cost, Vec<u64>) {
                     .or_insert(cand);
             }
         }
-        // Pareto prune: sort by remaining ascending; keep states whose cost
-        // strictly decreases (larger remaining must be strictly cheaper).
-        let mut states: Vec<State> = next.into_values().collect();
-        states.sort_unstable_by_key(|s| s.remaining);
+        // Pareto prune in remaining-ascending order (the BTreeMap key is
+        // `remaining`, so into_values is already sorted); keep states whose
+        // cost strictly decreases (larger remaining must be strictly cheaper).
+        let states: Vec<State> = next.into_values().collect();
         let mut frontier: Vec<State> = Vec::with_capacity(states.len());
         for s in states {
             match frontier.last() {

@@ -22,7 +22,7 @@
 use crate::job::JobId;
 use crate::schedule::MachineId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a candidate machine (or machine class) was rejected for a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -319,7 +319,7 @@ impl OpProbe for OpTrace {
 pub struct DecisionLog {
     enabled: bool,
     current: Option<JobId>,
-    records: HashMap<JobId, OpTrace>,
+    records: BTreeMap<JobId, OpTrace>,
 }
 
 impl DecisionLog {
@@ -329,7 +329,7 @@ impl DecisionLog {
         DecisionLog {
             enabled: true,
             current: None,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 

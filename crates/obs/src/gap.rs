@@ -30,7 +30,7 @@ use bshm_core::machine::Catalog;
 use bshm_core::schedule::MachineId;
 use bshm_core::time::TimePoint;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Saturates an exact cost into the `u64` traces carry.
 fn sat_u64(x: Cost) -> u64 {
@@ -136,7 +136,7 @@ pub struct GapProbe<P> {
     /// Settled cost from `CostAccrual` events.
     closed_cost: Cost,
     /// Open busy spans: machine → (opened at, rate).
-    open_spans: HashMap<MachineId, (TimePoint, u64)>,
+    open_spans: BTreeMap<MachineId, (TimePoint, u64)>,
     /// Active jobs and their sizes (arrived, not departed/dropped).
     active: HashMap<JobId, u64>,
     /// The timestamp whose sample is still held back.
@@ -154,7 +154,7 @@ impl<P: Probe> GapProbe<P> {
             ilb: IncrementalLowerBound::new(catalog),
             catalog: catalog.clone(),
             closed_cost: 0,
-            open_spans: HashMap::new(),
+            open_spans: BTreeMap::new(),
             active: HashMap::new(),
             pending_t: None,
             timeline: GapTimeline::default(),

@@ -13,7 +13,7 @@ use bshm_core::machine::TypeIndex;
 use bshm_core::ops::DecisionLog;
 use bshm_core::schedule::{MachineId, Schedule};
 use bshm_core::time::TimePoint;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::BufRead;
 
 /// Parses a JSONL trace (one event per line; blank lines ignored).
@@ -471,8 +471,8 @@ pub fn machine_utilization(events: &[TraceEvent]) -> Vec<MachineUsage> {
         active: u32,
     }
     let mut sizes: HashMap<JobId, u64> = HashMap::new();
-    let mut machines: HashMap<MachineId, State> = HashMap::new();
-    let push = |machines: &mut HashMap<MachineId, State>,
+    let mut machines: BTreeMap<MachineId, State> = BTreeMap::new();
+    let push = |machines: &mut BTreeMap<MachineId, State>,
                 m: MachineId,
                 ty: Option<(TypeIndex, u64)>,
                 t: TimePoint,

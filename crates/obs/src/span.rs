@@ -12,7 +12,7 @@
 //! region.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -30,9 +30,9 @@ pub fn now() -> Instant {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-fn registry() -> &'static Mutex<HashMap<&'static str, SpanStat>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, SpanStat>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+fn registry() -> &'static Mutex<BTreeMap<&'static str, SpanStat>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, SpanStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Aggregated timings for one span name.
@@ -114,7 +114,7 @@ pub fn take() -> Vec<SpanStat> {
     let mut reg = registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let mut stats: Vec<SpanStat> = reg.drain().map(|(_, s)| s).collect();
+    let mut stats: Vec<SpanStat> = std::mem::take(&mut *reg).into_values().collect();
     stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
     stats
 }
