@@ -21,7 +21,7 @@ pub struct RuleInfo {
 /// `taint-path` and `concurrency-audit` are whole-workspace rules
 /// implemented in `taint.rs` over the call graph; they are listed here so
 /// `--list-rules`, pragmas, and the committed manifest see one registry.
-pub const RULES: [RuleInfo; 14] = [
+pub const RULES: [RuleInfo; 15] = [
     RuleInfo {
         name: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of library crates (core, algos, sim, obs, faults)",
@@ -78,6 +78,10 @@ pub const RULES: [RuleInfo; 14] = [
         name: "concurrency-audit",
         summary: "no unordered iteration or interior-mutability state in fns reachable from the solver entry points — the pre-flight gate for sharded solving (ROADMAP item 1)",
     },
+    RuleInfo {
+        name: "no-unbounded-channel",
+        summary: "queue/ring construction in the serve crate must state a capacity — no VecDeque::new() or unbounded mpsc::channel(); admission answers overflow with typed Overload backpressure, never silent growth",
+    },
 ];
 
 /// Integer-typed cast targets the `lossy-cast` rule polices.
@@ -125,6 +129,9 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok], in_test: &[bool]) -> Vec<Diag
     }
     if ctx.crate_name == "obs" {
         out.extend(no_unbounded_buffer(ctx, toks, &live));
+    }
+    if ctx.crate_name == "serve" {
+        out.extend(no_unbounded_channel(ctx, toks, &live));
     }
     out
 }
@@ -176,6 +183,78 @@ fn no_unbounded_buffer(
                 &ctx.path,
                 t.line,
                 "VecDeque used in obs without a declared capacity anywhere in the file; ring/queue state in the health plane must be bounded, or justify with `// bshm-allow(no-unbounded-buffer): reason`".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `no-unbounded-channel`: queue construction in the serve crate without
+/// a stated capacity.
+///
+/// The resident service's entire backpressure story rests on every queue
+/// being bounded: a full queue answers with a typed `Overload` carrying a
+/// deterministic retry-after, never silent growth. So in `crates/serve`
+/// the rule flags `VecDeque::new()` and the unbounded `mpsc::channel()`
+/// constructor (`sync_channel(cap)` is the bounded std form), and any
+/// file touching `VecDeque` or `channel` must name a
+/// `capacity`/`with_capacity`/`sync_channel` bound somewhere — the bound
+/// is part of the contract, not an accident of today's usage.
+fn no_unbounded_channel(
+    ctx: &FileContext,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let declares_bound = toks.iter().enumerate().any(|(i, t)| {
+        live(i)
+            && t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "capacity" | "with_capacity" | "sync_channel"
+            )
+    });
+    let mut first_use: Option<&Tok> = None;
+    for (i, t) in toks.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("VecDeque") {
+            if first_use.is_none() {
+                first_use = Some(t);
+            }
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("new"))
+            {
+                out.push(Diagnostic::error(
+                    "no-unbounded-channel",
+                    &ctx.path,
+                    t.line,
+                    "VecDeque::new() in serve is an unbounded queue; construct with with_capacity and reject overflow with a typed Overload, or justify with `// bshm-allow(no-unbounded-channel): reason`".to_string(),
+                ));
+            }
+        }
+        // `mpsc::channel()` is the unbounded constructor; the bounded
+        // std form is `mpsc::sync_channel(cap)`.
+        if t.is_ident("mpsc")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("channel"))
+        {
+            out.push(Diagnostic::error(
+                "no-unbounded-channel",
+                &ctx.path,
+                t.line,
+                "mpsc::channel() in serve is unbounded; use mpsc::sync_channel(capacity) so senders block/fail at the bound, or justify with `// bshm-allow(no-unbounded-channel): reason`".to_string(),
+            ));
+        }
+    }
+    if let Some(t) = first_use {
+        if !declares_bound {
+            out.push(Diagnostic::error(
+                "no-unbounded-channel",
+                &ctx.path,
+                t.line,
+                "VecDeque used in serve without a declared capacity anywhere in the file; admission/queue state in the service must be bounded, or justify with `// bshm-allow(no-unbounded-channel): reason`".to_string(),
             ));
         }
     }
@@ -238,7 +317,7 @@ fn no_untyped_reject(
 /// Metric field names of `bshm_obs::Metrics` whose mutation the
 /// `no-raw-metric` rule polices. Histogram/timeline vectors are appended
 /// via methods and are not assignable targets, so they are omitted.
-const METRIC_FIELDS: [&str; 26] = [
+const METRIC_FIELDS: [&str; 28] = [
     "arrivals",
     "departures",
     "placements",
@@ -265,6 +344,8 @@ const METRIC_FIELDS: [&str; 26] = [
     "ops_sum",
     "alerts",
     "alerts_by_reason",
+    "tenant_transitions",
+    "degradations",
 ];
 
 /// `no-raw-metric`: direct mutation of `Metrics` counter/gauge fields.
@@ -1101,6 +1182,48 @@ mod tests {
         assert!(d
             .iter()
             .any(|d| d.message.contains("bshm-allow(no-unbounded-buffer)")));
+    }
+
+    #[test]
+    fn no_unbounded_channel_rule() {
+        // VecDeque::new() in serve is flagged even with a capacity named
+        // elsewhere in the file.
+        let d = check(
+            "crates/serve/src/queue.rs",
+            "struct Q { capacity: usize }\nfn f() -> VecDeque<u64> { VecDeque::new() }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-unbounded-channel"), "{d:?}");
+        // An unbounded std channel: flagged.
+        let d = check(
+            "crates/serve/src/transport.rs",
+            "fn f() { let (tx, rx) = mpsc::channel(); }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-unbounded-channel"), "{d:?}");
+        // VecDeque with no bound identifier anywhere: flagged.
+        let d = check(
+            "crates/serve/src/service.rs",
+            "struct Q { items: VecDeque<u64> }\nfn f(q: &mut Q) { q.items.push_back(1); }",
+        );
+        assert!(d.iter().any(|d| d.rule == "no-unbounded-channel"), "{d:?}");
+        // Bounded construction and the bounded channel form: clean.
+        let d = check(
+            "crates/serve/src/queue.rs",
+            "struct Q { capacity: usize, items: VecDeque<u64> }\n\
+             fn f(c: usize) -> VecDeque<u64> { VecDeque::with_capacity(c) }\n\
+             fn g(c: usize) { let (tx, rx) = mpsc::sync_channel(c); }",
+        );
+        assert!(d.iter().all(|d| d.rule != "no-unbounded-channel"), "{d:?}");
+        // Other crates and test regions stay out of scope.
+        let src = "fn f() -> VecDeque<u64> { VecDeque::new() }";
+        assert!(check("crates/sim/src/driver.rs", src).is_empty());
+        assert!(check("crates/cli/src/commands.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() -> VecDeque<u64> { VecDeque::new() } }";
+        assert!(check("crates/serve/src/queue.rs", test_src).is_empty());
+        // The finding names the pragma that would silence it.
+        let d = check("crates/serve/src/queue.rs", src);
+        assert!(d
+            .iter()
+            .any(|d| d.message.contains("bshm-allow(no-unbounded-channel)")));
     }
 
     #[test]

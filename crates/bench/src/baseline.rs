@@ -28,6 +28,7 @@ use bshm_core::validate::validate_schedule;
 use bshm_faults::{run_online_faulted, FaultPlan, SameType};
 use bshm_obs::span::{self, SpanStat};
 use bshm_obs::{GapProbe, HealthProbe, NoProbe, Recorder, SloSpec};
+use bshm_serve::{builtin_factory, crash_recovery_drill, overload_drill, Service, ServiceConfig};
 use bshm_sim::{run_online, run_online_probed};
 use bshm_workload::catalogs::{dec_geometric, inc_geometric, sawtooth};
 use bshm_workload::{ArrivalProcess, DurationLaw, SizeLaw, WorkloadSpec};
@@ -55,7 +56,16 @@ use std::path::{Path, PathBuf};
 /// from the rolling-window fold, wall-clock and gated like the other
 /// timing columns), both measured by wrapping the traced run in a
 /// [`HealthProbe`].
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6 added the resident-service section (`service`): both `bshm drill`
+/// robustness drills (crash-recovery restore verification, overload
+/// ladder walk) plus deterministic counters from a fixed pressure
+/// scenario — typed `OVERLOAD` rejections, tenants shed, the final
+/// degradation rung. Everything in the section is event-clock and seeded,
+/// so it compares exactly; the drill verdicts and counter growth are
+/// gated like cost. The section is required, so pre-v6 files no longer
+/// load (the version bump is the breaking-change signal).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The fixed fault plan behind the recovery-overhead columns: a handful
 /// of seeded machine crashes, deterministic per workload. Every algorithm
@@ -88,6 +98,33 @@ pub struct BaselineReport {
     pub workloads: Vec<WorkloadBaseline>,
     /// The asserted probe-overhead measurement.
     pub probe_overhead: ProbeOverhead,
+    /// The resident-service robustness section (v6).
+    pub service: ServiceBaseline,
+}
+
+/// The v6 resident-service section: drill verdicts plus deterministic
+/// counters from a fixed overload scenario. Every field is event-clock
+/// and seeded — no wall time — so two runs of the same binary agree
+/// byte for byte and the comparator gates them exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceBaseline {
+    /// Every crash-recovery drill check held (digest-identical restore,
+    /// salvaged torn bytes, lifecycle arc on the service trace, …).
+    pub crash_recovery_passed: bool,
+    /// Every overload drill check held (bounded queues, schedule-exact
+    /// retry-afters, full ladder walk, lowest-priority shed, …).
+    pub overload_passed: bool,
+    /// The drill's restored tenant was FNV-digest-identical to the
+    /// never-killed reference.
+    pub restore_ok: bool,
+    /// Typed `OVERLOAD` rejections issued over the pressure scenario.
+    pub overloads: u64,
+    /// Tenants shed by the ladder's bottom rung.
+    pub sheds: u64,
+    /// The degradation rung the scenario ends on (3 = shed-tenants).
+    pub final_rung: u64,
+    /// That rung's name.
+    pub rung_name: String,
 }
 
 /// All algorithms measured on one deterministic workload.
@@ -339,6 +376,89 @@ fn measure_recovery(alg: &str, instance: &Instance) -> (u64, f64) {
     )
 }
 
+/// Measures the resident-service section: runs both CI drills, then a
+/// fixed pressure scenario (the overload drill's shape: tiny queues,
+/// short patience, crash-heavy seeded fault plans) driven until the
+/// degradation ladder bottoms out, and returns the deterministic
+/// counters. Artifacts land under `target/` (relative to the invoking
+/// directory, like the `BENCH_*.json` output itself) and are removed on
+/// the way out.
+fn measure_service(label: &str) -> ServiceBaseline {
+    let dir = Path::new("target").join(format!("service-drill-{label}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let crash = crash_recovery_drill(&dir.join("crash"))
+        .unwrap_or_else(|e| panic!("crash-recovery drill: {e}"));
+    let overload =
+        overload_drill(&dir.join("overload")).unwrap_or_else(|e| panic!("overload drill: {e}"));
+    let restore_ok = crash
+        .checks
+        .iter()
+        .any(|c| c.name == "digest-identical" && c.passed);
+
+    let mut config = ServiceConfig::new(dir.join("counters"));
+    config.batch_events = 8;
+    config.queue_capacity = 2;
+    config.patience = 1;
+    config.slo = SloSpec::parse("window:16;storm:1;drops:1").expect("fixed SLO spec parses");
+    let mut service =
+        Service::new(config, builtin_factory()).unwrap_or_else(|e| panic!("service baseline: {e}"));
+    for line in [
+        "ADMIT hi first-fit-any 5 dec:120:31 seeded:41:8",
+        "ADMIT lo first-fit-any 1 dec:120:32 seeded:42:8",
+    ] {
+        let reply = service.handle_line(line);
+        assert!(
+            !reply.starts_with("ERR"),
+            "service baseline: `{line}` -> {reply}"
+        );
+    }
+    let mut overloads = 0u64;
+    // Saturate hi's queue first so backpressure shows up immediately,
+    // then keep both tenants under submit+step pressure until shedding.
+    for _ in 0..8 {
+        if service.handle_line("SUBMIT hi 1").starts_with("OVERLOAD") {
+            overloads += 1;
+        }
+    }
+    let mut steps = 0u32;
+    while !service.ladder().shedding() && steps < 64 {
+        for name in ["hi", "lo"] {
+            if service.ladder().shedding() {
+                break;
+            }
+            if service
+                .handle_line(&format!("SUBMIT {name} 1"))
+                .starts_with("OVERLOAD")
+            {
+                overloads += 1;
+            }
+            let reply = service.handle_line(&format!("STEP {name}"));
+            assert!(
+                !reply.starts_with("ERR") || reply.contains("was shed"),
+                "service baseline: STEP {name} -> {reply}"
+            );
+        }
+        steps += 1;
+    }
+    let stats = service.stats();
+    let sheds = bshm_core::convert::count_u64(stats.tenants.iter().filter(|t| t.shed).count());
+    let reply = service.handle_line("DRAIN");
+    assert!(
+        reply.starts_with("OK"),
+        "service baseline: DRAIN -> {reply}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    ServiceBaseline {
+        crash_recovery_passed: crash.passed,
+        overload_passed: overload.passed,
+        restore_ok,
+        overloads,
+        sheds,
+        final_rung: stats.rung,
+        rung_name: stats.rung_name.to_string(),
+    }
+}
+
 /// Measures the `NoProbe` overhead: best-of-N wall clock of the probed
 /// driver with the null probe against the un-instrumented driver, on a
 /// DEC workload sized to dominate timer noise.
@@ -421,6 +541,7 @@ pub fn run_suite(quick: bool, label: &str) -> BaselineReport {
         ),
         workloads,
         probe_overhead: measure_probe_overhead(quick),
+        service: measure_service(label),
     }
 }
 
@@ -688,6 +809,43 @@ pub fn compare(old: &BaselineReport, new: &BaselineReport, threshold: f64) -> Co
             }
         }
     }
+    // The resident-service section: drill verdicts are hard gates (a
+    // failed drill is a robustness regression, full stop); the counters
+    // are deterministic, so any growth is a real behavioural change and
+    // gates exactly, like cost — fewer overloads or sheds is fine.
+    for (name, ok) in [
+        ("crash_recovery_passed", new.service.crash_recovery_passed),
+        ("overload_passed", new.service.overload_passed),
+        ("restore_ok", new.service.restore_ok),
+    ] {
+        if !ok {
+            cmp.regressions
+                .push(format!("service/{name}: drill failed"));
+        }
+    }
+    if old.schema_version == new.schema_version {
+        push_delta(
+            &mut cmp,
+            "service/overloads".to_string(),
+            old.service.overloads as f64,
+            new.service.overloads as f64,
+            Some(1.0 + 1e-9),
+        );
+        push_delta(
+            &mut cmp,
+            "service/sheds".to_string(),
+            old.service.sheds as f64,
+            new.service.sheds as f64,
+            Some(1.0 + 1e-9),
+        );
+        push_delta(
+            &mut cmp,
+            "service/final_rung".to_string(),
+            old.service.final_rung as f64,
+            new.service.final_rung as f64,
+            Some(1.0 + 1e-9),
+        );
+    }
     if new.probe_overhead.factor > new.probe_overhead.bound {
         cmp.regressions.push(format!(
             "probe_overhead: NoProbe driver is {:.2}x the uninstrumented driver (bound {:.2}x)",
@@ -830,6 +988,15 @@ mod tests {
                 bound: PROBE_OVERHEAD_BOUND,
                 within_bound: true,
             },
+            service: ServiceBaseline {
+                crash_recovery_passed: true,
+                overload_passed: true,
+                restore_ok: true,
+                overloads: 9,
+                sheds: 1,
+                final_rung: 3,
+                rung_name: "shed-tenants".into(),
+            },
         }
     }
 
@@ -920,6 +1087,34 @@ mod tests {
             .iter()
             .any(|r| r.contains("windowed_p99_ns")));
         assert!(compare(&old, &slow, 3.0).passed());
+    }
+
+    #[test]
+    fn failed_drill_or_counter_growth_fails_the_gate() {
+        // The v6 gates: a failed drill regresses regardless of the prior
+        // report, and counter growth regresses exactly like cost.
+        let old = tiny_report();
+        let mut new = old.clone();
+        new.service.restore_ok = false;
+        let cmp = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.contains("service/restore_ok")));
+
+        let mut noisy = old.clone();
+        noisy.service.overloads += 1;
+        noisy.service.sheds += 1;
+        let cmp = compare(&old, &noisy, DEFAULT_THRESHOLD);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.contains("service/overloads")));
+        assert!(cmp.regressions.iter().any(|r| r.contains("service/sheds")));
+        // Quieter service behaviour passes the growth gate.
+        assert!(compare(&noisy, &old, DEFAULT_THRESHOLD).passed());
     }
 
     #[test]
@@ -1072,6 +1267,21 @@ mod tests {
             "NoProbe overhead {:.2}x exceeds {:.2}x",
             report.probe_overhead.factor, report.probe_overhead.bound
         );
+        // The v6 service section: both drills pass and the pressure
+        // scenario bottoms the ladder out deterministically.
+        assert!(report.service.crash_recovery_passed);
+        assert!(report.service.overload_passed);
+        assert!(report.service.restore_ok);
+        assert_eq!(report.service.final_rung, 3, "{}", report.service.rung_name);
+        assert_eq!(report.service.rung_name, "shed-tenants");
+        assert_eq!(report.service.sheds, 1);
+        assert!(
+            report.service.overloads >= 6,
+            "{}",
+            report.service.overloads
+        );
+        assert_eq!(report.service.overloads, again.service.overloads);
+        assert_eq!(report.service.final_rung, again.service.final_rung);
         // Comparing a suite run against itself passes. (Not against
         // `again`: micro-sized quick runs have wall-clock noise beyond
         // any sane threshold; the binary's --compare path gates runs of

@@ -130,10 +130,10 @@ Besides the claim tables below, the harness keeps a performance
 baseline: `BENCH_*.json` at the repo root, regenerated with
 
 ```sh
-cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR8.json
+cargo run --release -p bshm-bench --bin baseline -- run --out BENCH_PR10.json
 ```
 
-The report is schema-versioned (currently `schema_version = 5`; the
+The report is schema-versioned (currently `schema_version = 6`; the
 constant lives in `crates/bench/src/baseline.rs` and `bshm-analyze`
 fails CI if this paragraph drifts from it) and records, for
 each deterministic suite workload (`dec-poisson-uniform`,
@@ -171,6 +171,13 @@ deterministic per workload/algorithm and any growth on the same
 workload gates exactly like `cost`) and `windowed_p99_ns` (the worst
 per-window decision-latency p99 from the rolling-window fold —
 wall-clock, gated at the timing threshold on matching job counts).
+Schema v6 added the resident-service `service` section: the verdicts
+of both `bshm drill` robustness drills (`crash_recovery_passed`,
+`overload_passed`, `restore_ok` — a failed drill regresses regardless
+of the prior report) plus deterministic counters from a fixed
+pressure scenario (`overloads`, `sheds`, `final_rung`, `rung_name`).
+Everything in the section rides the event clock and seeded fault
+plans, so counter growth gates exactly like `cost`.
 
 **Cost-attribution rule** (`bshm gap-report`, `bshm_obs::CostLedger`):
 the job whose placement opens a machine pays the opening busy-time
@@ -245,6 +252,53 @@ breaches and the binary exits non-zero — this is the CI gate.
 "#,
     );
     out.push_str(
+        r#"## Resident service (protocol, degradation ladder & drills)
+
+`bshm serve` hosts many supervised tenant instances in one resident
+process (`--script FILE` replays a request file deterministically;
+`--socket PATH` serves a std Unix socket). The line protocol:
+
+```text
+ADMIT <name> <alg> <priority> <family>:<n>:<seed> [faults]
+SUBMIT <name> <units>   queue work; full queue -> typed OVERLOAD
+STEP <name>             advance one batch, checkpoint at the stop
+KILL <name>             kill mid-batch (torn log, memory dropped)
+RESTORE <name>          checkpoint + salvaged log -> digest proof
+HEALTH <name>           the tenant's SLO report summary
+STATS                   full service status as JSON
+DRAIN                   checkpoint + publish everything, stop intake
+QUIT / SHUTDOWN         end the session
+```
+
+Workload families are `dec`, `inc`, and `saw` (the three catalog
+shapes); `faults` is the same `FaultPlan` grammar as above. A full
+queue answers `OVERLOAD tenant=<t> retry-after <d> attempt <n>
+queued <q>/<cap>` where `<d>` replays exactly from the seeded
+jittered-exponential `BackoffSchedule` (`bshm-faults`), counted in
+service STEPs — clients wait out backpressure by driving steps,
+never by sleeping. Sustained SLO pressure (the health plane above,
+evaluated per batch) walks the degradation ladder; each transition
+is a `Degradation` event on the durable service trace:
+
+| rung | name | effect |
+|---|---|---|
+| 0 | `full-service` | everything on, gap gauges live |
+| 1 | `no-gap-gauges` | optimality-gap gauges disabled |
+| 2 | `cheapest-algorithm` | every tenant rebased onto `first-fit-any` |
+| 3 | `shed-tenants` | lowest-priority tenants drained and shed |
+
+`bshm drill` runs the two CI robustness drills and writes a JSON
+report (`--report`); both are deterministic end to end, so a failing
+check is always reproducible:
+
+| drill | proves |
+|---|---|
+| `crash-recovery` | kill mid-batch, restore from checkpoint + salvaged torn log; restored tenant is FNV-digest-identical (checkpoint, event history, placement sequence) to a never-killed reference; lifecycle arc (`admitted` -> `killed` -> `restored`) on the service trace |
+| `overload` | queues never exceed capacity; every rejection is a typed `OVERLOAD` whose retry-after replays from the seeded schedule; the ladder walks every rung and sheds exactly the lowest-priority tenant, all on the trace |
+
+"#,
+    );
+    out.push_str(
         r#"## Static-analysis rule taxonomy
 
 `bshm-analyze` runs in CI over every first-party crate (per-file token
@@ -270,6 +324,7 @@ the build (`drift/rules-manifest`).
 | `shared-mutable-static` | no `static mut`/`thread_local!` state in library crates |
 | `taint-path` | no call-graph path from a nondeterminism source (clock, unseeded RNG, unordered iteration, env/thread-id, pointer address) to a trace/bench/checkpoint/alert sink |
 | `concurrency-audit` | no unordered iteration or interior mutability reachable from the solver entry points (pre-flight gate for sharded solving) |
+| `no-unbounded-channel` | serve queues/channels declare a capacity; overflow is typed Overload backpressure, never silent growth |
 
 Cross-artifact drift auditors (same engine, non-Rust artifacts):
 `drift/trace-schema`, `drift/prometheus`, `drift/cli`,

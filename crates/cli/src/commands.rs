@@ -31,7 +31,7 @@ USAGE:
                 [--trace FILE] [--metrics] [--metrics-format prometheus|json]
                 [--gap] [--faults SPEC] [--recover POLICY]
   bshm replay   --trace FILE [--instance FILE --schedule FILE] [--rows N]
-                [--salvage] [--gap]
+                [--salvage] [--gap] [--report FILE]
   bshm gap-report TRACE.jsonl [--instance FILE] [--format json|console]
                 [--rows N] [--out FILE]
   bshm crash-test --instance FILE [--alg NAME] [--faults SPEC]
@@ -53,6 +53,10 @@ USAGE:
   bshm export-csv --instance FILE [--out FILE]
   (gen also accepts --from-csv FILE to import a trace instead of sampling)
   bshm algs     (list scheduler names)
+  bshm serve    --data-dir DIR (--script FILE | --socket PATH)
+                [--queue-capacity N] [--batch N] [--slo SPEC] [--patience N]
+  bshm drill    --data-dir DIR [--kind crash-recovery|overload|all]
+                [--report FILE]
 
 OBSERVABILITY:
   solve --trace FILE   streams a JSONL event log (arrivals, placements
@@ -121,6 +125,23 @@ FAULTS & RECOVERY:
                        checkpoint, verify schedule/cost/trace-suffix
                        equality; nonzero exit on any mismatch
 
+RESIDENT SERVICE:
+  serve                host many supervised tenant instances behind the
+                       line protocol (ADMIT / SUBMIT / STEP / KILL /
+                       RESTORE / HEALTH / STATS / DRAIN / QUIT); --script
+                       replays a request file deterministically, --socket
+                       serves the same protocol on a Unix socket; full
+                       queues answer with typed OVERLOAD + seeded
+                       retry-after, sustained SLO pressure walks the
+                       degradation ladder (full-service → no-gap-gauges →
+                       cheapest-algorithm → shed-tenants)
+  drill                run the CI robustness drills: crash-recovery
+                       (kill a tenant mid-batch, restore from checkpoint
+                       + salvaged log, digest-identical proof) and
+                       overload (bounded queues, deterministic
+                       retry-afters, every ladder rung); nonzero exit on
+                       any failed check
+
 SPEC GRAMMARS:
   catalog:   dec:M:G | inc:M:G | saw:M:G | ec2-dec | ec2-inc | custom:4x1,16x2
   arrivals:  poisson:GAP | diurnal:BASE:PEAK:PERIOD | batch | regular:GAP
@@ -171,6 +192,8 @@ pub fn dispatch(argv: &[String], out: Out) -> Result<(), String> {
         "info" => cmd_info(&flags, out),
         "render" => cmd_render(&flags, out),
         "export-csv" => cmd_export_csv(&flags, out),
+        "serve" => cmd_serve(&flags, out),
+        "drill" => cmd_drill(&flags, out),
         "algs" => {
             for a in ALG_NAMES {
                 let _ = writeln!(out, "{a}");
@@ -1469,10 +1492,37 @@ fn cmd_xray(flags: &Flags, out: Out) -> Result<(), String> {
     Ok(())
 }
 
+/// Salvage statistics in a `replay --report` JSON document.
+#[derive(serde::Serialize)]
+struct SalvageStats {
+    /// Events recovered from the valid prefix.
+    kept_events: u64,
+    /// Damaged lines dropped (the torn line and everything after it).
+    dropped_lines: u64,
+    /// Exact bytes lost to the tear.
+    dropped_bytes: u64,
+}
+
+/// What `replay --report FILE` writes.
+#[derive(serde::Serialize)]
+struct ReplayReport {
+    /// Trace the report was built from.
+    trace: String,
+    /// Total events replayed.
+    events: u64,
+    /// Event counts by kind.
+    kinds: std::collections::BTreeMap<String, usize>,
+    /// Total cost accrued in the trace.
+    traced_cost: u64,
+    /// Salvage accounting (present iff `--salvage` was passed).
+    salvage: Option<SalvageStats>,
+}
+
 fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
     let path = flags.require("trace")?;
     // --salvage tolerates a torn trailing line (what a killed writer
     // leaves behind): replay the valid prefix, report what was dropped.
+    let mut salvage_stats = None;
     let events = if flags.has("salvage") {
         let s = bshm_obs::sink::salvage_jsonl(std::path::Path::new(path))?;
         let _ = writeln!(
@@ -1485,6 +1535,11 @@ fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
         if s.events.is_empty() {
             return Err(format!("trace {path} contains no salvageable events"));
         }
+        salvage_stats = Some(SalvageStats {
+            kept_events: bshm_core::convert::count_u64(s.events.len()),
+            dropped_lines: s.dropped_lines,
+            dropped_bytes: s.dropped_bytes,
+        });
         s.events
     } else {
         load_trace(path)?
@@ -1568,6 +1623,19 @@ fn cmd_replay(flags: &Flags, out: Out) -> Result<(), String> {
             );
         }
         print_gap_timeline(out, &gap_tl, max_rows);
+    }
+    if let Some(report_path) = flags.get("report") {
+        let report = ReplayReport {
+            trace: path.to_string(),
+            events: bshm_core::convert::count_u64(events.len()),
+            kinds: kinds.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            traced_cost,
+            salvage: salvage_stats,
+        };
+        let json =
+            serde_json::to_string(&report).map_err(|e| format!("encoding replay report: {e}"))?;
+        std::fs::write(report_path, &json).map_err(|e| format!("writing {report_path}: {e}"))?;
+        let _ = writeln!(out, "wrote replay report to {report_path}");
     }
     Ok(())
 }
@@ -1886,6 +1954,92 @@ fn cmd_render(flags: &Flags, out: Out) -> Result<(), String> {
     let head: Vec<&str> = csv.lines().take(6).collect();
     let _ = writeln!(out, "\nmachine timeline (head):\n{}", head.join("\n"));
     Ok(())
+}
+
+/// The scheduler factory handed to the resident service: the full cli
+/// registry, so offline algorithms serve through [`ScriptScheduler`] just
+/// like `solve --faults` runs them.
+fn service_factory() -> bshm_serve::SchedulerFactory {
+    Box::new(online_or_scripted)
+}
+
+fn service_config(flags: &Flags, data_dir: &str) -> Result<bshm_serve::ServiceConfig, String> {
+    let mut config = bshm_serve::ServiceConfig::new(data_dir);
+    config.queue_capacity = flags.get_or("queue-capacity", config.queue_capacity)?;
+    config.batch_events = flags.get_or("batch", config.batch_events)?;
+    config.patience = flags.get_or("patience", config.patience)?;
+    if let Some(spec) = flags.get("slo") {
+        config.slo = bshm_obs::slo::SloSpec::parse(spec)?;
+    }
+    Ok(config)
+}
+
+fn cmd_serve(flags: &Flags, out: Out) -> Result<(), String> {
+    let data_dir = flags.require("data-dir")?;
+    let config = service_config(flags, data_dir)?;
+    let mut service = bshm_serve::Service::new(config, service_factory())?;
+    match (flags.get("script"), flags.get("socket")) {
+        (Some(script), None) => {
+            // Deterministic one-shot mode: replay a request script and
+            // print every request/response pair.
+            let text =
+                std::fs::read_to_string(script).map_err(|e| format!("reading {script}: {e}"))?;
+            for line in text.lines() {
+                let request = line.trim();
+                if request.is_empty() || request.starts_with('#') {
+                    continue;
+                }
+                let reply = service.handle_line(request);
+                let _ = writeln!(out, "> {request}");
+                let _ = writeln!(out, "{reply}");
+                if matches!(request, "QUIT" | "SHUTDOWN") {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        (None, Some(socket)) => {
+            let _ = writeln!(out, "serving on {socket} (send QUIT to stop)");
+            bshm_serve::serve_unix(&mut service, std::path::Path::new(socket))
+        }
+        _ => Err("serve needs exactly one of --script FILE or --socket PATH".to_string()),
+    }
+}
+
+fn cmd_drill(flags: &Flags, out: Out) -> Result<(), String> {
+    let data_dir = flags.require("data-dir")?;
+    let kind = flags.get("kind").unwrap_or("all");
+    let dir = std::path::Path::new(data_dir);
+    let mut reports = Vec::with_capacity(2);
+    if matches!(kind, "all" | "crash-recovery") {
+        reports.push(bshm_serve::crash_recovery_drill(dir)?);
+    }
+    if matches!(kind, "all" | "overload") {
+        reports.push(bshm_serve::overload_drill(dir)?);
+    }
+    if reports.is_empty() {
+        return Err(format!(
+            "--kind {kind:?}: expected crash-recovery, overload or all"
+        ));
+    }
+    let json = serde_json::to_string(&reports).map_err(|e| format!("encoding drills: {e}"))?;
+    write_or_print(out, flags.get("report"), &json, "drill report")?;
+    for r in &reports {
+        let failed = r.checks.iter().filter(|c| !c.passed).count();
+        let _ = writeln!(
+            out,
+            "{}: {} ({} checks, {} failed)",
+            r.kind,
+            if r.passed { "PASS" } else { "FAIL" },
+            r.checks.len(),
+            failed
+        );
+    }
+    if reports.iter().all(|r| r.passed) {
+        Ok(())
+    } else {
+        Err("drill failed (see report for the failing checks)".to_string())
+    }
 }
 
 #[cfg(test)]
@@ -2594,5 +2748,171 @@ mod tests {
         let (code, out) = run_cmd(&format!("validate --instance {inst} --schedule {bad}"));
         assert_eq!(code, 2);
         assert!(out.contains("infeasible"));
+    }
+
+    #[test]
+    fn replay_salvage_writes_json_report_with_byte_accounting() {
+        let trace = tmp("torn-report.jsonl");
+        let torn = "{\"MachineOpen\":{\"t\":3,\"mach";
+        std::fs::write(
+            &trace,
+            format!("{}{}{torn}", one_event_line(), one_event_line()),
+        )
+        .unwrap();
+        let report = tmp("replay-report.json");
+        let (code, out) = run_cmd(&format!(
+            "replay --trace {trace} --salvage --report {report}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"kept_events\":2"), "{json}");
+        assert!(json.contains("\"dropped_lines\":1"), "{json}");
+        assert!(
+            json.contains(&format!("\"dropped_bytes\":{}", torn.len())),
+            "{json}"
+        );
+        // Without --salvage the report records no salvage section.
+        let clean = tmp("clean-report.jsonl");
+        std::fs::write(&clean, one_event_line()).unwrap();
+        let report2 = tmp("replay-report-clean.json");
+        let (code, _) = run_cmd(&format!("replay --trace {clean} --report {report2}"));
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&report2).unwrap();
+        assert!(json.contains("\"salvage\":null"), "{json}");
+    }
+
+    /// Two tenants' events interleaved into ONE shared sink must restore
+    /// to exactly the digests their isolated logs produce — for every
+    /// registered algorithm, offline ones included (they serve through
+    /// `ScriptScheduler`, so the whole registry is service-hostable).
+    #[test]
+    fn interleaved_shared_log_restores_isolated_digests_for_all_algorithms() {
+        use bshm_faults::checkpoint::fnv1a64;
+        let make = |seed: u64| {
+            WorkloadSpec {
+                n: 24,
+                seed,
+                arrivals: spec::parse_arrivals("poisson:3").unwrap(),
+                durations: spec::parse_durations("uniform:8:25").unwrap(),
+                sizes: spec::parse_sizes("uniform:1:40").unwrap(),
+            }
+            .generate(spec::parse_catalog("dec:3:4").unwrap())
+        };
+        let (inst_a, inst_b) = (make(101), make(202));
+        let digest = |events: &[bshm_obs::TraceEvent]| -> u64 {
+            let mut text = String::new();
+            for e in events {
+                text.push_str(&serde_json::to_string(e).unwrap());
+                text.push('\n');
+            }
+            fnv1a64(text.as_bytes())
+        };
+        for alg in ALG_NAMES {
+            let run = |instance: &Instance| -> Vec<bshm_obs::TraceEvent> {
+                let mut scheduler = online_or_scripted(alg, instance).unwrap();
+                let mut probe = bshm_obs::Deterministic(bshm_obs::Collector::default());
+                bshm_sim::run_online_probed(instance, &mut scheduler.as_mut(), &mut probe).unwrap();
+                probe.0.events
+            };
+            let (events_a, events_b) = (run(&inst_a), run(&inst_b));
+            // Interleave both tenants' streams into one shared sink.
+            let shared = tmp(&format!("shared-{alg}.jsonl"));
+            let path = std::path::Path::new(&shared);
+            let mut sink = bshm_serve::SharedSink::create(path).unwrap();
+            let mut ia = events_a.iter();
+            let mut ib = events_b.iter();
+            loop {
+                match (ia.next(), ib.next()) {
+                    (None, None) => break,
+                    (a, b) => {
+                        if let Some(e) = a {
+                            sink.write("a", e).unwrap();
+                        }
+                        if let Some(e) = b {
+                            sink.write("b", e).unwrap();
+                        }
+                    }
+                }
+            }
+            sink.finalize().unwrap();
+            // Splitting the shared log restores the isolated streams
+            // byte-for-byte (hence digest-for-digest).
+            let (split, dropped_lines, dropped_bytes) = bshm_serve::salvage_tagged(path).unwrap();
+            assert_eq!((dropped_lines, dropped_bytes), (0, 0), "{alg}");
+            assert_eq!(split["a"], events_a, "{alg}: tenant a stream diverged");
+            assert_eq!(split["b"], events_b, "{alg}: tenant b stream diverged");
+            assert_eq!(digest(&split["a"]), digest(&events_a), "{alg}");
+            assert_eq!(digest(&split["b"]), digest(&events_b), "{alg}");
+        }
+    }
+
+    #[test]
+    fn serve_script_runs_protocol_deterministically() {
+        let dir = tmp("serve-data");
+        std::fs::remove_dir_all(&dir).ok();
+        let script = tmp("serve-script.txt");
+        std::fs::write(
+            &script,
+            "# a tiny resident session\n\
+             ADMIT a dec-online 5 dec:40:11\n\
+             SUBMIT a 2\n\
+             STEP a\n\
+             KILL a\n\
+             RESTORE a\n\
+             STATS\n\
+             DRAIN\n\
+             QUIT\n",
+        )
+        .unwrap();
+        let (code, out) = run_cmd(&format!("serve --data-dir {dir} --script {script}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("OK admitted a"), "{out}");
+        assert!(out.contains("OK stepped a"), "{out}");
+        assert!(out.contains("OK killed a"), "{out}");
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("OK drained 1"), "{out}");
+        assert!(out.contains("OK bye"), "{out}");
+        // The identical script replays to the identical transcript.
+        let dir2 = tmp("serve-data-2");
+        std::fs::remove_dir_all(&dir2).ok();
+        let (_, out2) = run_cmd(&format!("serve --data-dir {dir2} --script {script}"));
+        assert_eq!(
+            out.replace(&dir, "DIR"),
+            out2.replace(&dir2, "DIR"),
+            "service transcript must be deterministic"
+        );
+        // An offline algorithm is hostable too (via ScriptScheduler).
+        let script3 = tmp("serve-script-offline.txt");
+        std::fs::write(
+            &script3,
+            "ADMIT off dec-offline 5 dec:30:3\nSUBMIT off 1\nSTEP off\nQUIT\n",
+        )
+        .unwrap();
+        let dir3 = tmp("serve-data-3");
+        std::fs::remove_dir_all(&dir3).ok();
+        let (code, out) = run_cmd(&format!("serve --data-dir {dir3} --script {script3}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("OK stepped off"), "{out}");
+        for d in [dir, dir2, dir3] {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+
+    #[test]
+    fn drill_subcommand_passes_and_writes_report() {
+        let dir = tmp("drill-data");
+        std::fs::remove_dir_all(&dir).ok();
+        let report = tmp("drill-report.json");
+        let (code, out) = run_cmd(&format!("drill --data-dir {dir} --report {report}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("crash-recovery: PASS"), "{out}");
+        assert!(out.contains("overload: PASS"), "{out}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"kind\":\"crash-recovery\""), "{json}");
+        assert!(json.contains("\"kind\":\"overload\""), "{json}");
+        assert!(json.contains("queues-never-exceed-capacity"), "{json}");
+        let (code, out) = run_cmd(&format!("drill --data-dir {dir} --kind bogus"));
+        assert_eq!(code, 2, "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

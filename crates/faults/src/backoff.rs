@@ -1,0 +1,270 @@
+//! Seeded jittered-exponential backoff: the delay schedule behind the
+//! `backoff` recovery policy and the serve layer's `Overload` retry-after
+//! stamps.
+//!
+//! The schedule is fully deterministic: delays depend only on
+//! `(base, cap, seed, attempt)`, never on the wall clock, so a replayed
+//! run reproduces the exact same retry-after values. Jitter is derived by
+//! hashing `(seed, attempt)` with FNV-1a and is bounded by a quarter of
+//! the raw exponential step, which keeps the sequence provably
+//! nondecreasing (see [`BackoffSchedule::delay`]).
+
+use crate::checkpoint::fnv1a64;
+use crate::recovery::{DisplacedJob, RecoveryPolicy};
+use bshm_core::{MachineId, TimePoint, TypeIndex};
+use bshm_sim::MachinePool;
+
+/// A deterministic jittered-exponential backoff schedule.
+///
+/// `delay(n) = min(raw(n) + jitter(n), cap)` where `raw(n) =
+/// min(base·2ⁿ, cap)` and `jitter(n) = hash(seed, n) mod (raw(n)/4 + 1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// First-attempt delay (time units on the event clock). Clamped to ≥ 1.
+    pub base: u64,
+    /// Upper bound on every delay. Clamped to ≥ `base`.
+    pub cap: u64,
+    /// Jitter seed; two schedules with different seeds produce different
+    /// (but individually deterministic) jitter streams.
+    pub seed: u64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule::new(1, 64, 1313)
+    }
+}
+
+impl BackoffSchedule {
+    /// Builds a schedule, clamping degenerate parameters (`base` ≥ 1,
+    /// `cap` ≥ `base`) instead of erroring: a backoff that panics on
+    /// configuration defeats its purpose.
+    pub fn new(base: u64, cap: u64, seed: u64) -> Self {
+        let base = base.max(1);
+        BackoffSchedule {
+            base,
+            cap: cap.max(base),
+            seed,
+        }
+    }
+
+    /// The raw exponential step for attempt `n`, saturating at `cap`.
+    fn raw(&self, attempt: u32) -> u64 {
+        let shifted = if attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base.saturating_mul(1u64 << attempt)
+        };
+        shifted.min(self.cap)
+    }
+
+    /// Deterministic jitter for attempt `n`: `hash(seed, n)` reduced into
+    /// `0..=raw(n)/4`.
+    fn jitter(&self, attempt: u32) -> u64 {
+        let mut bytes = [0u8; 12];
+        bytes[..8].copy_from_slice(&self.seed.to_le_bytes());
+        bytes[8..].copy_from_slice(&attempt.to_le_bytes());
+        fnv1a64(&bytes) % (self.raw(attempt) / 4 + 1)
+    }
+
+    /// The delay before retry attempt `n` (0-based).
+    ///
+    /// Monotonicity: below the cap, `raw(n+1) = 2·raw(n) ≥ raw(n) +
+    /// raw(n)/4 ≥ raw(n) + jitter(n) ≥ delay(n)`, and once `raw` saturates
+    /// every delay equals `cap`; so the sequence is nondecreasing and
+    /// bounded by `cap`.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let raw = self.raw(attempt);
+        if raw >= self.cap {
+            return self.cap;
+        }
+        raw.saturating_add(self.jitter(attempt)).min(self.cap)
+    }
+
+    /// The first `k` delays — convenience for reports and tests.
+    pub fn delays(&self, k: u32) -> Vec<u64> {
+        (0..k).map(|n| self.delay(n)).collect()
+    }
+}
+
+/// Recovery policy `backoff`: first-fit over its own `recovery/backoff/…`
+/// machines, with a jittered-exponential brake on machine churn.
+///
+/// Re-placements reuse existing recovery machines first-fit, like
+/// [`crate::FirstFitRepack`]. The schedule governs *opens*: when a new
+/// machine must be opened within `delay(attempt)` time units of the
+/// previous open (a crash burst), the policy escalates to the largest
+/// catalog type — consolidating the burst onto fewer, bigger machines —
+/// and advances the attempt counter, growing the quiet period it demands
+/// before trusting small machines again. An open that arrives after the
+/// delay has elapsed resets the counter, exactly like a classic
+/// backoff-with-reset loop.
+#[derive(Debug)]
+pub struct Backoff {
+    schedule: BackoffSchedule,
+    machines: Vec<MachineId>,
+    attempt: u32,
+    last_open_t: Option<TimePoint>,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new(BackoffSchedule::default())
+    }
+}
+
+impl Backoff {
+    /// Builds the policy around an explicit schedule.
+    pub fn new(schedule: BackoffSchedule) -> Self {
+        Backoff {
+            schedule,
+            machines: Vec::new(),
+            attempt: 0,
+            last_open_t: None,
+        }
+    }
+
+    /// The current attempt counter (escalation depth).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The schedule driving the escalation.
+    pub fn schedule(&self) -> BackoffSchedule {
+        self.schedule
+    }
+}
+
+impl RecoveryPolicy for Backoff {
+    fn recover(&mut self, job: DisplacedJob, pool: &mut MachinePool) -> Result<MachineId, String> {
+        for &m in &self.machines {
+            if pool.residual(m) >= job.size {
+                return Ok(m);
+            }
+        }
+        if job.size > pool.catalog().max_capacity() {
+            return Err(format!("no machine type fits size {}", job.size));
+        }
+        let burst = match self.last_open_t {
+            Some(prev) => job.t < prev.saturating_add(self.schedule.delay(self.attempt)),
+            None => false,
+        };
+        let class = if burst {
+            self.attempt = self.attempt.saturating_add(1);
+            TypeIndex(pool.catalog().len() - 1)
+        } else {
+            self.attempt = 0;
+            pool.catalog()
+                .size_class(job.size)
+                .ok_or_else(|| format!("no machine type fits size {}", job.size))?
+        };
+        self.last_open_t = Some(job.t);
+        let m = pool.create(class, format!("recovery/backoff/{}", self.machines.len()));
+        self.machines.push(m);
+        Ok(m)
+    }
+
+    fn name(&self) -> &'static str {
+        "backoff"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::{Catalog, JobId, MachineType};
+
+    #[test]
+    fn delays_are_monotone_nondecreasing_and_bounded() {
+        for seed in [0u64, 1, 7, 1313, u64::MAX] {
+            let s = BackoffSchedule::new(2, 100, seed);
+            let d = s.delays(80);
+            for w in d.windows(2) {
+                assert!(w[0] <= w[1], "seed {seed}: {} > {}", w[0], w[1]);
+            }
+            assert!(
+                d.iter().all(|&x| (1..=100).contains(&x)),
+                "seed {seed}: {d:?}"
+            );
+            // The exponential must actually saturate at the cap.
+            assert_eq!(*d.last().unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed_and_differ_across_seeds() {
+        let a = BackoffSchedule::new(1, 1 << 20, 41).delays(20);
+        let b = BackoffSchedule::new(1, 1 << 20, 41).delays(20);
+        assert_eq!(a, b);
+        let c = BackoffSchedule::new(1, 1 << 20, 42).delays(20);
+        assert_ne!(a, c, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let s = BackoffSchedule::new(0, 0, 9);
+        assert_eq!((s.base, s.cap), (1, 1));
+        assert!(s.delays(70).iter().all(|&d| d == 1));
+        // Huge attempt indices must not overflow the shift.
+        assert_eq!(BackoffSchedule::new(3, 50, 9).delay(200), 50);
+    }
+
+    fn pool() -> MachinePool {
+        let catalog = Catalog::new(vec![MachineType::new(4, 1), MachineType::new(16, 3)]).unwrap();
+        MachinePool::new(catalog)
+    }
+
+    fn displaced(id: u32, size: u64, t: u64) -> DisplacedJob {
+        DisplacedJob {
+            id: JobId(id),
+            size,
+            from: MachineId(0),
+            from_type: TypeIndex(0),
+            t,
+        }
+    }
+
+    #[test]
+    fn burst_opens_escalate_to_the_largest_type() {
+        let mut p = pool();
+        let mut policy = Backoff::default();
+        // First open: quiet, smallest fitting type.
+        let m1 = policy.recover(displaced(1, 3, 10), &mut p).unwrap();
+        p.place(m1, JobId(1), 3).unwrap();
+        assert_eq!(p.machine_type(m1), TypeIndex(0));
+        assert_eq!(policy.attempt(), 0);
+        // Second open immediately after (within delay(0)): escalate.
+        let m2 = policy.recover(displaced(2, 3, 10), &mut p).unwrap();
+        p.place(m2, JobId(2), 3).unwrap();
+        assert_eq!(p.machine_type(m2), TypeIndex(1));
+        assert_eq!(policy.attempt(), 1);
+    }
+
+    #[test]
+    fn quiet_period_resets_the_escalation() {
+        let mut p = pool();
+        let mut policy = Backoff::default();
+        let m1 = policy.recover(displaced(1, 3, 0), &mut p).unwrap();
+        p.place(m1, JobId(1), 3).unwrap();
+        let m2 = policy.recover(displaced(2, 3, 0), &mut p).unwrap();
+        p.place(m2, JobId(2), 3).unwrap();
+        assert_eq!(policy.attempt(), 1);
+        // Far in the future: past every delay, so the counter resets and
+        // the policy trusts the smallest fitting type again.
+        let m3 = policy.recover(displaced(3, 16, 10_000), &mut p).unwrap();
+        assert_eq!(policy.attempt(), 0);
+        assert_eq!(p.machine_type(m3), TypeIndex(1)); // 16 only fits the big type
+        let m4 = policy.recover(displaced(4, 17, 10_000), &mut p);
+        assert!(m4.is_err(), "oversized jobs are refused, not paniced");
+    }
+
+    #[test]
+    fn recovery_machines_carry_the_backoff_label() {
+        let mut p = pool();
+        let mut policy = Backoff::default();
+        let m = policy.recover(displaced(1, 2, 0), &mut p).unwrap();
+        p.place(m, JobId(1), 2).unwrap();
+        let s = p.into_schedule();
+        assert!(s.machines()[0].label.starts_with("recovery/backoff/"));
+    }
+}

@@ -108,7 +108,10 @@ pub fn instance_digest(instance: &Instance) -> Result<u64, String> {
     Ok(fnv1a64(json.as_bytes()))
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a over raw bytes — the digest primitive behind
+/// [`instance_digest`], also reused by the serve layer to fingerprint
+/// tenant state and by [`crate::backoff`] to derive deterministic jitter.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -208,8 +208,9 @@ fn count(n: usize) -> u64 {
 
 /// Cuts the tail of the last line — the shape of a buffered write killed
 /// mid-flush. Traces with fewer than two lines are left alone (nothing to
-/// tear without losing everything).
-fn tear_final_line(text: &str) -> String {
+/// tear without losing everything). Exposed so other drill harnesses
+/// (the serve layer's crash-recovery drill) wound their logs the same way.
+pub fn tear_final_line(text: &str) -> String {
     let body = text.strip_suffix('\n').unwrap_or(text);
     match body.rfind('\n') {
         Some(last_start) => {

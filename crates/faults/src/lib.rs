@@ -8,7 +8,8 @@
 //!   oversized (infeasible) jobs.
 //! * [`recovery`] — pluggable [`RecoveryPolicy`] implementations for
 //!   displaced jobs (same-type re-place, first-fit repack, degrade to the
-//!   largest type). Policies place only onto machines they create
+//!   largest type, jittered-exponential [`backoff`] with churn
+//!   escalation). Policies place only onto machines they create
 //!   (labelled `recovery/…`), so recovery cost is accounted separately
 //!   and the fault-free cost bounds stay checkable.
 //! * [`runner`] — [`run_online_faulted`], the faulted twin of
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backoff;
 pub mod checkpoint;
 pub mod crash_test;
 pub mod plan;
@@ -35,8 +37,9 @@ pub mod recovery;
 pub mod runner;
 pub mod script;
 
+pub use backoff::{Backoff, BackoffSchedule};
 pub use checkpoint::{Checkpoint, DecisionRecord};
-pub use crash_test::{crash_test, CrashTestReport};
+pub use crash_test::{crash_test, tear_final_line, CrashTestReport};
 pub use plan::{CrashFault, FaultPlan, ResolvedFaults};
 pub use recovery::{
     policy_by_name, DegradeToLargest, DisplacedJob, FirstFitRepack, RecoveryPolicy, SameType,

@@ -43,7 +43,7 @@ pub trait RecoveryPolicy {
 }
 
 /// The recovery-policy names accepted by [`policy_by_name`].
-pub const POLICY_NAMES: [&str; 3] = ["same-type", "first-fit", "degrade"];
+pub const POLICY_NAMES: [&str; 4] = ["same-type", "first-fit", "degrade", "backoff"];
 
 /// Builds a recovery policy from its spec-string name.
 pub fn policy_by_name(name: &str) -> Result<Box<dyn RecoveryPolicy>, String> {
@@ -51,6 +51,7 @@ pub fn policy_by_name(name: &str) -> Result<Box<dyn RecoveryPolicy>, String> {
         "same-type" => Ok(Box::new(SameType::default())),
         "first-fit" => Ok(Box::new(FirstFitRepack::default())),
         "degrade" => Ok(Box::new(DegradeToLargest::default())),
+        "backoff" => Ok(Box::new(crate::backoff::Backoff::default())),
         other => Err(format!(
             "unknown recovery policy `{other}` (expected one of: {})",
             POLICY_NAMES.join(", ")

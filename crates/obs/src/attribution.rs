@@ -237,11 +237,13 @@ impl CostLedger {
             }
             // Dropped jobs stop accruing; their past segments were already
             // cut by the crash/departure path. Gap samples, decision
-            // x-rays and SLO alerts are gauges.
+            // x-rays, SLO alerts and service-lifecycle markers are gauges.
             TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. }
-            | TraceEvent::Alert { .. } => {}
+            | TraceEvent::Alert { .. }
+            | TraceEvent::TenantLifecycle { .. }
+            | TraceEvent::Degradation { .. } => {}
         }
     }
 

@@ -65,6 +65,71 @@ impl AlertReason {
     }
 }
 
+/// Phase of a tenant's lifecycle inside the resident service
+/// (`bshm-serve`). Closed and typed, like [`AlertReason`], so supervision
+/// histories can be asserted on in drills and counted per phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TenantPhase {
+    /// The tenant was admitted and its instance registered.
+    Admitted,
+    /// The supervisor wrote a checkpoint for the tenant.
+    Checkpointed,
+    /// The tenant was killed mid-batch (crash, panic, or injected kill).
+    Killed,
+    /// The tenant was restored from its checkpoint plus salvaged log and
+    /// the restore verified digest-identical.
+    Restored,
+    /// The tenant was checkpointed and flushed as part of a graceful
+    /// drain.
+    Drained,
+    /// The tenant was shed by the degradation ladder's last rung.
+    Shed,
+}
+
+impl TenantPhase {
+    /// Every phase, in stable registry/report order.
+    pub const ALL: [TenantPhase; 6] = [
+        TenantPhase::Admitted,
+        TenantPhase::Checkpointed,
+        TenantPhase::Killed,
+        TenantPhase::Restored,
+        TenantPhase::Drained,
+        TenantPhase::Shed,
+    ];
+
+    /// Stable kebab-case name (label value, drill-report field).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TenantPhase::Admitted => "admitted",
+            TenantPhase::Checkpointed => "checkpointed",
+            TenantPhase::Killed => "killed",
+            TenantPhase::Restored => "restored",
+            TenantPhase::Drained => "drained",
+            TenantPhase::Shed => "shed",
+        }
+    }
+
+    /// Parses the kebab-case name produced by [`TenantPhase::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TenantPhase> {
+        TenantPhase::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+
+    /// Index into [`TenantPhase::ALL`] (per-phase counter slot).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TenantPhase::Admitted => 0,
+            TenantPhase::Checkpointed => 1,
+            TenantPhase::Killed => 2,
+            TenantPhase::Restored => 3,
+            TenantPhase::Drained => 4,
+            TenantPhase::Shed => 5,
+        }
+    }
+}
+
 /// One observable moment of a scheduling run.
 ///
 /// Traces are streams of these, one JSON object per line, in
@@ -241,6 +306,32 @@ pub enum TraceEvent {
         /// Configured threshold in the same milli-units.
         threshold_milli: u64,
     },
+    /// A tenant changed lifecycle phase inside the resident service:
+    /// admitted, checkpointed, killed, restored, drained or shed. `t` is
+    /// the tenant's own event clock at the transition. Arrival-side, like
+    /// the admissions and re-placements it narrates.
+    TenantLifecycle {
+        /// The tenant's event clock at the transition.
+        t: TimePoint,
+        /// The tenant's service-unique name.
+        tenant: String,
+        /// The phase entered.
+        phase: TenantPhase,
+    },
+    /// The service's graceful-degradation ladder moved between rungs
+    /// (0 = full service, then successively cheaper modes). Departure-side,
+    /// like the [`TraceEvent::Alert`]s that justify it: the transition
+    /// summarizes pressure already observed.
+    Degradation {
+        /// The service event clock at the transition.
+        t: TimePoint,
+        /// The rung being left.
+        from_rung: u64,
+        /// The rung being entered.
+        to_rung: u64,
+        /// The dominant alert reason that drove the transition.
+        reason: AlertReason,
+    },
 }
 
 impl TraceEvent {
@@ -259,7 +350,9 @@ impl TraceEvent {
             | TraceEvent::JobDropped { t, .. }
             | TraceEvent::Decision { t, .. }
             | TraceEvent::GapSample { t, .. }
-            | TraceEvent::Alert { t, .. } => t,
+            | TraceEvent::Alert { t, .. }
+            | TraceEvent::TenantLifecycle { t, .. }
+            | TraceEvent::Degradation { t, .. } => t,
         }
     }
 
@@ -279,6 +372,8 @@ impl TraceEvent {
             TraceEvent::Decision { .. } => "Decision",
             TraceEvent::GapSample { .. } => "GapSample",
             TraceEvent::Alert { .. } => "Alert",
+            TraceEvent::TenantLifecycle { .. } => "TenantLifecycle",
+            TraceEvent::Degradation { .. } => "Degradation",
         }
     }
 
@@ -292,6 +387,9 @@ impl TraceEvent {
     /// timestamp, so it always closes the timestamp it stamps. `Alert` is
     /// departure-side: it summarizes the window `[start, t)` that just
     /// closed, so it *opens* its timestamp, before anything else at `t`.
+    /// `Degradation` is departure-side for the same reason (it reacts to
+    /// alerts already seen); `TenantLifecycle` is arrival-side, like the
+    /// admissions it narrates.
     #[must_use]
     pub fn is_departure_side(&self) -> bool {
         matches!(
@@ -301,6 +399,7 @@ impl TraceEvent {
                 | TraceEvent::MachineClose { .. }
                 | TraceEvent::MachineCrash { .. }
                 | TraceEvent::Alert { .. }
+                | TraceEvent::Degradation { .. }
         )
     }
 }
@@ -381,6 +480,17 @@ mod tests {
                 window: 1,
                 value_milli: 1250,
                 threshold_milli: 1100,
+            },
+            TraceEvent::TenantLifecycle {
+                t: 12,
+                tenant: "team-a".to_string(),
+                phase: TenantPhase::Restored,
+            },
+            TraceEvent::Degradation {
+                t: 40,
+                from_rung: 0,
+                to_rung: 1,
+                reason: AlertReason::LatencyRegression,
             },
             TraceEvent::Decision {
                 t: 3,
@@ -487,6 +597,32 @@ mod tests {
         assert_eq!(al.time(), 30);
         assert_eq!(al.kind(), "Alert");
         assert!(al.is_departure_side());
+        let tl = TraceEvent::TenantLifecycle {
+            t: 11,
+            tenant: "team-a".to_string(),
+            phase: TenantPhase::Admitted,
+        };
+        assert_eq!(tl.time(), 11);
+        assert_eq!(tl.kind(), "TenantLifecycle");
+        assert!(!tl.is_departure_side());
+        let dg = TraceEvent::Degradation {
+            t: 12,
+            from_rung: 1,
+            to_rung: 2,
+            reason: AlertReason::DropSurge,
+        };
+        assert_eq!(dg.time(), 12);
+        assert_eq!(dg.kind(), "Degradation");
+        assert!(dg.is_departure_side());
+    }
+
+    #[test]
+    fn tenant_phase_names_round_trip() {
+        for p in TenantPhase::ALL {
+            assert_eq!(TenantPhase::parse(p.as_str()), Some(p));
+            assert_eq!(TenantPhase::ALL[p.index()], p);
+        }
+        assert_eq!(TenantPhase::parse("nope"), None);
     }
 
     #[test]

@@ -289,7 +289,9 @@ impl<P: Probe> GapProbe<P> {
             TraceEvent::Placement { .. }
             | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. }
-            | TraceEvent::Alert { .. } => {}
+            | TraceEvent::Alert { .. }
+            | TraceEvent::TenantLifecycle { .. }
+            | TraceEvent::Degradation { .. } => {}
         }
     }
 }

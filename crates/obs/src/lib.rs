@@ -86,7 +86,7 @@ pub mod span;
 pub mod window;
 
 pub use attribution::CostLedger;
-pub use event::{AlertReason, TraceEvent};
+pub use event::{AlertReason, TenantPhase, TraceEvent};
 pub use flight::FlightRecorder;
 pub use gap::{compute_gap_timeline, gap_timeline_from_events, GapPoint, GapProbe, GapTimeline};
 pub use probe::{Collector, Deterministic, NoProbe, Probe};

@@ -180,6 +180,36 @@ pub trait Probe {
             threshold_milli,
         });
     }
+
+    /// A resident-service tenant entered a new lifecycle phase.
+    fn on_tenant_lifecycle(
+        &mut self,
+        t: TimePoint,
+        tenant: &str,
+        phase: crate::event::TenantPhase,
+    ) {
+        self.record(&TraceEvent::TenantLifecycle {
+            t,
+            tenant: tenant.to_string(),
+            phase,
+        });
+    }
+
+    /// The resident service's degradation ladder moved between rungs.
+    fn on_degradation(
+        &mut self,
+        t: TimePoint,
+        from_rung: u64,
+        to_rung: u64,
+        reason: crate::event::AlertReason,
+    ) {
+        self.record(&TraceEvent::Degradation {
+            t,
+            from_rung,
+            to_rung,
+            reason,
+        });
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {

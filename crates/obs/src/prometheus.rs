@@ -259,6 +259,27 @@ pub fn encode(metrics: &Metrics, spans: &[SpanStat]) -> String {
         e.sample("bshm_alerts_by_reason_total", &labels, c as f64);
     }
 
+    e.header(
+        "bshm_tenant_transitions_total",
+        "counter",
+        "Tenant lifecycle transitions recorded by the resident service.",
+    );
+    e.sample(
+        "bshm_tenant_transitions_total",
+        &base,
+        metrics.tenant_transitions as f64,
+    );
+    e.header(
+        "bshm_degradations_total",
+        "counter",
+        "Degradation-ladder rung transitions recorded by the resident service.",
+    );
+    e.sample(
+        "bshm_degradations_total",
+        &base,
+        metrics.degradations as f64,
+    );
+
     let ops_counters: [(&str, &str, f64); 5] = [
         (
             "bshm_ops_decisions_total",

@@ -202,6 +202,10 @@ pub struct Metrics {
     pub alerts: u64,
     /// Alerts per typed reason, indexed by [`AlertReason::index`].
     pub alerts_by_reason: Vec<u64>,
+    /// Number of `TenantLifecycle` events (resident-service supervision).
+    pub tenant_transitions: u64,
+    /// Number of `Degradation` events (ladder rung changes).
+    pub degradations: u64,
 }
 
 impl Metrics {
@@ -239,6 +243,8 @@ impl Metrics {
             ops_sum: 0,
             alerts: 0,
             alerts_by_reason: vec![0; AlertReason::ALL.len()],
+            tenant_transitions: 0,
+            degradations: 0,
         }
     }
 
@@ -320,6 +326,8 @@ impl Metrics {
         self.ops_sum = self.ops_sum.saturating_add(other.ops_sum);
         self.alerts += other.alerts;
         merge_counts(&mut self.alerts_by_reason, &other.alerts_by_reason);
+        self.tenant_transitions += other.tenant_transitions;
+        self.degradations += other.degradations;
     }
 
     /// Folds one event into the aggregates. `busy_now` is the caller's
@@ -432,6 +440,8 @@ impl Metrics {
                     *c += 1;
                 }
             }
+            TraceEvent::TenantLifecycle { .. } => self.tenant_transitions += 1,
+            TraceEvent::Degradation { .. } => self.degradations += 1,
         }
     }
 

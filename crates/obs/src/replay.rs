@@ -171,7 +171,9 @@ pub fn event_type_bound(e: &TraceEvent) -> usize {
         | TraceEvent::JobDropped { .. }
         | TraceEvent::Decision { .. }
         | TraceEvent::GapSample { .. }
-        | TraceEvent::Alert { .. } => 0,
+        | TraceEvent::Alert { .. }
+        | TraceEvent::TenantLifecycle { .. }
+        | TraceEvent::Degradation { .. } => 0,
     }
 }
 
@@ -224,7 +226,9 @@ pub fn replay_timeline(events: &[TraceEvent], n_types: usize) -> ReplayedTimelin
             | TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. }
-            | TraceEvent::Alert { .. } => continue,
+            | TraceEvent::Alert { .. }
+            | TraceEvent::TenantLifecycle { .. }
+            | TraceEvent::Degradation { .. } => continue,
         };
         if ty < n_types {
             cur[ty] = u32::try_from(i64::from(cur[ty]) + delta).unwrap_or(0);
@@ -578,7 +582,9 @@ pub fn machine_utilization(events: &[TraceEvent]) -> Vec<MachineUsage> {
             | TraceEvent::JobDropped { .. }
             | TraceEvent::Decision { .. }
             | TraceEvent::GapSample { .. }
-            | TraceEvent::Alert { .. } => {}
+            | TraceEvent::Alert { .. }
+            | TraceEvent::TenantLifecycle { .. }
+            | TraceEvent::Degradation { .. } => {}
         }
     }
     let mut out: Vec<MachineUsage> = machines.into_values().map(|s| s.usage).collect();

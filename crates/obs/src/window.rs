@@ -328,6 +328,9 @@ impl RollingWindows {
             }
             TraceEvent::Decision { .. } => {}
             TraceEvent::Alert { .. } => cur.alerts += 1,
+            // Service-lifecycle markers are counted in the run totals
+            // (`Metrics::update` above) but do not shape window telemetry.
+            TraceEvent::TenantLifecycle { .. } | TraceEvent::Degradation { .. } => {}
         }
         cur.open_now = self.busy_now.clone();
     }

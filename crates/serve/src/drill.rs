@@ -1,0 +1,377 @@
+//! The two robustness drills gated in CI.
+//!
+//! * [`crash_recovery_drill`] — kill a tenant mid-batch (torn log on
+//!   disk, memory gone), restore from checkpoint + salvaged log, and
+//!   prove the restored state is FNV-digest-identical — checkpoint,
+//!   event history and placement sequence — to a reference service that
+//!   was never killed.
+//! * [`overload_drill`] — drive a tiny-queued service into sustained
+//!   SLO pressure and prove the failure path is orderly: queues never
+//!   exceed capacity, every shed request gets a typed `OVERLOAD` whose
+//!   retry-after replays exactly from the seeded backoff schedule, and
+//!   the degradation ladder walks every rung down to shedding the
+//!   lowest-priority tenant, each transition on the service trace.
+//!
+//! Both drills are deterministic end to end (seeds + event clocks, no
+//! wall time), so a failing check is always reproducible.
+
+use crate::ladder::RUNG_NAMES;
+use crate::queue::Overload;
+use crate::service::{Service, ServiceConfig};
+use crate::tenant::builtin_factory;
+use crate::transport::parse_overload;
+use bshm_obs::slo::SloSpec;
+use bshm_obs::{TenantPhase, TraceEvent};
+use serde::Serialize;
+use std::path::Path;
+
+/// One verified assertion inside a drill.
+#[derive(Clone, Debug, Serialize)]
+pub struct DrillCheck {
+    /// What was checked.
+    pub name: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// Evidence (counts, digests, the offending value on failure).
+    pub detail: String,
+}
+
+/// A drill's full outcome (serialized by `bshm drill` and the CI soak
+/// job).
+#[derive(Clone, Debug, Serialize)]
+pub struct DrillReport {
+    /// `crash-recovery` or `overload`.
+    pub kind: String,
+    /// Whether every check passed.
+    pub passed: bool,
+    /// Every check, in execution order.
+    pub checks: Vec<DrillCheck>,
+}
+
+impl DrillReport {
+    fn new(kind: &str) -> Self {
+        DrillReport {
+            kind: kind.to_string(),
+            passed: true,
+            checks: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, name: &str, passed: bool, detail: impl Into<String>) {
+        self.passed &= passed;
+        self.checks.push(DrillCheck {
+            name: name.to_string(),
+            passed,
+            detail: detail.into(),
+        });
+    }
+}
+
+/// Drives `service` through the shared admission script for the crash
+/// drill: two tenants, three queued units each, two batches stepped.
+fn crash_script(service: &mut Service) -> Result<(), String> {
+    for line in [
+        "ADMIT alpha dec-online 5 dec:60:21 seeded:41:2",
+        "ADMIT beta inc-online 3 inc:60:22",
+        "SUBMIT alpha 3",
+        "SUBMIT beta 3",
+        "STEP alpha",
+        "STEP beta",
+        "STEP alpha",
+    ] {
+        let reply = service.handle_line(line);
+        if reply.starts_with("ERR") {
+            return Err(format!("`{line}` → {reply}"));
+        }
+    }
+    Ok(())
+}
+
+/// The crash-recovery drill. `data_dir` receives two service data
+/// directories (`live/`, `reference/`); both are driven through the
+/// identical script, then the live service's `alpha` tenant is killed
+/// mid-batch and restored while the reference runs on untouched.
+pub fn crash_recovery_drill(data_dir: &Path) -> Result<DrillReport, String> {
+    let mut report = DrillReport::new("crash-recovery");
+    let mut config = ServiceConfig::new(data_dir.join("live"));
+    config.batch_events = 24;
+    config.queue_capacity = 4;
+    config.patience = u32::MAX; // the ladder is the other drill's subject
+    let mut reference_config = config.clone();
+    reference_config.data_dir = data_dir.join("reference");
+
+    let mut live = Service::new(config, builtin_factory())?;
+    let mut reference = Service::new(reference_config, builtin_factory())?;
+    crash_script(&mut live)?;
+    crash_script(&mut reference)?;
+
+    // Kill alpha mid-batch: a torn log and a checkpoint are all that
+    // survives.
+    let reply = live.handle_line("KILL alpha");
+    report.check("kill-accepted", reply.starts_with("OK killed"), &reply);
+    let reply = live.handle_line("RESTORE alpha");
+    report.check("restore-verified", reply.contains("verified=true"), &reply);
+    report.check(
+        "salvage-dropped-torn-bytes",
+        !reply.contains("dropped_bytes=0 "),
+        &reply,
+    );
+
+    // The restored tenant must be indistinguishable from the reference
+    // that never crashed.
+    let restored = live.tenant("alpha").ok_or("live alpha missing")?;
+    let untouched = reference.tenant("alpha").ok_or("reference alpha missing")?;
+    report.check(
+        "digest-identical",
+        restored.state_digest() == untouched.state_digest() && restored.state_digest() != 0,
+        format!(
+            "restored={:#018x} reference={:#018x}",
+            restored.state_digest(),
+            untouched.state_digest()
+        ),
+    );
+    report.check(
+        "event-history-identical",
+        restored.events() == untouched.events(),
+        format!(
+            "restored={} events, reference={} events",
+            restored.events().len(),
+            untouched.events().len()
+        ),
+    );
+    let placements = |t: &crate::tenant::Tenant| -> Vec<TraceEvent> {
+        t.events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Placement { .. }))
+            .cloned()
+            .collect()
+    };
+    let (rp, up) = (placements(restored), placements(untouched));
+    report.check(
+        "placement-sequence-identical",
+        rp == up && !rp.is_empty(),
+        format!("restored={} placements, reference={}", rp.len(), up.len()),
+    );
+
+    // Both services finish their work identically after the recovery.
+    for service in [&mut live, &mut reference] {
+        let reply = service.handle_line("STEP alpha");
+        if reply.starts_with("ERR") {
+            return Err(format!("post-restore step → {reply}"));
+        }
+    }
+    let (live_alpha, ref_alpha) = (
+        live.tenant("alpha").ok_or("live alpha missing")?,
+        reference.tenant("alpha").ok_or("reference alpha missing")?,
+    );
+    report.check(
+        "post-restore-step-converges",
+        live_alpha.state_digest() == ref_alpha.state_digest(),
+        format!(
+            "live={:#018x} reference={:#018x}",
+            live_alpha.state_digest(),
+            ref_alpha.state_digest()
+        ),
+    );
+
+    // The lifecycle trail must show the whole arc on the service trace.
+    let phases: Vec<&str> = live
+        .service_events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TenantLifecycle { tenant, phase, .. } if tenant == "alpha" => {
+                Some(phase.as_str())
+            }
+            _ => None,
+        })
+        .collect();
+    let arc_ok = {
+        let k = phases.iter().position(|p| *p == "killed");
+        let r = phases.iter().position(|p| *p == "restored");
+        phases.first() == Some(&"admitted") && matches!((k, r), (Some(k), Some(r)) if k < r)
+    };
+    report.check(
+        "lifecycle-arc-on-service-trace",
+        arc_ok,
+        format!("phases: {phases:?}"),
+    );
+
+    let reply = live.handle_line("DRAIN");
+    report.check("drain-clean", reply.starts_with("OK drained"), &reply);
+    Ok(report)
+}
+
+/// The overload drill. Drives a tiny-queued, short-patience service into
+/// sustained SLO pressure and verifies the whole orderly-failure path.
+pub fn overload_drill(data_dir: &Path) -> Result<DrillReport, String> {
+    let mut report = DrillReport::new("overload");
+    let mut config = ServiceConfig::new(data_dir.join("overload"));
+    config.batch_events = 8;
+    config.queue_capacity = 2;
+    config.patience = 1;
+    // A small window so SLO pressure shows up within a few batches.
+    config.slo = SloSpec::parse("window:16;storm:1;drops:1")?;
+    let backoff = config.backoff;
+    let mut service = Service::new(config, builtin_factory())?;
+
+    for line in [
+        // Crash-heavy fault plans guarantee displacement storms.
+        "ADMIT hi first-fit-any 5 dec:120:31 seeded:41:8",
+        "ADMIT lo first-fit-any 1 dec:120:32 seeded:42:8",
+    ] {
+        let reply = service.handle_line(line);
+        if reply.starts_with("ERR") {
+            return Err(format!("`{line}` → {reply}"));
+        }
+    }
+
+    // Saturate hi's queue and collect the rejection sequence.
+    let mut overloads: Vec<Overload> = Vec::with_capacity(8);
+    let mut admitted = 0u64;
+    for _ in 0..8 {
+        let reply = service.handle_line("SUBMIT hi 1");
+        if let Some(o) = parse_overload(&reply) {
+            overloads.push(o);
+        } else if reply.starts_with("OK") {
+            admitted += 1;
+        } else {
+            return Err(format!("SUBMIT hi → {reply}"));
+        }
+    }
+    report.check(
+        "queue-accepts-exactly-capacity",
+        admitted == 2 && overloads.len() == 6,
+        format!("admitted={admitted} overloads={}", overloads.len()),
+    );
+    report.check(
+        "retry-after-replays-from-schedule",
+        overloads.iter().enumerate().all(|(i, o)| {
+            o.attempt == u32::try_from(i).unwrap_or(u32::MAX)
+                && o.retry_after == backoff.delay(o.attempt)
+        }),
+        format!(
+            "got {:?}, schedule {:?}",
+            overloads.iter().map(|o| o.retry_after).collect::<Vec<_>>(),
+            backoff.delays(u32::try_from(overloads.len()).unwrap_or(u32::MAX)),
+        ),
+    );
+
+    // Keep both tenants stepping under pressure until the ladder bottoms
+    // out (bounded script: this is deterministic, the bound is slack).
+    let mut steps = 0u32;
+    while !service.ladder().shedding() && steps < 64 {
+        for name in ["hi", "lo"] {
+            if service.ladder().shedding() {
+                break;
+            }
+            let _ = service.handle_line(&format!("SUBMIT {name} 1"));
+            let reply = service.handle_line(&format!("STEP {name}"));
+            if reply.starts_with("ERR") && !reply.contains("was shed") {
+                return Err(format!("STEP {name} → {reply}"));
+            }
+        }
+        steps += 1;
+    }
+    let rungs: Vec<(u64, u64)> = service
+        .ladder()
+        .transitions()
+        .iter()
+        .map(|tr| (tr.from_rung, tr.to_rung))
+        .collect();
+    report.check(
+        "ladder-walks-every-rung",
+        rungs == [(0, 1), (1, 2), (2, 3)],
+        format!("transitions: {rungs:?} (rungs: {RUNG_NAMES:?})"),
+    );
+    let degradations_on_trace = service
+        .service_events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Degradation { .. }))
+        .count();
+    report.check(
+        "degradations-on-service-trace",
+        degradations_on_trace == 3,
+        format!("{degradations_on_trace} Degradation events"),
+    );
+
+    // Rung 2 rebased every live tenant onto the cheapest algorithm; rung
+    // 3 shed exactly the lowest-priority tenant.
+    let (hi, lo) = (
+        service.tenant("hi").ok_or("hi missing")?,
+        service.tenant("lo").ok_or("lo missing")?,
+    );
+    report.check(
+        "sheds-lowest-priority-only",
+        lo.shed() && !hi.shed(),
+        format!("lo.shed={} hi.shed={}", lo.shed(), hi.shed()),
+    );
+    report.check(
+        "cheapest-algorithm-forced",
+        hi.algorithm() == "first-fit-any",
+        hi.algorithm().to_string(),
+    );
+    let shed_phase = service.service_events().iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::TenantLifecycle {
+                tenant,
+                phase: TenantPhase::Shed,
+                ..
+            } if tenant == "lo"
+        )
+    });
+    report.check("shed-on-service-trace", shed_phase, format!("{shed_phase}"));
+
+    // The invariant the queues must never break, no matter the pressure.
+    let peaks_ok = [hi, lo]
+        .iter()
+        .all(|t| t.queue.peak() <= t.queue.capacity());
+    report.check(
+        "queues-never-exceed-capacity",
+        peaks_ok,
+        format!(
+            "hi peak {}/{} lo peak {}/{}",
+            hi.queue.peak(),
+            hi.queue.capacity(),
+            lo.queue.peak(),
+            lo.queue.capacity()
+        ),
+    );
+    report.check(
+        "overloads-typed-everywhere",
+        hi.queue.rejections() >= 6,
+        format!("hi rejections {}", hi.queue.rejections()),
+    );
+
+    let reply = service.handle_line("DRAIN");
+    report.check("drain-clean", reply.starts_with("OK drained"), &reply);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bshm-drill-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn crash_recovery_drill_passes() {
+        let d = dir("crash");
+        let report = crash_recovery_drill(&d).unwrap();
+        assert!(report.passed, "{}", serde_json::to_string(&report).unwrap());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn overload_drill_passes() {
+        let d = dir("overload");
+        let report = overload_drill(&d).unwrap();
+        assert!(report.passed, "{}", serde_json::to_string(&report).unwrap());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,204 @@
+//! The graceful-degradation ladder.
+//!
+//! Under sustained SLO pressure the service sheds work in ordered rungs
+//! rather than failing unpredictably:
+//!
+//! | rung | name                 | effect                                   |
+//! |------|----------------------|------------------------------------------|
+//! | 0    | `full-service`       | everything on                            |
+//! | 1    | `no-gap-gauges`      | per-batch optimality-gap gauges disabled |
+//! | 2    | `cheapest-algorithm` | tenants rebased onto `first-fit-any`     |
+//! | 3    | `shed-tenants`       | lowest-priority tenants shed             |
+//!
+//! Escalation is strictly one-way within a service session (rungs never
+//! relax until drain) — deterministic and flap-free by construction. A
+//! transition fires after `patience` *consecutive* pressured steps and
+//! is stamped as a [`TraceEvent::Degradation`] carrying the dominant
+//! [`AlertReason`].
+
+use bshm_obs::{AlertReason, TraceEvent};
+use serde::Serialize;
+
+/// Rung names, indexed by rung number.
+pub const RUNG_NAMES: [&str; 4] = [
+    "full-service",
+    "no-gap-gauges",
+    "cheapest-algorithm",
+    "shed-tenants",
+];
+
+/// The placement algorithm rung 2 forces onto every tenant.
+pub const CHEAPEST_ALGORITHM: &str = "first-fit-any";
+
+/// One recorded rung transition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct RungTransition {
+    /// Service event clock at the transition.
+    pub t: u64,
+    /// Rung left.
+    pub from_rung: u64,
+    /// Rung entered.
+    pub to_rung: u64,
+    /// Dominant alert reason that drove the escalation.
+    pub reason: AlertReason,
+}
+
+impl RungTransition {
+    /// The trace event stamping this transition.
+    #[must_use]
+    pub fn event(&self) -> TraceEvent {
+        TraceEvent::Degradation {
+            t: self.t,
+            from_rung: self.from_rung,
+            to_rung: self.to_rung,
+            reason: self.reason,
+        }
+    }
+}
+
+/// The escalate-only degradation state machine.
+#[derive(Debug)]
+pub struct Ladder {
+    rung: u64,
+    patience: u32,
+    streak: u32,
+    transitions: Vec<RungTransition>,
+}
+
+impl Ladder {
+    /// A ladder at rung 0 that escalates after `patience` (clamped to
+    /// ≥ 1) consecutive pressured observations.
+    #[must_use]
+    pub fn new(patience: u32) -> Self {
+        Ladder {
+            rung: 0,
+            patience: patience.max(1),
+            streak: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The current rung.
+    #[must_use]
+    pub fn rung(&self) -> u64 {
+        self.rung
+    }
+
+    /// The current rung's name.
+    #[must_use]
+    pub fn rung_name(&self) -> &'static str {
+        let i = usize::try_from(self.rung).unwrap_or(RUNG_NAMES.len() - 1);
+        RUNG_NAMES[i.min(RUNG_NAMES.len() - 1)]
+    }
+
+    /// Whether per-batch gap gauges are still on (rung 0 only).
+    #[must_use]
+    pub fn gap_gauges_enabled(&self) -> bool {
+        self.rung < 1
+    }
+
+    /// The algorithm override rung 2 imposes, once reached.
+    #[must_use]
+    pub fn forced_algorithm(&self) -> Option<&'static str> {
+        (self.rung >= 2).then_some(CHEAPEST_ALGORITHM)
+    }
+
+    /// Whether the shed rung has been reached.
+    #[must_use]
+    pub fn shedding(&self) -> bool {
+        self.rung >= 3
+    }
+
+    /// Every transition so far, in order.
+    #[must_use]
+    pub fn transitions(&self) -> &[RungTransition] {
+        &self.transitions
+    }
+
+    /// Folds one service step's pressure observation. Returns the
+    /// transition if this observation completed a patience streak and
+    /// moved the ladder up a rung.
+    pub fn observe(
+        &mut self,
+        t: u64,
+        pressured: bool,
+        reason: Option<AlertReason>,
+    ) -> Option<RungTransition> {
+        if !pressured {
+            self.streak = 0;
+            return None;
+        }
+        self.streak = self.streak.saturating_add(1);
+        if self.streak < self.patience || self.rung >= 3 {
+            return None;
+        }
+        self.streak = 0;
+        let from_rung = self.rung;
+        self.rung += 1;
+        let tr = RungTransition {
+            t,
+            from_rung,
+            to_rung: self.rung,
+            reason: reason.unwrap_or(AlertReason::GapBreach),
+        };
+        self.transitions.push(tr.clone());
+        Some(tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_only_after_consecutive_pressure() {
+        let mut l = Ladder::new(2);
+        assert!(l.observe(1, true, Some(AlertReason::DropSurge)).is_none());
+        // Pressure relieved: the streak resets.
+        assert!(l.observe(2, false, None).is_none());
+        assert!(l.observe(3, true, Some(AlertReason::DropSurge)).is_none());
+        let tr = l.observe(4, true, Some(AlertReason::DropSurge)).unwrap();
+        assert_eq!((tr.from_rung, tr.to_rung), (0, 1));
+        assert_eq!(l.rung(), 1);
+        assert!(!l.gap_gauges_enabled());
+        assert_eq!(l.forced_algorithm(), None);
+    }
+
+    #[test]
+    fn climbs_every_rung_and_saturates() {
+        let mut l = Ladder::new(1);
+        for _ in 0..10 {
+            let _ = l.observe(0, true, Some(AlertReason::DisplacementStorm));
+        }
+        assert_eq!(l.rung(), 3);
+        assert_eq!(l.rung_name(), "shed-tenants");
+        assert!(l.shedding());
+        assert_eq!(l.forced_algorithm(), Some("first-fit-any"));
+        assert_eq!(l.transitions().len(), 3);
+        // Transitions are contiguous: 0→1, 1→2, 2→3.
+        for (i, tr) in l.transitions().iter().enumerate() {
+            assert_eq!(tr.from_rung, i as u64);
+            assert_eq!(tr.to_rung, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn transition_stamps_a_degradation_event() {
+        let mut l = Ladder::new(1);
+        let tr = l
+            .observe(7, true, Some(AlertReason::LatencyRegression))
+            .unwrap();
+        match tr.event() {
+            TraceEvent::Degradation {
+                t,
+                from_rung,
+                to_rung,
+                reason,
+            } => {
+                assert_eq!((t, from_rung, to_rung), (7, 0, 1));
+                assert_eq!(reason, AlertReason::LatencyRegression);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+}

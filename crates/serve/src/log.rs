@@ -1,0 +1,212 @@
+//! The tenant-tagged shared event sink.
+//!
+//! A resident service hosting many tenants can write every tenant's
+//! events into ONE crash-safe JSONL file: each line is a [`TaggedLine`]
+//! — the tenant's name plus a plain [`TraceEvent`]. Restoring splits the
+//! shared log back into per-tenant streams; because the split preserves
+//! each tenant's relative order, a tenant restored from an interleaved
+//! log reaches exactly the same digests as one restored from its own
+//! isolated log (proven over all registered algorithms in the cli test
+//! suite).
+
+use bshm_obs::sink::TraceWriter;
+use bshm_obs::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One line of a shared multi-tenant log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaggedLine {
+    /// The tenant the event belongs to.
+    pub tenant: String,
+    /// The event itself, exactly as a per-tenant log would record it.
+    pub event: TraceEvent,
+}
+
+/// A crash-safe shared sink: tenant-tagged events, one JSON object per
+/// line, flushed per line, written via the same `.partial` + atomic
+/// rename discipline as [`TraceWriter`].
+#[derive(Debug)]
+pub struct SharedSink {
+    writer: TraceWriter,
+    lines: u64,
+}
+
+impl SharedSink {
+    /// Opens the sink (writes stream into `<path>.partial` until
+    /// [`SharedSink::finalize`]).
+    pub fn create(path: impl Into<std::path::PathBuf>) -> Result<SharedSink, String> {
+        Ok(SharedSink {
+            writer: TraceWriter::create(path)?.flush_each(true),
+            lines: 0,
+        })
+    }
+
+    /// Appends one tenant-tagged event.
+    pub fn write(&mut self, tenant: &str, event: &TraceEvent) -> Result<(), String> {
+        let line = serde_json::to_string(&TaggedLine {
+            tenant: tenant.to_string(),
+            event: event.clone(),
+        })
+        .map_err(|e| format!("encoding tagged event: {e}"))?;
+        writeln!(self.writer, "{line}").map_err(|e| format!("writing shared log: {e}"))?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and atomically publishes the log.
+    pub fn finalize(&mut self) -> Result<(), String> {
+        self.writer.finalize()
+    }
+
+    /// Abandons the write, leaving the `.partial` crash artifact.
+    pub fn abandon(self) {
+        self.writer.abandon();
+    }
+}
+
+/// Splits shared-log text into per-tenant event streams, preserving each
+/// tenant's relative event order. Fails on the first malformed line (use
+/// [`salvage_tagged_str`] for torn logs).
+pub fn split_tagged_str(text: &str) -> Result<BTreeMap<String, Vec<TraceEvent>>, String> {
+    let mut out: BTreeMap<String, Vec<TraceEvent>> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let tagged: TaggedLine =
+            serde_json::from_str(line).map_err(|e| format!("shared log line {}: {e}", i + 1))?;
+        out.entry(tagged.tenant).or_default().push(tagged.event);
+    }
+    Ok(out)
+}
+
+/// A salvaged shared log: per-tenant event streams plus the dropped-line
+/// and dropped-byte counts from the torn tail.
+pub type TaggedSalvage = (BTreeMap<String, Vec<TraceEvent>>, u64, u64);
+
+/// The salvage twin of [`split_tagged_str`]: parses the longest valid
+/// prefix of a torn shared log and reports what was dropped, mirroring
+/// [`bshm_obs::sink::salvage_jsonl_str`]'s contract for plain traces.
+#[must_use]
+pub fn salvage_tagged_str(text: &str) -> TaggedSalvage {
+    let mut out: BTreeMap<String, Vec<TraceEvent>> = BTreeMap::new();
+    let mut consumed: usize = 0;
+    let mut dropped_lines: u64 = 0;
+    for line in text.split_inclusive('\n') {
+        let body = line.trim_end_matches(['\n', '\r']);
+        if !body.trim().is_empty() {
+            match serde_json::from_str::<TaggedLine>(body) {
+                Ok(tagged) if line.ends_with('\n') => {
+                    out.entry(tagged.tenant).or_default().push(tagged.event);
+                }
+                // A final line without its terminator is a torn tail even
+                // if it happens to parse — the writer flushes per line.
+                _ => break,
+            }
+        }
+        consumed += line.len();
+    }
+    let rest = &text[consumed..];
+    for l in rest.lines() {
+        if !l.trim().is_empty() {
+            dropped_lines += 1;
+        }
+    }
+    (out, dropped_lines, (text.len() - consumed) as u64)
+}
+
+/// Reads and splits a shared log file, falling back to the `.partial`
+/// crash artifact like [`bshm_obs::sink::salvage_jsonl`] does.
+///
+/// # Errors
+/// Reports when neither the published log nor the `.partial` crash
+/// artifact is readable.
+pub fn salvage_tagged(path: &Path) -> Result<TaggedSalvage, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            let partial = bshm_obs::sink::partial_path(path);
+            std::fs::read_to_string(&partial).map_err(|e| {
+                format!(
+                    "reading {} (and {}): {e}",
+                    path.display(),
+                    partial.display()
+                )
+            })?
+        }
+    };
+    Ok(salvage_tagged_str(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bshm_core::JobId;
+
+    fn ev(t: u64, job: u32) -> TraceEvent {
+        TraceEvent::Arrival {
+            t,
+            job: JobId(job),
+            size: 1,
+        }
+    }
+
+    #[test]
+    fn split_preserves_per_tenant_order() {
+        let mut text = String::new();
+        for (tenant, t, job) in [("a", 1, 1), ("b", 1, 1), ("a", 2, 2), ("b", 3, 2)] {
+            let line = serde_json::to_string(&TaggedLine {
+                tenant: tenant.to_string(),
+                event: ev(t, job),
+            })
+            .unwrap();
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let split = split_tagged_str(&text).unwrap();
+        assert_eq!(split["a"], vec![ev(1, 1), ev(2, 2)]);
+        assert_eq!(split["b"], vec![ev(1, 1), ev(3, 2)]);
+    }
+
+    #[test]
+    fn salvage_drops_the_torn_tail_with_byte_accounting() {
+        let good = serde_json::to_string(&TaggedLine {
+            tenant: "a".to_string(),
+            event: ev(1, 1),
+        })
+        .unwrap();
+        let text = format!("{good}\n{good}\n{}", &good[..good.len() / 2]);
+        let (split, dropped_lines, dropped_bytes) = salvage_tagged_str(&text);
+        assert_eq!(split["a"].len(), 2);
+        assert_eq!(dropped_lines, 1);
+        assert_eq!(dropped_bytes, (good.len() / 2) as u64);
+        // Strict split refuses the same text.
+        assert!(split_tagged_str(&text).is_err());
+    }
+
+    #[test]
+    fn sink_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("bshm-serve-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.jsonl");
+        let mut sink = SharedSink::create(&path).unwrap();
+        sink.write("a", &ev(1, 1)).unwrap();
+        sink.write("b", &ev(2, 1)).unwrap();
+        assert_eq!(sink.lines(), 2);
+        sink.finalize().unwrap();
+        let (split, dl, db) = salvage_tagged(&path).unwrap();
+        assert_eq!((dl, db), (0, 0));
+        assert_eq!(split["a"], vec![ev(1, 1)]);
+        assert_eq!(split["b"], vec![ev(2, 1)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
